@@ -1,0 +1,71 @@
+//! `cargo bench` entry point that regenerates **every** table and figure of
+//! the paper's evaluation, printing the paper-style rows. (This is a
+//! `harness = false` bench: the "benchmark" is the experiment suite itself,
+//! run on the virtual clock; Criterion micro-benchmarks live in `micro.rs`.)
+
+use dc_dlm::LockMode;
+use std::time::Instant;
+
+fn main() {
+    let wall = Instant::now();
+    println!("Regenerating every table/figure of the IPDPS'07 evaluation…\n");
+
+    let t = Instant::now();
+    dc_bench::fig3a::table(&dc_bench::fig3a::run()).print();
+    println!("[fig3a took {:.1?}]\n", t.elapsed());
+
+    let t = Instant::now();
+    dc_bench::fig3b::table(&dc_bench::fig3b::run()).print();
+    println!("[fig3b took {:.1?}]\n", t.elapsed());
+
+    let t = Instant::now();
+    dc_bench::fig5::table(
+        "Fig 5a — Shared-lock cascading latency (us)",
+        &dc_bench::fig5::run(LockMode::Shared),
+    )
+    .print();
+    println!("[fig5a took {:.1?}]\n", t.elapsed());
+
+    let t = Instant::now();
+    dc_bench::fig5::table(
+        "Fig 5b — Exclusive-lock cascading latency (us)",
+        &dc_bench::fig5::run(LockMode::Exclusive),
+    )
+    .print();
+    println!("[fig5b took {:.1?}]\n", t.elapsed());
+
+    for proxies in [2usize, 8] {
+        let t = Instant::now();
+        dc_bench::fig6::table(proxies, &dc_bench::fig6::run_panel(proxies)).print();
+        println!("[fig6 ({proxies} proxies) took {:.1?}]\n", t.elapsed());
+    }
+
+    let t = Instant::now();
+    dc_bench::fig8a::table(&dc_bench::fig8a::run()).print();
+    println!("[fig8a took {:.1?}]\n", t.elapsed());
+
+    let t = Instant::now();
+    dc_bench::fig8b::table(&dc_bench::fig8b::run()).print();
+    println!("[fig8b took {:.1?}]\n", t.elapsed());
+
+    let t = Instant::now();
+    dc_bench::ext_flowcontrol::table(&dc_bench::ext_flowcontrol::run()).print();
+    println!("[ext_flowcontrol took {:.1?}]\n", t.elapsed());
+
+    let t = Instant::now();
+    let fine = dc_bench::ext_reconfig::reaction(true);
+    let coarse = dc_bench::ext_reconfig::reaction(false);
+    dc_bench::ext_reconfig::table(&fine, &coarse).print();
+    println!("[ext_reconfig took {:.1?}]\n", t.elapsed());
+
+    let t = Instant::now();
+    dc_bench::ext_ablations::coherence_table(&dc_bench::ext_ablations::run_coherence()).print();
+    println!();
+    dc_bench::ext_ablations::capacity_table(&dc_bench::ext_ablations::run_capacity()).print();
+    println!();
+    dc_bench::ext_ablations::granularity_table(&dc_bench::ext_ablations::run_granularity())
+        .print();
+    println!("[ablations took {:.1?}]\n", t.elapsed());
+
+    println!("All figures regenerated in {:.1?}.", wall.elapsed());
+}

@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks of the primitives: wall-clock cost of the
+//! simulator and the protocol implementations themselves (events/second of
+//! the engine, full protocol round trips per second).
+//!
+//! These complement the figure regenerators: the figures report *virtual*
+//! time (calibrated 2007 latencies); these report how fast the library
+//! executes on the host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dc_coopcache::CacheScheme;
+use dc_ddss::Coherence;
+use dc_dlm::LockMode;
+
+fn bench_sim_engine(c: &mut Criterion) {
+    c.bench_function("sim/spawn_sleep_10k_tasks", |b| {
+        b.iter(|| {
+            let sim = dc_sim::Sim::new();
+            let h = sim.handle();
+            for i in 0..10_000u64 {
+                let hh = h.clone();
+                sim.spawn(async move {
+                    hh.sleep(i % 997).await;
+                });
+            }
+            sim.run();
+            sim.polls()
+        })
+    });
+}
+
+fn bench_ddss_put(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ddss_put");
+    for model in [Coherence::Null, Coherence::Version, Coherence::Strict] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{model}")),
+            &model,
+            |b, &model| b.iter(|| dc_bench::fig3a::put_latency_ns(model, 64)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_dlm_cascade(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dlm_cascade8");
+    for scheme in dc_bench::fig5::LockScheme::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| dc_bench::fig5::cascade_ns(scheme, 8, LockMode::Exclusive))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_webfarm_cell(c: &mut Criterion) {
+    let mut g = c.benchmark_group("webfarm_cell");
+    g.sample_size(10);
+    for scheme in [CacheScheme::Ac, CacheScheme::Hybcc] {
+        let mut cfg = dc_bench::fig6::cell_cfg(2, scheme, 16 * 1024);
+        cfg.requests = 400; // keep each iteration quick
+        g.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &cfg,
+            |b, cfg| b.iter(|| dc_core::run_webfarm(cfg).tps),
+        );
+    }
+    g.finish();
+}
+
+fn bench_flowcontrol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flowcontrol_64B");
+    for kind in dc_sockets::StreamKind::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| b.iter(|| dc_bench::ext_flowcontrol::bandwidth_mbs(kind, 64)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sim_engine,
+    bench_ddss_put,
+    bench_dlm_cascade,
+    bench_webfarm_cell,
+    bench_flowcontrol
+);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Regenerates the ablation tables (coherence verbs, cache capacity,
+//! monitoring cadence).
+
+fn main() {
+    let verbs = dc_bench::ext_ablations::run_coherence();
+    dc_bench::ext_ablations::coherence_table(&verbs).print();
+    println!();
+    let caps = dc_bench::ext_ablations::run_capacity();
+    dc_bench::ext_ablations::capacity_table(&caps).print();
+    println!();
+    let grans = dc_bench::ext_ablations::run_granularity();
+    dc_bench::ext_ablations::granularity_table(&grans).print();
+}

@@ -1,0 +1,7 @@
+//! Regenerates the §6 fine- vs coarse-grained reconfiguration comparison.
+
+fn main() {
+    let fine = dc_bench::ext_reconfig::reaction(true);
+    let coarse = dc_bench::ext_reconfig::reaction(false);
+    dc_bench::ext_reconfig::table(&fine, &coarse).print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the §6 flow-control bandwidth comparison.
+
+fn main() {
+    let series = dc_bench::ext_flowcontrol::run();
+    dc_bench::ext_flowcontrol::table(&series).print();
+}

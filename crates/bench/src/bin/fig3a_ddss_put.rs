@@ -1,0 +1,6 @@
+//! Regenerates Figure 3a: DDSS put() latency by coherence model.
+
+fn main() {
+    let series = dc_bench::fig3a::run();
+    dc_bench::fig3a::table(&series).print();
+}

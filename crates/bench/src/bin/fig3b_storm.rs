@@ -1,0 +1,6 @@
+//! Regenerates Figure 3b: distributed STORM, sockets vs DDSS.
+
+fn main() {
+    let rows = dc_bench::fig3b::run();
+    dc_bench::fig3b::table(&rows).print();
+}

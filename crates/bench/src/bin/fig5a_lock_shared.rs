@@ -1,0 +1,8 @@
+//! Regenerates Figure 5a: shared-lock cascading latency.
+
+use dc_dlm::LockMode;
+
+fn main() {
+    let series = dc_bench::fig5::run(LockMode::Shared);
+    dc_bench::fig5::table("Fig 5a — Shared-lock cascading latency (us)", &series).print();
+}

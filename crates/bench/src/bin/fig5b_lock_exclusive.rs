@@ -1,0 +1,8 @@
+//! Regenerates Figure 5b: exclusive-lock cascading latency.
+
+use dc_dlm::LockMode;
+
+fn main() {
+    let series = dc_bench::fig5::run(LockMode::Exclusive);
+    dc_bench::fig5::table("Fig 5b — Exclusive-lock cascading latency (us)", &series).print();
+}

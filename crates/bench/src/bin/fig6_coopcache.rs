@@ -1,0 +1,9 @@
+//! Regenerates Figure 6: cooperative-cache throughput, both panels.
+
+fn main() {
+    for proxies in [2usize, 8] {
+        let cells = dc_bench::fig6::run_panel(proxies);
+        dc_bench::fig6::table(proxies, &cells).print();
+        println!();
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 8a: monitoring accuracy under bursty load.
+//!
+//! Pass `--series` to additionally dump the reported-vs-actual time series
+//! (one row per 50 ms) for each scheme — the data behind the paper's plot.
+
+fn main() {
+    let series = std::env::args().any(|a| a == "--series");
+    let results = dc_bench::fig8a::run();
+    dc_bench::fig8a::table(&results).print();
+    if series {
+        for r in &results {
+            println!("\n# {} — t(ms), reported, actual", r.scheme.label());
+            for s in r.samples.iter().step_by(5) {
+                println!("{:8.1}  {:>3}  {:>3}", s.at as f64 / 1e6, s.reported, s.actual);
+            }
+        }
+    }
+}

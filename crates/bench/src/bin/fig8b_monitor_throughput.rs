@@ -1,0 +1,6 @@
+//! Regenerates Figure 8b: hosted throughput by monitoring scheme.
+
+fn main() {
+    let cells = dc_bench::fig8b::run();
+    dc_bench::fig8b::table(&cells).print();
+}

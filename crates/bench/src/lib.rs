@@ -1,0 +1,32 @@
+//! # dc-bench — the evaluation harness
+//!
+//! One module per table/figure of the paper's evaluation (plus the §6
+//! work-in-progress experiments and our ablations), each exposing a `run()`
+//! that produces structured results and a `table()` that renders the
+//! paper-style rows. The `[[bin]]` targets regenerate individual figures;
+//! `benches/figures.rs` (a `harness = false` bench) regenerates everything
+//! under `cargo bench`, and `benches/micro.rs` holds Criterion
+//! micro-benchmarks of the primitives themselves.
+//!
+//! | module | artifact |
+//! |--------|----------|
+//! | [`fig3a`] | DDSS put() latency by coherence model |
+//! | [`fig3b`] | distributed STORM, sockets vs DDSS |
+//! | [`fig5`]  | lock cascading latency (shared / exclusive panels) |
+//! | [`fig6`]  | cooperative-cache TPS, 2 and 8 proxies |
+//! | [`fig8a`] | monitoring accuracy under bursty load |
+//! | [`fig8b`] | hosted throughput by monitoring scheme |
+//! | [`ext_flowcontrol`] | §6 packetized vs credit flow control |
+//! | [`ext_reconfig`] | §6 fine- vs coarse-grained adaptation |
+//! | [`ext_ablations`] | coherence verbs, cache capacity, cadence |
+
+pub mod ext_ablations;
+pub mod ext_flowcontrol;
+pub mod ext_reconfig;
+pub mod fig3a;
+pub mod fig3b;
+pub mod fig5;
+pub mod fig6;
+pub mod fig8a;
+pub mod fig8b;
+pub mod sweep;

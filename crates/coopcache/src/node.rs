@@ -1,0 +1,452 @@
+//! A cache node: registered cache memory + index, LRU management, and the
+//! reserve daemon used by the no-redundancy schemes.
+//!
+//! Layout: each node registers a *data region* (the cache memory remote
+//! proxies read with RDMA) and an *index region* of one u64 per document
+//! (`offset + 1`, 0 = absent). A cached document is stored as
+//! `[doc u32][size u32][content…]`; remote readers validate that header —
+//! the index and directory are soft state, so a stale pointer must fail
+//! loudly into the backend path rather than serve wrong bytes.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use dc_fabric::rpc::{parse_request, respond, RpcClient};
+use dc_fabric::{Cluster, NodeId, RegionId, RemoteAddr, Transport};
+use dc_sim::sync::Notify;
+
+use crate::backend::Backend;
+use crate::directory::Directory;
+use crate::lru::{DocId, LruStore};
+
+/// Header bytes prepended to each cached document.
+pub const DOC_HDR: usize = 8;
+
+/// Cost knobs of the cache tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheCfg {
+    /// Cache memory per node, bytes.
+    pub per_node_bytes: usize,
+    /// Memory-copy CPU cost per KiB (serving a document out of local cache).
+    pub copy_per_kb_ns: u64,
+    /// Fixed per-request handling overhead at a proxy.
+    pub handling_ns: u64,
+    /// HYBCC: documents at or below this size are duplicated locally
+    /// (BCC-style); larger ones stay single-copy (MTACC-style).
+    pub hyb_dup_threshold: usize,
+}
+
+impl Default for CacheCfg {
+    fn default() -> Self {
+        CacheCfg {
+            per_node_bytes: 4 * 1024 * 1024,
+            copy_per_kb_ns: 700,
+            handling_ns: 20_000,
+            hyb_dup_threshold: 16 * 1024,
+        }
+    }
+}
+
+struct Inner {
+    cluster: Cluster,
+    node: NodeId,
+    cfg: CacheCfg,
+    data_region: RegionId,
+    index_region: RegionId,
+    store: RefCell<LruStore>,
+    inflight: RefCell<HashMap<DocId, Notify>>,
+    directory: Directory,
+    backend: Backend,
+    rpc: RpcClient,
+    reserve_port: u16,
+    backend_fetches: Cell<u64>,
+}
+
+/// One cache node (proxy- or app-tier). Clone shares the node.
+#[derive(Clone)]
+pub struct CacheNode {
+    inner: Rc<Inner>,
+}
+
+impl CacheNode {
+    /// Stand up a cache node with its reserve daemon.
+    pub fn new(
+        cluster: &Cluster,
+        node: NodeId,
+        cfg: CacheCfg,
+        directory: Directory,
+        backend: Backend,
+        num_docs: usize,
+    ) -> CacheNode {
+        let data_region = cluster.register(node, cfg.per_node_bytes);
+        let index_region = cluster.register(node, num_docs * 8);
+        let reserve_port = cluster.alloc_port();
+        let cn = CacheNode {
+            inner: Rc::new(Inner {
+                cluster: cluster.clone(),
+                node,
+                cfg,
+                data_region,
+                index_region,
+                store: RefCell::new(LruStore::new(cfg.per_node_bytes)),
+                inflight: RefCell::new(HashMap::new()),
+                directory,
+                backend,
+                rpc: RpcClient::new(cluster, node),
+                reserve_port,
+                backend_fetches: Cell::new(0),
+            }),
+        };
+        cn.spawn_reserve_daemon();
+        cn
+    }
+
+    /// The node this cache lives on.
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    /// Port of the reserve daemon (for owner-mode fetches).
+    pub fn reserve_port(&self) -> u16 {
+        self.inner.reserve_port
+    }
+
+    /// The shared directory this node publishes into.
+    pub fn directory(&self) -> Directory {
+        self.inner.directory.clone()
+    }
+
+    /// Remote address of the index entry for `doc`.
+    pub fn index_addr(&self, doc: DocId) -> RemoteAddr {
+        RemoteAddr {
+            node: self.inner.node,
+            region: self.inner.index_region,
+            offset: doc as usize * 8,
+        }
+    }
+
+    /// Remote address of `offset` within the data region.
+    pub fn data_addr(&self, offset: usize) -> RemoteAddr {
+        RemoteAddr {
+            node: self.inner.node,
+            region: self.inner.data_region,
+            offset,
+        }
+    }
+
+    /// Backend fetches triggered by this node so far.
+    pub fn backend_fetches(&self) -> u64 {
+        self.inner.backend_fetches.get()
+    }
+
+    /// Bytes of documents currently cached.
+    pub fn bytes_used(&self) -> usize {
+        self.inner.store.borrow().bytes_used()
+    }
+
+    /// Whether `doc` is currently cached (no recency effect).
+    pub fn contains(&self, doc: DocId) -> bool {
+        self.inner.store.borrow().contains(doc)
+    }
+
+    /// CPU cost of copying `len` bytes on this node.
+    fn copy_cost(&self, len: usize) -> u64 {
+        (len as u64 * self.inner.cfg.copy_per_kb_ns).div_ceil(1024)
+    }
+
+    /// Look up `doc` locally; on a hit, touch recency, charge the copy, and
+    /// return the content.
+    pub async fn local_get(&self, doc: DocId, size: usize) -> Option<Bytes> {
+        let placement = self.inner.store.borrow_mut().get(doc);
+        let (offset, stored) = placement?;
+        debug_assert_eq!(stored, size + DOC_HDR);
+        let region = self.inner.cluster.region(self.inner.node, self.inner.data_region);
+        let raw = region.read(offset + DOC_HDR, size);
+        self.inner
+            .cluster
+            .cpu(self.inner.node)
+            .execute(self.copy_cost(size))
+            .await;
+        Some(Bytes::from(raw))
+    }
+
+    /// Ensure `doc` is cached locally (fetching from the backend on a miss);
+    /// returns its data-region offset, or `None` if it cannot fit. Duplicate
+    /// concurrent misses for one document coalesce into a single fetch.
+    pub async fn ensure_local(&self, doc: DocId, size: usize) -> Option<usize> {
+        loop {
+            if let Some((offset, _)) = self.inner.store.borrow_mut().get(doc) {
+                return Some(offset);
+            }
+            let waiter = self.inner.inflight.borrow().get(&doc).cloned();
+            match waiter {
+                Some(n) => {
+                    n.notified().await;
+                    continue; // re-check the store
+                }
+                None => {
+                    self.inner
+                        .inflight
+                        .borrow_mut()
+                        .insert(doc, Notify::new());
+                    let result = self.fetch_and_install(doc, size).await;
+                    let n = self
+                        .inner
+                        .inflight
+                        .borrow_mut()
+                        .remove(&doc)
+                        .expect("inflight entry vanished");
+                    n.notify_all();
+                    return result;
+                }
+            }
+        }
+    }
+
+    async fn fetch_and_install(&self, doc: DocId, size: usize) -> Option<usize> {
+        self.inner
+            .backend_fetches
+            .set(self.inner.backend_fetches.get() + 1);
+        let content = self.inner.backend.fetch(&self.inner.rpc, doc).await;
+        assert_eq!(content.len(), size, "backend returned wrong size");
+        self.install(doc, &content).await
+    }
+
+    /// Install already-fetched content into the local cache. Returns the
+    /// offset, or `None` if the document exceeds the cache size. If the
+    /// document is already cached (a concurrent fetch won), the existing
+    /// placement is returned untouched.
+    pub async fn install(&self, doc: DocId, content: &[u8]) -> Option<usize> {
+        let size = content.len();
+        let total = size + DOC_HDR;
+        if let Some((offset, _)) = self.inner.store.borrow_mut().get(doc) {
+            return Some(offset);
+        }
+        let (offset, evicted) = self.inner.store.borrow_mut().insert(doc, total)?;
+        let region = self.inner.cluster.region(self.inner.node, self.inner.data_region);
+        let index = self.inner.cluster.region(self.inner.node, self.inner.index_region);
+        // Invalidate victims: local index first, then the shared directory
+        // (background — the directory is soft state).
+        for (victim, _, _) in &evicted {
+            index.write_u64(*victim as usize * 8, 0);
+            let dir = self.inner.directory.clone();
+            let (me, v) = (self.inner.node, *victim);
+            self.inner.cluster.sim().clone().spawn(async move {
+                dir.clear(me, v, me).await;
+            });
+        }
+        // Write header + content (a local memcpy).
+        let mut block = Vec::with_capacity(total);
+        block.extend_from_slice(&doc.to_le_bytes());
+        block.extend_from_slice(&(size as u32).to_le_bytes());
+        block.extend_from_slice(content);
+        region.write(offset, &block);
+        self.inner
+            .cluster
+            .cpu(self.inner.node)
+            .execute(self.copy_cost(total))
+            .await;
+        index.write_u64(doc as usize * 8, offset as u64 + 1);
+        // Publish in the shared directory (background).
+        let dir = self.inner.directory.clone();
+        let me = self.inner.node;
+        self.inner.cluster.sim().clone().spawn(async move {
+            dir.set(me, doc, me).await;
+        });
+        Some(offset)
+    }
+
+    /// Fetch `doc` from `holder` with one-sided RDMA: read its index entry,
+    /// then the data, and validate the header. `Err(())` means the soft
+    /// state was stale (caller falls back).
+    pub async fn remote_get(
+        &self,
+        holder: &CacheNode,
+        doc: DocId,
+        size: usize,
+    ) -> Result<Bytes, ()> {
+        let me = self.inner.node;
+        let cluster = &self.inner.cluster;
+        let idx_raw = cluster.rdma_read(me, holder.index_addr(doc), 8).await;
+        let entry = u64::from_le_bytes(idx_raw[..].try_into().unwrap());
+        if entry == 0 {
+            return Err(());
+        }
+        let offset = (entry - 1) as usize;
+        let raw = cluster
+            .rdma_read(me, holder.data_addr(offset), size + DOC_HDR)
+            .await;
+        let got_doc = u32::from_le_bytes(raw[..4].try_into().unwrap());
+        let got_size = u32::from_le_bytes(raw[4..8].try_into().unwrap());
+        if got_doc != doc || got_size as usize != size {
+            return Err(()); // stale index: slot was reallocated
+        }
+        Ok(raw.slice(DOC_HDR..))
+    }
+
+    /// Ask `owner`'s reserve daemon to cache `doc` and return its offset
+    /// (`None` if the owner could not cache it).
+    pub async fn reserve_at(&self, owner: &CacheNode, doc: DocId) -> Option<usize> {
+        let resp = self
+            .inner
+            .rpc
+            .call(
+                owner.node(),
+                owner.reserve_port(),
+                &doc.to_le_bytes(),
+                Transport::RdmaSend,
+            )
+            .await;
+        let v = u64::from_le_bytes(resp[..8].try_into().unwrap());
+        if v == 0 {
+            None
+        } else {
+            Some((v - 1) as usize)
+        }
+    }
+
+    fn spawn_reserve_daemon(&self) {
+        let this = self.clone();
+        let cluster = self.inner.cluster.clone();
+        let mut ep = cluster.bind(self.inner.node, self.inner.reserve_port);
+        let fileset = Rc::clone(self.inner.backend.fileset());
+        cluster.sim().clone().spawn(async move {
+            loop {
+                let msg = ep.recv().await;
+                let req = parse_request(&msg);
+                let doc = u32::from_le_bytes(req.payload[..4].try_into().unwrap());
+                let size = fileset.size(doc as usize);
+                let this2 = this.clone();
+                let cl = this.inner.cluster.clone();
+                let node = this.inner.node;
+                // Serve each reserve in its own task so one backend fetch
+                // does not block other requests to this daemon.
+                cl.sim().clone().spawn(async move {
+                    let offset = this2.ensure_local(doc, size).await;
+                    let enc = match offset {
+                        Some(o) => o as u64 + 1,
+                        None => 0,
+                    };
+                    respond(&this2.inner.cluster, node, &req, &enc.to_le_bytes(), Transport::RdmaSend)
+                        .await;
+                });
+                let _ = node;
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BackendCfg;
+    use dc_fabric::FabricModel;
+    use dc_sim::Sim;
+    use dc_workloads::FileSet;
+
+    fn setup(cache_bytes: usize) -> (Sim, Cluster, CacheNode, CacheNode, Rc<FileSet>) {
+        let sim = Sim::new();
+        let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 4);
+        let fs = Rc::new(FileSet::uniform(64, 8192));
+        let backend = Backend::spawn(&cluster, NodeId(3), BackendCfg::default(), Rc::clone(&fs));
+        let dir = Directory::new(&cluster, NodeId(0), 64);
+        let cfg = CacheCfg {
+            per_node_bytes: cache_bytes,
+            ..CacheCfg::default()
+        };
+        let a = CacheNode::new(&cluster, NodeId(1), cfg, dir.clone(), backend.clone(), 64);
+        let b = CacheNode::new(&cluster, NodeId(2), cfg, dir, backend, 64);
+        (sim, cluster, a, b, fs)
+    }
+
+    #[test]
+    fn miss_then_hit_locally() {
+        let (sim, _c, a, _b, fs) = setup(1 << 20);
+        let size = fs.size(0);
+        let expected = fs.content(0, size);
+        sim.run_to(async move {
+            assert!(a.local_get(0, size).await.is_none());
+            let off = a.ensure_local(0, size).await.unwrap();
+            let _ = off;
+            assert_eq!(a.backend_fetches(), 1);
+            let data = a.local_get(0, size).await.unwrap();
+            assert_eq!(&data[..], &expected[..]);
+            // Second access: no new backend fetch.
+            a.ensure_local(0, size).await.unwrap();
+            assert_eq!(a.backend_fetches(), 1);
+        });
+    }
+
+    #[test]
+    fn concurrent_misses_coalesce() {
+        let (sim, _c, a, _b, fs) = setup(1 << 20);
+        let size = fs.size(0);
+        for _ in 0..5 {
+            let a2 = a.clone();
+            sim.spawn(async move {
+                a2.ensure_local(0, size).await.unwrap();
+            });
+        }
+        sim.run();
+        assert_eq!(a.backend_fetches(), 1, "coalescing failed");
+    }
+
+    #[test]
+    fn remote_get_reads_holder_bytes() {
+        let (sim, _c, a, b, fs) = setup(1 << 20);
+        let size = fs.size(7);
+        let expected = fs.content(7, size);
+        let (a2, b2) = (a.clone(), b.clone());
+        let got = sim.run_to(async move {
+            b2.ensure_local(7, size).await.unwrap();
+            a2.remote_get(&b2, 7, size).await.unwrap()
+        });
+        assert_eq!(&got[..], &expected[..]);
+        assert_eq!(b.backend_fetches(), 1);
+    }
+
+    #[test]
+    fn remote_get_detects_absence_and_staleness() {
+        let (sim, _c, a, b, fs) = setup(40 * 1024);
+        let size = fs.size(1);
+        sim.run_to(async move {
+            // Absent: index entry is zero.
+            assert!(a.remote_get(&b, 1, size).await.is_err());
+            // Install 1, then evict it by filling the small cache.
+            b.ensure_local(1, size).await.unwrap();
+            for d in 2..8u32 {
+                b.ensure_local(d, fs.size(d as usize)).await;
+            }
+            assert!(!b.contains(1), "doc 1 should have been evicted");
+            let r = a.remote_get(&b, 1, size).await;
+            assert!(r.is_err(), "stale read must fail validation");
+        });
+    }
+
+    #[test]
+    fn reserve_at_owner_caches_remotely() {
+        let (sim, _c, a, b, fs) = setup(1 << 20);
+        let size = fs.size(9);
+        let expected = fs.content(9, size);
+        let (a2, b2) = (a.clone(), b.clone());
+        let got = sim.run_to(async move {
+            let off = a2.reserve_at(&b2, 9).await.unwrap();
+            let _ = off;
+            assert!(b2.contains(9));
+            a2.remote_get(&b2, 9, size).await.unwrap()
+        });
+        assert_eq!(&got[..], &expected[..]);
+        assert_eq!(b.backend_fetches(), 1);
+        assert_eq!(a.backend_fetches(), 0);
+    }
+
+    #[test]
+    fn oversized_document_is_uncacheable() {
+        let (sim, _c, a, _b, _fs) = setup(4 * 1024); // smaller than one doc
+        sim.run_to(async move {
+            assert!(a.ensure_local(0, 8192).await.is_none());
+        });
+    }
+}

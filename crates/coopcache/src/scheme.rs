@@ -1,0 +1,74 @@
+//! The five caching schemes of the paper's Figure 6.
+
+use std::fmt;
+
+/// Which cooperative-caching scheme a data-center runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheScheme {
+    /// Apache Cache: per-node caching only, no cooperation.
+    Ac,
+    /// Basic RDMA-based Cooperative Cache: remote fetches over RDMA,
+    /// duplicates allowed (every proxy caches what it serves).
+    Bcc,
+    /// Cooperative Cache Without Redundancy: one copy cluster-wide, placed
+    /// at the document's hash owner among the proxies.
+    Ccwr,
+    /// Multi-Tier Aggregate Cooperative Cache: CCWR with additional cache
+    /// memory aggregated from the application-server tier.
+    Mtacc,
+    /// Hybrid: duplicate small/hot documents locally (BCC-style), keep
+    /// large documents single-copy across tiers (MTACC-style).
+    Hybcc,
+}
+
+impl CacheScheme {
+    /// All schemes in the paper's Figure 6 legend order.
+    pub const ALL: [CacheScheme; 5] = [
+        CacheScheme::Ac,
+        CacheScheme::Bcc,
+        CacheScheme::Ccwr,
+        CacheScheme::Mtacc,
+        CacheScheme::Hybcc,
+    ];
+
+    /// Display label matching the figure legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheScheme::Ac => "AC",
+            CacheScheme::Bcc => "BCC",
+            CacheScheme::Ccwr => "CCWR",
+            CacheScheme::Mtacc => "MTACC",
+            CacheScheme::Hybcc => "HYBCC",
+        }
+    }
+
+    /// Whether the scheme uses memory from the application tier.
+    pub fn uses_app_tier(self) -> bool {
+        matches!(self, CacheScheme::Mtacc | CacheScheme::Hybcc)
+    }
+}
+
+impl fmt::Display for CacheScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_figure_legend() {
+        let labels: Vec<&str> = CacheScheme::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["AC", "BCC", "CCWR", "MTACC", "HYBCC"]);
+    }
+
+    #[test]
+    fn tier_usage() {
+        assert!(!CacheScheme::Ac.uses_app_tier());
+        assert!(!CacheScheme::Ccwr.uses_app_tier());
+        assert!(CacheScheme::Mtacc.uses_app_tier());
+        assert!(CacheScheme::Hybcc.uses_app_tier());
+    }
+}

@@ -1,0 +1,40 @@
+//! # dc-core — the framework facade and experiment engines
+//!
+//! Ties the three layers of the paper's framework together:
+//! communication protocols (`dc-fabric`, `dc-sockets`), service primitives
+//! (`dc-ddss`, `dc-dlm`), and advanced services (`dc-coopcache`,
+//! `dc-resmon`, `dc-reconfig`) — and provides the two multi-tier experiment
+//! engines the evaluation figures are built on:
+//!
+//! * [`webfarm::run_webfarm`] — Figure 6: Zipf clients → proxy tier with a
+//!   cooperative caching scheme → backend.
+//! * [`hosting::run_hosting`] — Figure 8b: a load balancer routing two
+//!   hosted services across back-ends using a monitoring scheme.
+//!
+//! Plus [`topology::DataCenter`] for canonical cluster construction,
+//! [`metrics`] for latency/TPS accounting, and [`table`] for the
+//! paper-style text tables the benches print.
+
+//! ```no_run
+//! use dc_core::{run_webfarm, WebFarmCfg};
+//! use dc_coopcache::CacheScheme;
+//!
+//! let result = run_webfarm(&WebFarmCfg {
+//!     scheme: CacheScheme::Mtacc,
+//!     proxies: 8,
+//!     ..WebFarmCfg::default()
+//! });
+//! println!("TPS {:.0}, hit rate {:.1}%", result.tps, 100.0 * result.cache.hit_rate());
+//! ```
+
+pub mod hosting;
+pub mod metrics;
+pub mod table;
+pub mod topology;
+pub mod webfarm;
+
+pub use hosting::{run_hosting, HostingCfg, HostingResult};
+pub use metrics::{tps, LatencyHist};
+pub use table::Table;
+pub use topology::{DataCenter, Roles};
+pub use webfarm::{run_webfarm, WebFarmCfg, WebFarmResult};

@@ -1,0 +1,78 @@
+//! Convenience construction of a canonical multi-tier data-center.
+
+use dc_fabric::{Cluster, FabricModel, NodeId};
+use dc_sim::SimHandle;
+
+/// Node roles of a canonical three-tier data-center.
+#[derive(Debug, Clone)]
+pub struct Roles {
+    /// Front-end node (load balancer, monitor, reconfiguration agent).
+    pub frontend: NodeId,
+    /// Proxy/caching tier.
+    pub proxies: Vec<NodeId>,
+    /// Application-server tier.
+    pub apps: Vec<NodeId>,
+    /// Backend (database/origin) node.
+    pub backend: NodeId,
+}
+
+/// A constructed data-center: the cluster plus its role map.
+#[derive(Clone)]
+pub struct DataCenter {
+    /// The simulated cluster.
+    pub cluster: Cluster,
+    /// Role assignment.
+    pub roles: Roles,
+}
+
+impl DataCenter {
+    /// Build `1 frontend + proxies + apps + 1 backend` nodes under `model`.
+    pub fn build(sim: SimHandle, model: FabricModel, proxies: usize, apps: usize) -> DataCenter {
+        let total = 2 + proxies + apps;
+        let cluster = Cluster::new(sim, model, total);
+        let frontend = NodeId(0);
+        let proxy_ids: Vec<NodeId> = (1..=proxies as u32).map(NodeId).collect();
+        let app_ids: Vec<NodeId> = (proxies as u32 + 1..(proxies + apps + 1) as u32)
+            .map(NodeId)
+            .collect();
+        let backend = NodeId((total - 1) as u32);
+        DataCenter {
+            cluster,
+            roles: Roles {
+                frontend,
+                proxies: proxy_ids,
+                apps: app_ids,
+                backend,
+            },
+        }
+    }
+
+    /// Every node id in the data-center.
+    pub fn all_nodes(&self) -> Vec<NodeId> {
+        (0..self.cluster.len() as u32).map(NodeId).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_sim::Sim;
+
+    #[test]
+    fn roles_partition_the_cluster() {
+        let sim = Sim::new();
+        let dc = DataCenter::build(sim.handle(), FabricModel::calibrated_2007(), 3, 2);
+        assert_eq!(dc.cluster.len(), 7);
+        assert_eq!(dc.roles.frontend, NodeId(0));
+        assert_eq!(dc.roles.proxies, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(dc.roles.apps, vec![NodeId(4), NodeId(5)]);
+        assert_eq!(dc.roles.backend, NodeId(6));
+        // No overlaps, full coverage.
+        let mut all = vec![dc.roles.frontend, dc.roles.backend];
+        all.extend(&dc.roles.proxies);
+        all.extend(&dc.roles.apps);
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 7);
+    }
+}

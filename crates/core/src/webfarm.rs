@@ -1,0 +1,255 @@
+//! The multi-tier web-serving experiment engine behind Figure 6.
+//!
+//! Topology: node 0 hosts the backend (application/database origin) and the
+//! cache directory; nodes `1..=P` are proxies; the next `A` nodes are
+//! application servers whose memory joins the aggregate cache under
+//! MTACC/HYBCC. Closed-loop clients issue Zipf-distributed document requests
+//! against the proxies; every request pays parse CPU, the caching scheme's
+//! serve path, and response transmission. Reported TPS excludes a warm-up
+//! fraction so the steady-state cache behaviour dominates.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use dc_coopcache::{Backend, BackendCfg, CacheCfg, CacheScheme, CacheStats, CoopCache};
+use dc_fabric::{Cluster, FabricModel, NodeId};
+use dc_sim::rng::component_rng;
+use dc_sim::{Sim, SimTime};
+use dc_workloads::{FileSet, Zipf};
+
+use crate::metrics::{tps, LatencyHist};
+
+/// Configuration of one web-farm run.
+#[derive(Debug, Clone)]
+pub struct WebFarmCfg {
+    /// Caching scheme under test.
+    pub scheme: CacheScheme,
+    /// Number of proxy nodes.
+    pub proxies: usize,
+    /// Number of application-server nodes (cache donors under MTACC).
+    pub app_nodes: usize,
+    /// Documents in the working set.
+    pub num_docs: usize,
+    /// Uniform document size in bytes.
+    pub doc_size: usize,
+    /// Cache memory per node.
+    pub cache_bytes_per_node: usize,
+    /// Zipf exponent of document popularity.
+    pub zipf_alpha: f64,
+    /// Concurrent closed-loop clients per proxy.
+    pub clients_per_proxy: usize,
+    /// Total requests to issue (including warm-up).
+    pub requests: usize,
+    /// Fraction of requests treated as warm-up (excluded from metrics).
+    pub warmup_fraction: f64,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Backend cost model.
+    pub backend: BackendCfg,
+    /// Cache-tier cost model.
+    pub cache: CacheCfg,
+}
+
+impl Default for WebFarmCfg {
+    fn default() -> Self {
+        WebFarmCfg {
+            scheme: CacheScheme::Bcc,
+            proxies: 2,
+            app_nodes: 2,
+            num_docs: 512,
+            doc_size: 16 * 1024,
+            cache_bytes_per_node: 2 * 1024 * 1024,
+            zipf_alpha: 0.75,
+            clients_per_proxy: 8,
+            requests: 4_000,
+            warmup_fraction: 0.25,
+            seed: 42,
+            backend: BackendCfg::default(),
+            cache: CacheCfg::default(),
+        }
+    }
+}
+
+/// Result of one web-farm run.
+#[derive(Debug, Clone)]
+pub struct WebFarmResult {
+    /// Steady-state transactions per second.
+    pub tps: f64,
+    /// Mean steady-state response latency (ns).
+    pub mean_latency_ns: u64,
+    /// 99th-percentile latency (ns).
+    pub p99_latency_ns: u64,
+    /// Cache counters over the whole run.
+    pub cache: CacheStats,
+    /// Virtual time of the measured span (ns).
+    pub span_ns: SimTime,
+}
+
+/// Run one configuration to completion and report.
+pub fn run_webfarm(cfg: &WebFarmCfg) -> WebFarmResult {
+    assert!(cfg.proxies >= 1);
+    let sim = Sim::new();
+    let total_nodes = 1 + cfg.proxies + cfg.app_nodes;
+    let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), total_nodes);
+    let backend_node = NodeId(0);
+    let proxies: Vec<NodeId> = (1..=cfg.proxies as u32).map(NodeId).collect();
+    let apps: Vec<NodeId> = (cfg.proxies as u32 + 1..total_nodes as u32)
+        .map(NodeId)
+        .collect();
+
+    let fileset = Rc::new(FileSet::uniform(cfg.num_docs, cfg.doc_size));
+    let backend = Backend::spawn(&cluster, backend_node, cfg.backend, Rc::clone(&fileset));
+    let mut cache_cfg = cfg.cache;
+    cache_cfg.per_node_bytes = cfg.cache_bytes_per_node;
+    let cache = CoopCache::build(
+        &cluster,
+        cfg.scheme,
+        &proxies,
+        &apps,
+        backend,
+        Rc::clone(&fileset),
+        cache_cfg,
+        backend_node,
+    );
+
+    let zipf = Rc::new(Zipf::new(cfg.num_docs, cfg.zipf_alpha));
+    let warmup = ((cfg.requests as f64 * cfg.warmup_fraction) as usize).min(cfg.requests);
+    let issued: Rc<Cell<usize>> = Rc::default();
+    let completed_measured: Rc<Cell<u64>> = Rc::default();
+    let measure_start: Rc<Cell<SimTime>> = Rc::new(Cell::new(0));
+    let measure_started: Rc<Cell<bool>> = Rc::default();
+    let last_done: Rc<Cell<SimTime>> = Rc::default();
+    let hist: Rc<RefCell<LatencyHist>> = Rc::new(RefCell::new(LatencyHist::new()));
+
+    let model = cluster.model().clone();
+    let mut clients = Vec::new();
+    for (pi, &proxy) in proxies.iter().enumerate() {
+        for ci in 0..cfg.clients_per_proxy {
+            let stream = (pi * cfg.clients_per_proxy + ci) as u64;
+            let mut rng = component_rng(cfg.seed, stream);
+            let zipf = Rc::clone(&zipf);
+            let cache = cache.clone();
+            let cluster = cluster.clone();
+            let issued = Rc::clone(&issued);
+            let completed = Rc::clone(&completed_measured);
+            let measure_start = Rc::clone(&measure_start);
+            let measure_started = Rc::clone(&measure_started);
+            let last_done = Rc::clone(&last_done);
+            let hist = Rc::clone(&hist);
+            let model = model.clone();
+            let handling = cfg.cache.handling_ns;
+            let requests = cfg.requests;
+            let doc_size = cfg.doc_size;
+            let sim_h = sim.handle();
+            clients.push(sim.spawn(async move {
+                loop {
+                    let seq = issued.get();
+                    if seq >= requests {
+                        break;
+                    }
+                    issued.set(seq + 1);
+                    let in_measurement = seq >= warmup;
+                    if in_measurement && !measure_started.get() {
+                        measure_started.set(true);
+                        measure_start.set(sim_h.now());
+                    }
+                    let doc = zipf.sample(&mut rng) as u32;
+                    let t0 = sim_h.now();
+                    // Request parsing / connection handling at the proxy.
+                    cluster.cpu(proxy).execute(handling).await;
+                    let (data, _outcome) = cache.serve(proxy, doc).await;
+                    debug_assert_eq!(data.len(), doc_size);
+                    // Response transmission to the (external) client.
+                    cluster
+                        .cpu(proxy)
+                        .execute(model.tcp_send_cpu(data.len()))
+                        .await;
+                    sim_h.sleep(model.tcp_bytes_time(data.len())).await;
+                    if in_measurement {
+                        completed.set(completed.get() + 1);
+                        hist.borrow_mut().record(sim_h.now() - t0);
+                        last_done.set(last_done.get().max(sim_h.now()));
+                    }
+                }
+            }));
+        }
+    }
+
+    // Drive until every client finishes; service daemons and pollers may
+    // keep periodic timers alive forever, so quiescence is not the
+    // termination condition.
+    sim.run_to(async move {
+        for c in clients {
+            c.await;
+        }
+    });
+    let span = last_done.get().saturating_sub(measure_start.get());
+    let h = hist.borrow();
+    WebFarmResult {
+        tps: tps(completed_measured.get(), span),
+        mean_latency_ns: h.mean_ns(),
+        p99_latency_ns: h.quantile_ns(0.99),
+        cache: cache.stats(),
+        span_ns: span,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(scheme: CacheScheme) -> WebFarmCfg {
+        WebFarmCfg {
+            scheme,
+            proxies: 2,
+            app_nodes: 1,
+            num_docs: 64,
+            doc_size: 8 * 1024,
+            cache_bytes_per_node: 256 * 1024, // 32 docs per node
+            zipf_alpha: 0.9,
+            clients_per_proxy: 4,
+            requests: 600,
+            warmup_fraction: 0.3,
+            seed: 7,
+            backend: BackendCfg::default(),
+            cache: CacheCfg::default(),
+        }
+    }
+
+    #[test]
+    fn farm_completes_and_reports() {
+        let r = run_webfarm(&quick_cfg(CacheScheme::Bcc));
+        assert!(r.tps > 0.0);
+        assert!(r.span_ns > 0);
+        assert!(r.cache.total() >= 400); // measured + some warmup overlap
+        assert!(r.mean_latency_ns > 0);
+        assert!(r.p99_latency_ns >= r.mean_latency_ns);
+    }
+
+    #[test]
+    fn results_are_deterministic_per_seed() {
+        let a = run_webfarm(&quick_cfg(CacheScheme::Ccwr));
+        let b = run_webfarm(&quick_cfg(CacheScheme::Ccwr));
+        assert_eq!(a.tps, b.tps);
+        assert_eq!(a.mean_latency_ns, b.mean_latency_ns);
+        assert_eq!(a.cache, b.cache);
+    }
+
+    #[test]
+    fn cooperation_beats_isolated_caches_when_oversubscribed() {
+        // Working set (64 × 8k = 512k) is 2× one node's cache but fits in
+        // the aggregate: cooperative schemes must hit more and go to the
+        // backend less.
+        let ac = run_webfarm(&quick_cfg(CacheScheme::Ac));
+        let bcc = run_webfarm(&quick_cfg(CacheScheme::Bcc));
+        let ccwr = run_webfarm(&quick_cfg(CacheScheme::Ccwr));
+        assert!(
+            bcc.cache.hit_rate() > ac.cache.hit_rate(),
+            "bcc {:.3} vs ac {:.3}",
+            bcc.cache.hit_rate(),
+            ac.cache.hit_rate()
+        );
+        assert!(bcc.tps > ac.tps, "bcc {} vs ac {}", bcc.tps, ac.tps);
+        assert!(ccwr.tps > ac.tps, "ccwr {} vs ac {}", ccwr.tps, ac.tps);
+    }
+}

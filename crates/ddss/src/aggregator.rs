@@ -1,0 +1,309 @@
+//! Global memory aggregator — the remaining primitive of the framework's
+//! middle layer (Figure 1 of the paper).
+//!
+//! Aggregates the DDSS heaps of all participating nodes into one logical
+//! allocation space: callers ask for memory, the aggregator places it on
+//! the node with the most free capacity (or closest preferred fit) and
+//! hands back an ordinary [`SharedKey`]. Free-capacity bookkeeping is soft
+//! shared state — a registered table of per-node free bytes that any client
+//! can read with one RDMA read and that home daemons keep current — so
+//! placement decisions cost one read, not a round of RPCs.
+
+use dc_fabric::{Cluster, NodeId, RegionId, RemoteAddr};
+
+use crate::coherence::Coherence;
+use crate::substrate::{Ddss, DdssClient, SharedKey};
+
+/// Placement policy for aggregated allocations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// The node advertising the most free bytes.
+    MostFree,
+    /// The caller's own node if it fits, else the most free.
+    LocalFirst,
+    /// Spread: rotate across nodes that fit (deterministic round-robin).
+    Spread,
+}
+
+/// The aggregator: a placement layer over a [`Ddss`] instance.
+pub struct GlobalMemoryAggregator {
+    ddss: Ddss,
+    cluster: Cluster,
+    /// Registered free-space table on the table home: one u64 per node slot.
+    table_home: NodeId,
+    table_region: RegionId,
+    nodes: Vec<NodeId>,
+    rr_next: std::cell::Cell<usize>,
+}
+
+impl GlobalMemoryAggregator {
+    /// Build over `ddss`, publishing the free-space table on `table_home`.
+    /// `heap_bytes` is each node's DDSS heap capacity (the starting
+    /// advertisement).
+    pub fn new(
+        cluster: &Cluster,
+        ddss: &Ddss,
+        table_home: NodeId,
+        nodes: &[NodeId],
+        heap_bytes: usize,
+    ) -> GlobalMemoryAggregator {
+        let table_region = cluster.register(table_home, nodes.len() * 8);
+        let table = cluster.region(table_home, table_region);
+        for i in 0..nodes.len() {
+            table.write_u64(i * 8, heap_bytes as u64);
+        }
+        GlobalMemoryAggregator {
+            ddss: ddss.clone(),
+            cluster: cluster.clone(),
+            table_home,
+            table_region,
+            nodes: nodes.to_vec(),
+            rr_next: std::cell::Cell::new(0),
+        }
+    }
+
+    /// The substrate this aggregator places into.
+    pub fn ddss(&self) -> &Ddss {
+        &self.ddss
+    }
+
+    fn table_addr(&self) -> RemoteAddr {
+        RemoteAddr {
+            node: self.table_home,
+            region: self.table_region,
+            offset: 0,
+        }
+    }
+
+    /// Read the advertised free bytes of every node (one RDMA read).
+    pub async fn free_map(&self, reader: NodeId) -> Vec<(NodeId, u64)> {
+        let raw = self
+            .cluster
+            .rdma_read(reader, self.table_addr(), self.nodes.len() * 8)
+            .await;
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                (
+                    n,
+                    u64::from_le_bytes(raw[i * 8..(i + 1) * 8].try_into().unwrap()),
+                )
+            })
+            .collect()
+    }
+
+    /// Total advertised free bytes across the cluster.
+    pub async fn aggregate_free(&self, reader: NodeId) -> u64 {
+        self.free_map(reader).await.iter().map(|&(_, f)| f).sum()
+    }
+
+    /// Allocate `len` bytes somewhere in the aggregate space.
+    ///
+    /// Tries the policy's preferred order; each candidate costs the normal
+    /// DDSS allocation RPC. Returns `None` only when no advertised node can
+    /// hold the request. The free table is soft state: a stale
+    /// advertisement just means a failed candidate and a move to the next.
+    pub async fn allocate(
+        &self,
+        client: &DdssClient,
+        len: usize,
+        coherence: Coherence,
+        policy: Placement,
+    ) -> Option<SharedKey> {
+        let need = (len + crate::substrate::BLOCK_HDR) as u64;
+        let map = self.free_map(client.node()).await;
+        let mut candidates: Vec<(NodeId, u64)> =
+            map.into_iter().filter(|&(_, free)| free >= need).collect();
+        match policy {
+            Placement::MostFree => {
+                candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            }
+            Placement::LocalFirst => {
+                candidates.sort_by(|a, b| {
+                    let a_local = a.0 == client.node();
+                    let b_local = b.0 == client.node();
+                    b_local.cmp(&a_local).then(b.1.cmp(&a.1)).then(a.0.cmp(&b.0))
+                });
+            }
+            Placement::Spread => {
+                if !candidates.is_empty() {
+                    candidates.sort_by_key(|c| c.0);
+                    let rot = self.rr_next.get() % candidates.len();
+                    self.rr_next.set(self.rr_next.get() + 1);
+                    candidates.rotate_left(rot);
+                }
+            }
+        }
+        for (node, _) in candidates {
+            if let Some(key) = client.allocate(node, len, coherence).await {
+                self.debit(client.node(), node, need).await;
+                return Some(key);
+            }
+        }
+        None
+    }
+
+    /// Free an aggregated allocation, restoring its advertisement.
+    pub async fn free(&self, client: &DdssClient, key: SharedKey) -> bool {
+        let need = (key.len + crate::substrate::BLOCK_HDR) as u64;
+        let home = key.home;
+        let ok = client.free(key).await;
+        if ok {
+            self.credit(client.node(), home, need).await;
+        }
+        ok
+    }
+
+    async fn debit(&self, from: NodeId, node: NodeId, amount: u64) {
+        self.adjust(from, node, amount.wrapping_neg()).await;
+    }
+
+    async fn credit(&self, from: NodeId, node: NodeId, amount: u64) {
+        self.adjust(from, node, amount).await;
+    }
+
+    async fn adjust(&self, from: NodeId, node: NodeId, delta: u64) {
+        let slot = self
+            .nodes
+            .iter()
+            .position(|&n| n == node)
+            .expect("unknown aggregator node");
+        // Fetch-and-add keeps concurrent adjustments linearizable.
+        self.cluster
+            .atomic_faa(from, self.table_addr().at(slot * 8), delta)
+            .await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::substrate::DdssConfig;
+    use dc_fabric::FabricModel;
+    use dc_sim::Sim;
+    use std::rc::Rc;
+
+    fn setup(heap: usize) -> (Sim, Cluster, Ddss, Rc<GlobalMemoryAggregator>) {
+        let sim = Sim::new();
+        let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 4);
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let cfg = DdssConfig {
+            heap_bytes: heap,
+            ..DdssConfig::default()
+        };
+        let ddss = Ddss::new(&cluster, cfg, &nodes);
+        let agg = Rc::new(GlobalMemoryAggregator::new(
+            &cluster, &ddss, NodeId(0), &nodes, heap,
+        ));
+        (sim, cluster, ddss, agg)
+    }
+
+    #[test]
+    fn aggregate_capacity_exceeds_one_node() {
+        let (sim, _c, ddss, agg) = setup(4096);
+        let client = ddss.client(NodeId(1));
+        let keys = sim.run_to(async move {
+            // Four 2 KiB segments cannot fit one 4 KiB heap (one each with
+            // headers) but fit the four-node aggregate.
+            let mut keys = Vec::new();
+            for _ in 0..4 {
+                let k = agg
+                    .allocate(&client, 2048, Coherence::Null, Placement::MostFree)
+                    .await
+                    .expect("aggregate space exhausted too early");
+                keys.push(k);
+            }
+            keys
+        });
+        // Placement used every node.
+        let homes: std::collections::HashSet<NodeId> = keys.iter().map(|k| k.home).collect();
+        assert_eq!(homes.len(), 4, "placement did not spread: {homes:?}");
+    }
+
+    #[test]
+    fn local_first_prefers_the_caller() {
+        let (sim, _c, ddss, agg) = setup(1 << 20);
+        let client = ddss.client(NodeId(2));
+        let key = sim.run_to(async move {
+            agg.allocate(&client, 128, Coherence::Null, Placement::LocalFirst)
+                .await
+                .unwrap()
+        });
+        assert_eq!(key.home, NodeId(2));
+    }
+
+    #[test]
+    fn spread_rotates_homes() {
+        let (sim, _c, ddss, agg) = setup(1 << 20);
+        let client = ddss.client(NodeId(0));
+        let homes = sim.run_to(async move {
+            let mut homes = Vec::new();
+            for _ in 0..4 {
+                let k = agg
+                    .allocate(&client, 64, Coherence::Null, Placement::Spread)
+                    .await
+                    .unwrap();
+                homes.push(k.home);
+            }
+            homes
+        });
+        let distinct: std::collections::HashSet<NodeId> = homes.iter().copied().collect();
+        assert_eq!(distinct.len(), 4, "spread reused homes: {homes:?}");
+    }
+
+    #[test]
+    fn free_restores_advertised_capacity() {
+        let (sim, _c, ddss, agg) = setup(4096);
+        let client = ddss.client(NodeId(1));
+        let agg2 = Rc::clone(&agg);
+        sim.run_to(async move {
+            let before = agg2.aggregate_free(NodeId(1)).await;
+            let k = agg2
+                .allocate(&client, 1024, Coherence::Null, Placement::MostFree)
+                .await
+                .unwrap();
+            let during = agg2.aggregate_free(NodeId(1)).await;
+            assert!(during < before);
+            assert!(agg2.free(&client, k).await);
+            let after = agg2.aggregate_free(NodeId(1)).await;
+            assert_eq!(after, before);
+        });
+    }
+
+    #[test]
+    fn exhaustion_returns_none_cleanly() {
+        let (sim, _c, ddss, agg) = setup(256);
+        let client = ddss.client(NodeId(1));
+        sim.run_to(async move {
+            // Fill everything.
+            let mut held = Vec::new();
+            while let Some(k) = agg
+                .allocate(&client, 200, Coherence::Null, Placement::MostFree)
+                .await
+            {
+                held.push(k);
+            }
+            assert!(!held.is_empty());
+            assert!(agg
+                .allocate(&client, 200, Coherence::Null, Placement::MostFree)
+                .await
+                .is_none());
+        });
+    }
+
+    #[test]
+    fn read_heavy_workload_uses_one_read_per_decision() {
+        let (sim, c, ddss, agg) = setup(1 << 20);
+        let client = ddss.client(NodeId(1));
+        sim.run_to(async move {
+            agg.allocate(&client, 64, Coherence::Null, Placement::MostFree)
+                .await
+                .unwrap();
+        });
+        // One table read + one FAA debit (allocation RPC is send/recv).
+        let s = c.stats();
+        assert_eq!(s.reads, 1, "placement should cost one table read");
+        assert_eq!(s.faa, 1, "debit should be one atomic");
+    }
+}

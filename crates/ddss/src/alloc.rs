@@ -1,0 +1,181 @@
+//! First-fit free-list allocator for a node's shared heap region.
+//!
+//! The DDSS memory-management module carves each participating node's
+//! registered heap into allocations. The allocator runs inside the node's
+//! DDSS daemon (allocation is a control-plane RPC; the data plane is pure
+//! one-sided RDMA), so a plain single-owner structure suffices.
+
+/// A first-fit allocator with free-block coalescing over `[0, capacity)`.
+#[derive(Debug, Clone)]
+pub struct FreeListAllocator {
+    capacity: usize,
+    /// Sorted, disjoint, non-adjacent free ranges `(offset, len)`.
+    free: Vec<(usize, usize)>,
+    in_use: usize,
+}
+
+impl FreeListAllocator {
+    /// An allocator over `capacity` bytes, all initially free.
+    pub fn new(capacity: usize) -> Self {
+        FreeListAllocator {
+            capacity,
+            free: if capacity > 0 {
+                vec![(0, capacity)]
+            } else {
+                Vec::new()
+            },
+            in_use: 0,
+        }
+    }
+
+    /// Total managed bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Bytes currently free (sum over fragments).
+    pub fn available(&self) -> usize {
+        self.capacity - self.in_use
+    }
+
+    /// Allocate `len` bytes (first fit, 8-byte aligned sizes). Returns the
+    /// offset, or `None` if no fragment fits.
+    pub fn allocate(&mut self, len: usize) -> Option<usize> {
+        assert!(len > 0, "zero-length allocation");
+        let len = round8(len);
+        let pos = self.free.iter().position(|&(_, flen)| flen >= len)?;
+        let (off, flen) = self.free[pos];
+        if flen == len {
+            self.free.remove(pos);
+        } else {
+            self.free[pos] = (off + len, flen - len);
+        }
+        self.in_use += len;
+        Some(off)
+    }
+
+    /// Free a block previously returned by [`allocate`](Self::allocate) with
+    /// the same `len`. Coalesces with adjacent free ranges.
+    pub fn free(&mut self, off: usize, len: usize) {
+        assert!(len > 0);
+        let len = round8(len);
+        assert!(off + len <= self.capacity, "free out of bounds");
+        // Find insertion point by offset.
+        let idx = self.free.partition_point(|&(o, _)| o < off);
+        // Guard against double frees / overlaps.
+        if idx > 0 {
+            let (po, pl) = self.free[idx - 1];
+            assert!(po + pl <= off, "free overlaps previous free range");
+        }
+        if idx < self.free.len() {
+            let (no, _) = self.free[idx];
+            assert!(off + len <= no, "free overlaps next free range");
+        }
+        self.free.insert(idx, (off, len));
+        self.in_use -= len;
+        // Coalesce with next, then previous.
+        if idx + 1 < self.free.len() && self.free[idx].0 + self.free[idx].1 == self.free[idx + 1].0
+        {
+            let (_, nl) = self.free.remove(idx + 1);
+            self.free[idx].1 += nl;
+        }
+        if idx > 0 && self.free[idx - 1].0 + self.free[idx - 1].1 == self.free[idx].0 {
+            let (_, l) = self.free.remove(idx);
+            self.free[idx - 1].1 += l;
+        }
+    }
+
+    /// Number of free fragments (fragmentation indicator).
+    pub fn fragments(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[inline]
+fn round8(len: usize) -> usize {
+    len.div_ceil(8) * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_first_fit_and_tracks_usage() {
+        let mut a = FreeListAllocator::new(1024);
+        let x = a.allocate(100).unwrap();
+        let y = a.allocate(200).unwrap();
+        assert_eq!(x, 0);
+        assert_eq!(y, 104); // 100 rounded to 104
+        assert_eq!(a.in_use(), 104 + 200);
+        assert_eq!(a.available(), 1024 - 304);
+    }
+
+    #[test]
+    fn exhausts_and_recovers() {
+        let mut a = FreeListAllocator::new(256);
+        let x = a.allocate(256).unwrap();
+        assert!(a.allocate(8).is_none());
+        a.free(x, 256);
+        assert_eq!(a.available(), 256);
+        assert!(a.allocate(8).is_some());
+    }
+
+    #[test]
+    fn coalesces_adjacent_frees() {
+        let mut a = FreeListAllocator::new(300);
+        let x = a.allocate(96).unwrap();
+        let y = a.allocate(96).unwrap();
+        let z = a.allocate(96).unwrap();
+        a.free(x, 96);
+        a.free(z, 96);
+        // Freed head, plus freed z merged with the trailing 12-byte remnant.
+        assert_eq!(a.fragments(), 2);
+        a.free(y, 96);
+        assert_eq!(a.fragments(), 1); // everything merged back
+        assert_eq!(a.available(), 300);
+    }
+
+    #[test]
+    fn reuses_freed_holes_first_fit() {
+        let mut a = FreeListAllocator::new(1024);
+        let x = a.allocate(128).unwrap();
+        let _y = a.allocate(128).unwrap();
+        a.free(x, 128);
+        // A small allocation lands in the freed head hole.
+        assert_eq!(a.allocate(64).unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn double_free_panics() {
+        let mut a = FreeListAllocator::new(256);
+        let x = a.allocate(64).unwrap();
+        a.free(x, 64);
+        a.free(x, 64);
+    }
+
+    #[test]
+    fn zero_capacity_allocator_rejects_everything() {
+        let mut a = FreeListAllocator::new(0);
+        assert!(a.allocate(8).is_none());
+    }
+
+    #[test]
+    fn sizes_round_to_eight() {
+        let mut a = FreeListAllocator::new(64);
+        let x = a.allocate(1).unwrap();
+        let y = a.allocate(1).unwrap();
+        assert_eq!(x, 0);
+        assert_eq!(y, 8);
+        a.free(x, 1);
+        a.free(y, 1);
+        assert_eq!(a.available(), 64);
+        assert_eq!(a.fragments(), 1);
+    }
+}

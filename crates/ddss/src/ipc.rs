@@ -1,0 +1,132 @@
+//! IPC management: virtualizing the shared state across processes on a node.
+//!
+//! Multiple processes on one node (e.g. Apache workers) share DDSS segments
+//! by name. The namespace is node-local shared memory; publishing or looking
+//! up a name costs a small IPC overhead but no network traffic.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use dc_fabric::NodeId;
+use dc_sim::{SimHandle, SimTime};
+
+use crate::substrate::SharedKey;
+
+/// Cost of one namespace operation (shared-memory segment lookup + copy of
+/// the key descriptor).
+pub const IPC_OP_NS: SimTime = 300;
+
+/// A node-local name → [`SharedKey`] registry shared by all processes on
+/// that node. Clone to hand to another "process".
+#[derive(Clone)]
+pub struct LocalNamespace {
+    sim: SimHandle,
+    node: NodeId,
+    map: Rc<RefCell<HashMap<String, SharedKey>>>,
+}
+
+impl LocalNamespace {
+    /// Create the namespace for `node`.
+    pub fn new(sim: SimHandle, node: NodeId) -> Self {
+        LocalNamespace {
+            sim,
+            node,
+            map: Rc::default(),
+        }
+    }
+
+    /// The node this namespace belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Publish `key` under `name`; returns the previously published key for
+    /// that name, if any.
+    pub async fn publish(&self, name: &str, key: SharedKey) -> Option<SharedKey> {
+        self.sim.sleep(IPC_OP_NS).await;
+        self.map.borrow_mut().insert(name.to_owned(), key)
+    }
+
+    /// Look up a published key.
+    pub async fn lookup(&self, name: &str) -> Option<SharedKey> {
+        self.sim.sleep(IPC_OP_NS).await;
+        self.map.borrow().get(name).copied()
+    }
+
+    /// Remove a published name.
+    pub async fn unpublish(&self, name: &str) -> Option<SharedKey> {
+        self.sim.sleep(IPC_OP_NS).await;
+        self.map.borrow_mut().remove(name)
+    }
+
+    /// Number of published names.
+    pub fn len(&self) -> usize {
+        self.map.borrow().len()
+    }
+
+    /// Whether no names are published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coherence::Coherence;
+    use dc_fabric::RegionId;
+    use dc_sim::Sim;
+
+    fn dummy_key(id: u64) -> SharedKey {
+        SharedKey {
+            id,
+            home: NodeId(0),
+            region: RegionId(1),
+            block_off: 0,
+            len: 64,
+            coherence: Coherence::Null,
+        }
+    }
+
+    #[test]
+    fn publish_lookup_unpublish_cycle() {
+        let sim = Sim::new();
+        let ns = LocalNamespace::new(sim.handle(), NodeId(0));
+        let ns2 = ns.clone(); // a second "process"
+        sim.run_to(async move {
+            assert!(ns.is_empty());
+            assert!(ns.publish("cache-dir", dummy_key(7)).await.is_none());
+            let found = ns2.lookup("cache-dir").await.unwrap();
+            assert_eq!(found.id, 7);
+            assert!(ns2.lookup("absent").await.is_none());
+            assert_eq!(ns.unpublish("cache-dir").await.unwrap().id, 7);
+            assert!(ns.lookup("cache-dir").await.is_none());
+        });
+    }
+
+    #[test]
+    fn republish_returns_previous() {
+        let sim = Sim::new();
+        let ns = LocalNamespace::new(sim.handle(), NodeId(0));
+        sim.run_to(async move {
+            ns.publish("k", dummy_key(1)).await;
+            let prev = ns.publish("k", dummy_key(2)).await.unwrap();
+            assert_eq!(prev.id, 1);
+            assert_eq!(ns.lookup("k").await.unwrap().id, 2);
+        });
+    }
+
+    #[test]
+    fn operations_cost_ipc_overhead_only() {
+        let sim = Sim::new();
+        let ns = LocalNamespace::new(sim.handle(), NodeId(0));
+        let h = sim.handle();
+        let t = sim.run_to(async move {
+            ns.publish("a", dummy_key(1)).await;
+            ns.lookup("a").await;
+            h.now()
+        });
+        assert_eq!(t, 2 * IPC_OP_NS);
+    }
+}

@@ -1,0 +1,45 @@
+//! Shared tunables of the lock-manager schemes.
+
+/// Cost constants for the DLM agents and the SRSL server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DlmConfig {
+    /// Processing time an agent spends on one incoming message.
+    pub agent_proc_ns: u64,
+    /// Per-outgoing-message issue time at a granter (descriptor prep +
+    /// doorbell, charged serially when a node grants a batch).
+    pub grant_issue_ns: u64,
+    /// CPU time the SRSL server consumes per request or release message
+    /// (competes with any other load on the server node).
+    pub server_cpu_ns: u64,
+}
+
+impl Default for DlmConfig {
+    fn default() -> Self {
+        DlmConfig {
+            agent_proc_ns: 500,
+            grant_issue_ns: 2_000,
+            server_cpu_ns: 2_000,
+        }
+    }
+}
+
+/// Requested lock mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    /// Multiple concurrent holders.
+    Shared,
+    /// Single holder.
+    Exclusive,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = DlmConfig::default();
+        assert!(c.agent_proc_ns < c.grant_issue_ns);
+        assert!(c.server_cpu_ns > 0);
+    }
+}

@@ -1,0 +1,362 @@
+//! DQNL — distributed queue based non-shared locking (Devulapalli &
+//! Wyckoff, ICPP'05), the one-sided baseline of the paper's Figure 5.
+//!
+//! An MCS-style distributed queue maintained with compare-and-swap on a
+//! tail word, with peer-to-peer grants — structurally the exclusive half of
+//! N-CoSED. Its defining limitation: **no shared mode**. Shared requests are
+//! treated as exclusive, so N concurrent readers serialize into a chain of
+//! N grant hops instead of being admitted together (the 317% gap of
+//! Fig 5a).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use dc_fabric::{Cluster, NodeId, RegionId, RemoteAddr, Transport};
+use dc_sim::sync::{oneshot, OneSender};
+
+use crate::config::{DlmConfig, LockMode};
+use crate::msg::{DlmMsg, LockId};
+
+#[derive(Default)]
+struct LockLocal {
+    wait_grant: Option<OneSender<()>>,
+    held: bool,
+    pending: Vec<NodeId>,
+    released: bool,
+}
+
+struct Agent {
+    node: NodeId,
+    locks: RefCell<HashMap<LockId, LockLocal>>,
+}
+
+struct Inner {
+    cluster: Cluster,
+    cfg: DlmConfig,
+    home: NodeId,
+    region: RegionId,
+    num_locks: u32,
+    agents: RefCell<HashMap<NodeId, Rc<Agent>>>,
+    agent_ports: RefCell<HashMap<NodeId, u16>>,
+}
+
+/// The DQNL lock manager.
+#[derive(Clone)]
+pub struct DqnlDlm {
+    inner: Rc<Inner>,
+}
+
+impl DqnlDlm {
+    /// Create the manager with lock tail-words homed on `home`.
+    pub fn new(
+        cluster: &Cluster,
+        cfg: DlmConfig,
+        home: NodeId,
+        num_locks: u32,
+        members: &[NodeId],
+    ) -> DqnlDlm {
+        let region = cluster.register(home, num_locks as usize * 8);
+        let dlm = DqnlDlm {
+            inner: Rc::new(Inner {
+                cluster: cluster.clone(),
+                cfg,
+                home,
+                region,
+                num_locks,
+                agents: RefCell::new(HashMap::new()),
+                agent_ports: RefCell::new(HashMap::new()),
+            }),
+        };
+        for &m in members {
+            dlm.add_member(m);
+        }
+        dlm
+    }
+
+    /// Register a member node.
+    pub fn add_member(&self, node: NodeId) {
+        let port = self.inner.cluster.alloc_port();
+        let agent = Rc::new(Agent {
+            node,
+            locks: RefCell::new(HashMap::new()),
+        });
+        assert!(
+            self.inner
+                .agents
+                .borrow_mut()
+                .insert(node, Rc::clone(&agent))
+                .is_none(),
+            "{node:?} already a DQNL member"
+        );
+        self.inner.agent_ports.borrow_mut().insert(node, port);
+        self.spawn_agent(agent, port);
+    }
+
+    /// Client handle for `node`.
+    pub fn client(&self, node: NodeId) -> DqnlClient {
+        assert!(self.inner.agents.borrow().contains_key(&node));
+        DqnlClient {
+            dlm: self.clone(),
+            node,
+        }
+    }
+
+    fn word_addr(&self, lock: LockId) -> RemoteAddr {
+        assert!(lock < self.inner.num_locks);
+        RemoteAddr {
+            node: self.inner.home,
+            region: self.inner.region,
+            offset: lock as usize * 8,
+        }
+    }
+
+    fn agent_port(&self, node: NodeId) -> u16 {
+        self.inner.agent_ports.borrow()[&node]
+    }
+
+    fn send_grant(&self, from: NodeId, to: NodeId, lock: LockId) {
+        let cluster = self.inner.cluster.clone();
+        let issue = self.inner.cfg.grant_issue_ns;
+        let port = self.agent_port(to);
+        self.inner.cluster.sim().clone().spawn(async move {
+            cluster.sim().sleep(issue).await;
+            cluster
+                .send(
+                    from,
+                    to,
+                    port,
+                    DlmMsg::Grant {
+                        lock,
+                        exclusive: true,
+                    }
+                    .encode(),
+                    Transport::RdmaSend,
+                )
+                .await;
+        });
+    }
+
+    fn try_progress(&self, agent: &Agent, lock: LockId) {
+        let next = {
+            let mut locks = agent.locks.borrow_mut();
+            let ll = locks.entry(lock).or_default();
+            if !ll.released || ll.pending.is_empty() {
+                None
+            } else {
+                ll.released = false;
+                Some(ll.pending.remove(0))
+            }
+        };
+        if let Some(z) = next {
+            self.send_grant(agent.node, z, lock);
+        }
+    }
+
+    fn spawn_agent(&self, agent: Rc<Agent>, port: u16) {
+        let dlm = self.clone();
+        let cluster = self.inner.cluster.clone();
+        let proc_ns = self.inner.cfg.agent_proc_ns;
+        let mut ep = cluster.bind(agent.node, port);
+        cluster.sim().clone().spawn(async move {
+            loop {
+                let msg = ep.recv().await;
+                cluster.sim().sleep(proc_ns).await;
+                match DlmMsg::decode(&msg.data) {
+                    DlmMsg::ExclReq { lock, from, .. } => {
+                        agent
+                            .locks
+                            .borrow_mut()
+                            .entry(lock)
+                            .or_default()
+                            .pending
+                            .push(from);
+                        dlm.try_progress(&agent, lock);
+                    }
+                    DlmMsg::Grant { lock, .. } => {
+                        let tx = agent
+                            .locks
+                            .borrow_mut()
+                            .entry(lock)
+                            .or_default()
+                            .wait_grant
+                            .take()
+                            .expect("DQNL grant without waiter");
+                        tx.send(());
+                    }
+                    other => panic!("unexpected DQNL message {other:?}"),
+                }
+            }
+        });
+    }
+}
+
+/// Per-node DQNL handle.
+pub struct DqnlClient {
+    dlm: DqnlDlm,
+    node: NodeId,
+}
+
+impl DqnlClient {
+    /// Acquire `lock`. The `mode` is accepted for interface parity but DQNL
+    /// treats every request as exclusive.
+    pub async fn lock(&self, lock: LockId, mode: LockMode) {
+        let _ = mode; // no shared support — the scheme's defining gap
+        let cluster = self.dlm.inner.cluster.clone();
+        let addr = self.dlm.word_addr(lock);
+        let me = (self.node.0 + 1) as u64;
+        let mut expect = 0u64;
+        let prior = loop {
+            let old = cluster.atomic_cas(self.node, addr, expect, me).await;
+            if old == expect {
+                break old;
+            }
+            expect = old;
+        };
+        let agent = Rc::clone(&self.dlm.inner.agents.borrow()[&self.node]);
+        if prior != 0 {
+            let pred = NodeId(prior as u32 - 1);
+            let rx = {
+                let mut locks = agent.locks.borrow_mut();
+                let ll = locks.entry(lock).or_default();
+                assert!(ll.wait_grant.is_none() && !ll.held, "concurrent DQNL ops");
+                let (tx, rx) = oneshot();
+                ll.wait_grant = Some(tx);
+                rx
+            };
+            let cl = cluster.clone();
+            let port = self.dlm.agent_port(pred);
+            let issue = self.dlm.inner.cfg.grant_issue_ns;
+            let from = self.node;
+            let req = DlmMsg::ExclReq {
+                lock,
+                from,
+                shared_seen: 0,
+            }
+            .encode();
+            cluster.sim().clone().spawn(async move {
+                cl.sim().sleep(issue).await;
+                cl.send(from, pred, port, req, Transport::RdmaSend).await;
+            });
+            rx.await.expect("DQNL grant channel closed");
+        }
+        agent.locks.borrow_mut().entry(lock).or_default().held = true;
+    }
+
+    /// Release `lock`.
+    pub async fn unlock(&self, lock: LockId) {
+        let cluster = self.dlm.inner.cluster.clone();
+        let agent = Rc::clone(&self.dlm.inner.agents.borrow()[&self.node]);
+        {
+            let mut locks = agent.locks.borrow_mut();
+            let ll = locks.entry(lock).or_default();
+            assert!(ll.held, "DQNL unlock of unheld lock");
+            ll.held = false;
+            ll.released = true;
+        }
+        let has_pending = !agent.locks.borrow()[&lock].pending.is_empty();
+        if !has_pending {
+            // Try to free the tail word if we are still the tail.
+            let addr = self.dlm.word_addr(lock);
+            let me = (self.node.0 + 1) as u64;
+            let old = cluster.atomic_cas(self.node, addr, me, 0).await;
+            if old == me {
+                agent.locks.borrow_mut().entry(lock).or_default().released = false;
+                return;
+            }
+            // A successor exists; its request message will arrive.
+        }
+        self.dlm.try_progress(&agent, lock);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_fabric::FabricModel;
+    use dc_sim::time::{ms, us};
+    use dc_sim::Sim;
+    use std::cell::Cell;
+
+    fn setup(nodes: usize) -> (Sim, Cluster, DqnlDlm) {
+        let sim = Sim::new();
+        let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), nodes);
+        let members: Vec<NodeId> = (0..nodes as u32).map(NodeId).collect();
+        let dlm = DqnlDlm::new(&cluster, DlmConfig::default(), NodeId(0), 4, &members);
+        (sim, cluster, dlm)
+    }
+
+    #[test]
+    fn mutual_exclusion_with_queue_handoff() {
+        let (sim, _c, dlm) = setup(5);
+        let in_cs: Rc<Cell<u32>> = Rc::default();
+        let violations: Rc<Cell<u32>> = Rc::default();
+        let h = sim.handle();
+        for n in 1..5u32 {
+            let client = dlm.client(NodeId(n));
+            let in_cs = Rc::clone(&in_cs);
+            let violations = Rc::clone(&violations);
+            let hh = h.clone();
+            sim.spawn(async move {
+                for _ in 0..3 {
+                    client.lock(0, LockMode::Exclusive).await;
+                    if in_cs.get() > 0 {
+                        violations.set(violations.get() + 1);
+                    }
+                    in_cs.set(in_cs.get() + 1);
+                    hh.sleep(us(40)).await;
+                    in_cs.set(in_cs.get() - 1);
+                    client.unlock(0).await;
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(violations.get(), 0);
+    }
+
+    #[test]
+    fn shared_requests_serialize() {
+        // DQNL's gap: N shared requesters form a chain, so total cascade
+        // time grows linearly even though the mode is compatible.
+        let (sim, _c, dlm) = setup(6);
+        let h = sim.handle();
+        let holder = dlm.client(NodeId(1));
+        let hh = h.clone();
+        sim.spawn(async move {
+            holder.lock(0, LockMode::Exclusive).await;
+            hh.sleep(ms(2)).await;
+            holder.unlock(0).await;
+        });
+        let grant_times: Rc<RefCell<Vec<u64>>> = Rc::default();
+        for n in 2..6u32 {
+            let client = dlm.client(NodeId(n));
+            let times = Rc::clone(&grant_times);
+            let hh = h.clone();
+            sim.spawn(async move {
+                hh.sleep(us(100 * n as u64)).await;
+                client.lock(0, LockMode::Shared).await;
+                times.borrow_mut().push(hh.now());
+                client.unlock(0).await;
+            });
+        }
+        sim.run();
+        let times = grant_times.borrow();
+        assert_eq!(times.len(), 4);
+        let spread = times.iter().max().unwrap() - times.iter().min().unwrap();
+        // Each hop costs at least a grant flight: the "shared" cascade is
+        // serialized, unlike N-CoSED's one-shot group grant.
+        assert!(spread > us(25), "DQNL spread unexpectedly small: {spread}");
+    }
+
+    #[test]
+    fn word_freed_when_queue_empties() {
+        let (sim, c, dlm) = setup(2);
+        let client = dlm.client(NodeId(1));
+        sim.run_to(async move {
+            client.lock(1, LockMode::Exclusive).await;
+            client.unlock(1).await;
+        });
+        sim.run();
+        assert_eq!(c.region(NodeId(0), dlm.inner.region).read_u64(8), 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # dc-dlm — distributed lock management services
+//!
+//! The paper's second service primitive (§4.2, detailed in the authors'
+//! CCGrid'07 paper): high-performance distributed locking using
+//! network-based remote atomic operations.
+//!
+//! Three schemes, matching the evaluation of Figure 5:
+//!
+//! * [`NcosedDlm`] — **N-CoSED**, the paper's contribution: one-sided
+//!   CAS/FAA locking for both shared and exclusive modes over the 64-bit
+//!   lock word (exclusive-queue tail ‖ shared-request count), with
+//!   peer-to-peer grant forwarding.
+//! * [`DqnlDlm`] — **DQNL**, distributed queue based non-shared locking
+//!   (prior one-sided work): same CAS queue, but no shared mode, so
+//!   reader cascades serialize.
+//! * [`SrslDlm`] — **SRSL**, traditional send/receive server locking: every
+//!   operation is a message to a server process whose CPU is on the
+//!   critical path.
+//!
+//! ```
+//! use dc_sim::Sim;
+//! use dc_fabric::{Cluster, FabricModel, NodeId};
+//! use dc_dlm::{DlmConfig, LockMode, NcosedDlm};
+//!
+//! let sim = Sim::new();
+//! let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 3);
+//! let members = [NodeId(0), NodeId(1), NodeId(2)];
+//! let dlm = NcosedDlm::new(&cluster, DlmConfig::default(), NodeId(0), 16, &members);
+//! let client = dlm.client(NodeId(1));
+//! sim.run_to(async move {
+//!     client.lock(3, LockMode::Exclusive).await;
+//!     // … critical section …
+//!     client.unlock(3).await;
+//! });
+//! ```
+
+pub mod config;
+pub mod dqnl;
+pub mod msg;
+pub mod ncosed;
+pub mod srsl;
+pub mod word;
+
+pub use config::{DlmConfig, LockMode};
+pub use dqnl::{DqnlClient, DqnlDlm};
+pub use msg::LockId;
+pub use ncosed::{NcosedClient, NcosedDlm};
+pub use srsl::{SrslClient, SrslDlm};
+pub use word::LockWord;

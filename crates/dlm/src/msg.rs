@@ -1,0 +1,217 @@
+//! Inter-agent message encoding for the lock managers.
+//!
+//! All DLM coordination messages are small fixed-format records sent over
+//! RDMA sends. Only off-critical-path bookkeeping (shared releases,
+//! epoch-completion waits) goes through the home agent; grants travel peer
+//! to peer.
+
+use bytes::Bytes;
+use dc_fabric::NodeId;
+
+/// A lock identifier within one manager (dense, `0..num_locks`).
+pub type LockId = u32;
+
+/// Wire messages exchanged by DLM agents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DlmMsg {
+    /// Exclusive request to the previous queue tail. `shared_seen` is the
+    /// shared count the requester swapped out of the lock word.
+    ExclReq {
+        /// Lock concerned.
+        lock: LockId,
+        /// Requesting node.
+        from: NodeId,
+        /// Shared requests enqueued before this exclusive (must drain first).
+        shared_seen: u32,
+    },
+    /// Shared request to the current queue tail.
+    ShReq {
+        /// Lock concerned.
+        lock: LockId,
+        /// Requesting node.
+        from: NodeId,
+    },
+    /// Grant of the lock to a waiting requester.
+    Grant {
+        /// Lock concerned.
+        lock: LockId,
+        /// True if the grant is exclusive.
+        exclusive: bool,
+    },
+    /// Shared release notification to the home agent.
+    ShRelease {
+        /// Lock concerned.
+        lock: LockId,
+    },
+    /// Ask the home agent to grant `waiter` exclusively once `need` shared
+    /// releases of the current epoch have arrived.
+    WaitShared {
+        /// Lock concerned.
+        lock: LockId,
+        /// Node to grant once the epoch drains.
+        waiter: NodeId,
+        /// Number of shared releases to wait for.
+        need: u32,
+    },
+    /// SRSL: client lock request to the server.
+    SrvLock {
+        /// Lock concerned.
+        lock: LockId,
+        /// Requesting node.
+        from: NodeId,
+        /// True for exclusive mode.
+        exclusive: bool,
+    },
+    /// SRSL: client unlock notification to the server.
+    SrvUnlock {
+        /// Lock concerned.
+        lock: LockId,
+        /// Releasing node.
+        from: NodeId,
+    },
+}
+
+const T_EXCL_REQ: u8 = 1;
+const T_SH_REQ: u8 = 2;
+const T_GRANT: u8 = 3;
+const T_SH_RELEASE: u8 = 4;
+const T_WAIT_SHARED: u8 = 5;
+const T_SRV_LOCK: u8 = 6;
+const T_SRV_UNLOCK: u8 = 7;
+
+impl DlmMsg {
+    /// Encode to the wire representation.
+    pub fn encode(&self) -> Bytes {
+        let mut b = Vec::with_capacity(16);
+        match *self {
+            DlmMsg::ExclReq {
+                lock,
+                from,
+                shared_seen,
+            } => {
+                b.push(T_EXCL_REQ);
+                b.extend_from_slice(&lock.to_le_bytes());
+                b.extend_from_slice(&from.0.to_le_bytes());
+                b.extend_from_slice(&shared_seen.to_le_bytes());
+            }
+            DlmMsg::ShReq { lock, from } => {
+                b.push(T_SH_REQ);
+                b.extend_from_slice(&lock.to_le_bytes());
+                b.extend_from_slice(&from.0.to_le_bytes());
+            }
+            DlmMsg::Grant { lock, exclusive } => {
+                b.push(T_GRANT);
+                b.extend_from_slice(&lock.to_le_bytes());
+                b.push(u8::from(exclusive));
+            }
+            DlmMsg::ShRelease { lock } => {
+                b.push(T_SH_RELEASE);
+                b.extend_from_slice(&lock.to_le_bytes());
+            }
+            DlmMsg::WaitShared { lock, waiter, need } => {
+                b.push(T_WAIT_SHARED);
+                b.extend_from_slice(&lock.to_le_bytes());
+                b.extend_from_slice(&waiter.0.to_le_bytes());
+                b.extend_from_slice(&need.to_le_bytes());
+            }
+            DlmMsg::SrvLock {
+                lock,
+                from,
+                exclusive,
+            } => {
+                b.push(T_SRV_LOCK);
+                b.extend_from_slice(&lock.to_le_bytes());
+                b.extend_from_slice(&from.0.to_le_bytes());
+                b.push(u8::from(exclusive));
+            }
+            DlmMsg::SrvUnlock { lock, from } => {
+                b.push(T_SRV_UNLOCK);
+                b.extend_from_slice(&lock.to_le_bytes());
+                b.extend_from_slice(&from.0.to_le_bytes());
+            }
+        }
+        Bytes::from(b)
+    }
+
+    /// Decode from the wire representation.
+    pub fn decode(b: &[u8]) -> DlmMsg {
+        let lock = u32::from_le_bytes(b[1..5].try_into().unwrap());
+        match b[0] {
+            T_EXCL_REQ => DlmMsg::ExclReq {
+                lock,
+                from: NodeId(u32::from_le_bytes(b[5..9].try_into().unwrap())),
+                shared_seen: u32::from_le_bytes(b[9..13].try_into().unwrap()),
+            },
+            T_SH_REQ => DlmMsg::ShReq {
+                lock,
+                from: NodeId(u32::from_le_bytes(b[5..9].try_into().unwrap())),
+            },
+            T_GRANT => DlmMsg::Grant {
+                lock,
+                exclusive: b[5] != 0,
+            },
+            T_SH_RELEASE => DlmMsg::ShRelease { lock },
+            T_WAIT_SHARED => DlmMsg::WaitShared {
+                lock,
+                waiter: NodeId(u32::from_le_bytes(b[5..9].try_into().unwrap())),
+                need: u32::from_le_bytes(b[9..13].try_into().unwrap()),
+            },
+            T_SRV_LOCK => DlmMsg::SrvLock {
+                lock,
+                from: NodeId(u32::from_le_bytes(b[5..9].try_into().unwrap())),
+                exclusive: b[9] != 0,
+            },
+            T_SRV_UNLOCK => DlmMsg::SrvUnlock {
+                lock,
+                from: NodeId(u32::from_le_bytes(b[5..9].try_into().unwrap())),
+            },
+            t => panic!("unknown DLM message type {t}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_messages_round_trip() {
+        let msgs = [
+            DlmMsg::ExclReq {
+                lock: 5,
+                from: NodeId(3),
+                shared_seen: 17,
+            },
+            DlmMsg::ShReq {
+                lock: 0,
+                from: NodeId(0),
+            },
+            DlmMsg::Grant {
+                lock: 9,
+                exclusive: true,
+            },
+            DlmMsg::Grant {
+                lock: 9,
+                exclusive: false,
+            },
+            DlmMsg::ShRelease { lock: 1 },
+            DlmMsg::WaitShared {
+                lock: 2,
+                waiter: NodeId(14),
+                need: 4,
+            },
+            DlmMsg::SrvLock {
+                lock: 7,
+                from: NodeId(2),
+                exclusive: true,
+            },
+            DlmMsg::SrvUnlock {
+                lock: 7,
+                from: NodeId(2),
+            },
+        ];
+        for m in msgs {
+            assert_eq!(DlmMsg::decode(&m.encode()), m, "round trip of {m:?}");
+        }
+    }
+}

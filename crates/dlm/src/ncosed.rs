@@ -1,0 +1,799 @@
+//! N-CoSED: network-based cooperative shared-exclusive distributed locking.
+//!
+//! The paper's §4.2 design (detailed in the authors' CCGrid'07 paper):
+//! one-sided locking for **both** modes using remote atomics on the 64-bit
+//! lock word ([`crate::word::LockWord`]):
+//!
+//! * **Exclusive** requesters compare-and-swap themselves in as the queue
+//!   tail. A failed optimistic CAS returns the current word, which seeds the
+//!   next attempt; the winner learns exactly who precedes it: either an
+//!   earlier exclusive tail (→ send a request to that node, receive a
+//!   peer-to-peer grant on its release) or `s` shared holders (→ ask the
+//!   home agent to grant once `s` shared releases arrive).
+//! * **Shared** requesters fetch-and-add the low half. If the returned word
+//!   has no exclusive tail the lock is held immediately — a single one-sided
+//!   atomic, no server, no remote process. Otherwise the requester queues
+//!   behind the tail with a message and is granted, en masse with its peers,
+//!   when that exclusive holder releases.
+//!
+//! Grant authority travels down the exclusive queue: each releasing holder
+//! grants the shared requesters that queued on it (becoming the group's
+//! *anchor*) and/or hands over to its exclusive successor, waiting until all
+//! `shared_seen` requesters counted by the successor's swap have been
+//! granted, so no request is ever orphaned by message/atomic races.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use dc_fabric::{Cluster, NodeId, RegionId, RemoteAddr, Transport};
+use dc_sim::sync::{oneshot, OneSender};
+
+use crate::config::{DlmConfig, LockMode};
+use crate::msg::{DlmMsg, LockId};
+use crate::word::{LockWord, SHARED_FAA_DELTA};
+
+/// Per-lock, per-node protocol state.
+#[derive(Default)]
+struct LockLocal {
+    /// Resolver for an outstanding lock request by a process on this node.
+    wait_grant: Option<OneSender<()>>,
+    /// Mode currently held by this node (at most one holder per node per
+    /// lock — the manager supports no re-entrancy or upgrades).
+    held: Option<LockMode>,
+    /// True once this node's exclusive hold ended and it is draining its
+    /// grant authority.
+    released: bool,
+    /// Shared grants issued since this node's exclusive enqueue.
+    grants_given: u32,
+    /// Shared requesters queued on this node.
+    pending_shared: Vec<NodeId>,
+    /// Exclusive successor (node, shared_seen) queued on this node.
+    pending_excl: Option<(NodeId, u32)>,
+}
+
+struct Agent {
+    node: NodeId,
+    locks: RefCell<HashMap<LockId, LockLocal>>,
+}
+
+struct HomeLock {
+    /// Cumulative shared releases not yet consumed by an epoch grant.
+    have: u32,
+    /// Waiting exclusive requester and the releases it needs.
+    pending: Option<(NodeId, u32)>,
+}
+
+struct Inner {
+    cluster: Cluster,
+    cfg: DlmConfig,
+    home: NodeId,
+    region: RegionId,
+    num_locks: u32,
+    agents: RefCell<HashMap<NodeId, Rc<Agent>>>,
+    agent_ports: RefCell<HashMap<NodeId, u16>>,
+    home_port: u16,
+    /// Grants issued (for tests/ablations).
+    grants_sent: Cell<u64>,
+}
+
+/// The N-CoSED lock manager. One instance manages `num_locks` locks homed
+/// on one node; clone to share.
+#[derive(Clone)]
+pub struct NcosedDlm {
+    inner: Rc<Inner>,
+}
+
+impl NcosedDlm {
+    /// Create the manager: lock words live on `home`; every node in
+    /// `members` runs an agent and may request locks.
+    pub fn new(
+        cluster: &Cluster,
+        cfg: DlmConfig,
+        home: NodeId,
+        num_locks: u32,
+        members: &[NodeId],
+    ) -> NcosedDlm {
+        let region = cluster.register(home, num_locks as usize * 8);
+        let home_port = cluster.alloc_port();
+        let dlm = NcosedDlm {
+            inner: Rc::new(Inner {
+                cluster: cluster.clone(),
+                cfg,
+                home,
+                region,
+                num_locks,
+                agents: RefCell::new(HashMap::new()),
+                agent_ports: RefCell::new(HashMap::new()),
+                home_port,
+                grants_sent: Cell::new(0),
+            }),
+        };
+        for &m in members {
+            dlm.add_member(m);
+        }
+        dlm.spawn_home_agent();
+        dlm
+    }
+
+    /// Register another member node (spawns its agent).
+    pub fn add_member(&self, node: NodeId) {
+        let port = self.inner.cluster.alloc_port();
+        let agent = Rc::new(Agent {
+            node,
+            locks: RefCell::new(HashMap::new()),
+        });
+        let prev_a = self.inner.agents.borrow_mut().insert(node, Rc::clone(&agent));
+        assert!(prev_a.is_none(), "{node:?} is already a DLM member");
+        self.inner.agent_ports.borrow_mut().insert(node, port);
+        self.spawn_agent(agent, port);
+    }
+
+    /// Handle for issuing lock operations from `node`.
+    pub fn client(&self, node: NodeId) -> NcosedClient {
+        assert!(
+            self.inner.agents.borrow().contains_key(&node),
+            "{node:?} is not a DLM member"
+        );
+        NcosedClient {
+            dlm: self.clone(),
+            node,
+        }
+    }
+
+    /// Total peer/home grants issued so far.
+    pub fn grants_sent(&self) -> u64 {
+        self.inner.grants_sent.get()
+    }
+
+    fn word_addr(&self, lock: LockId) -> RemoteAddr {
+        assert!(lock < self.inner.num_locks, "lock id out of range");
+        RemoteAddr {
+            node: self.inner.home,
+            region: self.inner.region,
+            offset: lock as usize * 8,
+        }
+    }
+
+    fn agent(&self, node: NodeId) -> Rc<Agent> {
+        Rc::clone(&self.inner.agents.borrow()[&node])
+    }
+
+    fn agent_port(&self, node: NodeId) -> u16 {
+        self.inner.agent_ports.borrow()[&node]
+    }
+
+    /// Issue `msgs` from `from` to per-message destinations, serializing the
+    /// per-message issue overhead (grants from one node leave one by one)
+    /// while their flights overlap.
+    fn issue(&self, from: NodeId, msgs: Vec<(NodeId, u16, DlmMsg)>) {
+        if msgs.is_empty() {
+            return;
+        }
+        let cluster = self.inner.cluster.clone();
+        let issue_ns = self.inner.cfg.grant_issue_ns;
+        self.inner
+            .grants_sent
+            .set(self.inner.grants_sent.get() + msgs.len() as u64);
+        self.inner.cluster.sim().clone().spawn(async move {
+            for (to, port, msg) in msgs {
+                cluster.sim().sleep(issue_ns).await;
+                let c2 = cluster.clone();
+                let data = msg.encode();
+                cluster.sim().clone().spawn(async move {
+                    c2.send(from, to, port, data, Transport::RdmaSend).await;
+                });
+            }
+        });
+    }
+
+    /// Drive a lock's granter-side state machine after any event.
+    fn try_progress(&self, agent: &Agent, lock: LockId) {
+        let mut outgoing: Vec<(NodeId, u16, DlmMsg)> = Vec::new();
+        {
+            let mut locks = agent.locks.borrow_mut();
+            let ll = locks.entry(lock).or_default();
+            if !ll.released {
+                return;
+            }
+            // Grant every queued shared requester (the cascade of Fig 5a).
+            for y in ll.pending_shared.drain(..) {
+                outgoing.push((
+                    y,
+                    self.agent_port(y),
+                    DlmMsg::Grant {
+                        lock,
+                        exclusive: false,
+                    },
+                ));
+                ll.grants_given += 1;
+            }
+            // Hand over to the exclusive successor once every shared
+            // requester it counted has been granted.
+            if let Some((z, shared_seen)) = ll.pending_excl {
+                if ll.grants_given == shared_seen {
+                    if shared_seen == 0 {
+                        // Direct peer-to-peer handoff (Fig 5b chain).
+                        outgoing.push((
+                            z,
+                            self.agent_port(z),
+                            DlmMsg::Grant {
+                                lock,
+                                exclusive: true,
+                            },
+                        ));
+                    } else {
+                        // The epoch's shared holders must release first; the
+                        // home agent counts their releases and grants.
+                        outgoing.push((
+                            self.inner.home,
+                            self.inner.home_port,
+                            DlmMsg::WaitShared {
+                                lock,
+                                waiter: z,
+                                need: shared_seen,
+                            },
+                        ));
+                    }
+                    // Authority has moved on; reset the granter-side state
+                    // for the next cycle. The requester-side fields
+                    // (wait_grant, held) must survive: this same node may
+                    // already be re-requesting the lock — including waiting
+                    // on the very handoff we just issued (anchor
+                    // self-request).
+                    ll.released = false;
+                    ll.grants_given = 0;
+                    ll.pending_excl = None;
+                    debug_assert!(ll.pending_shared.is_empty());
+                }
+            }
+        }
+        self.issue(agent.node, outgoing);
+    }
+
+    fn spawn_agent(&self, agent: Rc<Agent>, port: u16) {
+        let dlm = self.clone();
+        let cluster = self.inner.cluster.clone();
+        let proc_ns = self.inner.cfg.agent_proc_ns;
+        let mut ep = cluster.bind(agent.node, port);
+        cluster.sim().clone().spawn(async move {
+            loop {
+                let msg = ep.recv().await;
+                cluster.sim().sleep(proc_ns).await;
+                match DlmMsg::decode(&msg.data) {
+                    DlmMsg::ExclReq {
+                        lock,
+                        from,
+                        shared_seen,
+                    } => {
+                        {
+                            let mut locks = agent.locks.borrow_mut();
+                            let ll = locks.entry(lock).or_default();
+                            assert!(
+                                ll.pending_excl.is_none(),
+                                "two exclusive successors queued on one node"
+                            );
+                            ll.pending_excl = Some((from, shared_seen));
+                        }
+                        dlm.try_progress(&agent, lock);
+                    }
+                    DlmMsg::ShReq { lock, from } => {
+                        {
+                            let mut locks = agent.locks.borrow_mut();
+                            locks.entry(lock).or_default().pending_shared.push(from);
+                        }
+                        dlm.try_progress(&agent, lock);
+                    }
+                    DlmMsg::Grant { lock, .. } => {
+                        let tx = {
+                            let mut locks = agent.locks.borrow_mut();
+                            locks
+                                .entry(lock)
+                                .or_default()
+                                .wait_grant
+                                .take()
+                                .expect("grant without a waiting requester")
+                        };
+                        tx.send(());
+                    }
+                    other => panic!("unexpected message at member agent: {other:?}"),
+                }
+            }
+        });
+    }
+
+    fn spawn_home_agent(&self) {
+        let dlm = self.clone();
+        let cluster = self.inner.cluster.clone();
+        let proc_ns = self.inner.cfg.agent_proc_ns;
+        let mut ep = cluster.bind(self.inner.home, self.inner.home_port);
+        cluster.sim().clone().spawn(async move {
+            let mut locks: HashMap<LockId, HomeLock> = HashMap::new();
+            loop {
+                let msg = ep.recv().await;
+                cluster.sim().sleep(proc_ns).await;
+                let m = DlmMsg::decode(&msg.data);
+                let (lock, entry) = match m {
+                    DlmMsg::ShRelease { lock } => {
+                        let e = locks.entry(lock).or_insert(HomeLock {
+                            have: 0,
+                            pending: None,
+                        });
+                        e.have += 1;
+                        (lock, e)
+                    }
+                    DlmMsg::WaitShared { lock, waiter, need } => {
+                        let e = locks.entry(lock).or_insert(HomeLock {
+                            have: 0,
+                            pending: None,
+                        });
+                        assert!(
+                            e.pending.is_none(),
+                            "two exclusive requesters waiting on one epoch"
+                        );
+                        e.pending = Some((waiter, need));
+                        (lock, e)
+                    }
+                    other => panic!("unexpected message at home agent: {other:?}"),
+                };
+                if let Some((waiter, need)) = entry.pending {
+                    if entry.have >= need {
+                        entry.have -= need;
+                        entry.pending = None;
+                        let port = dlm.agent_port(waiter);
+                        dlm.issue(
+                            dlm.inner.home,
+                            vec![(
+                                waiter,
+                                port,
+                                DlmMsg::Grant {
+                                    lock,
+                                    exclusive: true,
+                                },
+                            )],
+                        );
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// Per-node handle for lock operations.
+pub struct NcosedClient {
+    dlm: NcosedDlm,
+    node: NodeId,
+}
+
+impl NcosedClient {
+    /// The node this client operates from.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Acquire `lock` in `mode`.
+    ///
+    /// Contract: operations on one `(node, lock)` pair must be serialized —
+    /// a new `lock` may only be issued after the previous `unlock` *call
+    /// has returned* on that node (multiple processes on one node share the
+    /// node's agent and must coordinate locally, e.g. via the DDSS IPC
+    /// namespace). Re-requesting after unlock returns is fully supported,
+    /// including while the node still anchors a shared group.
+    pub async fn lock(&self, lock: LockId, mode: LockMode) {
+        let cluster = self.dlm.inner.cluster.clone();
+        let addr = self.dlm.word_addr(lock);
+        let agent = self.dlm.agent(self.node);
+        {
+            let locks = agent.locks.borrow();
+            if let Some(ll) = locks.get(&lock) {
+                assert!(
+                    ll.held.is_none() && ll.wait_grant.is_none(),
+                    "concurrent lock ops on {lock} from {:?}",
+                    self.node
+                );
+            }
+        }
+        match mode {
+            LockMode::Exclusive => {
+                // Optimistic CAS loop: each failure returns the live word.
+                let swap = LockWord::with_excl_tail(self.node);
+                let mut expect = LockWord::FREE;
+                let prior = loop {
+                    let old = cluster.atomic_cas(self.node, addr, expect, swap).await;
+                    if old == expect {
+                        break LockWord::decode(old);
+                    }
+                    expect = old;
+                };
+                match (prior.tail, prior.shared) {
+                    (None, 0) => {} // free: held immediately
+                    _ => {
+                        let rx = {
+                            let mut locks = agent.locks.borrow_mut();
+                            let ll = locks.entry(lock).or_default();
+                            let (tx, rx) = oneshot();
+                            ll.wait_grant = Some(tx);
+                            rx
+                        };
+                        let msg = match prior.tail {
+                            Some(t) => (
+                                t,
+                                self.dlm.agent_port(t),
+                                DlmMsg::ExclReq {
+                                    lock,
+                                    from: self.node,
+                                    shared_seen: prior.shared,
+                                },
+                            ),
+                            None => (
+                                self.dlm.inner.home,
+                                self.dlm.inner.home_port,
+                                DlmMsg::WaitShared {
+                                    lock,
+                                    waiter: self.node,
+                                    need: prior.shared,
+                                },
+                            ),
+                        };
+                        self.dlm.issue(self.node, vec![msg]);
+                        rx.await.expect("grant channel closed");
+                    }
+                }
+            }
+            LockMode::Shared => {
+                let old = cluster.atomic_faa(self.node, addr, SHARED_FAA_DELTA).await;
+                let prior = LockWord::decode(old);
+                if let Some(t) = prior.tail {
+                    let rx = {
+                        let mut locks = agent.locks.borrow_mut();
+                        let ll = locks.entry(lock).or_default();
+                        let (tx, rx) = oneshot();
+                        ll.wait_grant = Some(tx);
+                        rx
+                    };
+                    self.dlm.issue(
+                        self.node,
+                        vec![(
+                            t,
+                            self.dlm.agent_port(t),
+                            DlmMsg::ShReq {
+                                lock,
+                                from: self.node,
+                            },
+                        )],
+                    );
+                    rx.await.expect("grant channel closed");
+                }
+            }
+        }
+        agent.locks.borrow_mut().entry(lock).or_default().held = Some(mode);
+    }
+
+    /// Release `lock`.
+    pub async fn unlock(&self, lock: LockId) {
+        let cluster = self.dlm.inner.cluster.clone();
+        let agent = self.dlm.agent(self.node);
+        let mode = {
+            let mut locks = agent.locks.borrow_mut();
+            locks
+                .entry(lock)
+                .or_default()
+                .held
+                .take()
+                .expect("unlock of a lock this node does not hold")
+        };
+        match mode {
+            LockMode::Shared => {
+                // Off-critical-path bookkeeping to the home agent.
+                self.dlm.issue(
+                    self.node,
+                    vec![(
+                        self.dlm.inner.home,
+                        self.dlm.inner.home_port,
+                        DlmMsg::ShRelease { lock },
+                    )],
+                );
+            }
+            LockMode::Exclusive => {
+                {
+                    let mut locks = agent.locks.borrow_mut();
+                    locks.entry(lock).or_default().released = true;
+                }
+                // Fast path: if nobody has queued on us, free the word.
+                let no_known_waiters = {
+                    let locks = agent.locks.borrow();
+                    let ll = &locks[&lock];
+                    ll.pending_excl.is_none() && ll.pending_shared.is_empty()
+                };
+                if no_known_waiters {
+                    let addr = self.dlm.word_addr(lock);
+                    loop {
+                        let raw = cluster.rdma_read(self.node, addr, 8).await;
+                        let raw = u64::from_le_bytes(raw[..].try_into().unwrap());
+                        let w = LockWord::decode(raw);
+                        let grants_given = agent.locks.borrow()[&lock].grants_given;
+                        // Only free if no shared requester ever queued on us:
+                        // once we've granted shared holders we are the
+                        // epoch's anchor and must keep the word non-free so
+                        // a new exclusive routes through us / the home agent.
+                        if w.tail == Some(self.node) && w.shared == 0 && grants_given == 0 {
+                            // Nothing new since our grants: try to free.
+                            let old = cluster
+                                .atomic_cas(self.node, addr, raw, LockWord::FREE)
+                                .await;
+                            if old == raw {
+                                let mut locks = agent.locks.borrow_mut();
+                                *locks.entry(lock).or_default() = LockLocal::default();
+                                return;
+                            }
+                            // The word moved under us: re-examine.
+                            continue;
+                        }
+                        // Waiters exist (their messages may still be in
+                        // flight); the agent loop will serve them.
+                        break;
+                    }
+                }
+                self.dlm.try_progress(&agent, lock);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_fabric::FabricModel;
+    use dc_sim::time::{ms, us};
+    use dc_sim::{Sim, SimTime};
+
+    fn setup(nodes: usize, num_locks: u32) -> (Sim, Cluster, NcosedDlm) {
+        let sim = Sim::new();
+        let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), nodes);
+        let members: Vec<NodeId> = (0..nodes as u32).map(NodeId).collect();
+        let dlm = NcosedDlm::new(&cluster, DlmConfig::default(), NodeId(0), num_locks, &members);
+        (sim, cluster, dlm)
+    }
+
+    #[test]
+    fn uncontended_exclusive_is_one_atomic() {
+        let (sim, c, dlm) = setup(2, 1);
+        let client = dlm.client(NodeId(1));
+        sim.run_to(async move {
+            client.lock(0, LockMode::Exclusive).await;
+            client.unlock(0).await;
+        });
+        sim.run();
+        // Acquire: 1 CAS. Release: read + CAS-to-free.
+        let s = c.stats();
+        assert_eq!(s.cas, 2);
+        assert_eq!(s.faa, 0);
+        assert_eq!(dlm.grants_sent(), 0);
+    }
+
+    #[test]
+    fn uncontended_shared_is_one_faa() {
+        let (sim, c, dlm) = setup(2, 1);
+        let client = dlm.client(NodeId(1));
+        sim.run_to(async move {
+            client.lock(0, LockMode::Shared).await;
+            client.unlock(0).await;
+        });
+        sim.run();
+        assert_eq!(c.stats().faa, 1);
+        assert_eq!(c.stats().cas, 0);
+    }
+
+    #[test]
+    fn exclusive_mutual_exclusion_holds() {
+        let (sim, _c, dlm) = setup(5, 1);
+        let in_cs: Rc<Cell<u32>> = Rc::default();
+        let max_seen: Rc<Cell<u32>> = Rc::default();
+        let h = sim.handle();
+        for n in 1..5u32 {
+            let client = dlm.client(NodeId(n));
+            let in_cs = Rc::clone(&in_cs);
+            let max_seen = Rc::clone(&max_seen);
+            let hh = h.clone();
+            sim.spawn(async move {
+                for _ in 0..5 {
+                    client.lock(0, LockMode::Exclusive).await;
+                    in_cs.set(in_cs.get() + 1);
+                    max_seen.set(max_seen.get().max(in_cs.get()));
+                    hh.sleep(us(50)).await;
+                    in_cs.set(in_cs.get() - 1);
+                    client.unlock(0).await;
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(max_seen.get(), 1, "two exclusive holders overlapped");
+        assert_eq!(in_cs.get(), 0);
+    }
+
+    #[test]
+    fn shared_holders_overlap_but_exclude_writers() {
+        let (sim, _c, dlm) = setup(6, 1);
+        let readers: Rc<Cell<u32>> = Rc::default();
+        let writer_in: Rc<Cell<bool>> = Rc::default();
+        let max_readers: Rc<Cell<u32>> = Rc::default();
+        let violation: Rc<Cell<bool>> = Rc::default();
+        let h = sim.handle();
+        // Four readers take shared locks around the same instant.
+        for n in 1..5u32 {
+            let client = dlm.client(NodeId(n));
+            let readers = Rc::clone(&readers);
+            let max_readers = Rc::clone(&max_readers);
+            let violation = Rc::clone(&violation);
+            let writer_in = Rc::clone(&writer_in);
+            let hh = h.clone();
+            sim.spawn(async move {
+                client.lock(0, LockMode::Shared).await;
+                readers.set(readers.get() + 1);
+                max_readers.set(max_readers.get().max(readers.get()));
+                if writer_in.get() {
+                    violation.set(true);
+                }
+                hh.sleep(us(200)).await;
+                readers.set(readers.get() - 1);
+                client.unlock(0).await;
+            });
+        }
+        // A writer arrives while readers hold.
+        let wclient = dlm.client(NodeId(5));
+        let readers2 = Rc::clone(&readers);
+        let writer_in2 = Rc::clone(&writer_in);
+        let violation2 = Rc::clone(&violation);
+        let hh = h.clone();
+        sim.spawn(async move {
+            hh.sleep(us(30)).await;
+            wclient.lock(0, LockMode::Exclusive).await;
+            writer_in2.set(true);
+            if readers2.get() > 0 {
+                violation2.set(true);
+            }
+            hh.sleep(us(100)).await;
+            writer_in2.set(false);
+            wclient.unlock(0).await;
+        });
+        sim.run();
+        assert!(max_readers.get() >= 2, "shared locks never overlapped");
+        assert!(!violation.get(), "reader/writer overlap detected");
+    }
+
+    #[test]
+    fn exclusive_chain_grants_in_fifo_order() {
+        let (sim, _c, dlm) = setup(6, 1);
+        let order: Rc<RefCell<Vec<u32>>> = Rc::default();
+        let h = sim.handle();
+        for n in 1..6u32 {
+            let client = dlm.client(NodeId(n));
+            let order = Rc::clone(&order);
+            let hh = h.clone();
+            sim.spawn(async move {
+                // Stagger arrivals well beyond an atomic RTT so the CAS
+                // enqueue order matches node order.
+                hh.sleep(us(100 * n as u64)).await;
+                client.lock(0, LockMode::Exclusive).await;
+                order.borrow_mut().push(n);
+                hh.sleep(ms(2)).await;
+                client.unlock(0).await;
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn shared_after_exclusive_granted_together() {
+        let (sim, _c, dlm) = setup(7, 1);
+        let h = sim.handle();
+        let holder = dlm.client(NodeId(1));
+        let hh = h.clone();
+        sim.spawn(async move {
+            holder.lock(0, LockMode::Exclusive).await;
+            hh.sleep(ms(5)).await;
+            holder.unlock(0).await;
+        });
+        let grant_times: Rc<RefCell<Vec<SimTime>>> = Rc::default();
+        for n in 2..7u32 {
+            let client = dlm.client(NodeId(n));
+            let times = Rc::clone(&grant_times);
+            let hh = h.clone();
+            sim.spawn(async move {
+                hh.sleep(ms(1)).await; // request while held
+                client.lock(0, LockMode::Shared).await;
+                times.borrow_mut().push(hh.now());
+                client.unlock(0).await;
+            });
+        }
+        sim.run();
+        let times = grant_times.borrow();
+        assert_eq!(times.len(), 5);
+        // All shared grants land shortly after the 5ms release, within the
+        // serialized issue window (5 × 2us) plus one flight.
+        let spread = times.iter().max().unwrap() - times.iter().min().unwrap();
+        assert!(spread <= us(15), "shared cascade spread {spread}ns");
+        assert!(*times.iter().min().unwrap() >= ms(5));
+    }
+
+    #[test]
+    fn exclusive_after_shared_waits_for_all_releases() {
+        let (sim, _c, dlm) = setup(5, 1);
+        let h = sim.handle();
+        let active_readers: Rc<Cell<u32>> = Rc::default();
+        // Three shared holders with different hold times.
+        for n in 1..4u32 {
+            let client = dlm.client(NodeId(n));
+            let ar = Rc::clone(&active_readers);
+            let hh = h.clone();
+            sim.spawn(async move {
+                client.lock(0, LockMode::Shared).await;
+                ar.set(ar.get() + 1);
+                hh.sleep(ms(n as u64)).await;
+                ar.set(ar.get() - 1);
+                client.unlock(0).await;
+            });
+        }
+        let wclient = dlm.client(NodeId(4));
+        let ar = Rc::clone(&active_readers);
+        let hh = h.clone();
+        let when = sim.spawn(async move {
+            hh.sleep(us(500)).await;
+            wclient.lock(0, LockMode::Exclusive).await;
+            assert_eq!(ar.get(), 0, "writer admitted while readers active");
+            let t = hh.now();
+            wclient.unlock(0).await;
+            t
+        });
+        sim.run();
+        // Longest reader holds until ~3ms; the writer can only enter after.
+        assert!(when.try_take().unwrap() >= ms(3));
+    }
+
+    #[test]
+    fn lock_word_returns_to_free_after_quiescence() {
+        let (sim, c, dlm) = setup(3, 1);
+        let client = dlm.client(NodeId(2));
+        sim.run_to(async move {
+            client.lock(0, LockMode::Exclusive).await;
+            client.unlock(0).await;
+        });
+        sim.run();
+        let raw = c.region(NodeId(0), dlm.inner.region).read_u64(0);
+        assert_eq!(raw, LockWord::FREE);
+    }
+
+    #[test]
+    fn many_locks_are_independent() {
+        let (sim, _c, dlm) = setup(3, 8);
+        let h = sim.handle();
+        let done: Rc<Cell<u32>> = Rc::default();
+        for lockid in 0..8u32 {
+            let client = dlm.client(NodeId(1 + lockid % 2));
+            let done = Rc::clone(&done);
+            let hh = h.clone();
+            sim.spawn(async move {
+                client.lock(lockid, LockMode::Exclusive).await;
+                hh.sleep(ms(1)).await;
+                client.unlock(lockid).await;
+                done.set(done.get() + 1);
+            });
+        }
+        // Independent locks proceed in parallel: all 8 finish in ~one hold
+        // time plus protocol overhead, not 8 serialized holds.
+        let reached = sim.run_until(ms(3));
+        assert_eq!(reached, ms(3));
+        assert_eq!(done.get(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn unlock_without_hold_panics() {
+        let (sim, _c, dlm) = setup(2, 1);
+        let client = dlm.client(NodeId(1));
+        sim.run_to(async move {
+            client.unlock(0).await;
+        });
+    }
+}

@@ -1,0 +1,116 @@
+//! The N-CoSED 64-bit lock word.
+//!
+//! Exactly the paper's layout (§4.2): for each lock, a 64-bit window at the
+//! home node whose **first 32 bits store the tail of the distributed queue
+//! of exclusive requesters** (as node-id + 1; 0 = no exclusive tail) and
+//! whose **second 32 bits count the shared lock requests received after the
+//! enqueuing of the last exclusive request**.
+//!
+//! Exclusive requesters swap themselves in with compare-and-swap (zeroing
+//! the shared count — the count they swap out is exactly the set of shared
+//! holders they must wait behind); shared requesters fetch-and-add the low
+//! half and read the tail from the returned value.
+
+use dc_fabric::NodeId;
+
+/// Decoded view of the lock word: `(exclusive tail, shared count)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockWord {
+    /// Node id of the exclusive-queue tail, if any.
+    pub tail: Option<NodeId>,
+    /// Shared requests since the last exclusive enqueue (or since free).
+    pub shared: u32,
+}
+
+impl LockWord {
+    /// The free word (no tail, no shared requests).
+    pub const FREE: u64 = 0;
+
+    /// Decode a raw 64-bit word.
+    pub fn decode(raw: u64) -> LockWord {
+        let tail_raw = (raw >> 32) as u32;
+        LockWord {
+            tail: if tail_raw == 0 {
+                None
+            } else {
+                Some(NodeId(tail_raw - 1))
+            },
+            shared: raw as u32,
+        }
+    }
+
+    /// Encode back to the raw representation.
+    pub fn encode(self) -> u64 {
+        let tail_raw = match self.tail {
+            None => 0u32,
+            Some(n) => n.0 + 1,
+        };
+        ((tail_raw as u64) << 32) | self.shared as u64
+    }
+
+    /// The word after an exclusive enqueue by `node` (tail = node, shared
+    /// count reset — the swapped-out count becomes the enqueuer's wait set).
+    pub fn with_excl_tail(node: NodeId) -> u64 {
+        LockWord {
+            tail: Some(node),
+            shared: 0,
+        }
+        .encode()
+    }
+}
+
+/// The fetch-and-add delta registering one shared request (+1 to the low
+/// half; never carries into the tail field until 2^32 outstanding requests).
+pub const SHARED_FAA_DELTA: u64 = 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_word_decodes_to_empty() {
+        let w = LockWord::decode(LockWord::FREE);
+        assert_eq!(w.tail, None);
+        assert_eq!(w.shared, 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for tail in [None, Some(NodeId(0)), Some(NodeId(7)), Some(NodeId(4_000_000_000))] {
+            for shared in [0u32, 1, 55, u32::MAX] {
+                let w = LockWord { tail, shared };
+                assert_eq!(LockWord::decode(w.encode()), w);
+            }
+        }
+    }
+
+    #[test]
+    fn node_zero_is_distinguishable_from_no_tail() {
+        let w = LockWord {
+            tail: Some(NodeId(0)),
+            shared: 0,
+        };
+        assert_ne!(w.encode(), LockWord::FREE);
+        assert_eq!(LockWord::decode(w.encode()).tail, Some(NodeId(0)));
+    }
+
+    #[test]
+    fn shared_faa_only_touches_low_half() {
+        let base = LockWord {
+            tail: Some(NodeId(3)),
+            shared: 41,
+        }
+        .encode();
+        let after = base.wrapping_add(SHARED_FAA_DELTA);
+        let w = LockWord::decode(after);
+        assert_eq!(w.tail, Some(NodeId(3)));
+        assert_eq!(w.shared, 42);
+    }
+
+    #[test]
+    fn excl_enqueue_zeroes_shared_count() {
+        let w = LockWord::decode(LockWord::with_excl_tail(NodeId(9)));
+        assert_eq!(w.tail, Some(NodeId(9)));
+        assert_eq!(w.shared, 0);
+    }
+}

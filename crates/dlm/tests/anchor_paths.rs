@@ -1,0 +1,204 @@
+//! Edge cases of the N-CoSED grant-authority transfer: the *anchor* role a
+//! node assumes after granting a shared group, and every path out of it.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use dc_dlm::{DlmConfig, LockMode, NcosedDlm};
+use dc_fabric::{Cluster, FabricModel, NodeId};
+use dc_sim::time::{ms, us};
+use dc_sim::Sim;
+
+fn setup(nodes: usize) -> (Sim, Cluster, NcosedDlm) {
+    let sim = Sim::new();
+    let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), nodes);
+    let members: Vec<NodeId> = (0..nodes as u32).map(NodeId).collect();
+    let dlm = NcosedDlm::new(&cluster, DlmConfig::default(), NodeId(0), 2, &members);
+    (sim, cluster, dlm)
+}
+
+/// After an exclusive holder grants a shared group it becomes the group's
+/// anchor: later shared requesters route to it and are granted immediately,
+/// with no home-agent involvement and no backend round trips.
+#[test]
+fn anchor_grants_late_shared_requesters_immediately() {
+    let (sim, _c, dlm) = setup(6);
+    let h = sim.handle();
+    // Node 1 takes exclusive and releases at 5ms with two shared waiters.
+    let holder = dlm.client(NodeId(1));
+    let hh = h.clone();
+    sim.spawn(async move {
+        holder.lock(0, LockMode::Exclusive).await;
+        hh.sleep(ms(5)).await;
+        holder.unlock(0).await;
+    });
+    for n in [2u32, 3] {
+        let c = dlm.client(NodeId(n));
+        let hh = h.clone();
+        sim.spawn(async move {
+            hh.sleep(ms(1)).await;
+            c.lock(0, LockMode::Shared).await;
+            // Hold for a long time: the group stays active.
+            hh.sleep(ms(50)).await;
+            c.unlock(0).await;
+        });
+    }
+    // A *late* shared requester arrives at 10ms — after the anchor formed.
+    let late = dlm.client(NodeId(4));
+    let hh = h.clone();
+    let when = sim.spawn(async move {
+        hh.sleep(ms(10)).await;
+        let t0 = hh.now();
+        late.lock(0, LockMode::Shared).await;
+        let waited = hh.now() - t0;
+        late.unlock(0).await;
+        waited
+    });
+    sim.run();
+    let waited = when.try_take().unwrap();
+    // Granted in one FAA + request + grant exchange (~25us), NOT after the
+    // group's 50ms holds.
+    assert!(waited < us(60), "late shared waited {waited}ns");
+}
+
+/// An exclusive requester arriving while an anchor's shared group is active
+/// is granted only after every group member releases, via the home agent's
+/// release counting.
+#[test]
+fn exclusive_after_anchor_waits_for_group_drain() {
+    let (sim, _c, dlm) = setup(6);
+    let h = sim.handle();
+    let active: Rc<Cell<i32>> = Rc::default();
+    let holder = dlm.client(NodeId(1));
+    let hh = h.clone();
+    sim.spawn(async move {
+        holder.lock(0, LockMode::Exclusive).await;
+        hh.sleep(ms(2)).await;
+        holder.unlock(0).await;
+    });
+    for (i, n) in [2u32, 3, 4].into_iter().enumerate() {
+        let c = dlm.client(NodeId(n));
+        let active = Rc::clone(&active);
+        let hh = h.clone();
+        sim.spawn(async move {
+            hh.sleep(ms(1)).await;
+            c.lock(0, LockMode::Shared).await;
+            active.set(active.get() + 1);
+            // Staggered releases: 10, 20, 30 ms.
+            hh.sleep(ms(10 * (i as u64 + 1))).await;
+            active.set(active.get() - 1);
+            c.unlock(0).await;
+        });
+    }
+    let writer = dlm.client(NodeId(5));
+    let active2 = Rc::clone(&active);
+    let hh = h.clone();
+    let when = sim.spawn(async move {
+        hh.sleep(ms(5)).await; // group already granted and active
+        writer.lock(0, LockMode::Exclusive).await;
+        assert_eq!(active2.get(), 0, "writer overlapped the shared group");
+        let t = hh.now();
+        writer.unlock(0).await;
+        t
+    });
+    sim.run();
+    // Last shared release is at ~32ms; the writer enters only after.
+    let t = when.try_take().unwrap();
+    assert!(t >= ms(32), "writer entered at {t}ns");
+}
+
+/// An anchor that wants the lock back for itself must wait for its own
+/// shared group like any other exclusive requester (self-request path).
+#[test]
+fn anchor_self_exclusive_waits_for_its_group() {
+    let (sim, _c, dlm) = setup(5);
+    let h = sim.handle();
+    let group_active: Rc<Cell<i32>> = Rc::default();
+    let anchor = Rc::new(dlm.client(NodeId(1)));
+    // Anchor's first exclusive tenure.
+    {
+        let anchor = Rc::clone(&anchor);
+        let hh = h.clone();
+        sim.spawn(async move {
+            anchor.lock(0, LockMode::Exclusive).await;
+            hh.sleep(ms(2)).await;
+            anchor.unlock(0).await;
+        });
+    }
+    // Two shared holders queue during the tenure and hold for 20 ms.
+    for n in [2u32, 3] {
+        let c = dlm.client(NodeId(n));
+        let ga = Rc::clone(&group_active);
+        let hh = h.clone();
+        sim.spawn(async move {
+            hh.sleep(ms(1)).await;
+            c.lock(0, LockMode::Shared).await;
+            ga.set(ga.get() + 1);
+            hh.sleep(ms(20)).await;
+            ga.set(ga.get() - 1);
+            c.unlock(0).await;
+        });
+    }
+    // The anchor itself wants exclusive again at 5 ms.
+    let ga = Rc::clone(&group_active);
+    let hh = h.clone();
+    let when = {
+        let anchor = Rc::clone(&anchor);
+        sim.spawn(async move {
+            hh.sleep(ms(5)).await;
+            anchor.lock(0, LockMode::Exclusive).await;
+            assert_eq!(ga.get(), 0, "anchor re-entered over its own group");
+            let t = hh.now();
+            anchor.unlock(0).await;
+            t
+        })
+    };
+    sim.run();
+    let t = when.try_take().unwrap();
+    assert!(t >= ms(22), "anchor re-entered at {t}ns");
+}
+
+/// Authority chains across many tenures: exclusive → shared group →
+/// exclusive → shared group …, with FIFO order preserved throughout.
+#[test]
+fn alternating_modes_chain_cleanly() {
+    let (sim, _c, dlm) = setup(8);
+    let h = sim.handle();
+    let order: Rc<RefCell<Vec<(u32, &'static str)>>> = Rc::default();
+    // Interleaved arrivals: X(1), S(2), S(3), X(4), S(5), X(6).
+    let plan: [(u32, LockMode, u64); 6] = [
+        (1, LockMode::Exclusive, 0),
+        (2, LockMode::Shared, 200),
+        (3, LockMode::Shared, 400),
+        (4, LockMode::Exclusive, 600),
+        (5, LockMode::Shared, 800),
+        (6, LockMode::Exclusive, 1000),
+    ];
+    for (n, mode, arrive_us) in plan {
+        let c = dlm.client(NodeId(n));
+        let order = Rc::clone(&order);
+        let hh = h.clone();
+        sim.spawn(async move {
+            hh.sleep(us(arrive_us)).await;
+            c.lock(0, mode).await;
+            order.borrow_mut().push((
+                n,
+                if mode == LockMode::Exclusive { "X" } else { "S" },
+            ));
+            hh.sleep(ms(3)).await;
+            c.unlock(0).await;
+        });
+    }
+    sim.run();
+    let order = order.borrow();
+    assert_eq!(order.len(), 6, "not everyone was granted: {order:?}");
+    // Node 1 first; 2 and 3 together after it; the later requests follow.
+    assert_eq!(order[0], (1, "X"));
+    let next_two: Vec<u32> = order[1..3].iter().map(|&(n, _)| n).collect();
+    assert!(next_two.contains(&2) && next_two.contains(&3), "{order:?}");
+    // No shared request from 5 may overtake exclusive 4's grant if 4 CASed
+    // in first; but 5 routed to 4 either way — just require everyone ran.
+    let granted: std::collections::HashSet<u32> =
+        order.iter().map(|&(n, _)| n).collect();
+    assert_eq!(granted.len(), 6);
+}

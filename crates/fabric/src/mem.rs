@@ -1,0 +1,208 @@
+//! Registered memory regions and remote addressing.
+//!
+//! A node registers a region of memory with its NIC and hands out a
+//! [`RemoteAddr`] (node, region, offset) — the analogue of an
+//! (rkey, virtual address) pair. One-sided verbs and remote atomics operate
+//! on these addresses without the target CPU's involvement.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Identifier of a registered memory region within a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u32);
+
+/// A remote memory location: the target of one-sided verbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RemoteAddr {
+    /// Node owning the registered region.
+    pub node: crate::cluster::NodeId,
+    /// Region within that node.
+    pub region: RegionId,
+    /// Byte offset within the region.
+    pub offset: usize,
+}
+
+impl RemoteAddr {
+    /// The address `delta` bytes further into the same region.
+    #[inline]
+    pub fn at(self, delta: usize) -> RemoteAddr {
+        RemoteAddr {
+            offset: self.offset + delta,
+            ..self
+        }
+    }
+}
+
+/// Backing storage of one registered region. Shared (`Rc`) so that node-local
+/// writers — e.g. the CPU model updating kernel statistics — can update it
+/// without going through the region table.
+#[derive(Clone)]
+pub struct RegionData {
+    data: Rc<RefCell<Vec<u8>>>,
+}
+
+impl RegionData {
+    /// Allocate a zeroed region of `len` bytes.
+    pub fn new(len: usize) -> Self {
+        RegionData {
+            data: Rc::new(RefCell::new(vec![0; len])),
+        }
+    }
+
+    /// Region length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.borrow().len()
+    }
+
+    /// Whether the region has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy `buf.len()` bytes into the region at `offset`.
+    ///
+    /// Panics if the write overruns the region (an rkey violation — always a
+    /// bug in protocol code).
+    pub fn write(&self, offset: usize, buf: &[u8]) {
+        let mut d = self.data.borrow_mut();
+        let end = offset
+            .checked_add(buf.len())
+            .expect("region write offset overflow");
+        assert!(
+            end <= d.len(),
+            "region write out of bounds: {}..{} > {}",
+            offset,
+            end,
+            d.len()
+        );
+        d[offset..end].copy_from_slice(buf);
+    }
+
+    /// Copy `len` bytes out of the region at `offset`.
+    pub fn read(&self, offset: usize, len: usize) -> Vec<u8> {
+        let d = self.data.borrow();
+        let end = offset.checked_add(len).expect("region read offset overflow");
+        assert!(
+            end <= d.len(),
+            "region read out of bounds: {}..{} > {}",
+            offset,
+            end,
+            d.len()
+        );
+        d[offset..end].to_vec()
+    }
+
+    /// Read a little-endian u64 at an 8-byte-aligned `offset`.
+    pub fn read_u64(&self, offset: usize) -> u64 {
+        assert_eq!(offset % 8, 0, "atomic access must be 8-byte aligned");
+        let b = self.read(offset, 8);
+        u64::from_le_bytes(b.try_into().unwrap())
+    }
+
+    /// Write a little-endian u64 at an 8-byte-aligned `offset`.
+    pub fn write_u64(&self, offset: usize, v: u64) {
+        assert_eq!(offset % 8, 0, "atomic access must be 8-byte aligned");
+        self.write(offset, &v.to_le_bytes());
+    }
+
+    /// NIC-side compare-and-swap on the u64 at `offset`; returns the prior
+    /// value (the swap happened iff the return equals `expect`).
+    pub fn cas_u64(&self, offset: usize, expect: u64, swap: u64) -> u64 {
+        let old = self.read_u64(offset);
+        if old == expect {
+            self.write_u64(offset, swap);
+        }
+        old
+    }
+
+    /// NIC-side fetch-and-add (wrapping) on the u64 at `offset`; returns the
+    /// prior value.
+    pub fn faa_u64(&self, offset: usize, add: u64) -> u64 {
+        let old = self.read_u64(offset);
+        self.write_u64(offset, old.wrapping_add(add));
+        old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let r = RegionData::new(64);
+        r.write(8, b"abcdef");
+        assert_eq!(r.read(8, 6), b"abcdef");
+        assert_eq!(r.read(0, 8), vec![0; 8]); // untouched prefix stays zero
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn write_past_end_panics() {
+        let r = RegionData::new(16);
+        r.write(10, &[0; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn read_past_end_panics() {
+        let r = RegionData::new(16);
+        r.read(0, 17);
+    }
+
+    #[test]
+    fn u64_round_trip_little_endian() {
+        let r = RegionData::new(32);
+        r.write_u64(16, 0x0102_0304_0506_0708);
+        assert_eq!(r.read_u64(16), 0x0102_0304_0506_0708);
+        assert_eq!(r.read(16, 1), vec![0x08]); // LE lowest byte first
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn unaligned_atomic_panics() {
+        let r = RegionData::new(32);
+        r.read_u64(4);
+    }
+
+    #[test]
+    fn cas_succeeds_only_on_match() {
+        let r = RegionData::new(8);
+        assert_eq!(r.cas_u64(0, 0, 42), 0); // matched: swapped in 42
+        assert_eq!(r.read_u64(0), 42);
+        assert_eq!(r.cas_u64(0, 0, 99), 42); // mismatched: unchanged
+        assert_eq!(r.read_u64(0), 42);
+        assert_eq!(r.cas_u64(0, 42, 7), 42); // matched again
+        assert_eq!(r.read_u64(0), 7);
+    }
+
+    #[test]
+    fn faa_wraps() {
+        let r = RegionData::new(8);
+        r.write_u64(0, u64::MAX);
+        assert_eq!(r.faa_u64(0, 2), u64::MAX);
+        assert_eq!(r.read_u64(0), 1);
+    }
+
+    #[test]
+    fn remote_addr_offsets_compose() {
+        let a = RemoteAddr {
+            node: crate::cluster::NodeId(3),
+            region: RegionId(1),
+            offset: 100,
+        };
+        let b = a.at(28);
+        assert_eq!(b.offset, 128);
+        assert_eq!(b.node, a.node);
+        assert_eq!(b.region, a.region);
+    }
+
+    #[test]
+    fn shared_handles_alias_storage() {
+        let r = RegionData::new(8);
+        let alias = r.clone();
+        alias.write_u64(0, 5);
+        assert_eq!(r.read_u64(0), 5);
+    }
+}

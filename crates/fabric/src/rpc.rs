@@ -1,0 +1,198 @@
+//! Minimal request/response plumbing over send/recv.
+//!
+//! Control-plane daemons (backend fetch service, cache reserve service,
+//! monitoring daemons) speak RPC: a request carries the caller's reply port
+//! and a correlation id, the response echoes the id. One [`RpcClient`] per
+//! calling entity multiplexes any number of concurrent calls over a single
+//! bound port, so long experiments never exhaust the port space.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use crate::cluster::{Cluster, Message, NodeId, Transport};
+
+const REQ_HDR: usize = 2 + 8; // reply port + correlation id
+const RESP_HDR: usize = 8; // correlation id
+
+/// Client side: issues calls and routes responses by correlation id.
+#[derive(Clone)]
+pub struct RpcClient {
+    cluster: Cluster,
+    node: NodeId,
+    port: u16,
+    pending: Rc<RefCell<HashMap<u64, dc_sim::sync::OneSender<Bytes>>>>,
+    next_id: Rc<Cell<u64>>,
+}
+
+impl RpcClient {
+    /// Create a client on `node` (binds one port and spawns the response
+    /// pump).
+    pub fn new(cluster: &Cluster, node: NodeId) -> RpcClient {
+        let port = cluster.alloc_port();
+        let mut ep = cluster.bind(node, port);
+        let pending: Rc<RefCell<HashMap<u64, dc_sim::sync::OneSender<Bytes>>>> = Rc::default();
+        let pending2 = Rc::clone(&pending);
+        cluster.sim().clone().spawn(async move {
+            loop {
+                let msg = ep.recv().await;
+                let id = u64::from_le_bytes(msg.data[..RESP_HDR].try_into().unwrap());
+                if let Some(tx) = pending2.borrow_mut().remove(&id) {
+                    tx.send(msg.data.slice(RESP_HDR..));
+                }
+                // Unknown ids (responses to abandoned calls) are dropped.
+            }
+        });
+        RpcClient {
+            cluster: cluster.clone(),
+            node,
+            port,
+            pending,
+            next_id: Rc::new(Cell::new(1)),
+        }
+    }
+
+    /// The node this client calls from.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Call `(to, port)` with `payload`; resolves with the response payload.
+    pub async fn call(
+        &self,
+        to: NodeId,
+        port: u16,
+        payload: &[u8],
+        transport: Transport,
+    ) -> Bytes {
+        let id = self.next_id.get();
+        self.next_id.set(id + 1);
+        let (tx, rx) = dc_sim::sync::oneshot();
+        self.pending.borrow_mut().insert(id, tx);
+        let mut req = Vec::with_capacity(REQ_HDR + payload.len());
+        req.extend_from_slice(&self.port.to_le_bytes());
+        req.extend_from_slice(&id.to_le_bytes());
+        req.extend_from_slice(payload);
+        self.cluster
+            .send(self.node, to, port, Bytes::from(req), transport)
+            .await;
+        rx.await.expect("rpc response channel closed")
+    }
+}
+
+/// A parsed incoming request, ready to be answered with [`respond`].
+#[derive(Debug, Clone)]
+pub struct RpcRequest {
+    /// Caller node.
+    pub src: NodeId,
+    /// Caller's reply port.
+    pub reply_port: u16,
+    /// Correlation id to echo.
+    pub id: u64,
+    /// Request payload.
+    pub payload: Bytes,
+}
+
+/// Parse a message received on a server port into an [`RpcRequest`].
+pub fn parse_request(msg: &Message) -> RpcRequest {
+    let reply_port = u16::from_le_bytes(msg.data[..2].try_into().unwrap());
+    let id = u64::from_le_bytes(msg.data[2..10].try_into().unwrap());
+    RpcRequest {
+        src: msg.src,
+        reply_port,
+        id,
+        payload: msg.data.slice(REQ_HDR..),
+    }
+}
+
+/// Send `payload` back to the requester.
+pub async fn respond(
+    cluster: &Cluster,
+    server: NodeId,
+    req: &RpcRequest,
+    payload: &[u8],
+    transport: Transport,
+) {
+    let mut resp = Vec::with_capacity(RESP_HDR + payload.len());
+    resp.extend_from_slice(&req.id.to_le_bytes());
+    resp.extend_from_slice(payload);
+    cluster
+        .send(server, req.src, req.reply_port, Bytes::from(resp), transport)
+        .await;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FabricModel;
+    use dc_sim::Sim;
+
+    fn echo_server(cluster: &Cluster, node: NodeId) -> u16 {
+        let port = cluster.alloc_port();
+        let mut ep = cluster.bind(node, port);
+        let cl = cluster.clone();
+        cluster.sim().clone().spawn(async move {
+            loop {
+                let msg = ep.recv().await;
+                let req = parse_request(&msg);
+                let mut out = b"echo:".to_vec();
+                out.extend_from_slice(&req.payload);
+                respond(&cl, node, &req, &out, Transport::RdmaSend).await;
+            }
+        });
+        port
+    }
+
+    #[test]
+    fn call_round_trips() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 2);
+        let port = echo_server(&cluster, NodeId(1));
+        let client = RpcClient::new(&cluster, NodeId(0));
+        let resp = sim.run_to(async move {
+            client.call(NodeId(1), port, b"hello", Transport::RdmaSend).await
+        });
+        assert_eq!(&resp[..], b"echo:hello");
+    }
+
+    #[test]
+    fn concurrent_calls_demultiplex_correctly() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 3);
+        let p1 = echo_server(&cluster, NodeId(1));
+        let p2 = echo_server(&cluster, NodeId(2));
+        let client = RpcClient::new(&cluster, NodeId(0));
+        let mut joins = Vec::new();
+        for i in 0..10u8 {
+            let c = client.clone();
+            let (to, port) = if i % 2 == 0 {
+                (NodeId(1), p1)
+            } else {
+                (NodeId(2), p2)
+            };
+            joins.push(sim.spawn(async move {
+                let resp = c.call(to, port, &[i], Transport::RdmaSend).await;
+                (i, resp)
+            }));
+        }
+        sim.run();
+        for j in joins {
+            let (i, resp) = j.try_take().unwrap();
+            assert_eq!(&resp[..], &[b'e', b'c', b'h', b'o', b':', i]);
+        }
+    }
+
+    #[test]
+    fn tcp_transport_works_for_rpc() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 2);
+        let port = echo_server(&cluster, NodeId(1));
+        let client = RpcClient::new(&cluster, NodeId(0));
+        let resp = sim.run_to(async move {
+            client.call(NodeId(1), port, b"x", Transport::Tcp).await
+        });
+        assert_eq!(&resp[..], b"echo:x");
+    }
+}

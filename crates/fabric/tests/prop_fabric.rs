@@ -1,0 +1,158 @@
+//! Property tests of the fabric: memory semantics, atomic linearization,
+//! message conservation, and cost-model monotonicity.
+
+use std::rc::Rc;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use dc_fabric::{Cluster, FabricModel, NodeId, RemoteAddr, Transport};
+use dc_sim::Sim;
+
+fn setup(nodes: usize) -> (Sim, Cluster) {
+    let sim = Sim::new();
+    let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), nodes);
+    (sim, cluster)
+}
+
+proptest! {
+    /// Any interleaving of writes to disjoint ranges is fully preserved: a
+    /// final read returns exactly the last write of every range.
+    #[test]
+    fn disjoint_writes_all_land(
+        writes in prop::collection::vec((0usize..16, any::<u8>(), 0u64..5_000), 1..40)
+    ) {
+        let (sim, c) = setup(3);
+        let region = c.register(NodeId(2), 16 * 32);
+        for &(slot, val, delay) in &writes {
+            let c = c.clone();
+            let h = sim.handle();
+            sim.spawn(async move {
+                h.sleep(delay).await;
+                let addr = RemoteAddr { node: NodeId(2), region, offset: slot * 32 };
+                c.rdma_write(NodeId(0), addr, &[val; 32]).await;
+            });
+        }
+        sim.run();
+        // Determine the last write per slot by (delay, submission order).
+        let mut last: std::collections::HashMap<usize, u8> = Default::default();
+        let mut best: std::collections::HashMap<usize, (u64, usize)> = Default::default();
+        for (i, &(slot, val, delay)) in writes.iter().enumerate() {
+            let key = (delay, i);
+            if best.get(&slot).map(|&b| key > b).unwrap_or(true) {
+                best.insert(slot, key);
+                last.insert(slot, val);
+            }
+        }
+        let data = c.region(NodeId(2), region);
+        for (&slot, &val) in &last {
+            let got = data.read(slot * 32, 32);
+            prop_assert!(got.iter().all(|&b| b == val),
+                "slot {slot}: expected {val}, got {:?}", &got[..4]);
+        }
+    }
+
+    /// Fetch-and-add from arbitrary issuers at arbitrary times sums exactly
+    /// (atomics linearize at the home NIC).
+    #[test]
+    fn faa_sums_exactly(
+        ops in prop::collection::vec((0u32..4, 1u64..100, 0u64..3_000), 1..60)
+    ) {
+        let (sim, c) = setup(5);
+        let region = c.register(NodeId(4), 8);
+        let addr = RemoteAddr { node: NodeId(4), region, offset: 0 };
+        for &(issuer, add, delay) in &ops {
+            let c = c.clone();
+            let h = sim.handle();
+            sim.spawn(async move {
+                h.sleep(delay).await;
+                c.atomic_faa(NodeId(issuer), addr, add).await;
+            });
+        }
+        sim.run();
+        let expect: u64 = ops.iter().map(|&(_, add, _)| add).sum();
+        prop_assert_eq!(c.region(NodeId(4), region).read_u64(0), expect);
+    }
+
+    /// CAS-based increment (optimistic retry) never loses an update no
+    /// matter how many contenders race.
+    #[test]
+    fn cas_loop_increment_is_lossless(contenders in 1u32..6, per in 1u32..8) {
+        let (sim, c) = setup(7);
+        let region = c.register(NodeId(6), 8);
+        let addr = RemoteAddr { node: NodeId(6), region, offset: 0 };
+        for n in 0..contenders {
+            let c = c.clone();
+            sim.spawn(async move {
+                for _ in 0..per {
+                    let mut expect = 0u64;
+                    loop {
+                        let old = c.atomic_cas(NodeId(n), addr, expect, expect + 1).await;
+                        if old == expect {
+                            break;
+                        }
+                        expect = old;
+                    }
+                }
+            });
+        }
+        sim.run();
+        prop_assert_eq!(
+            c.region(NodeId(6), region).read_u64(0),
+            (contenders * per) as u64
+        );
+    }
+
+    /// Every sent message is delivered exactly once with intact payload and
+    /// source attribution, over either transport.
+    #[test]
+    fn messages_are_conserved(
+        msgs in prop::collection::vec((any::<bool>(), 1usize..2_000), 1..30)
+    ) {
+        let (sim, c) = setup(2);
+        let mut ep = c.bind(NodeId(1), 100);
+        let total = msgs.len();
+        for (i, &(tcp, len)) in msgs.iter().enumerate() {
+            let c = c.clone();
+            sim.spawn(async move {
+                let payload = Bytes::from(vec![(i % 251) as u8; len]);
+                let tp = if tcp { Transport::Tcp } else { Transport::RdmaSend };
+                c.send(NodeId(0), NodeId(1), 100, payload, tp).await;
+            });
+        }
+        let lens = Rc::new(std::cell::RefCell::new(Vec::new()));
+        let l2 = Rc::clone(&lens);
+        sim.run_to(async move {
+            for _ in 0..total {
+                let m = ep.recv().await;
+                prop_assert_eq!(m.src, NodeId(0));
+                prop_assert!(!m.data.is_empty());
+                prop_assert!(m.data.iter().all(|&b| b == m.data[0]));
+                l2.borrow_mut().push(m.data.len());
+            }
+            Ok(())
+        })?;
+        let mut got = lens.borrow().clone();
+        let mut want: Vec<usize> = msgs.iter().map(|&(_, len)| len).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Transfer cost grows monotonically with size for every verb.
+    #[test]
+    fn verb_latency_is_monotone_in_size(a in 1usize..10_000, b in 1usize..10_000) {
+        let (small, large) = (a.min(b), a.max(b));
+        let time_for = |len: usize| {
+            let (sim, c) = setup(2);
+            let region = c.register(NodeId(1), 20_000);
+            let addr = RemoteAddr { node: NodeId(1), region, offset: 0 };
+            let h = sim.handle();
+            sim.run_to(async move {
+                c.rdma_read(NodeId(0), addr, len).await;
+                h.now()
+            })
+        };
+        prop_assert!(time_for(small) <= time_for(large));
+    }
+}

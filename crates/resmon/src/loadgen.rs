@@ -1,0 +1,119 @@
+//! Compute-load driver for the monitored back-end nodes.
+//!
+//! Materializes a [`BurstSchedule`] as real activity on a node's CPU model:
+//! each scheduled thread registers itself (visible in the kernel statistics)
+//! and burns CPU in slices, so both the thread count *and* the run-queue
+//! pressure that delays socket-based monitoring are real.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use dc_fabric::{Cluster, NodeId};
+use dc_sim::SimTime;
+use dc_workloads::BurstSchedule;
+
+/// Handle to a running load generator.
+pub struct BurstLoad {
+    stop: Rc<Cell<bool>>,
+}
+
+impl BurstLoad {
+    /// Drive `schedule` on `node` until `until` (virtual time), then wind
+    /// down all workers.
+    pub fn spawn(cluster: &Cluster, node: NodeId, schedule: BurstSchedule, until: SimTime) -> BurstLoad {
+        let stop = Rc::new(Cell::new(false));
+        let stop2 = Rc::clone(&stop);
+        let cluster = cluster.clone();
+        let sim = cluster.sim().clone();
+        sim.clone().spawn(async move {
+            let mut workers: Vec<Rc<Cell<bool>>> = Vec::new();
+            'outer: loop {
+                for phase in schedule.phases().to_vec() {
+                    if sim.now() >= until || stop2.get() {
+                        break 'outer;
+                    }
+                    // Adjust the worker pool to the phase's thread count.
+                    let target = phase.threads as usize;
+                    while workers.len() > target {
+                        workers.pop().unwrap().set(true);
+                    }
+                    while workers.len() < target {
+                        let flag = Rc::new(Cell::new(false));
+                        workers.push(Rc::clone(&flag));
+                        let cpu = cluster.cpu(node);
+                        let worker_sim = sim.clone();
+                        sim.clone().spawn(async move {
+                            cpu.thread_started();
+                            while !flag.get() {
+                                cpu.execute(500_000).await; // 0.5 ms slices
+                                worker_sim.yield_now().await;
+                            }
+                            cpu.thread_exited();
+                        });
+                    }
+                    let end = (sim.now() + phase.duration_ns).min(until);
+                    sim.sleep_until(end).await;
+                }
+            }
+            for w in workers {
+                w.set(true);
+            }
+        });
+        BurstLoad { stop }
+    }
+
+    /// Ask the generator to wind down at the next phase boundary.
+    pub fn stop(&self) {
+        self.stop.set(true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_fabric::FabricModel;
+    use dc_sim::time::ms;
+    use dc_sim::Sim;
+    use dc_workloads::BurstPhase;
+
+    #[test]
+    fn thread_count_follows_schedule() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 1);
+        let schedule = BurstSchedule::new(vec![
+            BurstPhase {
+                threads: 2,
+                duration_ns: ms(20),
+            },
+            BurstPhase {
+                threads: 5,
+                duration_ns: ms(20),
+            },
+        ]);
+        let _load = BurstLoad::spawn(&cluster, NodeId(0), schedule, ms(100));
+        sim.run_until(ms(10));
+        assert_eq!(cluster.cpu(NodeId(0)).snapshot().app_threads, 2);
+        sim.run_until(ms(30));
+        assert_eq!(cluster.cpu(NodeId(0)).snapshot().app_threads, 5);
+        // Schedule repeats.
+        sim.run_until(ms(50));
+        assert_eq!(cluster.cpu(NodeId(0)).snapshot().app_threads, 2);
+    }
+
+    #[test]
+    fn load_burns_cpu_and_winds_down() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 1);
+        let schedule = BurstSchedule::new(vec![BurstPhase {
+            threads: 3,
+            duration_ns: ms(10),
+        }]);
+        let _load = BurstLoad::spawn(&cluster, NodeId(0), schedule, ms(40));
+        sim.run_until(ms(39));
+        let busy = cluster.cpu(NodeId(0)).snapshot().busy_ns;
+        // Single core fully busy for ~39ms.
+        assert!(busy > ms(35), "busy={busy}");
+        sim.run_until(ms(60));
+        assert_eq!(cluster.cpu(NodeId(0)).snapshot().app_threads, 0);
+    }
+}

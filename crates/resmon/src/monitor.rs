@@ -1,0 +1,432 @@
+//! The monitoring service: one front-end observing many back-end nodes.
+//!
+//! The RDMA schemes read each back-end's registered kernel-statistics block
+//! directly ([`dc_fabric::kstat`]); the socket schemes talk to a user-level
+//! monitoring daemon whose replies queue behind application load — the
+//! paper's central observation is that accuracy is a property of the *read
+//! path*, not of the sampling rate.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use dc_fabric::kstat::{KernelStats, KSTAT_REGION_LEN};
+use dc_fabric::rpc::{parse_request, respond, RpcClient};
+use dc_fabric::{Cluster, NodeId, Transport};
+use dc_sim::SimTime;
+
+use crate::scheme::MonitorScheme;
+
+/// Tunables of the monitoring service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorCfg {
+    /// Refresh period of the async schemes (and the push period of
+    /// Socket-Async).
+    pub period_ns: u64,
+    /// CPU the user-level daemon burns per query/push (reading /proc and
+    /// formatting — the paper's "extra monitoring process" overhead).
+    pub daemon_cpu_ns: u64,
+}
+
+impl Default for MonitorCfg {
+    fn default() -> Self {
+        MonitorCfg {
+            period_ns: 10_000_000, // 10 ms
+            daemon_cpu_ns: 80_000, // user-level /proc walk
+        }
+    }
+}
+
+/// A load observation with its freshness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadView {
+    /// The observed kernel statistics.
+    pub stats: KernelStats,
+    /// When the observation was made (virtual time at the *target*).
+    pub observed_at: SimTime,
+}
+
+impl LoadView {
+    /// Scalar load metric used by the load balancer: run queue plus, for
+    /// the enhanced scheme, queued requests.
+    pub fn load_metric(&self, enhanced: bool) -> u64 {
+        if enhanced {
+            self.stats.run_queue + self.stats.accept_queue + self.stats.conns / 4
+        } else {
+            self.stats.run_queue
+        }
+    }
+}
+
+struct TargetState {
+    cached: RefCell<LoadView>,
+    daemon_port: Option<u16>,
+}
+
+struct Inner {
+    cluster: Cluster,
+    scheme: MonitorScheme,
+    cfg: MonitorCfg,
+    frontend: NodeId,
+    rpc: RpcClient,
+    targets: HashMap<NodeId, Rc<TargetState>>,
+}
+
+/// The monitoring front-end service.
+#[derive(Clone)]
+pub struct Monitor {
+    inner: Rc<Inner>,
+}
+
+impl Monitor {
+    /// Stand up monitoring of `targets` from `frontend` under `scheme`.
+    pub fn spawn(
+        cluster: &Cluster,
+        scheme: MonitorScheme,
+        cfg: MonitorCfg,
+        frontend: NodeId,
+        targets: &[NodeId],
+    ) -> Monitor {
+        let mut map = HashMap::new();
+        for &t in targets {
+            let daemon_port = scheme.needs_daemon().then(|| {
+                let port = cluster.alloc_port();
+                spawn_daemon(cluster, t, port, cfg);
+                port
+            });
+            map.insert(
+                t,
+                Rc::new(TargetState {
+                    cached: RefCell::new(LoadView {
+                        stats: KernelStats::default(),
+                        observed_at: 0,
+                    }),
+                    daemon_port,
+                }),
+            );
+        }
+        let monitor = Monitor {
+            inner: Rc::new(Inner {
+                cluster: cluster.clone(),
+                scheme,
+                cfg,
+                frontend,
+                rpc: RpcClient::new(cluster, frontend),
+                targets: map,
+            }),
+        };
+        match scheme {
+            MonitorScheme::RdmaAsync => monitor.spawn_rdma_poller(),
+            MonitorScheme::SocketAsync => monitor.spawn_socket_pushers(),
+            _ => {}
+        }
+        monitor
+    }
+
+    /// The scheme in force.
+    pub fn scheme(&self) -> MonitorScheme {
+        self.inner.scheme
+    }
+
+    /// Current load view of `target` under the scheme's semantics: a fresh
+    /// round trip for the sync schemes, the cached view for the async ones.
+    pub async fn observe(&self, target: NodeId) -> LoadView {
+        let st = Rc::clone(&self.inner.targets[&target]);
+        match self.inner.scheme {
+            MonitorScheme::RdmaSync | MonitorScheme::ERdmaSync => {
+                self.rdma_read_stats(target).await
+            }
+            MonitorScheme::SocketSync => self.socket_query(target, &st).await,
+            MonitorScheme::RdmaAsync | MonitorScheme::SocketAsync => *st.cached.borrow(),
+        }
+    }
+
+    /// The scalar load metric the balancer feeds on.
+    pub async fn load(&self, target: NodeId) -> u64 {
+        let enhanced = self.inner.scheme == MonitorScheme::ERdmaSync;
+        self.observe(target).await.load_metric(enhanced)
+    }
+
+    /// The monitored targets, in id order.
+    pub fn targets(&self) -> Vec<NodeId> {
+        let mut t: Vec<NodeId> = self.inner.targets.keys().copied().collect();
+        t.sort();
+        t
+    }
+
+    /// Observe every target (probes issued in parallel for the sync
+    /// schemes) and return `(node, load)` pairs in id order.
+    pub async fn cluster_view(&self) -> Vec<(NodeId, u64)> {
+        let targets = self.targets();
+        let sim = self.inner.cluster.sim().clone();
+        let mut probes = Vec::with_capacity(targets.len());
+        for &t in &targets {
+            let m = self.clone();
+            probes.push(sim.spawn(async move { (t, m.load(t).await) }));
+        }
+        let mut out = Vec::with_capacity(targets.len());
+        for p in probes {
+            out.push(p.await);
+        }
+        out
+    }
+
+    /// The least-loaded target right now (ties broken by lowest node id).
+    pub async fn least_loaded(&self) -> NodeId {
+        let view = self.cluster_view().await;
+        view.iter()
+            .min_by_key(|&&(n, l)| (l, n))
+            .map(|&(n, _)| n)
+            .expect("monitor has no targets")
+    }
+
+    async fn rdma_read_stats(&self, target: NodeId) -> LoadView {
+        let addr = self.inner.cluster.kstat_addr(target);
+        let raw = self
+            .inner
+            .cluster
+            .rdma_read(self.inner.frontend, addr, KSTAT_REGION_LEN)
+            .await;
+        LoadView {
+            stats: KernelStats::decode(&raw),
+            // The one-sided read samples at the target mid-flight; the
+            // freshness error is half a round trip.
+            observed_at: self.inner.cluster.sim().now(),
+        }
+    }
+
+    async fn socket_query(&self, target: NodeId, st: &TargetState) -> LoadView {
+        let port = st.daemon_port.expect("socket scheme without daemon");
+        let resp = self
+            .inner
+            .rpc
+            .call(target, port, &[], Transport::Tcp)
+            .await;
+        let view = LoadView {
+            stats: KernelStats::decode(&resp),
+            observed_at: self.inner.cluster.sim().now(),
+        };
+        *st.cached.borrow_mut() = view;
+        view
+    }
+
+    fn spawn_rdma_poller(&self) {
+        for (&target, st) in &self.inner.targets {
+            let st = Rc::clone(st);
+            let monitor = self.clone();
+            let sim = self.inner.cluster.sim().clone();
+            let period = self.inner.cfg.period_ns;
+            sim.clone().spawn(async move {
+                loop {
+                    let view = monitor.rdma_read_stats(target).await;
+                    *st.cached.borrow_mut() = view;
+                    sim.sleep(period).await;
+                }
+            });
+        }
+    }
+
+    fn spawn_socket_pushers(&self) {
+        // The back-end daemon pushes periodically; the push pays daemon CPU
+        // (queued behind load) and TCP processing on both sides.
+        for (&target, st) in &self.inner.targets {
+            let st = Rc::clone(st);
+            let cluster = self.inner.cluster.clone();
+            let cfg = self.inner.cfg;
+            let sim = cluster.sim().clone();
+            sim.clone().spawn(async move {
+                loop {
+                    // Daemon wakes, reads /proc (CPU), pushes the sample.
+                    cluster.cpu(target).execute(cfg.daemon_cpu_ns).await;
+                    let stats = cluster.cpu(target).snapshot();
+                    let observed_at = sim.now();
+                    // Model the push as the TCP costs of a small message.
+                    let m = cluster.model().clone();
+                    cluster.cpu(target).execute(m.tcp_send_cpu(KSTAT_REGION_LEN)).await;
+                    sim.sleep(m.tcp_base_ns).await;
+                    *st.cached.borrow_mut() = LoadView { stats, observed_at };
+                    sim.sleep(cfg.period_ns).await;
+                }
+            });
+        }
+    }
+}
+
+fn spawn_daemon(cluster: &Cluster, node: NodeId, port: u16, cfg: MonitorCfg) {
+    let cluster = cluster.clone();
+    let mut ep = cluster.bind(node, port);
+    cluster.sim().clone().spawn(async move {
+        loop {
+            let msg = ep.recv().await;
+            let req = parse_request(&msg);
+            // The user-level daemon must get the CPU to read /proc and
+            // reply — under load this is where the accuracy dies.
+            cluster.cpu(node).execute(cfg.daemon_cpu_ns).await;
+            let mut buf = [0u8; KSTAT_REGION_LEN];
+            let region = dc_fabric::mem::RegionData::new(KSTAT_REGION_LEN);
+            cluster.cpu(node).snapshot().encode_into(&region);
+            buf.copy_from_slice(&region.read(0, KSTAT_REGION_LEN));
+            respond(&cluster, node, &req, &buf, Transport::Tcp).await;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_fabric::FabricModel;
+    use dc_sim::time::{ms, us};
+    use dc_sim::Sim;
+    use dc_workloads::{BurstPhase, BurstSchedule};
+
+    fn setup(scheme: MonitorScheme) -> (Sim, Cluster, Monitor) {
+        let sim = Sim::new();
+        let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 2);
+        let monitor = Monitor::spawn(
+            &cluster,
+            scheme,
+            MonitorCfg::default(),
+            NodeId(0),
+            &[NodeId(1)],
+        );
+        (sim, cluster, monitor)
+    }
+
+    #[test]
+    fn rdma_sync_sees_exact_thread_count() {
+        let (sim, cluster, monitor) = setup(MonitorScheme::RdmaSync);
+        let cpu = cluster.cpu(NodeId(1));
+        cpu.thread_started();
+        cpu.thread_started();
+        cpu.thread_started();
+        let view = sim.run_to(async move { monitor.observe(NodeId(1)).await });
+        assert_eq!(view.stats.app_threads, 3);
+    }
+
+    #[test]
+    fn rdma_read_is_fast_and_cpu_free() {
+        let (sim, cluster, monitor) = setup(MonitorScheme::RdmaSync);
+        let h = sim.handle();
+        let t = sim.run_to(async move {
+            monitor.observe(NodeId(1)).await;
+            h.now()
+        });
+        assert!(t < us(20), "RDMA observe took {t}ns");
+        assert_eq!(cluster.cpu(NodeId(1)).snapshot().busy_ns, 0);
+    }
+
+    #[test]
+    fn socket_sync_pays_daemon_cpu() {
+        let (sim, cluster, monitor) = setup(MonitorScheme::SocketSync);
+        let view = sim.run_to(async move { monitor.observe(NodeId(1)).await });
+        assert_eq!(view.stats.app_threads, 0);
+        assert!(cluster.cpu(NodeId(1)).snapshot().busy_ns >= 80_000);
+    }
+
+    #[test]
+    fn socket_sync_is_delayed_by_load_rdma_is_not() {
+        let observe_latency = |scheme: MonitorScheme, loaded: bool| {
+            let (sim, cluster, monitor) = setup(scheme);
+            if loaded {
+                let schedule = BurstSchedule::new(vec![BurstPhase {
+                    threads: 8,
+                    duration_ns: ms(100),
+                }]);
+                let _load =
+                    crate::loadgen::BurstLoad::spawn(&cluster, NodeId(1), schedule, ms(500));
+                sim.run_until(ms(5)); // let the load establish
+            }
+            let h = sim.handle();
+            sim.run_to(async move {
+                let t0 = h.now();
+                monitor.observe(NodeId(1)).await;
+                h.now() - t0
+            })
+        };
+        let socket_penalty = observe_latency(MonitorScheme::SocketSync, true)
+            - observe_latency(MonitorScheme::SocketSync, false);
+        let rdma_penalty = observe_latency(MonitorScheme::RdmaSync, true)
+            .saturating_sub(observe_latency(MonitorScheme::RdmaSync, false));
+        assert!(socket_penalty > ms(3), "socket_penalty={socket_penalty}");
+        assert_eq!(rdma_penalty, 0, "rdma_penalty={rdma_penalty}");
+    }
+
+    #[test]
+    fn rdma_async_serves_cached_views_that_refresh() {
+        let (sim, cluster, monitor) = setup(MonitorScheme::RdmaAsync);
+        let cpu = cluster.cpu(NodeId(1));
+        sim.run_until(ms(1));
+        cpu.thread_started();
+        // Cached view is stale until the next poll lands…
+        let m2 = monitor.clone();
+        let v1 = sim.run_to(async move { m2.observe(NodeId(1)).await });
+        assert_eq!(v1.stats.app_threads, 0);
+        // …and fresh after it.
+        sim.run_until(ms(25));
+        let m3 = monitor.clone();
+        let v2 = sim.run_to(async move { m3.observe(NodeId(1)).await });
+        assert_eq!(v2.stats.app_threads, 1);
+    }
+
+    #[test]
+    fn socket_async_pushes_periodically() {
+        let (sim, cluster, monitor) = setup(MonitorScheme::SocketAsync);
+        let cpu = cluster.cpu(NodeId(1));
+        cpu.thread_started();
+        sim.run_until(ms(30));
+        let m2 = monitor.clone();
+        let v = sim.run_to(async move { m2.observe(NodeId(1)).await });
+        assert_eq!(v.stats.app_threads, 1);
+        assert!(v.observed_at > 0);
+    }
+
+    #[test]
+    fn cluster_view_and_least_loaded() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 4);
+        let monitor = Monitor::spawn(
+            &cluster,
+            MonitorScheme::RdmaSync,
+            MonitorCfg::default(),
+            NodeId(0),
+            &[NodeId(1), NodeId(2), NodeId(3)],
+        );
+        // Load node 1 heavily, node 3 lightly; node 2 idle.
+        for _ in 0..4 {
+            let cpu = cluster.cpu(NodeId(1));
+            sim.spawn(async move { cpu.execute(ms(50)).await });
+        }
+        {
+            let cpu = cluster.cpu(NodeId(3));
+            sim.spawn(async move { cpu.execute(ms(50)).await });
+        }
+        sim.run_until(ms(1));
+        let m2 = monitor.clone();
+        let (view, best) = sim.run_to(async move {
+            (m2.cluster_view().await, m2.least_loaded().await)
+        });
+        assert_eq!(
+            view.iter().map(|&(n, _)| n).collect::<Vec<_>>(),
+            vec![NodeId(1), NodeId(2), NodeId(3)]
+        );
+        assert_eq!(view[0].1, 4);
+        assert_eq!(view[1].1, 0);
+        assert_eq!(view[2].1, 1);
+        assert_eq!(best, NodeId(2));
+    }
+
+    #[test]
+    fn enhanced_metric_includes_queue_state() {
+        let view = LoadView {
+            stats: KernelStats {
+                run_queue: 2,
+                accept_queue: 5,
+                conns: 8,
+                ..KernelStats::default()
+            },
+            observed_at: 0,
+        };
+        assert_eq!(view.load_metric(false), 2);
+        assert_eq!(view.load_metric(true), 2 + 5 + 2);
+    }
+}

@@ -1,0 +1,664 @@
+//! Single-threaded, deterministic async executor over a virtual clock.
+//!
+//! The executor owns a slab of tasks, a FIFO ready queue, and a min-heap of
+//! timers keyed by `(deadline, sequence)`. The run loop drains the ready
+//! queue completely, then advances the clock to the earliest timer, wakes it,
+//! and repeats. Ties between timers fire in registration order, so a given
+//! program is fully deterministic.
+//!
+//! Tasks are `!Send` futures (`Rc`-based state sharing is the norm in this
+//! workspace); the waker path is nevertheless `Send + Sync` as the `Waker`
+//! contract requires, by pushing task ids through an `Arc<Mutex<VecDeque>>`.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::{Rc, Weak};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use parking_lot::Mutex;
+
+use crate::time::SimTime;
+
+/// Identifier of a spawned task within one [`Sim`].
+pub type TaskId = usize;
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// FIFO wake queue shared between the executor and all task wakers.
+#[derive(Default)]
+struct ReadyQueue {
+    q: Mutex<VecDeque<TaskId>>,
+}
+
+struct TaskWaker {
+    id: TaskId,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.q.lock().push_back(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.q.lock().push_back(self.id);
+    }
+}
+
+/// A timer waiting for the clock to reach `at`. `seq` breaks ties so that
+/// equal deadlines fire in registration order.
+struct TimerEntry {
+    at: SimTime,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct SimState {
+    now: Cell<SimTime>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    tasks: RefCell<Vec<Option<BoxFuture>>>,
+    free: RefCell<Vec<TaskId>>,
+    ready: Arc<ReadyQueue>,
+    seq: Cell<u64>,
+    /// Number of tasks spawned and not yet completed.
+    live: Cell<usize>,
+    /// Total polls performed; a debugging/fuel counter.
+    polls: Cell<u64>,
+}
+
+impl SimState {
+    fn next_seq(&self) -> u64 {
+        let s = self.seq.get();
+        self.seq.set(s + 1);
+        s
+    }
+}
+
+/// The simulation executor. Construct one per experiment; everything that
+/// happens inside it is driven by [`Sim::run`] (or one of its variants) and
+/// scheduled against the virtual clock.
+pub struct Sim {
+    st: Rc<SimState>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Create an executor with the clock at zero and no tasks.
+    pub fn new() -> Self {
+        Sim {
+            st: Rc::new(SimState {
+                now: Cell::new(0),
+                timers: RefCell::new(BinaryHeap::new()),
+                tasks: RefCell::new(Vec::new()),
+                free: RefCell::new(Vec::new()),
+                ready: Arc::new(ReadyQueue::default()),
+                seq: Cell::new(0),
+                live: Cell::new(0),
+                polls: Cell::new(0),
+            }),
+        }
+    }
+
+    /// A cloneable, weak handle for use inside tasks (sleeping, spawning,
+    /// reading the clock). Holding handles does not keep the executor alive.
+    pub fn handle(&self) -> SimHandle {
+        SimHandle {
+            st: Rc::downgrade(&self.st),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.st.now.get()
+    }
+
+    /// Number of spawned-but-unfinished tasks.
+    pub fn live_tasks(&self) -> usize {
+        self.st.live.get()
+    }
+
+    /// Total number of task polls performed so far.
+    pub fn polls(&self) -> u64 {
+        self.st.polls.get()
+    }
+
+    /// Spawn a task onto the executor; see [`SimHandle::spawn`].
+    pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        spawn_on(&self.st, fut)
+    }
+
+    /// Run until no runnable task remains and no timer is pending.
+    ///
+    /// Tasks that are blocked forever (e.g. awaiting a channel nobody will
+    /// ever write) simply remain live; they are dropped with the `Sim`.
+    pub fn run(&self) {
+        self.run_inner(SimTime::MAX);
+    }
+
+    /// Run until the virtual clock would pass `deadline`. The clock is left
+    /// at `deadline` (if the simulation got that far) so a subsequent
+    /// `run_until` continues seamlessly. Returns the time actually reached.
+    pub fn run_until(&self, deadline: SimTime) -> SimTime {
+        self.run_inner(deadline);
+        // After run_inner the ready queue is empty and every pending timer is
+        // strictly beyond the deadline, so parking the clock at the deadline
+        // is always safe and lets callers treat `run_until` as "advance to".
+        if self.st.now.get() < deadline {
+            self.st.now.set(deadline);
+        }
+        self.st.now.get()
+    }
+
+    /// Spawn `fut`, run the simulation until it completes, and return its
+    /// output. Other tasks (including infinite periodic loops) keep the
+    /// simulation alive only as long as needed: the run stops as soon as the
+    /// root future finishes.
+    ///
+    /// Panics if the simulation quiesces without `fut` completing (which
+    /// indicates a deadlock in the code under test).
+    pub fn run_to<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> T {
+        let jh = self.spawn(fut);
+        loop {
+            // Drain all runnable tasks at the current instant.
+            loop {
+                if jh.is_finished() {
+                    return jh.try_take().expect("root output already taken");
+                }
+                let next = self.st.ready.q.lock().pop_front();
+                match next {
+                    Some(tid) => self.poll_task(tid),
+                    None => break,
+                }
+            }
+            if jh.is_finished() {
+                return jh.try_take().expect("root output already taken");
+            }
+            let fired = {
+                let mut timers = self.st.timers.borrow_mut();
+                timers.pop().map(|Reverse(e)| e)
+            };
+            match fired {
+                Some(e) => {
+                    self.st.now.set(e.at);
+                    e.waker.wake();
+                }
+                None => {
+                    panic!("simulation quiesced before the root future completed (deadlock?)")
+                }
+            }
+        }
+    }
+
+    fn run_inner(&self, deadline: SimTime) {
+        loop {
+            // Drain all runnable tasks at the current instant.
+            loop {
+                let next = self.st.ready.q.lock().pop_front();
+                match next {
+                    Some(tid) => self.poll_task(tid),
+                    None => break,
+                }
+            }
+            // Advance to the earliest timer, if any.
+            let fired = {
+                let mut timers = self.st.timers.borrow_mut();
+                match timers.peek() {
+                    Some(Reverse(e)) if e.at <= deadline => timers.pop().map(|Reverse(e)| e),
+                    _ => None,
+                }
+            };
+            match fired {
+                Some(e) => {
+                    debug_assert!(e.at >= self.st.now.get(), "timers never move backwards");
+                    self.st.now.set(e.at);
+                    e.waker.wake();
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn poll_task(&self, tid: TaskId) {
+        // Take the future out of its slot while polling so that re-entrant
+        // spawns and wakes never observe a borrowed slab.
+        let fut = {
+            let mut tasks = self.st.tasks.borrow_mut();
+            match tasks.get_mut(tid) {
+                Some(slot) => slot.take(),
+                None => None,
+            }
+        };
+        let Some(mut fut) = fut else {
+            // Spurious wake of a completed (or currently-polling) task.
+            return;
+        };
+        self.st.polls.set(self.st.polls.get() + 1);
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id: tid,
+            ready: Arc::clone(&self.st.ready),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                self.st.free.borrow_mut().push(tid);
+                self.st.live.set(self.st.live.get() - 1);
+            }
+            Poll::Pending => {
+                self.st.tasks.borrow_mut()[tid] = Some(fut);
+            }
+        }
+    }
+}
+
+fn spawn_on<F>(st: &Rc<SimState>, fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + 'static,
+    F::Output: 'static,
+{
+    let join = Rc::new(RefCell::new(JoinState {
+        result: None,
+        waker: None,
+        finished: false,
+    }));
+    let join2 = Rc::clone(&join);
+    let wrapped: BoxFuture = Box::pin(async move {
+        let out = fut.await;
+        let mut j = join2.borrow_mut();
+        j.result = Some(out);
+        j.finished = true;
+        if let Some(w) = j.waker.take() {
+            w.wake();
+        }
+    });
+    let tid = {
+        let mut tasks = st.tasks.borrow_mut();
+        match st.free.borrow_mut().pop() {
+            Some(id) => {
+                tasks[id] = Some(wrapped);
+                id
+            }
+            None => {
+                tasks.push(Some(wrapped));
+                tasks.len() - 1
+            }
+        }
+    };
+    st.live.set(st.live.get() + 1);
+    st.ready.q.lock().push_back(tid);
+    JoinHandle { join }
+}
+
+/// Cloneable accessor used inside tasks: clock reads, sleeping, spawning.
+#[derive(Clone)]
+pub struct SimHandle {
+    st: Weak<SimState>,
+}
+
+impl SimHandle {
+    fn state(&self) -> Rc<SimState> {
+        self.st.upgrade().expect("Sim dropped while handle in use")
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.state().now.get()
+    }
+
+    /// Resolve after `dur` nanoseconds of virtual time.
+    pub fn sleep(&self, dur: SimTime) -> Sleep {
+        let st = self.state();
+        Sleep {
+            at: st.now.get().saturating_add(dur),
+            st: self.st.clone(),
+            registered: false,
+        }
+    }
+
+    /// Resolve once the virtual clock reaches the absolute instant `at`
+    /// (immediately if it already has).
+    pub fn sleep_until(&self, at: SimTime) -> Sleep {
+        Sleep {
+            at,
+            st: self.st.clone(),
+            registered: false,
+        }
+    }
+
+    /// Yield to let every other currently-runnable task make progress.
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { polled: false }
+    }
+
+    /// Spawn a new task; the returned [`JoinHandle`] can be awaited for its
+    /// output or ignored (the task runs regardless).
+    pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        spawn_on(&self.state(), fut)
+    }
+}
+
+/// Future returned by [`SimHandle::sleep`].
+pub struct Sleep {
+    at: SimTime,
+    st: Weak<SimState>,
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let st = self.st.upgrade().expect("Sim dropped while sleeping");
+        if st.now.get() >= self.at {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            let seq = st.next_seq();
+            st.timers.borrow_mut().push(Reverse(TimerEntry {
+                at: self.at,
+                seq,
+                waker: cx.waker().clone(),
+            }));
+            self.registered = true;
+        }
+        Poll::Pending
+    }
+}
+
+/// Future returned by [`SimHandle::yield_now`].
+pub struct YieldNow {
+    polled: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.polled {
+            Poll::Ready(())
+        } else {
+            self.polled = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    waker: Option<Waker>,
+    finished: bool,
+}
+
+/// Handle to a spawned task. Awaiting it yields the task's output; dropping
+/// it detaches the task (which keeps running).
+pub struct JoinHandle<T> {
+    join: Rc<RefCell<JoinState<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Whether the task has completed.
+    pub fn is_finished(&self) -> bool {
+        self.join.borrow().finished
+    }
+
+    /// Take the output if the task has completed and the result was not yet
+    /// consumed.
+    pub fn try_take(&self) -> Option<T> {
+        self.join.borrow_mut().result.take()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut j = self.join.borrow_mut();
+        if let Some(v) = j.result.take() {
+            return Poll::Ready(v);
+        }
+        assert!(!j.finished, "JoinHandle polled after output was taken");
+        j.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{ms, us};
+
+    #[test]
+    fn clock_starts_at_zero_and_advances_by_sleep() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let t = sim.run_to(async move {
+            h.sleep(us(7)).await;
+            h.sleep(us(3)).await;
+            h.now()
+        });
+        assert_eq!(t, us(10));
+    }
+
+    #[test]
+    fn zero_sleep_completes_immediately() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let t = sim.run_to(async move {
+            h.sleep(0).await;
+            h.now()
+        });
+        assert_eq!(t, 0);
+    }
+
+    #[test]
+    fn tasks_interleave_by_timer_order() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let log: Rc<RefCell<Vec<(&str, SimTime)>>> = Rc::default();
+
+        let l1 = Rc::clone(&log);
+        let h1 = h.clone();
+        sim.spawn(async move {
+            h1.sleep(us(5)).await;
+            l1.borrow_mut().push(("a", h1.now()));
+            h1.sleep(us(10)).await;
+            l1.borrow_mut().push(("a2", h1.now()));
+        });
+        let l2 = Rc::clone(&log);
+        let h2 = h.clone();
+        sim.spawn(async move {
+            h2.sleep(us(8)).await;
+            l2.borrow_mut().push(("b", h2.now()));
+        });
+        sim.run();
+        assert_eq!(
+            *log.borrow(),
+            vec![("a", us(5)), ("b", us(8)), ("a2", us(15))]
+        );
+    }
+
+    #[test]
+    fn equal_deadline_timers_fire_in_registration_order() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        for i in 0..10u32 {
+            let l = Rc::clone(&log);
+            let hh = h.clone();
+            sim.spawn(async move {
+                hh.sleep(us(5)).await;
+                l.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_until_stops_and_resumes() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let count: Rc<Cell<u32>> = Rc::default();
+        let c = Rc::clone(&count);
+        let hh = h.clone();
+        sim.spawn(async move {
+            loop {
+                hh.sleep(ms(1)).await;
+                c.set(c.get() + 1);
+            }
+        });
+        let reached = sim.run_until(ms(10));
+        assert_eq!(reached, ms(10));
+        assert_eq!(count.get(), 10);
+        sim.run_until(ms(25));
+        assert_eq!(count.get(), 25);
+        assert_eq!(sim.live_tasks(), 1); // infinite loop task still live
+    }
+
+    #[test]
+    fn run_until_parks_clock_at_deadline_when_idle() {
+        let sim = Sim::new();
+        let reached = sim.run_until(ms(5));
+        assert_eq!(reached, ms(5));
+        assert_eq!(sim.now(), ms(5));
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let out = sim.run_to(async move {
+            let jh = h.spawn(async { 41 + 1 });
+            jh.await
+        });
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn join_handle_across_sleeps() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let hh = h.clone();
+        let out = sim.run_to(async move {
+            let inner = hh.clone();
+            let jh = hh.spawn(async move {
+                inner.sleep(us(100)).await;
+                inner.now()
+            });
+            // The joiner awaits before the task completes.
+            jh.await
+        });
+        assert_eq!(out, us(100));
+    }
+
+    #[test]
+    fn detached_tasks_still_run() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let flag: Rc<Cell<bool>> = Rc::default();
+        let f = Rc::clone(&flag);
+        let hh = h.clone();
+        drop(sim.spawn(async move {
+            hh.sleep(us(1)).await;
+            f.set(true);
+        }));
+        sim.run();
+        assert!(flag.get());
+    }
+
+    #[test]
+    fn yield_now_lets_peers_run() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let log: Rc<RefCell<Vec<&str>>> = Rc::default();
+        let l1 = Rc::clone(&log);
+        let h1 = h.clone();
+        sim.spawn(async move {
+            l1.borrow_mut().push("a1");
+            h1.yield_now().await;
+            l1.borrow_mut().push("a2");
+        });
+        let l2 = Rc::clone(&log);
+        sim.spawn(async move {
+            l2.borrow_mut().push("b1");
+        });
+        sim.run();
+        assert_eq!(*log.borrow(), vec!["a1", "b1", "a2"]);
+    }
+
+    #[test]
+    fn task_slots_are_recycled() {
+        let sim = Sim::new();
+        for _ in 0..100 {
+            sim.spawn(async {});
+        }
+        sim.run();
+        assert_eq!(sim.live_tasks(), 0);
+        // All one hundred slots were freed; spawning again reuses them.
+        let before = sim.st.tasks.borrow().len();
+        for _ in 0..100 {
+            sim.spawn(async {});
+        }
+        sim.run();
+        assert_eq!(sim.st.tasks.borrow().len(), before);
+    }
+
+    #[test]
+    fn sleep_until_past_instant_is_immediate() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let t = sim.run_to(async move {
+            h.sleep(us(10)).await;
+            h.sleep_until(us(5)).await; // already in the past
+            h.now()
+        });
+        assert_eq!(t, us(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn run_to_panics_on_deadlock() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        sim.run_to(async move {
+            // A sleep that never gets scheduled because we await a handle to
+            // a task that itself never finishes.
+            let pending = h.spawn(std::future::pending::<()>());
+            pending.await;
+        });
+    }
+}

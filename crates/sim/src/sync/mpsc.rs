@@ -1,0 +1,254 @@
+//! Unbounded multi-producer, single-consumer channel.
+//!
+//! Sends are synchronous (they never block — the simulation models
+//! backpressure explicitly where the paper's protocols do, e.g. in the
+//! socket flow-control schemes rather than inside the mailbox).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+/// Error returned by [`Sender::send`] when the receiver is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+struct Inner<T> {
+    q: VecDeque<T>,
+    waker: Option<Waker>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+/// Sending half (cloneable).
+pub struct Sender<T> {
+    inner: Rc<RefCell<Inner<T>>>,
+}
+
+/// Receiving half.
+pub struct Receiver<T> {
+    inner: Rc<RefCell<Inner<T>>>,
+}
+
+/// Create an unbounded channel.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Rc::new(RefCell::new(Inner {
+        q: VecDeque::new(),
+        waker: None,
+        senders: 1,
+        receiver_alive: true,
+    }));
+    (
+        Sender {
+            inner: Rc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueue a message and wake the receiver. Fails if the receiver has
+    /// been dropped.
+    pub fn send(&self, v: T) -> Result<(), RecvError> {
+        let mut i = self.inner.borrow_mut();
+        if !i.receiver_alive {
+            return Err(RecvError);
+        }
+        i.q.push_back(v);
+        if let Some(w) = i.waker.take() {
+            w.wake();
+        }
+        Ok(())
+    }
+
+    /// Number of queued, unreceived messages.
+    pub fn queued(&self) -> usize {
+        self.inner.borrow().q.len()
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.borrow_mut().senders += 1;
+        Sender {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut i = self.inner.borrow_mut();
+        i.senders -= 1;
+        if i.senders == 0 {
+            if let Some(w) = i.waker.take() {
+                w.wake();
+            }
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Await the next message; `None` once all senders are dropped and the
+    /// queue is drained.
+    pub fn recv(&mut self) -> Recv<'_, T> {
+        Recv { rx: self }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&mut self) -> Option<T> {
+        self.inner.borrow_mut().q.pop_front()
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().q.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.inner.borrow_mut().receiver_alive = false;
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+pub struct Recv<'a, T> {
+    rx: &'a mut Receiver<T>,
+}
+
+impl<T> Future for Recv<'_, T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut i = self.rx.inner.borrow_mut();
+        if let Some(v) = i.q.pop_front() {
+            return Poll::Ready(Some(v));
+        }
+        if i.senders == 0 {
+            return Poll::Ready(None);
+        }
+        i.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::us;
+    use crate::Sim;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let sim = Sim::new();
+        let got = sim.run_to(async {
+            let (tx, mut rx) = channel();
+            for i in 0..5 {
+                tx.send(i).unwrap();
+            }
+            let mut out = Vec::new();
+            for _ in 0..5 {
+                out.push(rx.recv().await.unwrap());
+            }
+            out
+        });
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let (got, at) = sim.run_to(async move {
+            let (tx, mut rx) = channel();
+            let hh = h.clone();
+            h.spawn(async move {
+                hh.sleep(us(4)).await;
+                tx.send(7u32).unwrap();
+            });
+            let v = rx.recv().await.unwrap();
+            (v, h.now())
+        });
+        assert_eq!(got, 7);
+        assert_eq!(at, us(4));
+    }
+
+    #[test]
+    fn recv_none_after_all_senders_dropped() {
+        let sim = Sim::new();
+        let out = sim.run_to(async {
+            let (tx, mut rx) = channel::<u32>();
+            let tx2 = tx.clone();
+            tx.send(1).unwrap();
+            drop(tx);
+            drop(tx2);
+            let a = rx.recv().await;
+            let b = rx.recv().await;
+            (a, b)
+        });
+        assert_eq!(out, (Some(1), None));
+    }
+
+    #[test]
+    fn send_fails_after_receiver_dropped() {
+        let sim = Sim::new();
+        sim.run_to(async {
+            let (tx, rx) = channel::<u32>();
+            drop(rx);
+            assert_eq!(tx.send(1), Err(RecvError));
+        });
+    }
+
+    #[test]
+    fn try_recv_and_len() {
+        let sim = Sim::new();
+        sim.run_to(async {
+            let (tx, mut rx) = channel();
+            assert!(rx.is_empty());
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.len(), 2);
+            assert_eq!(rx.try_recv(), Some(1));
+            assert_eq!(rx.try_recv(), Some(2));
+            assert_eq!(rx.try_recv(), None);
+        });
+    }
+
+    #[test]
+    fn multiple_producers_interleave_deterministically() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let got = sim.run_to(async move {
+            let (tx, mut rx) = channel();
+            for p in 0..3u32 {
+                let txp = tx.clone();
+                let hh = h.clone();
+                h.spawn(async move {
+                    for k in 0..2u32 {
+                        hh.sleep(us(1 + k as u64)).await;
+                        txp.send((p, k)).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut out = Vec::new();
+            while let Some(v) = rx.recv().await {
+                out.push(v);
+            }
+            out
+        });
+        // At t=1us producers fire in spawn order; at t=3us (1+2) again.
+        assert_eq!(
+            got,
+            vec![(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)]
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Async mutex (FIFO) over the virtual clock.
+//!
+//! A thin wrapper around a one-permit [`Semaphore`](super::Semaphore) with an
+//! RAII guard that hands the lock to the next waiter on drop. Used where a
+//! service's local critical section spans an `.await` (e.g. a cache node
+//! serializing backend fetches for the same document).
+
+use std::cell::{RefCell, RefMut};
+use std::ops::{Deref, DerefMut};
+use std::rc::Rc;
+
+use super::Semaphore;
+
+/// FIFO async mutex protecting `T`.
+#[derive(Clone)]
+pub struct SimMutex<T> {
+    sem: Semaphore,
+    val: Rc<RefCell<T>>,
+}
+
+impl<T> SimMutex<T> {
+    /// Wrap `val` in a mutex.
+    pub fn new(val: T) -> Self {
+        SimMutex {
+            sem: Semaphore::new(1),
+            val: Rc::new(RefCell::new(val)),
+        }
+    }
+
+    /// Acquire the lock, waiting FIFO behind earlier requesters.
+    pub async fn lock(&self) -> SimMutexGuard<'_, T> {
+        self.sem.acquire().await;
+        SimMutexGuard {
+            sem: &self.sem,
+            inner: Some(self.val.borrow_mut()),
+        }
+    }
+
+    /// Whether the mutex is currently held.
+    pub fn is_locked(&self) -> bool {
+        self.sem.available() == 0
+    }
+}
+
+/// RAII guard; releases the lock on drop.
+pub struct SimMutexGuard<'a, T> {
+    sem: &'a Semaphore,
+    inner: Option<RefMut<'a, T>>,
+}
+
+impl<T> Deref for SimMutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T> DerefMut for SimMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after release")
+    }
+}
+
+impl<T> Drop for SimMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the RefMut before handing the semaphore to the next waiter.
+        self.inner = None;
+        self.sem.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::us;
+    use crate::Sim;
+
+    #[test]
+    fn critical_sections_serialize() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let m = SimMutex::new(0u32);
+        for _ in 0..4 {
+            let m = m.clone();
+            let hh = h.clone();
+            sim.spawn(async move {
+                let mut g = m.lock().await;
+                let v = *g;
+                hh.sleep(us(10)).await; // hold across an await
+                *g = v + 1; // read-modify-write is safe under the lock
+            });
+        }
+        sim.run();
+        let m2 = m.clone();
+        let v = sim.run_to(async move { *m2.lock().await });
+        assert_eq!(v, 4);
+    }
+
+    #[test]
+    fn guard_drop_wakes_next_waiter_in_order() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let m = SimMutex::new(Vec::<u32>::new());
+        for i in 0..3u32 {
+            let m = m.clone();
+            let hh = h.clone();
+            sim.spawn(async move {
+                hh.sleep(us(i as u64)).await;
+                let mut g = m.lock().await;
+                g.push(i);
+                hh.sleep(us(5)).await;
+            });
+        }
+        sim.run();
+        let m2 = m.clone();
+        let v = sim.run_to(async move { m2.lock().await.clone() });
+        assert_eq!(v, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn is_locked_reflects_state() {
+        let sim = Sim::new();
+        let m = SimMutex::new(());
+        let m2 = m.clone();
+        sim.run_to(async move {
+            assert!(!m2.is_locked());
+            let g = m2.lock().await;
+            assert!(m2.is_locked());
+            drop(g);
+            assert!(!m2.is_locked());
+        });
+    }
+}

@@ -1,0 +1,240 @@
+//! Edge-triggered notification with FIFO waiters.
+//!
+//! Used for condition-style signalling ("the lock word changed", "a cache
+//! line was invalidated"). `notify_one` wakes the longest waiter;
+//! `notify_all` wakes everyone queued at that instant. A permit is stored if
+//! nobody is waiting (like `tokio::sync::Notify`), so a notify immediately
+//! followed by a wait does not deadlock.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct Waiter {
+    ticket: u64,
+    waker: Waker,
+}
+
+struct Inner {
+    waiters: VecDeque<Waiter>,
+    granted: Vec<u64>,
+    stored_permits: usize,
+    next_ticket: u64,
+}
+
+/// Notification primitive; clone to share.
+#[derive(Clone)]
+pub struct Notify {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Default for Notify {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Notify {
+    /// New notifier with no stored permits.
+    pub fn new() -> Self {
+        Notify {
+            inner: Rc::new(RefCell::new(Inner {
+                waiters: VecDeque::new(),
+                granted: Vec::new(),
+                stored_permits: 0,
+                next_ticket: 0,
+            })),
+        }
+    }
+
+    /// Wait until notified (or consume a stored permit immediately).
+    pub fn notified(&self) -> Notified {
+        Notified {
+            inner: Rc::clone(&self.inner),
+            ticket: None,
+        }
+    }
+
+    /// Wake the longest-waiting task, or store one permit if none waits.
+    pub fn notify_one(&self) {
+        let mut i = self.inner.borrow_mut();
+        if let Some(w) = i.waiters.pop_front() {
+            i.granted.push(w.ticket);
+            w.waker.wake();
+        } else {
+            i.stored_permits += 1;
+        }
+    }
+
+    /// Wake every currently-queued waiter. Does not store permits.
+    pub fn notify_all(&self) {
+        let mut i = self.inner.borrow_mut();
+        while let Some(w) = i.waiters.pop_front() {
+            i.granted.push(w.ticket);
+            w.waker.wake();
+        }
+    }
+
+    /// Number of queued waiters.
+    pub fn waiting(&self) -> usize {
+        self.inner.borrow().waiters.len()
+    }
+}
+
+/// Future returned by [`Notify::notified`].
+pub struct Notified {
+    inner: Rc<RefCell<Inner>>,
+    ticket: Option<u64>,
+}
+
+impl Future for Notified {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        let inner = Rc::clone(&this.inner);
+        let mut i = inner.borrow_mut();
+        match this.ticket {
+            None => {
+                if i.stored_permits > 0 {
+                    i.stored_permits -= 1;
+                    this.ticket = Some(u64::MAX);
+                    return Poll::Ready(());
+                }
+                let t = i.next_ticket;
+                i.next_ticket += 1;
+                i.waiters.push_back(Waiter {
+                    ticket: t,
+                    waker: cx.waker().clone(),
+                });
+                drop(i);
+                this.ticket = Some(t);
+                Poll::Pending
+            }
+            Some(u64::MAX) => Poll::Ready(()),
+            Some(t) => {
+                if let Some(pos) = i.granted.iter().position(|&g| g == t) {
+                    i.granted.swap_remove(pos);
+                    drop(i);
+                    this.ticket = Some(u64::MAX);
+                    Poll::Ready(())
+                } else {
+                    if let Some(w) = i.waiters.iter_mut().find(|w| w.ticket == t) {
+                        w.waker = cx.waker().clone();
+                    }
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Notified {
+    fn drop(&mut self) {
+        if let Some(t) = self.ticket {
+            if t == u64::MAX {
+                return;
+            }
+            let mut i = self.inner.borrow_mut();
+            if let Some(pos) = i.waiters.iter().position(|w| w.ticket == t) {
+                i.waiters.remove(pos);
+            } else if let Some(pos) = i.granted.iter().position(|&g| g == t) {
+                // We were notified but abandoned; don't lose the permit.
+                i.granted.swap_remove(pos);
+                i.stored_permits += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::us;
+    use crate::Sim;
+
+    #[test]
+    fn stored_permit_makes_wait_immediate() {
+        let sim = Sim::new();
+        sim.run_to(async {
+            let n = Notify::new();
+            n.notify_one();
+            n.notified().await; // consumes the stored permit
+        });
+    }
+
+    #[test]
+    fn notify_one_wakes_fifo() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        let n = Notify::new();
+        for i in 0..3u32 {
+            let n = n.clone();
+            let l = Rc::clone(&log);
+            let hh = h.clone();
+            sim.spawn(async move {
+                hh.sleep(us(i as u64 + 1)).await;
+                n.notified().await;
+                l.borrow_mut().push(i);
+            });
+        }
+        let n2 = n.clone();
+        let hh = h.clone();
+        sim.spawn(async move {
+            hh.sleep(us(10)).await;
+            n2.notify_one();
+            hh.sleep(us(10)).await;
+            n2.notify_one();
+            hh.sleep(us(10)).await;
+            n2.notify_one();
+        });
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn notify_all_wakes_everyone() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let count: Rc<RefCell<u32>> = Rc::default();
+        let n = Notify::new();
+        for _ in 0..5 {
+            let n = n.clone();
+            let c = Rc::clone(&count);
+            sim.spawn(async move {
+                n.notified().await;
+                *c.borrow_mut() += 1;
+            });
+        }
+        let n2 = n.clone();
+        let hh = h.clone();
+        sim.spawn(async move {
+            hh.sleep(us(1)).await;
+            n2.notify_all();
+        });
+        sim.run();
+        assert_eq!(*count.borrow(), 5);
+    }
+
+    #[test]
+    fn notify_all_does_not_store_permits() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let n = Notify::new();
+        n.notify_all(); // nobody waiting; nothing stored
+        let n2 = n.clone();
+        let waited: Rc<RefCell<bool>> = Rc::default();
+        let w = Rc::clone(&waited);
+        sim.spawn(async move {
+            n2.notified().await;
+            *w.borrow_mut() = true;
+        });
+        sim.run_until(us(100));
+        assert!(!*waited.borrow());
+        drop(h);
+    }
+}

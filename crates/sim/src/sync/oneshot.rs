@@ -1,0 +1,147 @@
+//! Single-producer, single-consumer, single-value channel.
+//!
+//! The fabric uses oneshots as completion notifications: a verb issues work,
+//! the target side fulfils the oneshot at completion time, the issuer awaits
+//! it.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+/// Error returned when the sender was dropped without sending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvClosed;
+
+struct Inner<T> {
+    val: Option<T>,
+    waker: Option<Waker>,
+    sender_alive: bool,
+}
+
+/// Sending half; consumes itself on send.
+pub struct OneSender<T> {
+    inner: Rc<RefCell<Inner<T>>>,
+}
+
+/// Receiving half; a future yielding `Result<T, RecvClosed>`.
+pub struct OneReceiver<T> {
+    inner: Rc<RefCell<Inner<T>>>,
+}
+
+/// Create a connected oneshot pair.
+pub fn oneshot<T>() -> (OneSender<T>, OneReceiver<T>) {
+    let inner = Rc::new(RefCell::new(Inner {
+        val: None,
+        waker: None,
+        sender_alive: true,
+    }));
+    (
+        OneSender {
+            inner: Rc::clone(&inner),
+        },
+        OneReceiver { inner },
+    )
+}
+
+impl<T> OneSender<T> {
+    /// Deliver the value and wake the receiver.
+    pub fn send(self, val: T) {
+        let mut i = self.inner.borrow_mut();
+        i.val = Some(val);
+        if let Some(w) = i.waker.take() {
+            w.wake();
+        }
+        // Drop impl will mark sender dead; the stored value survives.
+    }
+}
+
+impl<T> Drop for OneSender<T> {
+    fn drop(&mut self) {
+        let mut i = self.inner.borrow_mut();
+        i.sender_alive = false;
+        if i.val.is_none() {
+            if let Some(w) = i.waker.take() {
+                w.wake();
+            }
+        }
+    }
+}
+
+impl<T> Future for OneReceiver<T> {
+    type Output = Result<T, RecvClosed>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut i = self.inner.borrow_mut();
+        if let Some(v) = i.val.take() {
+            return Poll::Ready(Ok(v));
+        }
+        if !i.sender_alive {
+            return Poll::Ready(Err(RecvClosed));
+        }
+        i.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::us;
+    use crate::Sim;
+
+    #[test]
+    fn value_sent_before_recv() {
+        let sim = Sim::new();
+        let v = sim.run_to(async {
+            let (tx, rx) = oneshot();
+            tx.send(5u32);
+            rx.await
+        });
+        assert_eq!(v, Ok(5));
+    }
+
+    #[test]
+    fn value_sent_after_recv_blocks_then_wakes() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let v = sim.run_to(async move {
+            let (tx, rx) = oneshot();
+            let hh = h.clone();
+            h.spawn(async move {
+                hh.sleep(us(3)).await;
+                tx.send(9u32);
+            });
+            rx.await
+        });
+        assert_eq!(v, Ok(9));
+    }
+
+    #[test]
+    fn dropped_sender_reports_closed() {
+        let sim = Sim::new();
+        let v = sim.run_to(async {
+            let (tx, rx) = oneshot::<u32>();
+            drop(tx);
+            rx.await
+        });
+        assert_eq!(v, Err(RecvClosed));
+    }
+
+    #[test]
+    fn dropped_sender_wakes_blocked_receiver() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let v = sim.run_to(async move {
+            let (tx, rx) = oneshot::<u32>();
+            let hh = h.clone();
+            h.spawn(async move {
+                hh.sleep(us(1)).await;
+                drop(tx);
+            });
+            rx.await
+        });
+        assert_eq!(v, Err(RecvClosed));
+    }
+}

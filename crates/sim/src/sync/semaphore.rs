@@ -1,0 +1,316 @@
+//! Counting semaphore with strict FIFO handoff.
+//!
+//! The per-node CPU model in `dc-fabric` is a semaphore whose permits are
+//! cores: "execute N ns of work" is acquire → sleep(N) → release. FIFO
+//! handoff (a released permit goes to the longest-waiting task, never to a
+//! barger) is what makes socket-processing delays under load deterministic.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct Waiter {
+    ticket: u64,
+    waker: Waker,
+}
+
+struct Inner {
+    permits: usize,
+    waiters: VecDeque<Waiter>,
+    /// Tickets whose permit has been handed over by `release` but whose task
+    /// has not yet observed the grant.
+    granted: Vec<u64>,
+    next_ticket: u64,
+}
+
+/// FIFO counting semaphore.
+#[derive(Clone)]
+pub struct Semaphore {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Semaphore {
+    /// Create a semaphore with `permits` initially available permits.
+    pub fn new(permits: usize) -> Self {
+        Semaphore {
+            inner: Rc::new(RefCell::new(Inner {
+                permits,
+                waiters: VecDeque::new(),
+                granted: Vec::new(),
+                next_ticket: 0,
+            })),
+        }
+    }
+
+    /// Acquire one permit, waiting FIFO behind earlier requesters.
+    pub fn acquire(&self) -> Acquire {
+        Acquire {
+            sem: Rc::clone(&self.inner),
+            ticket: None,
+        }
+    }
+
+    /// Acquire returning an RAII guard that releases on drop.
+    pub async fn acquire_permit(&self) -> SemaphorePermit {
+        self.acquire().await;
+        SemaphorePermit {
+            sem: Rc::clone(&self.inner),
+        }
+    }
+
+    /// Return one permit; hands it directly to the head waiter if any.
+    pub fn release(&self) {
+        release_inner(&self.inner);
+    }
+
+    /// Permits currently available (not counting granted-but-unobserved
+    /// handoffs).
+    pub fn available(&self) -> usize {
+        self.inner.borrow().permits
+    }
+
+    /// Number of tasks queued waiting for a permit.
+    pub fn waiting(&self) -> usize {
+        self.inner.borrow().waiters.len()
+    }
+}
+
+fn release_inner(inner: &Rc<RefCell<Inner>>) {
+    let mut i = inner.borrow_mut();
+    if let Some(w) = i.waiters.pop_front() {
+        i.granted.push(w.ticket);
+        w.waker.wake();
+    } else {
+        i.permits += 1;
+    }
+}
+
+/// Future returned by [`Semaphore::acquire`].
+pub struct Acquire {
+    sem: Rc<RefCell<Inner>>,
+    ticket: Option<u64>,
+}
+
+impl Future for Acquire {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        let sem = Rc::clone(&this.sem);
+        let mut i = sem.borrow_mut();
+        match this.ticket {
+            None => {
+                if i.permits > 0 && i.waiters.is_empty() {
+                    i.permits -= 1;
+                    this.ticket = Some(u64::MAX); // sentinel: already granted
+                    Poll::Ready(())
+                } else {
+                    let t = i.next_ticket;
+                    i.next_ticket += 1;
+                    i.waiters.push_back(Waiter {
+                        ticket: t,
+                        waker: cx.waker().clone(),
+                    });
+                    drop(i);
+                    this.ticket = Some(t);
+                    Poll::Pending
+                }
+            }
+            Some(u64::MAX) => Poll::Ready(()),
+            Some(t) => {
+                if let Some(pos) = i.granted.iter().position(|&g| g == t) {
+                    i.granted.swap_remove(pos);
+                    drop(i);
+                    this.ticket = Some(u64::MAX);
+                    Poll::Ready(())
+                } else {
+                    // Spurious wake: refresh the stored waker.
+                    if let Some(w) = i.waiters.iter_mut().find(|w| w.ticket == t) {
+                        w.waker = cx.waker().clone();
+                    }
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Acquire {
+    fn drop(&mut self) {
+        // If we were queued but never granted, remove ourselves; if we were
+        // granted but never observed it, pass the permit on.
+        if let Some(t) = self.ticket {
+            if t == u64::MAX {
+                return; // Completed normally; permit owned by caller.
+            }
+            let mut i = self.sem.borrow_mut();
+            if let Some(pos) = i.waiters.iter().position(|w| w.ticket == t) {
+                i.waiters.remove(pos);
+            } else if let Some(pos) = i.granted.iter().position(|&g| g == t) {
+                i.granted.swap_remove(pos);
+                drop(i);
+                release_inner(&self.sem);
+            }
+        }
+    }
+}
+
+/// RAII permit from [`Semaphore::acquire_permit`].
+pub struct SemaphorePermit {
+    sem: Rc<RefCell<Inner>>,
+}
+
+impl Drop for SemaphorePermit {
+    fn drop(&mut self) {
+        release_inner(&self.sem);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::us;
+    use crate::Sim;
+
+    #[test]
+    fn uncontended_acquire_is_immediate() {
+        let sim = Sim::new();
+        sim.run_to(async {
+            let s = Semaphore::new(2);
+            s.acquire().await;
+            s.acquire().await;
+            assert_eq!(s.available(), 0);
+            s.release();
+            assert_eq!(s.available(), 1);
+        });
+    }
+
+    #[test]
+    fn fifo_handoff_order() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        let s = Semaphore::new(1);
+        // Task 0 holds the permit for 10us; tasks 1..4 queue up in order.
+        for i in 0..5u32 {
+            let s = s.clone();
+            let l = Rc::clone(&log);
+            let hh = h.clone();
+            sim.spawn(async move {
+                hh.sleep(us(i as u64)).await; // stagger arrival
+                s.acquire().await;
+                l.borrow_mut().push(i);
+                hh.sleep(us(10)).await;
+                s.release();
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn permit_guard_releases_on_drop() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let s = Semaphore::new(1);
+        let s2 = s.clone();
+        let hh = h.clone();
+        let t = sim.run_to(async move {
+            {
+                let _p = s2.acquire_permit().await;
+                hh.sleep(us(5)).await;
+            } // dropped here
+            s2.acquire().await; // immediate
+            hh.now()
+        });
+        assert_eq!(t, us(5));
+        assert_eq!(s.available(), 0);
+    }
+
+    #[test]
+    fn no_barging_past_queued_waiters() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let log: Rc<RefCell<Vec<&str>>> = Rc::default();
+        let s = Semaphore::new(1);
+
+        let s0 = s.clone();
+        let h0 = h.clone();
+        sim.spawn(async move {
+            s0.acquire().await;
+            h0.sleep(us(10)).await;
+            s0.release();
+        });
+        // "early" queues at t=1.
+        let s1 = s.clone();
+        let l1 = Rc::clone(&log);
+        let h1 = h.clone();
+        sim.spawn(async move {
+            h1.sleep(us(1)).await;
+            s1.acquire().await;
+            l1.borrow_mut().push("early");
+            s1.release();
+        });
+        // "late" tries at t=10 exactly when the holder releases; FIFO means
+        // "early" still wins.
+        let s2 = s.clone();
+        let l2 = Rc::clone(&log);
+        let h2 = h.clone();
+        sim.spawn(async move {
+            h2.sleep(us(10)).await;
+            s2.acquire().await;
+            l2.borrow_mut().push("late");
+            s2.release();
+        });
+        sim.run();
+        assert_eq!(*log.borrow(), vec!["early", "late"]);
+    }
+
+    #[test]
+    fn cancelled_waiter_is_skipped() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let s = Semaphore::new(1);
+
+        let s0 = s.clone();
+        let h0 = h.clone();
+        sim.spawn(async move {
+            s0.acquire().await;
+            h0.sleep(us(10)).await;
+            s0.release();
+        });
+        // This waiter gives up (drops the Acquire future) at t=5.
+        let s1 = s.clone();
+        let h1 = h.clone();
+        sim.spawn(async move {
+            h1.sleep(us(1)).await;
+            let mut acq = Box::pin(s1.acquire());
+            // Poll once to enqueue, then abandon.
+            futures_poll_once(&mut acq).await;
+            drop(acq);
+        });
+        // This waiter should still get the permit at t=10.
+        let s2 = s.clone();
+        let h2 = h.clone();
+        let done = sim.spawn(async move {
+            h2.sleep(us(2)).await;
+            s2.acquire().await;
+            h2.now()
+        });
+        sim.run();
+        assert_eq!(done.try_take(), Some(us(10)));
+    }
+
+    /// Poll a future exactly once, discarding the result.
+    async fn futures_poll_once<F: Future + Unpin>(f: &mut F) {
+        use std::task::Poll;
+        std::future::poll_fn(|cx| {
+            let _ = Pin::new(&mut *f).poll(cx);
+            Poll::Ready(())
+        })
+        .await;
+    }
+}

@@ -1,0 +1,93 @@
+//! Virtual-time units and formatting.
+//!
+//! All simulation time is carried as `u64` nanoseconds ([`SimTime`]). The
+//! helpers here exist so call sites read in the units the paper reports
+//! (microseconds for latencies, milliseconds/seconds for experiment spans).
+
+/// Virtual time or duration, in nanoseconds since simulation start.
+pub type SimTime = u64;
+
+/// `x` nanoseconds.
+#[inline]
+pub const fn ns(x: u64) -> SimTime {
+    x
+}
+
+/// `x` microseconds in nanoseconds.
+#[inline]
+pub const fn us(x: u64) -> SimTime {
+    x * 1_000
+}
+
+/// `x` milliseconds in nanoseconds.
+#[inline]
+pub const fn ms(x: u64) -> SimTime {
+    x * 1_000_000
+}
+
+/// `x` seconds in nanoseconds.
+#[inline]
+pub const fn secs(x: u64) -> SimTime {
+    x * 1_000_000_000
+}
+
+/// Nanoseconds expressed as fractional microseconds (the unit used by the
+/// paper's latency figures).
+#[inline]
+pub fn as_us(t: SimTime) -> f64 {
+    t as f64 / 1_000.0
+}
+
+/// Nanoseconds expressed as fractional milliseconds.
+#[inline]
+pub fn as_ms(t: SimTime) -> f64 {
+    t as f64 / 1_000_000.0
+}
+
+/// Nanoseconds expressed as fractional seconds.
+#[inline]
+pub fn as_secs(t: SimTime) -> f64 {
+    t as f64 / 1_000_000_000.0
+}
+
+/// Human-readable rendering with an auto-selected unit, e.g. `12.5us`.
+pub fn fmt_time(t: SimTime) -> String {
+    if t < 1_000 {
+        format!("{t}ns")
+    } else if t < 1_000_000 {
+        format!("{:.2}us", as_us(t))
+    } else if t < 1_000_000_000 {
+        format!("{:.2}ms", as_ms(t))
+    } else {
+        format!("{:.3}s", as_secs(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_compose() {
+        assert_eq!(us(1), ns(1_000));
+        assert_eq!(ms(1), us(1_000));
+        assert_eq!(secs(1), ms(1_000));
+        assert_eq!(secs(3), 3_000_000_000);
+    }
+
+    #[test]
+    fn fractional_views() {
+        assert_eq!(as_us(us(55)), 55.0);
+        assert_eq!(as_ms(ms(7)), 7.0);
+        assert_eq!(as_secs(secs(2)), 2.0);
+        assert!((as_us(1_500) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formatting_picks_sensible_units() {
+        assert_eq!(fmt_time(500), "500ns");
+        assert_eq!(fmt_time(us(12) + 500), "12.50us");
+        assert_eq!(fmt_time(ms(3) + us(250)), "3.25ms");
+        assert_eq!(fmt_time(secs(1) + ms(500)), "1.500s");
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests of the executor and synchronization primitives.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use dc_sim::sync::{channel, Notify, Semaphore};
+use dc_sim::Sim;
+
+proptest! {
+    /// Sleeps of arbitrary durations complete at exactly their deadlines and
+    /// time never runs backwards.
+    #[test]
+    fn sleeps_complete_exactly(durs in prop::collection::vec(0u64..1_000_000, 1..60)) {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<(u64, u64)>>> = Rc::default();
+        for &d in &durs {
+            let log = Rc::clone(&log);
+            let h = sim.handle();
+            sim.spawn(async move {
+                h.sleep(d).await;
+                log.borrow_mut().push((d, h.now()));
+            });
+        }
+        sim.run();
+        let log = log.borrow();
+        prop_assert_eq!(log.len(), durs.len());
+        for &(d, at) in log.iter() {
+            prop_assert_eq!(d, at, "sleep({}) completed at {}", d, at);
+        }
+        // Completion order is deadline order.
+        for w in log.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    /// A semaphore of `permits` never admits more than `permits` holders,
+    /// serves everyone, and total throughput equals total work.
+    #[test]
+    fn semaphore_capacity_is_never_exceeded(
+        permits in 1usize..5,
+        jobs in prop::collection::vec((0u64..500, 1u64..400), 1..40)
+    ) {
+        let sim = Sim::new();
+        let sem = Semaphore::new(permits);
+        let active: Rc<std::cell::Cell<usize>> = Rc::default();
+        let peak: Rc<std::cell::Cell<usize>> = Rc::default();
+        let served: Rc<std::cell::Cell<usize>> = Rc::default();
+        for &(arrive, hold) in &jobs {
+            let sem = sem.clone();
+            let active = Rc::clone(&active);
+            let peak = Rc::clone(&peak);
+            let served = Rc::clone(&served);
+            let h = sim.handle();
+            sim.spawn(async move {
+                h.sleep(arrive).await;
+                let _p = sem.acquire_permit().await;
+                active.set(active.get() + 1);
+                peak.set(peak.get().max(active.get()));
+                h.sleep(hold).await;
+                active.set(active.get() - 1);
+                served.set(served.get() + 1);
+            });
+        }
+        sim.run();
+        prop_assert!(peak.get() <= permits, "peak {} > permits {}", peak.get(), permits);
+        prop_assert_eq!(served.get(), jobs.len());
+        prop_assert_eq!(active.get(), 0);
+    }
+
+    /// Channels deliver every message exactly once, in send order.
+    #[test]
+    fn channel_delivers_in_order(msgs in prop::collection::vec(any::<u32>(), 0..200)) {
+        let sim = Sim::new();
+        let (tx, mut rx) = channel();
+        let expected = msgs.clone();
+        let h = sim.handle();
+        sim.spawn(async move {
+            for (i, m) in msgs.into_iter().enumerate() {
+                h.sleep((i as u64 % 7) * 10).await;
+                tx.send(m).unwrap();
+            }
+        });
+        let got = sim.run_to(async move {
+            let mut got = Vec::new();
+            while let Some(m) = rx.recv().await {
+                got.push(m);
+            }
+            got
+        });
+        prop_assert_eq!(got, expected);
+    }
+
+    /// `notify_one` wakes exactly as many waiters as notifications (stored
+    /// permits included), FIFO.
+    #[test]
+    fn notify_conserves_permits(waiters in 1usize..20, notifies in 1usize..25) {
+        let sim = Sim::new();
+        let n = Notify::new();
+        let woken: Rc<RefCell<Vec<usize>>> = Rc::default();
+        for i in 0..waiters {
+            let n = n.clone();
+            let woken = Rc::clone(&woken);
+            sim.spawn(async move {
+                n.notified().await;
+                woken.borrow_mut().push(i);
+            });
+        }
+        let n2 = n.clone();
+        let h = sim.handle();
+        sim.spawn(async move {
+            h.sleep(10).await;
+            for _ in 0..notifies {
+                n2.notify_one();
+            }
+        });
+        sim.run();
+        let woken = woken.borrow();
+        prop_assert_eq!(woken.len(), waiters.min(notifies));
+        // FIFO: waiters wake in registration order.
+        let sorted: Vec<usize> = (0..woken.len()).collect();
+        prop_assert_eq!(&*woken, &sorted);
+    }
+}

@@ -1,0 +1,77 @@
+//! Tunables of the socket-level protocols.
+
+/// Configuration shared by the SDP-family streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SocketsConfig {
+    /// Size of each preposted SDP temporary buffer (bytes). Messages larger
+    /// than this are chunked; messages smaller still consume a whole buffer.
+    pub sdp_buf_size: usize,
+    /// Number of preposted buffers / credits per direction.
+    pub sdp_credits: usize,
+    /// Fixed CPU cost of one buffer copy (syscall + cache setup).
+    pub copy_cpu_base_ns: u64,
+    /// CPU cost per KiB copied (≈ 1/memcpy-bandwidth; 1400 ns/KiB ≈ 700 MB/s
+    /// sustained, a 2007-era DDR2 figure — this is what caps buffered SDP
+    /// below link speed for large messages).
+    pub copy_cpu_per_kb_ns: u64,
+    /// Cost of memory-protecting (and later unprotecting) a user buffer in
+    /// AZ-SDP, charged per send.
+    pub az_protect_ns: u64,
+    /// Maximum in-flight asynchronous sends in AZ-SDP.
+    pub az_window: usize,
+    /// Receiver ring size for packetized flow control, in bytes. The default
+    /// equals the SDP prepost budget (`sdp_buf_size × sdp_credits`) so the
+    /// two schemes pin the same memory.
+    pub ring_bytes: usize,
+    /// Per-message software issue overhead on the sender (descriptor prep,
+    /// doorbell), charged serially.
+    pub issue_overhead_ns: u64,
+    /// Receiver-side cost of re-posting one consumed temporary buffer
+    /// (descriptor build + registration touch). Charged per chunk by the
+    /// credit-based scheme only — packetized flow control has no per-buffer
+    /// prepost, which is precisely its advantage.
+    pub prepost_ns: u64,
+}
+
+impl Default for SocketsConfig {
+    fn default() -> Self {
+        SocketsConfig {
+            sdp_buf_size: 8 * 1024,
+            sdp_credits: 4,
+            copy_cpu_base_ns: 300,
+            copy_cpu_per_kb_ns: 1400,
+            az_protect_ns: 1500,
+            az_window: 32,
+            ring_bytes: 4 * 8 * 1024,
+            issue_overhead_ns: 500,
+            prepost_ns: 1_200,
+        }
+    }
+}
+
+impl SocketsConfig {
+    /// CPU time of copying `len` bytes through a temporary buffer.
+    #[inline]
+    pub fn copy_cost(&self, len: usize) -> u64 {
+        self.copy_cpu_base_ns + ((len as u64) * self.copy_cpu_per_kb_ns).div_ceil(1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budgets_match() {
+        let c = SocketsConfig::default();
+        assert_eq!(c.ring_bytes, c.sdp_buf_size * c.sdp_credits);
+    }
+
+    #[test]
+    fn copy_cost_scales() {
+        let c = SocketsConfig::default();
+        assert_eq!(c.copy_cost(0), c.copy_cpu_base_ns);
+        assert_eq!(c.copy_cost(1024), c.copy_cpu_base_ns + c.copy_cpu_per_kb_ns);
+        assert!(c.copy_cost(8192) > c.copy_cost(4096));
+    }
+}

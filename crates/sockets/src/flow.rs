@@ -1,0 +1,178 @@
+//! Framing and flow-control accounting shared by the stream kinds.
+//!
+//! Wire chunks carry a 1-byte tag: `FIRST` chunks additionally carry the
+//! total application-message length, so the receiver knows how many
+//! continuation chunks follow. Feedback messages (credit returns, ring-space
+//! returns) are bare little-endian u64 counts.
+
+use bytes::Bytes;
+
+const TAG_FIRST: u8 = 0;
+const TAG_CONT: u8 = 1;
+
+/// Header bytes of a FIRST chunk (tag + u64 total length).
+pub const FIRST_HDR: usize = 9;
+/// Header bytes of a continuation chunk (tag only).
+pub const CONT_HDR: usize = 1;
+
+/// Split one application message into wire chunks of at most `cap` bytes
+/// each (headers included). `cap` must exceed [`FIRST_HDR`].
+pub fn frame(data: &[u8], cap: usize) -> Vec<Bytes> {
+    assert!(cap > FIRST_HDR, "chunk capacity too small for framing");
+    let mut chunks = Vec::new();
+    let first_payload = (cap - FIRST_HDR).min(data.len());
+    let mut first = Vec::with_capacity(FIRST_HDR + first_payload);
+    first.push(TAG_FIRST);
+    first.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    first.extend_from_slice(&data[..first_payload]);
+    chunks.push(Bytes::from(first));
+    let mut off = first_payload;
+    while off < data.len() {
+        let n = (cap - CONT_HDR).min(data.len() - off);
+        let mut c = Vec::with_capacity(CONT_HDR + n);
+        c.push(TAG_CONT);
+        c.extend_from_slice(&data[off..off + n]);
+        chunks.push(Bytes::from(c));
+        off += n;
+    }
+    chunks
+}
+
+/// Receiver-side reassembly of framed chunks back into application messages.
+/// Chunks must arrive in order (the streams are SPSC FIFO lanes).
+#[derive(Default)]
+pub struct Reassembler {
+    buf: Vec<u8>,
+    expected: usize,
+    in_message: bool,
+}
+
+impl Reassembler {
+    /// Create an empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one wire chunk; returns the completed message if this chunk
+    /// finished one.
+    pub fn feed(&mut self, chunk: &[u8]) -> Option<Bytes> {
+        assert!(!chunk.is_empty(), "empty wire chunk");
+        match chunk[0] {
+            TAG_FIRST => {
+                assert!(
+                    !self.in_message,
+                    "FIRST chunk arrived mid-message (framing violated)"
+                );
+                assert!(chunk.len() >= FIRST_HDR, "truncated FIRST header");
+                self.expected =
+                    u64::from_le_bytes(chunk[1..9].try_into().unwrap()) as usize;
+                self.buf.clear();
+                self.buf.extend_from_slice(&chunk[FIRST_HDR..]);
+                self.in_message = true;
+            }
+            TAG_CONT => {
+                assert!(self.in_message, "CONT chunk without a FIRST");
+                self.buf.extend_from_slice(&chunk[CONT_HDR..]);
+            }
+            t => panic!("unknown chunk tag {t}"),
+        }
+        assert!(
+            self.buf.len() <= self.expected,
+            "reassembly overflow: got {} of {}",
+            self.buf.len(),
+            self.expected
+        );
+        if self.buf.len() == self.expected {
+            self.in_message = false;
+            Some(Bytes::from(std::mem::take(&mut self.buf)))
+        } else {
+            None
+        }
+    }
+}
+
+/// Encode a feedback count (credits / freed bytes).
+pub fn encode_feedback(n: u64) -> Bytes {
+    Bytes::from(n.to_le_bytes().to_vec())
+}
+
+/// Decode a feedback count.
+pub fn decode_feedback(data: &[u8]) -> u64 {
+    u64::from_le_bytes(data[..8].try_into().expect("short feedback message"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(len: usize, cap: usize) {
+        let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        let chunks = frame(&data, cap);
+        for c in &chunks {
+            assert!(c.len() <= cap);
+        }
+        let mut r = Reassembler::new();
+        let mut out = None;
+        for (i, c) in chunks.iter().enumerate() {
+            let res = r.feed(c);
+            if i + 1 < chunks.len() {
+                assert!(res.is_none(), "message completed early at chunk {i}");
+            } else {
+                out = res;
+            }
+        }
+        assert_eq!(&out.expect("message did not complete")[..], &data[..]);
+    }
+
+    #[test]
+    fn single_chunk_messages() {
+        round_trip(0, 64);
+        round_trip(1, 64);
+        round_trip(55, 64); // exactly fills cap
+    }
+
+    #[test]
+    fn multi_chunk_messages() {
+        round_trip(56, 64);
+        round_trip(1000, 64);
+        round_trip(8192, 8192);
+        round_trip(100_000, 8192);
+    }
+
+    #[test]
+    fn chunk_count_matches_capacity_math() {
+        let data = vec![0u8; 100];
+        // cap 64: first carries 55, then ceil(45/63) = 1 more.
+        assert_eq!(frame(&data, 64).len(), 2);
+        // Tiny cap of 10: first carries 1 byte, then 99 conts of 9.
+        assert_eq!(frame(&data, 10).len(), 1 + 11);
+    }
+
+    #[test]
+    fn back_to_back_messages_share_a_reassembler() {
+        let mut r = Reassembler::new();
+        for len in [3usize, 200, 0, 77] {
+            let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let chunks = frame(&data, 50);
+            let mut got = None;
+            for c in &chunks {
+                got = r.feed(c);
+            }
+            assert_eq!(&got.unwrap()[..], &data[..]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "CONT chunk without a FIRST")]
+    fn cont_before_first_panics() {
+        let mut r = Reassembler::new();
+        r.feed(&[TAG_CONT, 1, 2, 3]);
+    }
+
+    #[test]
+    fn feedback_round_trip() {
+        assert_eq!(decode_feedback(&encode_feedback(0)), 0);
+        assert_eq!(decode_feedback(&encode_feedback(12345)), 12345);
+        assert_eq!(decode_feedback(&encode_feedback(u64::MAX)), u64::MAX);
+    }
+}

@@ -1,0 +1,95 @@
+//! Document working sets for the caching experiments.
+//!
+//! Figure 6 sweeps uniform file sizes (8k/16k/32k/64k) over working sets
+//! sized relative to the proxies' aggregate cache. The generator also
+//! supports mixed-size sets for the ablation benches.
+
+use serde::{Deserialize, Serialize};
+
+/// A set of documents, identified by dense ids with per-document sizes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileSet {
+    sizes: Vec<usize>,
+}
+
+impl FileSet {
+    /// `count` documents, all of `size` bytes (the Figure 6 configuration).
+    pub fn uniform(count: usize, size: usize) -> FileSet {
+        assert!(count > 0 && size > 0);
+        FileSet {
+            sizes: vec![size; count],
+        }
+    }
+
+    /// A heavy-tailed mix: documents cycle through the given sizes.
+    pub fn cycled(count: usize, sizes: &[usize]) -> FileSet {
+        assert!(count > 0 && !sizes.is_empty());
+        FileSet {
+            sizes: (0..count).map(|i| sizes[i % sizes.len()]).collect(),
+        }
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Whether the set is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Size of document `id`.
+    pub fn size(&self, id: usize) -> usize {
+        self.sizes[id]
+    }
+
+    /// Total bytes across all documents.
+    pub fn total_bytes(&self) -> usize {
+        self.sizes.iter().sum()
+    }
+
+    /// Deterministic content byte for (document, offset) — lets transfers be
+    /// verified end to end without storing the working set.
+    pub fn content_byte(id: usize, offset: usize) -> u8 {
+        ((id.wrapping_mul(131) ^ offset.wrapping_mul(31)) % 251) as u8
+    }
+
+    /// Materialize the first `n` bytes of document `id`'s content.
+    pub fn content(&self, id: usize, n: usize) -> Vec<u8> {
+        assert!(n <= self.size(id));
+        (0..n).map(|off| Self::content_byte(id, off)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_set_totals() {
+        let fs = FileSet::uniform(100, 8192);
+        assert_eq!(fs.len(), 100);
+        assert_eq!(fs.size(99), 8192);
+        assert_eq!(fs.total_bytes(), 100 * 8192);
+    }
+
+    #[test]
+    fn cycled_sizes_repeat() {
+        let fs = FileSet::cycled(5, &[1, 2, 3]);
+        assert_eq!(
+            (0..5).map(|i| fs.size(i)).collect::<Vec<_>>(),
+            vec![1, 2, 3, 1, 2]
+        );
+    }
+
+    #[test]
+    fn content_is_deterministic_and_varies() {
+        let a = FileSet::content_byte(3, 7);
+        assert_eq!(a, FileSet::content_byte(3, 7));
+        let fs = FileSet::uniform(2, 64);
+        let c0 = fs.content(0, 64);
+        let c1 = fs.content(1, 64);
+        assert_ne!(c0, c1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Zipf document-popularity sampler.
+//!
+//! Web-document popularity follows a Zipf distribution: the i-th most
+//! popular of `n` documents is requested with probability proportional to
+//! `1 / i^alpha`. The paper's Figure 8b sweeps `alpha` over
+//! {0.9, 0.75, 0.5, 0.25}: higher alpha means more temporal locality (a few
+//! hot documents), lower alpha a flatter, cache-hostile distribution.
+
+use rand::Rng;
+
+/// A Zipf(α) sampler over ranks `0..n` via inverse-CDF binary search.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    alpha: f64,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` items with exponent `alpha ≥ 0`.
+    pub fn new(n: usize, alpha: f64) -> Zipf {
+        assert!(n > 0, "Zipf over zero items");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "invalid alpha");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        *cdf.last_mut().unwrap() = 1.0;
+        Zipf { cdf, alpha }
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The exponent.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Sample a rank in `0..n` (0 = most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        let lo = if i == 0 { 0.0 } else { self.cdf[i - 1] };
+        self.cdf[i] - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn histogram(alpha: f64, n: usize, draws: usize) -> Vec<usize> {
+        let z = Zipf::new(n, alpha);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut h = vec![0usize; n];
+        for _ in 0..draws {
+            h[z.sample(&mut rng)] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn high_alpha_concentrates_on_head() {
+        let h = histogram(0.9, 100, 20_000);
+        // Rank 0 should dominate rank 50 by a large factor.
+        assert!(h[0] > 10 * h[50].max(1), "h0={} h50={}", h[0], h[50]);
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let h = histogram(0.0, 10, 50_000);
+        let expect = 5_000.0;
+        for (i, &c) in h.iter().enumerate() {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.1, "rank {i} count {c} deviates {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn lower_alpha_flattens_distribution() {
+        let hot_share = |alpha: f64| {
+            let h = histogram(alpha, 1000, 20_000);
+            let head: usize = h[..10].iter().sum();
+            head as f64 / 20_000.0
+        };
+        let s09 = hot_share(0.9);
+        let s05 = hot_share(0.5);
+        let s025 = hot_share(0.25);
+        assert!(s09 > s05 && s05 > s025, "{s09} {s05} {s025}");
+    }
+
+    #[test]
+    fn pmf_sums_to_one_and_is_monotone() {
+        let z = Zipf::new(50, 0.75);
+        let total: f64 = (0..50).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for i in 1..50 {
+            assert!(z.pmf(i) <= z.pmf(i - 1) + 1e-12, "pmf not decreasing at {i}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let z = Zipf::new(100, 0.9);
+        let mut a = rand::rngs::StdRng::seed_from_u64(7);
+        let mut b = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn all_ranks_reachable() {
+        let z = Zipf::new(5, 0.9);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..10_000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

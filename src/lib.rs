@@ -1,0 +1,38 @@
+//! # nextgen-datacenter
+//!
+//! A full reproduction of *"Designing Efficient Systems Services and
+//! Primitives for Next-Generation Data-Centers"* (Vaidyanathan, Narravula,
+//! Balaji, Panda — IPDPS 2007) as a Rust workspace: the paper's three-layer
+//! framework re-implemented over a deterministic, calibrated RDMA-fabric
+//! simulator.
+//!
+//! The layers, bottom-up:
+//!
+//! 1. **Communication** — [`fabric`] (one-sided verbs, remote atomics,
+//!    send/recv, per-node CPU models, registered kernel statistics) and
+//!    [`sockets`] (host TCP, SDP, AZ-SDP, packetized flow control).
+//! 2. **Service primitives** — [`ddss`] (the distributed data sharing
+//!    substrate with seven coherence models) and [`dlm`] (N-CoSED
+//!    one-sided shared/exclusive locking plus the DQNL and SRSL baselines).
+//! 3. **Advanced services** — [`coopcache`] (AC/BCC/CCWR/MTACC/HYBCC),
+//!    [`resmon`] (socket- vs RDMA-based fine-grained monitoring) and
+//!    [`reconfig`] (active resource adaptation with QoS and hysteresis).
+//!
+//! [`core`] ties the layers into runnable multi-tier data-centers and hosts
+//! the experiment engines behind the paper's figures; [`sim`] is the
+//! virtual-time executor everything runs on; [`workloads`] generates the
+//! evaluation's Zipf, RUBiS, STORM, and burst workloads.
+//!
+//! See `DESIGN.md` for the system inventory, `EXPERIMENTS.md` for
+//! paper-vs-measured results, and `examples/` for runnable entry points.
+
+pub use dc_coopcache as coopcache;
+pub use dc_core as core;
+pub use dc_ddss as ddss;
+pub use dc_dlm as dlm;
+pub use dc_fabric as fabric;
+pub use dc_reconfig as reconfig;
+pub use dc_resmon as resmon;
+pub use dc_sim as sim;
+pub use dc_sockets as sockets;
+pub use dc_workloads as workloads;

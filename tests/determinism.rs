@@ -1,0 +1,92 @@
+//! Determinism guarantees: the same seed and configuration produce
+//! bit-identical results — the property that makes every number in
+//! EXPERIMENTS.md reproducible.
+
+use nextgen_datacenter::coopcache::CacheScheme;
+use nextgen_datacenter::core::{run_hosting, run_webfarm, HostingCfg, WebFarmCfg};
+use nextgen_datacenter::resmon::MonitorScheme;
+
+#[test]
+fn webfarm_is_bit_identical_across_runs() {
+    let cfg = WebFarmCfg {
+        scheme: CacheScheme::Hybcc,
+        proxies: 3,
+        app_nodes: 2,
+        num_docs: 128,
+        doc_size: 16 * 1024,
+        requests: 900,
+        seed: 0xDEC0DE,
+        ..WebFarmCfg::default()
+    };
+    let a = run_webfarm(&cfg);
+    let b = run_webfarm(&cfg);
+    assert_eq!(a.tps.to_bits(), b.tps.to_bits());
+    assert_eq!(a.mean_latency_ns, b.mean_latency_ns);
+    assert_eq!(a.p99_latency_ns, b.p99_latency_ns);
+    assert_eq!(a.cache, b.cache);
+    assert_eq!(a.span_ns, b.span_ns);
+}
+
+#[test]
+fn webfarm_seed_changes_results() {
+    let base = WebFarmCfg {
+        scheme: CacheScheme::Bcc,
+        requests: 600,
+        num_docs: 128,
+        seed: 1,
+        ..WebFarmCfg::default()
+    };
+    let mut other = base.clone();
+    other.seed = 2;
+    let a = run_webfarm(&base);
+    let b = run_webfarm(&other);
+    // Different request streams ⇒ different fine-grained outcomes.
+    assert_ne!(
+        (a.mean_latency_ns, a.cache.local_hits),
+        (b.mean_latency_ns, b.cache.local_hits)
+    );
+}
+
+#[test]
+fn hosting_is_bit_identical_across_runs() {
+    let cfg = HostingCfg {
+        scheme: MonitorScheme::ERdmaSync,
+        backends: 3,
+        clients: 15,
+        requests: 700,
+        seed: 77,
+        ..HostingCfg::default()
+    };
+    let a = run_hosting(&cfg);
+    let b = run_hosting(&cfg);
+    assert_eq!(a.tps.to_bits(), b.tps.to_bits());
+    assert_eq!(a.mean_latency_ns, b.mean_latency_ns);
+    assert_eq!(a.span_ns, b.span_ns);
+}
+
+#[test]
+fn virtual_time_is_host_independent() {
+    // A fixed protocol exchange lands on exact calibrated nanoseconds: the
+    // numbers come from the model, never from the host clock.
+    use nextgen_datacenter::fabric::{Cluster, FabricModel, NodeId, RemoteAddr};
+    use nextgen_datacenter::sim::Sim;
+    let sim = Sim::new();
+    let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 2);
+    let r = cluster.register(NodeId(1), 64);
+    let addr = RemoteAddr {
+        node: NodeId(1),
+        region: r,
+        offset: 0,
+    };
+    let c = cluster.clone();
+    let h = sim.handle();
+    let t = sim.run_to(async move {
+        c.rdma_write(NodeId(0), addr, &[9u8; 8]).await;
+        c.atomic_faa(NodeId(0), addr.at(8), 1).await;
+        h.now()
+    });
+    let m = FabricModel::calibrated_2007();
+    let write = m.post_overhead_ns + m.ib_bytes_time(8) + m.rdma_write_base_ns;
+    let faa = m.post_overhead_ns + m.atomic_base_ns;
+    assert_eq!(t, write + faa);
+}

@@ -1,0 +1,155 @@
+//! Property-based tests of the core data structures: allocator, LRU store,
+//! framing, lock-word encoding, Zipf sampling, and executor timer ordering.
+
+use proptest::prelude::*;
+
+use nextgen_datacenter::ddss::alloc::FreeListAllocator;
+use nextgen_datacenter::coopcache::LruStore;
+use nextgen_datacenter::dlm::LockWord;
+use nextgen_datacenter::fabric::NodeId;
+use nextgen_datacenter::sockets::flow::{frame, Reassembler};
+use nextgen_datacenter::workloads::Zipf;
+
+proptest! {
+    /// Allocated blocks never overlap and never exceed capacity; freeing
+    /// everything restores the full capacity in one fragment.
+    #[test]
+    fn allocator_blocks_are_disjoint_and_conserved(
+        sizes in prop::collection::vec(1usize..300, 1..40)
+    ) {
+        let mut a = FreeListAllocator::new(4096);
+        let mut live: Vec<(usize, usize)> = Vec::new();
+        for s in &sizes {
+            if let Some(off) = a.allocate(*s) {
+                let end = off + s;
+                prop_assert!(end <= 4096);
+                for &(o, l) in &live {
+                    let l_end = o + l.div_ceil(8) * 8;
+                    let s_end = off + s.div_ceil(8) * 8;
+                    prop_assert!(s_end <= o || off >= l_end,
+                        "overlap: new ({off},{s}) vs live ({o},{l})");
+                }
+                live.push((off, *s));
+            }
+        }
+        prop_assert!(a.in_use() <= a.capacity());
+        for (off, s) in live.drain(..) {
+            a.free(off, s);
+        }
+        prop_assert_eq!(a.available(), 4096);
+        prop_assert_eq!(a.fragments(), 1);
+    }
+
+    /// LRU bookkeeping: bytes_used never exceeds capacity; a cached doc is
+    /// always retrievable until evicted; eviction lists are consistent.
+    #[test]
+    fn lru_never_overcommits(
+        ops in prop::collection::vec((0u32..30, 1usize..600), 1..80)
+    ) {
+        let mut s = LruStore::new(2048);
+        let mut resident: std::collections::HashSet<u32> = Default::default();
+        for (doc, size) in ops {
+            if resident.contains(&doc) {
+                prop_assert!(s.get(doc).is_some());
+                continue;
+            }
+            match s.insert(doc, size) {
+                Some((_, evicted)) => {
+                    for (v, _, _) in evicted {
+                        prop_assert!(resident.remove(&v), "evicted non-resident {v}");
+                    }
+                    resident.insert(doc);
+                }
+                None => prop_assert!(size > 2048),
+            }
+            prop_assert!(s.bytes_used() <= 2048);
+            prop_assert_eq!(s.len(), resident.len());
+        }
+    }
+
+    /// Any message reassembles exactly from its frames at any capacity.
+    #[test]
+    fn framing_round_trips(
+        data in prop::collection::vec(any::<u8>(), 0..5000),
+        cap in 10usize..9000
+    ) {
+        let chunks = frame(&data, cap);
+        for c in &chunks {
+            prop_assert!(c.len() <= cap);
+        }
+        let mut r = Reassembler::new();
+        let mut out = None;
+        for c in &chunks {
+            prop_assert!(out.is_none(), "completed early");
+            out = r.feed(c);
+        }
+        prop_assert_eq!(&out.expect("incomplete")[..], &data[..]);
+    }
+
+    /// Lock words round trip for every tail/shared combination, and a
+    /// shared FAA never corrupts the tail below u32 overflow.
+    #[test]
+    fn lock_word_round_trips(tail in prop::option::of(0u32..u32::MAX - 1), shared in any::<u32>()) {
+        let w = nextgen_datacenter::dlm::LockWord {
+            tail: tail.map(NodeId),
+            shared,
+        };
+        prop_assert_eq!(LockWord::decode(w.encode()), w);
+        if shared < u32::MAX {
+            let bumped = LockWord::decode(w.encode() + 1);
+            prop_assert_eq!(bumped.tail, w.tail);
+            prop_assert_eq!(bumped.shared, shared + 1);
+        }
+    }
+
+    /// Zipf samples stay in range and the head outweighs the tail for any
+    /// positive alpha.
+    #[test]
+    fn zipf_is_well_formed(n in 2usize..200, alpha in 0.1f64..1.5, seed in any::<u64>()) {
+        let z = Zipf::new(n, alpha);
+        let mut rng = nextgen_datacenter::sim::rng::seeded_rng(seed);
+        let mut head = 0usize;
+        let mut total = 0usize;
+        for _ in 0..500 {
+            let r = z.sample(&mut rng);
+            prop_assert!(r < n);
+            total += 1;
+            if r < n.div_ceil(2) {
+                head += 1;
+            }
+        }
+        // The more popular half receives at least its fair share of draws
+        // (with slack for sampling noise at near-uniform alphas).
+        prop_assert!(
+            head as f64 >= 0.44 * total as f64,
+            "head {head} of {total}"
+        );
+        // PMF is a distribution.
+        let sum: f64 = (0..n).map(|i| z.pmf(i)).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    /// Executor timers fire in deadline order regardless of registration
+    /// order, and the clock ends at the maximum deadline.
+    #[test]
+    fn timers_fire_in_deadline_order(durations in prop::collection::vec(0u64..10_000, 1..50)) {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let sim = nextgen_datacenter::sim::Sim::new();
+        let fired: Rc<RefCell<Vec<u64>>> = Rc::default();
+        for &d in &durations {
+            let f = Rc::clone(&fired);
+            let h = sim.handle();
+            sim.spawn(async move {
+                h.sleep(d).await;
+                f.borrow_mut().push(h.now());
+            });
+        }
+        sim.run();
+        let fired = fired.borrow();
+        let mut sorted = durations.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&*fired, &sorted);
+        prop_assert_eq!(sim.now(), *sorted.last().unwrap());
+    }
+}
