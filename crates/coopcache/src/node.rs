@@ -260,7 +260,9 @@ impl CacheNode {
 
     /// Fetch `doc` from `holder` with one-sided RDMA: read its index entry,
     /// then the data, and validate the header. `Err(())` means the soft
-    /// state was stale (caller falls back).
+    /// state was stale **or the holder was unreachable** (caller falls back
+    /// to the backend either way — a peer crash degrades to a miss, never
+    /// to wrong bytes or a hang).
     pub async fn remote_get(
         &self,
         holder: &CacheNode,
@@ -269,15 +271,19 @@ impl CacheNode {
     ) -> Result<Bytes, ()> {
         let me = self.inner.node;
         let cluster = &self.inner.cluster;
-        let idx_raw = cluster.rdma_read(me, holder.index_addr(doc), 8).await;
+        let idx_raw = cluster
+            .try_rdma_read(me, holder.index_addr(doc), 8)
+            .await
+            .map_err(|_| ())?;
         let entry = u64::from_le_bytes(idx_raw[..].try_into().unwrap());
         if entry == 0 {
             return Err(());
         }
         let offset = (entry - 1) as usize;
         let raw = cluster
-            .rdma_read(me, holder.data_addr(offset), size + DOC_HDR)
-            .await;
+            .try_rdma_read(me, holder.data_addr(offset), size + DOC_HDR)
+            .await
+            .map_err(|_| ())?;
         let got_doc = u32::from_le_bytes(raw[..4].try_into().unwrap());
         let got_size = u32::from_le_bytes(raw[4..8].try_into().unwrap());
         if got_doc != doc || got_size as usize != size {
@@ -286,19 +292,22 @@ impl CacheNode {
         Ok(raw.slice(DOC_HDR..))
     }
 
-    /// Ask `owner`'s reserve daemon to cache `doc` and return its offset
-    /// (`None` if the owner could not cache it).
+    /// Ask `owner`'s reserve daemon to cache `doc` and return its offset.
+    /// `None` means the owner could not cache it — including an owner that
+    /// stayed unreachable past the RPC budget (the caller serves from the
+    /// backend instead).
     pub async fn reserve_at(&self, owner: &CacheNode, doc: DocId) -> Option<usize> {
         let resp = self
             .inner
             .rpc
-            .call(
+            .try_call(
                 owner.node(),
                 owner.reserve_port(),
                 &doc.to_le_bytes(),
                 Transport::RdmaSend,
+                dc_fabric::rpc::DEFAULT_TIMEOUT_NS,
             )
-            .await;
+            .await?;
         let v = u64::from_le_bytes(resp[..8].try_into().unwrap());
         if v == 0 {
             None
@@ -440,6 +449,45 @@ mod tests {
         assert_eq!(&got[..], &expected[..]);
         assert_eq!(b.backend_fetches(), 1);
         assert_eq!(a.backend_fetches(), 0);
+    }
+
+    #[test]
+    fn remote_get_degrades_to_backend_when_holder_crashes() {
+        use dc_fabric::faults::{CrashWindow, FaultPlan};
+        use dc_sim::time::{ms, secs};
+        let (sim, c, a, b, fs) = setup(1 << 20);
+        // Holder b (node 2) is up long enough to cache doc 3, then fail-stops
+        // for the rest of the run. Requester and backend stay healthy.
+        c.install_faults(FaultPlan::from_parts(
+            0,
+            vec![CrashWindow {
+                node: NodeId(2),
+                start: ms(50),
+                end: secs(3600),
+            }],
+            vec![],
+            vec![],
+            0.0,
+        ));
+        let size = fs.size(3);
+        let expected = fs.content(3, size);
+        let h = sim.handle();
+        let got = sim.run_to(async move {
+            b.ensure_local(3, size).await.unwrap();
+            h.sleep(ms(60)).await; // holder is now down
+            assert!(
+                a.remote_get(&b, 3, size).await.is_err(),
+                "read from a crashed holder must fail, not hang"
+            );
+            assert!(
+                a.reserve_at(&b, 3).await.is_none(),
+                "reserve at a crashed owner must time out to None"
+            );
+            // Degraded path: fetch from the backend and serve locally.
+            a.ensure_local(3, size).await.unwrap();
+            a.local_get(3, size).await.unwrap()
+        });
+        assert_eq!(&got[..], &expected[..]);
     }
 
     #[test]

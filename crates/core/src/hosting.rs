@@ -15,7 +15,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use dc_fabric::{Cluster, FabricModel, NodeId};
+use dc_fabric::{Cluster, FabricModel, FaultConfig, FaultPlan, NodeId};
 use dc_resmon::{Monitor, MonitorCfg, MonitorScheme};
 use dc_sim::rng::component_rng;
 use dc_sim::sync::{oneshot, Notify, OneSender};
@@ -49,6 +49,10 @@ pub struct HostingCfg {
     pub seed: u64,
     /// Monitoring cadence etc.
     pub monitor: MonitorCfg,
+    /// Optional fault injection: `(fault_seed, shape)`, installed before any
+    /// traffic. The front-end (node 0) is forced immune so the balancer
+    /// itself stays reachable; back-ends may crash, stall, and lose messages.
+    pub faults: Option<(u64, FaultConfig)>,
 }
 
 impl Default for HostingCfg {
@@ -65,6 +69,7 @@ impl Default for HostingCfg {
             think_ns: 500_000,
             seed: 11,
             monitor: MonitorCfg::default(),
+            faults: None,
         }
     }
 }
@@ -146,6 +151,13 @@ pub fn run_hosting(cfg: &HostingCfg) -> HostingResult {
     let total_nodes = 1 + cfg.backends;
     let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), total_nodes);
     let frontend = NodeId(0);
+    if let Some((fault_seed, fault_cfg)) = &cfg.faults {
+        let mut fc = fault_cfg.clone();
+        if !fc.immune_nodes.contains(&frontend) {
+            fc.immune_nodes.push(frontend);
+        }
+        cluster.install_faults(FaultPlan::generate(*fault_seed, &fc, total_nodes));
+    }
     let backends: Vec<NodeId> = (1..=cfg.backends as u32).map(NodeId).collect();
     let monitor = Monitor::spawn(&cluster, cfg.scheme, cfg.monitor, frontend, &backends);
     let servers: Vec<AppServer> = backends

@@ -1,5 +1,7 @@
 //! Latency/throughput accounting for the experiment engines.
 
+use std::cell::RefCell;
+
 use dc_sim::SimTime;
 
 /// A latency histogram with power-of-two microsecond buckets plus exact
@@ -11,6 +13,10 @@ pub struct LatencyHist {
     min_ns: u64,
     max_ns: u64,
     samples: Vec<u64>,
+    /// Sorted copy of `samples`, built lazily on the first quantile query
+    /// and invalidated by `record` — experiment reports ask for several
+    /// quantiles back to back, and re-sorting per query made that O(k·n log n).
+    sorted: RefCell<Option<Vec<u64>>>,
 }
 
 impl LatencyHist {
@@ -29,6 +35,7 @@ impl LatencyHist {
         self.min_ns = self.min_ns.min(ns);
         self.max_ns = self.max_ns.max(ns);
         self.samples.push(ns);
+        *self.sorted.borrow_mut() = None;
     }
 
     /// Number of samples.
@@ -65,8 +72,12 @@ impl LatencyHist {
         if self.samples.is_empty() {
             return 0;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
+        let mut cache = self.sorted.borrow_mut();
+        let sorted = cache.get_or_insert_with(|| {
+            let mut v = self.samples.clone();
+            v.sort_unstable();
+            v
+        });
         let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
         sorted[rank - 1]
     }
@@ -98,6 +109,28 @@ mod tests {
         assert_eq!(h.quantile_ns(0.5), us(3));
         assert_eq!(h.quantile_ns(1.0), us(100));
         assert_eq!(h.quantile_ns(0.2), us(1));
+    }
+
+    #[test]
+    fn repeated_quantile_queries_agree_and_track_new_samples() {
+        let mut h = LatencyHist::new();
+        for v in [us(5), us(1), us(9), us(3), us(7)] {
+            h.record(v);
+        }
+        // Repeated queries hit the cached sort and must agree exactly.
+        for _ in 0..3 {
+            assert_eq!(h.quantile_ns(0.5), us(5));
+            assert_eq!(h.quantile_ns(0.0), us(1));
+            assert_eq!(h.quantile_ns(1.0), us(9));
+        }
+        // A new record invalidates the cache; queries see the new sample.
+        h.record(us(11));
+        assert_eq!(h.quantile_ns(1.0), us(11));
+        assert_eq!(h.quantile_ns(0.5), us(5));
+        // Cloned histograms answer independently and identically.
+        let c = h.clone();
+        assert_eq!(c.quantile_ns(0.5), h.quantile_ns(0.5));
+        assert_eq!(c.quantile_ns(0.99), h.quantile_ns(0.99));
     }
 
     #[test]

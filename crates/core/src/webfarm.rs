@@ -12,7 +12,7 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use dc_coopcache::{Backend, BackendCfg, CacheCfg, CacheScheme, CacheStats, CoopCache};
-use dc_fabric::{Cluster, FabricModel, NodeId};
+use dc_fabric::{Cluster, FabricModel, FaultConfig, FaultPlan, NodeId};
 use dc_sim::rng::component_rng;
 use dc_sim::{Sim, SimTime};
 use dc_workloads::{FileSet, Zipf};
@@ -48,6 +48,11 @@ pub struct WebFarmCfg {
     pub backend: BackendCfg,
     /// Cache-tier cost model.
     pub cache: CacheCfg,
+    /// Optional fault injection: `(fault_seed, shape)`. The plan is
+    /// materialized from the seed and installed before any traffic. Node 0
+    /// (backend + directory home) is forced immune — a down origin has no
+    /// degraded mode, every other failure does.
+    pub faults: Option<(u64, FaultConfig)>,
 }
 
 impl Default for WebFarmCfg {
@@ -66,6 +71,7 @@ impl Default for WebFarmCfg {
             seed: 42,
             backend: BackendCfg::default(),
             cache: CacheCfg::default(),
+            faults: None,
         }
     }
 }
@@ -92,6 +98,13 @@ pub fn run_webfarm(cfg: &WebFarmCfg) -> WebFarmResult {
     let total_nodes = 1 + cfg.proxies + cfg.app_nodes;
     let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), total_nodes);
     let backend_node = NodeId(0);
+    if let Some((fault_seed, fault_cfg)) = &cfg.faults {
+        let mut fc = fault_cfg.clone();
+        if !fc.immune_nodes.contains(&backend_node) {
+            fc.immune_nodes.push(backend_node);
+        }
+        cluster.install_faults(FaultPlan::generate(*fault_seed, &fc, total_nodes));
+    }
     let proxies: Vec<NodeId> = (1..=cfg.proxies as u32).map(NodeId).collect();
     let apps: Vec<NodeId> = (cfg.proxies as u32 + 1..total_nodes as u32)
         .map(NodeId)
@@ -213,6 +226,7 @@ mod tests {
             seed: 7,
             backend: BackendCfg::default(),
             cache: CacheCfg::default(),
+            faults: None,
         }
     }
 

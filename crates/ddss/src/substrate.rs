@@ -61,6 +61,14 @@ pub struct DdssConfig {
     pub temporal_ttl_ns: u64,
     /// Backoff between lock CAS retries.
     pub lock_backoff_ns: u64,
+    /// Budget of CAS attempts before [`DdssClient::lock`] declares the lock
+    /// wedged and panics (a holder that never unlocks is a protocol bug; a
+    /// bounded budget turns a silent hang into a diagnosable failure).
+    pub lock_attempts: u32,
+    /// Response deadline for control-plane RPCs (allocate/free). A daemon
+    /// reply lost past the transport retry budget fails the operation
+    /// instead of hanging the client forever.
+    pub ctrl_timeout_ns: u64,
 }
 
 impl Default for DdssConfig {
@@ -71,6 +79,8 @@ impl Default for DdssConfig {
             daemon_cpu_ns: 1_000,
             temporal_ttl_ns: 1_000_000,
             lock_backoff_ns: 12_500,
+            lock_attempts: 20_000,
+            ctrl_timeout_ns: 500_000_000,
         }
     }
 }
@@ -271,8 +281,12 @@ impl Ddss {
                     }
                     _ => panic!("unknown DDSS control op {op}"),
                 };
-                cluster
-                    .send(node, msg.src, reply_port, Bytes::from(reply), Transport::RdmaSend)
+                // Reliable reply: a dropped response would otherwise strand
+                // the client until its control timeout. If the requester
+                // stays crashed past the retry budget the reply is abandoned
+                // and the client-side timeout takes over.
+                let _ = cluster
+                    .send_reliable(node, msg.src, reply_port, Bytes::from(reply), Transport::RdmaSend)
                     .await;
             }
         });
@@ -329,10 +343,25 @@ impl DdssClient {
         req.extend_from_slice(&reply_port.to_le_bytes());
         req.extend_from_slice(&(len as u64).to_le_bytes());
         req.push(coherence.to_u8());
-        self.cluster()
-            .send(self.node, home, home_state.port, Bytes::from(req), Transport::RdmaSend)
-            .await;
-        let resp = ep.recv().await;
+        // Reliable request + bounded response wait: a home that stays down
+        // past every retry makes the allocation fail rather than hang.
+        if self
+            .cluster()
+            .send_reliable(self.node, home, home_state.port, Bytes::from(req), Transport::RdmaSend)
+            .await
+            .is_err()
+        {
+            return None;
+        }
+        let resp = match self
+            .cluster()
+            .sim()
+            .timeout(self.cfg().ctrl_timeout_ns, ep.recv())
+            .await
+        {
+            Ok(m) => m,
+            Err(_) => return None,
+        };
         let b = &resp.data[..];
         if b[0] == 0 {
             return None;
@@ -362,11 +391,23 @@ impl DdssClient {
         let mut req = vec![OP_FREE];
         req.extend_from_slice(&reply_port.to_le_bytes());
         req.extend_from_slice(&key.id.to_le_bytes());
-        self.cluster()
-            .send(self.node, key.home, home_state.port, Bytes::from(req), Transport::RdmaSend)
-            .await;
-        let resp = ep.recv().await;
-        resp.data[0] == 1
+        if self
+            .cluster()
+            .send_reliable(self.node, key.home, home_state.port, Bytes::from(req), Transport::RdmaSend)
+            .await
+            .is_err()
+        {
+            return false;
+        }
+        match self
+            .cluster()
+            .sim()
+            .timeout(self.cfg().ctrl_timeout_ns, ep.recv())
+            .await
+        {
+            Ok(resp) => resp.data[0] == 1,
+            Err(_) => false,
+        }
     }
 
     /// Write `data` (≤ the segment length) under the segment's coherence
@@ -478,16 +519,22 @@ impl DdssClient {
     }
 
     /// Acquire the segment's lock (basic locking service). Spins with
-    /// backoff on contention.
+    /// backoff on contention, up to the configured attempt budget — a holder
+    /// that never unlocks turns into a panic here rather than a silent hang.
     pub async fn lock(&self, key: &SharedKey) {
         let c = self.cluster().clone();
-        loop {
+        for _ in 0..self.cfg().lock_attempts {
             let old = c.atomic_cas(self.node, key.lock_addr(), 0, self.token).await;
             if old == 0 {
                 return;
             }
             c.sim().sleep(self.cfg().lock_backoff_ns).await;
         }
+        panic!(
+            "ddss lock budget exhausted on segment {} ({} attempts): holder never released",
+            key.id,
+            self.cfg().lock_attempts
+        );
     }
 
     /// Release the segment's lock. Panics if this client does not hold it
@@ -778,6 +825,74 @@ mod tests {
         // Paper Fig 3a: the worst 1-byte put stays around 55us.
         assert!(strict < us(60), "strict 1-byte put took {strict}ns");
         assert!(null > us(5));
+    }
+
+    #[test]
+    fn control_plane_survives_message_drops() {
+        use dc_fabric::FaultPlan;
+        let (sim, c, ddss) = setup(2);
+        c.install_faults(FaultPlan::from_parts(5, vec![], vec![], vec![], 0.3));
+        let client = ddss.client(NodeId(0));
+        sim.run_to(async move {
+            // Allocate, round-trip data, and free, all across a 30%-drop
+            // wire: the reliable control plane must still land every step.
+            let key = client.allocate(NodeId(1), 64, Coherence::Read).await.unwrap();
+            client.put(&key, b"chaos-proof payload!").await;
+            let got = client.get(&key).await;
+            assert_eq!(&got[..20], b"chaos-proof payload!");
+            assert!(client.free(key).await);
+        });
+        assert!(c.fault_stats().dropped_msgs > 0, "no drops exercised");
+    }
+
+    #[test]
+    fn data_plane_rides_out_home_crash_window() {
+        use dc_fabric::faults::{CrashWindow, FaultPlan};
+        let (sim, c, ddss) = setup(2);
+        let client = ddss.client(NodeId(0));
+        let key =
+            sim.run_to(async move { client.allocate(NodeId(1), 8, Coherence::Null).await.unwrap() });
+        c.install_faults(FaultPlan::from_parts(
+            0,
+            vec![CrashWindow {
+                node: NodeId(1),
+                start: 0,
+                end: ms(8),
+            }],
+            vec![],
+            vec![],
+            0.0,
+        ));
+        let client = ddss.client(NodeId(0));
+        let h = sim.handle();
+        let (got, t) = sim.run_to(async move {
+            client.put(&key, b"recoverd").await;
+            let got = client.get(&key).await;
+            (got, h.now())
+        });
+        assert_eq!(&got[..], b"recoverd");
+        assert!(t >= ms(8), "completed at {t} inside the crash window");
+        assert!(c.fault_stats().retries > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lock budget exhausted")]
+    fn wedged_lock_panics_instead_of_hanging() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 2);
+        let cfg = DdssConfig {
+            lock_attempts: 50,
+            ..DdssConfig::default()
+        };
+        let ddss = Ddss::new(&cluster, cfg, &[NodeId(0), NodeId(1)]);
+        let c0 = ddss.client(NodeId(0));
+        let c1 = ddss.client(NodeId(1));
+        sim.run_to(async move {
+            let key = c0.allocate(NodeId(0), 8, Coherence::Null).await.unwrap();
+            c0.lock(&key).await;
+            // c0 never unlocks; c1 must give up after its budget.
+            c1.lock(&key).await;
+        });
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Shared tunables of the lock-manager schemes.
 
+use dc_fabric::RetryPolicy;
+
 /// Cost constants for the DLM agents and the SRSL server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DlmConfig {
@@ -11,6 +13,11 @@ pub struct DlmConfig {
     /// CPU time the SRSL server consumes per request or release message
     /// (competes with any other load on the server node).
     pub server_cpu_ns: u64,
+    /// Retransmission budget for protocol messages. Grant authority travels
+    /// peer-to-peer in these schemes, so every protocol message rides the
+    /// reliable transport under this policy; a message undeliverable past
+    /// the budget is a fatal protocol failure (the lock would be orphaned).
+    pub msg_retry: RetryPolicy,
 }
 
 impl Default for DlmConfig {
@@ -19,6 +26,7 @@ impl Default for DlmConfig {
             agent_proc_ns: 500,
             grant_issue_ns: 2_000,
             server_cpu_ns: 2_000,
+            msg_retry: RetryPolicy::default(),
         }
     }
 }

@@ -118,11 +118,12 @@ impl DqnlDlm {
     fn send_grant(&self, from: NodeId, to: NodeId, lock: LockId) {
         let cluster = self.inner.cluster.clone();
         let issue = self.inner.cfg.grant_issue_ns;
+        let policy = self.inner.cfg.msg_retry;
         let port = self.agent_port(to);
         self.inner.cluster.sim().clone().spawn(async move {
             cluster.sim().sleep(issue).await;
             cluster
-                .send(
+                .send_reliable_with(
                     from,
                     to,
                     port,
@@ -132,8 +133,10 @@ impl DqnlDlm {
                     }
                     .encode(),
                     Transport::RdmaSend,
+                    policy,
                 )
-                .await;
+                .await
+                .unwrap_or_else(|e| panic!("DQNL grant {from:?}->{to:?} undeliverable: {e}"));
         });
     }
 
@@ -227,6 +230,7 @@ impl DqnlClient {
             let cl = cluster.clone();
             let port = self.dlm.agent_port(pred);
             let issue = self.dlm.inner.cfg.grant_issue_ns;
+            let policy = self.dlm.inner.cfg.msg_retry;
             let from = self.node;
             let req = DlmMsg::ExclReq {
                 lock,
@@ -236,7 +240,11 @@ impl DqnlClient {
             .encode();
             cluster.sim().clone().spawn(async move {
                 cl.sim().sleep(issue).await;
-                cl.send(from, pred, port, req, Transport::RdmaSend).await;
+                cl.send_reliable_with(from, pred, port, req, Transport::RdmaSend, policy)
+                    .await
+                    .unwrap_or_else(|e| {
+                        panic!("DQNL request {from:?}->{pred:?} undeliverable: {e}")
+                    });
             });
             rx.await.expect("DQNL grant channel closed");
         }

@@ -172,6 +172,7 @@ impl NcosedDlm {
         }
         let cluster = self.inner.cluster.clone();
         let issue_ns = self.inner.cfg.grant_issue_ns;
+        let policy = self.inner.cfg.msg_retry;
         self.inner
             .grants_sent
             .set(self.inner.grants_sent.get() + msgs.len() as u64);
@@ -181,7 +182,15 @@ impl NcosedDlm {
                 let c2 = cluster.clone();
                 let data = msg.encode();
                 cluster.sim().clone().spawn(async move {
-                    c2.send(from, to, port, data, Transport::RdmaSend).await;
+                    // Grant authority is handed over exactly once; losing a
+                    // protocol message would orphan a waiter forever, so ride
+                    // the reliable transport and treat budget exhaustion as
+                    // fatal.
+                    c2.send_reliable_with(from, to, port, data, Transport::RdmaSend, policy)
+                        .await
+                        .unwrap_or_else(|e| {
+                            panic!("dlm message {from:?}->{to:?} undeliverable: {e}")
+                        });
                 });
             }
         });
@@ -785,6 +794,41 @@ mod tests {
         let reached = sim.run_until(ms(3));
         assert_eq!(reached, ms(3));
         assert_eq!(done.get(), 8);
+    }
+
+    #[test]
+    fn mutual_exclusion_survives_message_drops() {
+        use dc_fabric::FaultPlan;
+        let (sim, c, dlm) = setup(5, 1);
+        // Protocol messages (requests/grants) ride the reliable transport,
+        // so a lossy fabric slows the chain but never orphans a waiter.
+        c.install_faults(FaultPlan::from_parts(77, vec![], vec![], vec![], 0.25));
+        let in_cs: Rc<Cell<u32>> = Rc::default();
+        let max_seen: Rc<Cell<u32>> = Rc::default();
+        let done: Rc<Cell<u32>> = Rc::default();
+        let h = sim.handle();
+        for n in 1..5u32 {
+            let client = dlm.client(NodeId(n));
+            let in_cs = Rc::clone(&in_cs);
+            let max_seen = Rc::clone(&max_seen);
+            let done = Rc::clone(&done);
+            let hh = h.clone();
+            sim.spawn(async move {
+                for _ in 0..3 {
+                    client.lock(0, LockMode::Exclusive).await;
+                    in_cs.set(in_cs.get() + 1);
+                    max_seen.set(max_seen.get().max(in_cs.get()));
+                    hh.sleep(us(20)).await;
+                    in_cs.set(in_cs.get() - 1);
+                    client.unlock(0).await;
+                }
+                done.set(done.get() + 1);
+            });
+        }
+        sim.run();
+        assert_eq!(max_seen.get(), 1, "two exclusive holders overlapped");
+        assert_eq!(done.get(), 4, "a waiter was orphaned by a dropped message");
+        assert!(c.fault_stats().dropped_msgs > 0, "fault plan never fired");
     }
 
     #[test]

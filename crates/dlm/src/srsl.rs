@@ -178,7 +178,12 @@ impl SrslDlm {
                     let c2 = cluster.clone();
                     let data = DlmMsg::Grant { lock, exclusive }.encode();
                     cluster.sim().clone().spawn(async move {
-                        c2.send(server, to, port, data, Transport::RdmaSend).await;
+                        // A lost grant would orphan the waiter: reliable or bust.
+                        c2.send_reliable_with(server, to, port, data, Transport::RdmaSend, cfg.msg_retry)
+                            .await
+                            .unwrap_or_else(|e| {
+                                panic!("SRSL grant {server:?}->{to:?} undeliverable: {e}")
+                            });
                     });
                 }
             }
@@ -202,7 +207,7 @@ impl SrslClient {
         assert!(prev.is_none(), "concurrent SRSL ops on one lock");
         inner
             .cluster
-            .send(
+            .send_reliable_with(
                 self.node,
                 inner.server,
                 inner.server_port,
@@ -213,8 +218,10 @@ impl SrslClient {
                 }
                 .encode(),
                 Transport::RdmaSend,
+                inner.cfg.msg_retry,
             )
-            .await;
+            .await
+            .unwrap_or_else(|e| panic!("SRSL lock request undeliverable: {e}"));
         rx.await.expect("SRSL grant channel closed");
     }
 
@@ -223,7 +230,7 @@ impl SrslClient {
         let inner = &self.dlm.inner;
         inner
             .cluster
-            .send(
+            .send_reliable_with(
                 self.node,
                 inner.server,
                 inner.server_port,
@@ -233,8 +240,10 @@ impl SrslClient {
                 }
                 .encode(),
                 Transport::RdmaSend,
+                inner.cfg.msg_retry,
             )
-            .await;
+            .await
+            .unwrap_or_else(|e| panic!("SRSL release undeliverable: {e}"));
     }
 }
 

@@ -31,6 +31,7 @@ use bytes::Bytes;
 use dc_sim::sync::{channel, Receiver, Semaphore, Sender};
 use dc_sim::SimHandle;
 
+use crate::faults::{inflate, FabricError, FaultPlan, FaultStats, RetryPolicy};
 use crate::kstat::KSTAT_REGION_LEN;
 use crate::mem::{RegionData, RegionId, RemoteAddr};
 use crate::model::FabricModel;
@@ -102,6 +103,9 @@ struct ClusterInner {
     nodes: RefCell<Vec<Rc<NodeInner>>>,
     stats: StatsCells,
     next_port: Cell<u16>,
+    /// Installed fault schedule, if any. `None` means the fabric is
+    /// perfectly reliable and every `try_*` verb is infallible in practice.
+    faults: RefCell<Option<Rc<FaultPlan>>>,
 }
 
 #[derive(Default)]
@@ -133,6 +137,7 @@ impl Cluster {
                 nodes: RefCell::new(Vec::new()),
                 stats: StatsCells::default(),
                 next_port: Cell::new(1024),
+                faults: RefCell::new(None),
             }),
         };
         for _ in 0..nodes {
@@ -195,6 +200,77 @@ impl Cluster {
         }
     }
 
+    /// Install a fault schedule. Every verb and send consults it from now
+    /// on; CPU-stall windows are realized as hog jobs spawned here. May be
+    /// called at most once per cluster.
+    pub fn install_faults(&self, plan: FaultPlan) {
+        assert!(
+            self.inner.faults.borrow().is_none(),
+            "fault plan already installed"
+        );
+        for w in plan.stall_windows() {
+            let cpu = self.cpu(w.node);
+            let sim = self.inner.sim.clone();
+            let (start, dur) = (w.start, w.dur);
+            self.inner.sim.spawn(async move {
+                sim.sleep_until(start).await;
+                cpu.execute(dur).await;
+            });
+        }
+        *self.inner.faults.borrow_mut() = Some(Rc::new(plan));
+    }
+
+    /// The installed fault plan, if any.
+    pub fn faults(&self) -> Option<Rc<FaultPlan>> {
+        self.inner.faults.borrow().clone()
+    }
+
+    /// Fault-exercise counters (zeroes when no plan is installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.inner
+            .faults
+            .borrow()
+            .as_ref()
+            .map(|p| p.stats())
+            .unwrap_or_default()
+    }
+
+    /// Latency multiplier (milli) in force right now; 1000 when faultless.
+    fn fault_factor(&self) -> u64 {
+        match &*self.inner.faults.borrow() {
+            Some(p) => p.latency_factor_milli(self.inner.sim.now()),
+            None => 1000,
+        }
+    }
+
+    /// Whether `node` is currently crashed; records the hit if so.
+    fn fault_down(&self, node: NodeId) -> bool {
+        match &*self.inner.faults.borrow() {
+            Some(p) => {
+                let down = p.is_down(node, self.inner.sim.now());
+                if down {
+                    p.note_unreachable();
+                }
+                down
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the message under way is dropped in flight.
+    fn fault_drop(&self) -> bool {
+        match &*self.inner.faults.borrow() {
+            Some(p) => p.should_drop(),
+            None => false,
+        }
+    }
+
+    fn note_retry(&self) {
+        if let Some(p) = &*self.inner.faults.borrow() {
+            p.note_retry();
+        }
+    }
+
     fn node(&self, id: NodeId) -> Rc<NodeInner> {
         Rc::clone(
             self.inner
@@ -240,43 +316,119 @@ impl Cluster {
 
     /// One-sided RDMA read of `len` bytes at `addr`, issued by `from`.
     /// The target CPU is not involved.
+    ///
+    /// Infallible wrapper over [`Cluster::try_rdma_read`]: retries crash-
+    /// window failures on the default [`RetryPolicy`] and panics once the
+    /// budget is exhausted (callers that can degrade use the `try_` form).
     pub async fn rdma_read(&self, from: NodeId, addr: RemoteAddr, len: usize) -> Bytes {
-        let _ = from;
+        let p = RetryPolicy::default();
+        for attempt in 0..p.max_attempts {
+            match self.try_rdma_read(from, addr, len).await {
+                Ok(data) => return data,
+                Err(_) if attempt + 1 < p.max_attempts => {
+                    self.note_retry();
+                    self.inner.sim.sleep(p.backoff_after(attempt)).await;
+                }
+                Err(e) => panic!("rdma_read at {addr:?}: {e} (retry budget exhausted)"),
+            }
+        }
+        unreachable!()
+    }
+
+    /// Fallible RDMA read: fails with [`FabricError::Unreachable`] when the
+    /// issuer or the target is inside a crash window. No bytes are returned
+    /// on failure; nothing is mutated either way.
+    pub async fn try_rdma_read(
+        &self,
+        from: NodeId,
+        addr: RemoteAddr,
+        len: usize,
+    ) -> Result<Bytes, FabricError> {
         let m = &self.inner.model;
         let sim = self.inner.sim.clone();
-        sim.sleep(m.post_overhead_ns + m.rdma_read_base_ns / 2).await;
+        let f = self.fault_factor();
+        if self.fault_down(from) {
+            return Err(FabricError::Unreachable(from));
+        }
+        sim.sleep(inflate(m.post_overhead_ns + m.rdma_read_base_ns / 2, f))
+            .await;
+        // The request has reached the target NIC: the target must be up to
+        // sample and transmit the data.
+        if self.fault_down(addr.node) {
+            return Err(FabricError::Unreachable(addr.node));
+        }
         let target = self.node(addr.node);
         // Queue on the target's outbound link for the payload.
         let permit = target.link.acquire_permit().await;
         let region = target.regions.borrow()[addr.region.0 as usize].clone();
         let data = Bytes::from(region.read(addr.offset, len));
-        sim.sleep(m.ib_bytes_time(len)).await;
+        sim.sleep(inflate(m.ib_bytes_time(len), f)).await;
         drop(permit);
-        sim.sleep(m.rdma_read_base_ns - m.rdma_read_base_ns / 2).await;
+        sim.sleep(inflate(
+            m.rdma_read_base_ns - m.rdma_read_base_ns / 2,
+            f,
+        ))
+        .await;
         self.inner.stats.reads.set(self.inner.stats.reads.get() + 1);
         self.inner
             .stats
             .bytes_read
             .set(self.inner.stats.bytes_read.get() + len as u64);
-        data
+        Ok(data)
     }
 
     /// One-sided RDMA write of `data` to `addr`, issued by `from`.
     /// Completes after the NIC-level acknowledgement.
+    ///
+    /// Infallible wrapper over [`Cluster::try_rdma_write`]; see
+    /// [`Cluster::rdma_read`] for the retry/panic contract.
     pub async fn rdma_write(&self, from: NodeId, addr: RemoteAddr, data: &[u8]) {
+        let p = RetryPolicy::default();
+        for attempt in 0..p.max_attempts {
+            match self.try_rdma_write(from, addr, data).await {
+                Ok(()) => return,
+                Err(_) if attempt + 1 < p.max_attempts => {
+                    self.note_retry();
+                    self.inner.sim.sleep(p.backoff_after(attempt)).await;
+                }
+                Err(e) => panic!("rdma_write at {addr:?}: {e} (retry budget exhausted)"),
+            }
+        }
+        unreachable!()
+    }
+
+    /// Fallible RDMA write. On `Err` the target memory was *not* modified,
+    /// so retrying is always safe.
+    pub async fn try_rdma_write(
+        &self,
+        from: NodeId,
+        addr: RemoteAddr,
+        data: &[u8],
+    ) -> Result<(), FabricError> {
         let m = &self.inner.model;
         let sim = self.inner.sim.clone();
-        sim.sleep(m.post_overhead_ns).await;
+        let f = self.fault_factor();
+        if self.fault_down(from) {
+            return Err(FabricError::Unreachable(from));
+        }
+        sim.sleep(inflate(m.post_overhead_ns, f)).await;
         let src = self.node(from);
         let permit = src.link.acquire_permit().await;
-        sim.sleep(m.ib_bytes_time(data.len())).await;
+        sim.sleep(inflate(m.ib_bytes_time(data.len()), f)).await;
         drop(permit);
-        sim.sleep(m.rdma_write_base_ns / 2).await;
+        sim.sleep(inflate(m.rdma_write_base_ns / 2, f)).await;
+        // The payload is about to land: the target must be up.
+        if self.fault_down(addr.node) {
+            return Err(FabricError::Unreachable(addr.node));
+        }
         let target = self.node(addr.node);
         let region = target.regions.borrow()[addr.region.0 as usize].clone();
         region.write(addr.offset, data);
-        sim.sleep(m.rdma_write_base_ns - m.rdma_write_base_ns / 2)
-            .await;
+        sim.sleep(inflate(
+            m.rdma_write_base_ns - m.rdma_write_base_ns / 2,
+            f,
+        ))
+        .await;
         self.inner
             .stats
             .writes
@@ -285,36 +437,104 @@ impl Cluster {
             .stats
             .bytes_written
             .set(self.inner.stats.bytes_written.get() + data.len() as u64);
+        Ok(())
     }
 
     /// Remote compare-and-swap on the u64 at `addr`; returns the prior value
     /// (swap happened iff it equals `expect`). Linearized at the target NIC.
+    ///
+    /// Infallible wrapper over [`Cluster::try_atomic_cas`]; see
+    /// [`Cluster::rdma_read`] for the retry/panic contract.
     pub async fn atomic_cas(&self, from: NodeId, addr: RemoteAddr, expect: u64, swap: u64) -> u64 {
-        let _ = from;
+        let p = RetryPolicy::default();
+        for attempt in 0..p.max_attempts {
+            match self.try_atomic_cas(from, addr, expect, swap).await {
+                Ok(old) => return old,
+                Err(_) if attempt + 1 < p.max_attempts => {
+                    self.note_retry();
+                    self.inner.sim.sleep(p.backoff_after(attempt)).await;
+                }
+                Err(e) => panic!("atomic_cas at {addr:?}: {e} (retry budget exhausted)"),
+            }
+        }
+        unreachable!()
+    }
+
+    /// Fallible compare-and-swap. On `Err` the word was *not* touched (the
+    /// operation fails before linearization), so retrying is safe.
+    pub async fn try_atomic_cas(
+        &self,
+        from: NodeId,
+        addr: RemoteAddr,
+        expect: u64,
+        swap: u64,
+    ) -> Result<u64, FabricError> {
         let m = &self.inner.model;
         let sim = self.inner.sim.clone();
-        sim.sleep(m.post_overhead_ns + m.atomic_base_ns / 2).await;
+        let f = self.fault_factor();
+        if self.fault_down(from) {
+            return Err(FabricError::Unreachable(from));
+        }
+        sim.sleep(inflate(m.post_overhead_ns + m.atomic_base_ns / 2, f))
+            .await;
+        if self.fault_down(addr.node) {
+            return Err(FabricError::Unreachable(addr.node));
+        }
         let target = self.node(addr.node);
         let region = target.regions.borrow()[addr.region.0 as usize].clone();
         let old = region.cas_u64(addr.offset, expect, swap);
-        sim.sleep(m.atomic_base_ns - m.atomic_base_ns / 2).await;
+        sim.sleep(inflate(m.atomic_base_ns - m.atomic_base_ns / 2, f))
+            .await;
         self.inner.stats.cas.set(self.inner.stats.cas.get() + 1);
-        old
+        Ok(old)
     }
 
     /// Remote fetch-and-add (wrapping) on the u64 at `addr`; returns the
     /// prior value. Linearized at the target NIC.
+    ///
+    /// Infallible wrapper over [`Cluster::try_atomic_faa`]; see
+    /// [`Cluster::rdma_read`] for the retry/panic contract.
     pub async fn atomic_faa(&self, from: NodeId, addr: RemoteAddr, add: u64) -> u64 {
-        let _ = from;
+        let p = RetryPolicy::default();
+        for attempt in 0..p.max_attempts {
+            match self.try_atomic_faa(from, addr, add).await {
+                Ok(old) => return old,
+                Err(_) if attempt + 1 < p.max_attempts => {
+                    self.note_retry();
+                    self.inner.sim.sleep(p.backoff_after(attempt)).await;
+                }
+                Err(e) => panic!("atomic_faa at {addr:?}: {e} (retry budget exhausted)"),
+            }
+        }
+        unreachable!()
+    }
+
+    /// Fallible fetch-and-add. On `Err` the word was *not* touched, so
+    /// retrying is safe (no double-add).
+    pub async fn try_atomic_faa(
+        &self,
+        from: NodeId,
+        addr: RemoteAddr,
+        add: u64,
+    ) -> Result<u64, FabricError> {
         let m = &self.inner.model;
         let sim = self.inner.sim.clone();
-        sim.sleep(m.post_overhead_ns + m.atomic_base_ns / 2).await;
+        let f = self.fault_factor();
+        if self.fault_down(from) {
+            return Err(FabricError::Unreachable(from));
+        }
+        sim.sleep(inflate(m.post_overhead_ns + m.atomic_base_ns / 2, f))
+            .await;
+        if self.fault_down(addr.node) {
+            return Err(FabricError::Unreachable(addr.node));
+        }
         let target = self.node(addr.node);
         let region = target.regions.borrow()[addr.region.0 as usize].clone();
         let old = region.faa_u64(addr.offset, add);
-        sim.sleep(m.atomic_base_ns - m.atomic_base_ns / 2).await;
+        sim.sleep(inflate(m.atomic_base_ns - m.atomic_base_ns / 2, f))
+            .await;
         self.inner.stats.faa.set(self.inner.stats.faa.get() + 1);
-        old
+        Ok(old)
     }
 
     /// Allocate a cluster-unique port number (usable on any node). Ports
@@ -345,7 +565,9 @@ impl Cluster {
     /// when the message is delivered into the endpoint's mailbox (for TCP
     /// that includes receiver-side protocol processing, which competes with
     /// application load for the target CPU). Messages to unbound ports are
-    /// silently dropped, like a network.
+    /// silently dropped, like a network — and so are messages hit by an
+    /// installed fault plan (unreliable-datagram semantics; use
+    /// [`Cluster::send_reliable`] for the RC-QP retransmitting flavor).
     pub async fn send(
         &self,
         from: NodeId,
@@ -354,41 +576,117 @@ impl Cluster {
         data: Bytes,
         transport: Transport,
     ) {
+        let _ = self.try_send(from, to, port, data, transport).await;
+    }
+
+    /// Fallible send: `Ok(())` means the message was placed in the target
+    /// mailbox (or hit an unbound port); `Err` means it was provably *not*
+    /// delivered — either endpoint was crashed or the wire dropped it — so
+    /// retrying cannot duplicate it.
+    pub async fn try_send(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        port: u16,
+        data: Bytes,
+        transport: Transport,
+    ) -> Result<(), FabricError> {
         let m = &self.inner.model;
         let sim = self.inner.sim.clone();
         let len = data.len();
+        let f = self.fault_factor();
+        if self.fault_down(from) {
+            return Err(FabricError::Unreachable(from));
+        }
         match transport {
             Transport::RdmaSend => {
-                sim.sleep(m.post_overhead_ns).await;
+                sim.sleep(inflate(m.post_overhead_ns, f)).await;
                 let src = self.node(from);
                 let permit = src.link.acquire_permit().await;
-                sim.sleep(m.ib_bytes_time(len)).await;
+                sim.sleep(inflate(m.ib_bytes_time(len), f)).await;
                 drop(permit);
-                sim.sleep(m.rdma_send_base_ns).await;
-                self.deliver(from, to, port, data);
+                sim.sleep(inflate(m.rdma_send_base_ns, f)).await;
                 self.inner
                     .stats
                     .sends_rdma
                     .set(self.inner.stats.sends_rdma.get() + 1);
+                if self.fault_down(to) {
+                    return Err(FabricError::Unreachable(to));
+                }
+                if self.fault_drop() {
+                    return Err(FabricError::Dropped);
+                }
+                self.deliver(from, to, port, data);
             }
             Transport::Tcp => {
                 // Sender-side stack processing (copy into kernel buffers).
                 let src = self.node(from);
                 src.cpu.execute(m.tcp_send_cpu(len)).await;
                 let permit = src.link.acquire_permit().await;
-                sim.sleep(m.tcp_bytes_time(len)).await;
+                sim.sleep(inflate(m.tcp_bytes_time(len), f)).await;
                 drop(permit);
-                sim.sleep(m.tcp_base_ns).await;
-                // Receiver-side stack processing competes with load.
-                let dst = self.node(to);
-                dst.cpu.execute(m.tcp_recv_cpu(len)).await;
-                self.deliver(from, to, port, data);
+                sim.sleep(inflate(m.tcp_base_ns, f)).await;
                 self.inner
                     .stats
                     .sends_tcp
                     .set(self.inner.stats.sends_tcp.get() + 1);
+                if self.fault_down(to) {
+                    return Err(FabricError::Unreachable(to));
+                }
+                if self.fault_drop() {
+                    return Err(FabricError::Dropped);
+                }
+                // Receiver-side stack processing competes with load.
+                let dst = self.node(to);
+                dst.cpu.execute(m.tcp_recv_cpu(len)).await;
+                self.deliver(from, to, port, data);
             }
         }
+        Ok(())
+    }
+
+    /// Reliable-connection send (the simulated analogue of an InfiniBand RC
+    /// QP): retransmits on drop or crash with exponential backoff under the
+    /// default [`RetryPolicy`]. `Ok(())` means delivered exactly once;
+    /// `Err` means never delivered — so protocol state machines built on
+    /// this never see duplicates.
+    pub async fn send_reliable(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        port: u16,
+        data: Bytes,
+        transport: Transport,
+    ) -> Result<(), FabricError> {
+        self.send_reliable_with(from, to, port, data, transport, RetryPolicy::default())
+            .await
+    }
+
+    /// [`Cluster::send_reliable`] with an explicit retry budget.
+    pub async fn send_reliable_with(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        port: u16,
+        data: Bytes,
+        transport: Transport,
+        policy: RetryPolicy,
+    ) -> Result<(), FabricError> {
+        assert!(policy.max_attempts >= 1, "need at least one attempt");
+        for attempt in 0..policy.max_attempts {
+            match self
+                .try_send(from, to, port, data.clone(), transport)
+                .await
+            {
+                Ok(()) => return Ok(()),
+                Err(e) if attempt + 1 >= policy.max_attempts => return Err(e),
+                Err(_) => {
+                    self.note_retry();
+                    self.inner.sim.sleep(policy.backoff_after(attempt)).await;
+                }
+            }
+        }
+        unreachable!()
     }
 
     fn deliver(&self, from: NodeId, to: NodeId, port: u16, data: Bytes) {
@@ -733,6 +1031,198 @@ mod tests {
         let (_sim, c) = setup(2);
         let _a = c.bind(NodeId(1), 7);
         let _b = c.bind(NodeId(1), 7);
+    }
+
+    #[test]
+    fn crashed_target_fails_try_verbs_then_recovers() {
+        use crate::faults::{CrashWindow, FaultPlan};
+        let (sim, c) = setup(2);
+        let r = c.register(NodeId(1), 64);
+        let addr = RemoteAddr {
+            node: NodeId(1),
+            region: r,
+            offset: 0,
+        };
+        c.install_faults(FaultPlan::from_parts(
+            0,
+            vec![CrashWindow {
+                node: NodeId(1),
+                start: 0,
+                end: ms(10),
+            }],
+            vec![],
+            vec![],
+            0.0,
+        ));
+        let cc = c.clone();
+        let h = sim.handle();
+        let (early_read, early_cas, late) = sim.run_to(async move {
+            let early_read = cc.try_rdma_read(NodeId(0), addr, 8).await;
+            let early_cas = cc.try_atomic_cas(NodeId(0), addr, 0, 7).await;
+            h.sleep_until(ms(10)).await;
+            let late = cc.try_rdma_read(NodeId(0), addr, 8).await;
+            (early_read, early_cas, late)
+        });
+        assert_eq!(early_read, Err(crate::faults::FabricError::Unreachable(NodeId(1))));
+        assert!(early_cas.is_err());
+        assert!(late.is_ok());
+        // The failed CAS must not have touched memory.
+        assert_eq!(c.region(NodeId(1), r).read_u64(0), 0);
+        assert!(c.fault_stats().unreachable_ops >= 2);
+    }
+
+    #[test]
+    fn infallible_read_rides_out_a_crash_window() {
+        use crate::faults::{CrashWindow, FaultPlan};
+        let (sim, c) = setup(2);
+        let r = c.register(NodeId(1), 64);
+        let addr = RemoteAddr {
+            node: NodeId(1),
+            region: r,
+            offset: 0,
+        };
+        c.region(NodeId(1), r).write(0, b"fedcba98");
+        c.install_faults(FaultPlan::from_parts(
+            0,
+            vec![CrashWindow {
+                node: NodeId(1),
+                start: 0,
+                end: ms(5),
+            }],
+            vec![],
+            vec![],
+            0.0,
+        ));
+        let cc = c.clone();
+        let h = sim.handle();
+        let (data, t) = sim.run_to(async move {
+            let data = cc.rdma_read(NodeId(0), addr, 8).await;
+            (data, h.now())
+        });
+        assert_eq!(&data[..], b"fedcba98");
+        // The read only completes once the node is back up.
+        assert!(t >= ms(5), "completed at {t} inside the crash window");
+        assert!(c.fault_stats().retries > 0);
+    }
+
+    #[test]
+    fn unreliable_send_vanishes_on_drop_but_reliable_gets_through() {
+        use crate::faults::FaultPlan;
+        let (sim, c) = setup(2);
+        // 50% drop rate: over 20 messages some attempts are dropped, yet
+        // every reliable send must still deliver exactly once.
+        c.install_faults(FaultPlan::from_parts(3, vec![], vec![], vec![], 0.5));
+        let mut ep = c.bind(NodeId(1), 7);
+        let cc = c.clone();
+        sim.spawn(async move {
+            for i in 0..20u8 {
+                cc.send_reliable(
+                    NodeId(0),
+                    NodeId(1),
+                    7,
+                    Bytes::from(vec![i]),
+                    Transport::RdmaSend,
+                )
+                .await
+                .expect("reliable send failed");
+            }
+        });
+        let got = sim.run_to(async move {
+            let mut got = Vec::new();
+            for _ in 0..20 {
+                got.push(ep.recv().await.data[0]);
+            }
+            got
+        });
+        assert_eq!(got, (0..20u8).collect::<Vec<_>>());
+        let fs = c.fault_stats();
+        assert!(fs.dropped_msgs > 0, "no drop was exercised");
+        assert_eq!(fs.retries, fs.dropped_msgs);
+    }
+
+    #[test]
+    fn latency_window_inflates_read_time() {
+        use crate::faults::{FaultPlan, LatencyWindow};
+        let (sim, c) = setup(2);
+        let r = c.register(NodeId(1), 64);
+        let addr = RemoteAddr {
+            node: NodeId(1),
+            region: r,
+            offset: 0,
+        };
+        c.install_faults(FaultPlan::from_parts(
+            0,
+            vec![],
+            vec![LatencyWindow {
+                start: 0,
+                end: ms(1),
+                factor_milli: 3000,
+            }],
+            vec![],
+            0.0,
+        ));
+        let cc = c.clone();
+        let h = sim.handle();
+        let (t_in, t_out) = sim.run_to(async move {
+            let s0 = h.now();
+            cc.rdma_read(NodeId(0), addr, 1).await;
+            let t_in = h.now() - s0;
+            h.sleep_until(ms(1)).await;
+            let s1 = h.now();
+            cc.rdma_read(NodeId(0), addr, 1).await;
+            (t_in, h.now() - s1)
+        });
+        let m = FabricModel::calibrated_2007();
+        let base = m.post_overhead_ns + m.rdma_read_base_ns + 2;
+        assert_eq!(t_out, base);
+        // 3x factor on every wire segment (integer division truncates).
+        assert!(t_in >= base * 3 - 3 && t_in <= base * 3, "t_in={t_in} base={base}");
+    }
+
+    #[test]
+    fn stall_window_hogs_target_cpu() {
+        use crate::faults::{FaultPlan, StallWindow};
+        let (sim, c) = setup(2);
+        c.install_faults(FaultPlan::from_parts(
+            0,
+            vec![],
+            vec![],
+            vec![StallWindow {
+                node: NodeId(1),
+                start: us(10),
+                dur: ms(3),
+            }],
+            0.0,
+        ));
+        sim.run();
+        assert_eq!(c.cpu(NodeId(1)).snapshot().busy_ns, ms(3));
+        assert_eq!(c.cpu(NodeId(0)).snapshot().busy_ns, 0);
+    }
+
+    #[test]
+    fn issuing_from_a_crashed_node_fails_too() {
+        use crate::faults::{CrashWindow, FaultPlan};
+        let (sim, c) = setup(2);
+        let r = c.register(NodeId(1), 64);
+        let addr = RemoteAddr {
+            node: NodeId(1),
+            region: r,
+            offset: 0,
+        };
+        c.install_faults(FaultPlan::from_parts(
+            0,
+            vec![CrashWindow {
+                node: NodeId(0),
+                start: 0,
+                end: ms(1),
+            }],
+            vec![],
+            vec![],
+            0.0,
+        ));
+        let cc = c.clone();
+        let res = sim.run_to(async move { cc.try_rdma_write(NodeId(0), addr, b"x").await });
+        assert_eq!(res, Err(crate::faults::FabricError::Unreachable(NodeId(0))));
     }
 
     #[test]

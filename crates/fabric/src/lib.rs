@@ -47,12 +47,14 @@
 
 pub mod cluster;
 pub mod cpu;
+pub mod faults;
 pub mod kstat;
 pub mod mem;
 pub mod model;
 pub mod rpc;
 
 pub use cluster::{Cluster, Endpoint, Message, NodeId, Transport, VerbStats};
+pub use faults::{FabricError, FaultConfig, FaultPlan, FaultStats, RetryPolicy};
 pub use rpc::RpcClient;
 pub use cpu::{CpuConfig, CpuModel};
 pub use kstat::KernelStats;

@@ -60,6 +60,11 @@ impl RpcClient {
     }
 
     /// Call `(to, port)` with `payload`; resolves with the response payload.
+    ///
+    /// Infallible wrapper over [`RpcClient::try_call`]: retries the whole
+    /// call a few times on timeout/unreachability and panics once the budget
+    /// is exhausted. Callers that can degrade (e.g. fall back to a slower
+    /// path) should use `try_call` directly.
     pub async fn call(
         &self,
         to: NodeId,
@@ -67,6 +72,31 @@ impl RpcClient {
         payload: &[u8],
         transport: Transport,
     ) -> Bytes {
+        const CALL_ATTEMPTS: u32 = 4;
+        for attempt in 0..CALL_ATTEMPTS {
+            if let Some(resp) = self
+                .try_call(to, port, payload, transport, DEFAULT_TIMEOUT_NS)
+                .await
+            {
+                return resp;
+            }
+            let _ = attempt;
+        }
+        panic!("rpc call to {to:?}:{port} failed: retry budget exhausted");
+    }
+
+    /// Fallible call with a response deadline. The request travels over
+    /// [`Cluster::send_reliable`], so transient drops are retransmitted;
+    /// `None` means the request could not be delivered within the transport
+    /// retry budget or no response arrived within `timeout_ns`.
+    pub async fn try_call(
+        &self,
+        to: NodeId,
+        port: u16,
+        payload: &[u8],
+        transport: Transport,
+        timeout_ns: dc_sim::SimTime,
+    ) -> Option<Bytes> {
         let id = self.next_id.get();
         self.next_id.set(id + 1);
         let (tx, rx) = dc_sim::sync::oneshot();
@@ -75,12 +105,31 @@ impl RpcClient {
         req.extend_from_slice(&self.port.to_le_bytes());
         req.extend_from_slice(&id.to_le_bytes());
         req.extend_from_slice(payload);
-        self.cluster
-            .send(self.node, to, port, Bytes::from(req), transport)
-            .await;
-        rx.await.expect("rpc response channel closed")
+        if self
+            .cluster
+            .send_reliable(self.node, to, port, Bytes::from(req), transport)
+            .await
+            .is_err()
+        {
+            self.pending.borrow_mut().remove(&id);
+            return None;
+        }
+        match self.cluster.sim().timeout(timeout_ns, rx).await {
+            Ok(resp) => Some(resp.expect("rpc response channel closed")),
+            Err(_) => {
+                // A late response will arrive with an unknown id and be
+                // dropped by the pump.
+                self.pending.borrow_mut().remove(&id);
+                None
+            }
+        }
     }
 }
+
+/// Default response deadline for [`RpcClient::call`]: generous enough for
+/// heavily queued backends, but bounded so a lost response can never hang a
+/// caller forever.
+pub const DEFAULT_TIMEOUT_NS: dc_sim::SimTime = 500_000_000;
 
 /// A parsed incoming request, ready to be answered with [`respond`].
 #[derive(Debug, Clone)]
@@ -107,7 +156,10 @@ pub fn parse_request(msg: &Message) -> RpcRequest {
     }
 }
 
-/// Send `payload` back to the requester.
+/// Send `payload` back to the requester. Uses the reliable transport so a
+/// transient drop cannot orphan the caller; if the requester stays down past
+/// the retry budget the response is abandoned (the caller's own timeout
+/// handles it).
 pub async fn respond(
     cluster: &Cluster,
     server: NodeId,
@@ -118,8 +170,8 @@ pub async fn respond(
     let mut resp = Vec::with_capacity(RESP_HDR + payload.len());
     resp.extend_from_slice(&req.id.to_le_bytes());
     resp.extend_from_slice(payload);
-    cluster
-        .send(server, req.src, req.reply_port, Bytes::from(resp), transport)
+    let _ = cluster
+        .send_reliable(server, req.src, req.reply_port, Bytes::from(resp), transport)
         .await;
 }
 
@@ -182,6 +234,55 @@ mod tests {
             let (i, resp) = j.try_take().unwrap();
             assert_eq!(&resp[..], &[b'e', b'c', b'h', b'o', b':', i]);
         }
+    }
+
+    #[test]
+    fn calls_survive_heavy_message_drop() {
+        use crate::faults::FaultPlan;
+        let sim = Sim::new();
+        let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 2);
+        cluster.install_faults(FaultPlan::from_parts(11, vec![], vec![], vec![], 0.4));
+        let port = echo_server(&cluster, NodeId(1));
+        let client = RpcClient::new(&cluster, NodeId(0));
+        let resps = sim.run_to(async move {
+            let mut out = Vec::new();
+            for i in 0..10u8 {
+                out.push(client.call(NodeId(1), port, &[i], Transport::RdmaSend).await);
+            }
+            out
+        });
+        for (i, r) in resps.iter().enumerate() {
+            assert_eq!(&r[..], &[b'e', b'c', b'h', b'o', b':', i as u8]);
+        }
+        assert!(cluster.fault_stats().dropped_msgs > 0);
+    }
+
+    #[test]
+    fn try_call_times_out_on_unreachable_server() {
+        use crate::faults::{CrashWindow, FaultPlan};
+        use dc_sim::time::secs;
+        let sim = Sim::new();
+        let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 2);
+        // Server down for the whole experiment: past any retry budget.
+        cluster.install_faults(FaultPlan::from_parts(
+            0,
+            vec![CrashWindow {
+                node: NodeId(1),
+                start: 0,
+                end: secs(3600),
+            }],
+            vec![],
+            vec![],
+            0.0,
+        ));
+        let port = echo_server(&cluster, NodeId(1));
+        let client = RpcClient::new(&cluster, NodeId(0));
+        let resp = sim.run_to(async move {
+            client
+                .try_call(NodeId(1), port, b"x", Transport::RdmaSend, 1_000_000)
+                .await
+        });
+        assert_eq!(resp, None);
     }
 
     #[test]

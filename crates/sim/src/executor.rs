@@ -16,10 +16,8 @@ use std::collections::{BinaryHeap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::{Rc, Weak};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
-
-use parking_lot::Mutex;
 
 use crate::time::SimTime;
 
@@ -41,11 +39,11 @@ struct TaskWaker {
 
 impl Wake for TaskWaker {
     fn wake(self: Arc<Self>) {
-        self.ready.q.lock().push_back(self.id);
+        self.ready.q.lock().expect("ready queue poisoned").push_back(self.id);
     }
 
     fn wake_by_ref(self: &Arc<Self>) {
-        self.ready.q.lock().push_back(self.id);
+        self.ready.q.lock().expect("ready queue poisoned").push_back(self.id);
     }
 }
 
@@ -194,7 +192,7 @@ impl Sim {
                 if jh.is_finished() {
                     return jh.try_take().expect("root output already taken");
                 }
-                let next = self.st.ready.q.lock().pop_front();
+                let next = self.st.ready.q.lock().expect("ready queue poisoned").pop_front();
                 match next {
                     Some(tid) => self.poll_task(tid),
                     None => break,
@@ -223,7 +221,7 @@ impl Sim {
         loop {
             // Drain all runnable tasks at the current instant.
             loop {
-                let next = self.st.ready.q.lock().pop_front();
+                let next = self.st.ready.q.lock().expect("ready queue poisoned").pop_front();
                 match next {
                     Some(tid) => self.poll_task(tid),
                     None => break,
@@ -314,7 +312,7 @@ where
         }
     };
     st.live.set(st.live.get() + 1);
-    st.ready.q.lock().push_back(tid);
+    st.ready.q.lock().expect("ready queue poisoned").push_back(tid);
     JoinHandle { join }
 }
 
@@ -359,6 +357,16 @@ impl SimHandle {
         YieldNow { polled: false }
     }
 
+    /// Race `fut` against a `dur`-nanosecond virtual-time deadline. Resolves
+    /// to `Ok(output)` if the future finishes first, `Err(Elapsed)` if the
+    /// deadline does. The loser is dropped (cancelled) either way.
+    pub fn timeout<F: Future>(&self, dur: SimTime, fut: F) -> Timeout<F> {
+        Timeout {
+            fut: Box::pin(fut),
+            sleep: self.sleep(dur),
+        }
+    }
+
     /// Spawn a new task; the returned [`JoinHandle`] can be awaited for its
     /// output or ignored (the task runs regardless).
     pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
@@ -393,6 +401,39 @@ impl Future for Sleep {
                 waker: cx.waker().clone(),
             }));
             self.registered = true;
+        }
+        Poll::Pending
+    }
+}
+
+/// Error returned by [`SimHandle::timeout`] when the deadline wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Elapsed;
+
+impl std::fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "virtual-time deadline elapsed")
+    }
+}
+
+/// Future returned by [`SimHandle::timeout`].
+pub struct Timeout<F: Future> {
+    fut: Pin<Box<F>>,
+    sleep: Sleep,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, Elapsed>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // The inner future is polled first so that a result ready exactly at
+        // the deadline still wins over the timer.
+        if let Poll::Ready(v) = self.fut.as_mut().poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        let sleep = &mut self.sleep;
+        if Pin::new(sleep).poll(cx).is_ready() {
+            return Poll::Ready(Err(Elapsed));
         }
         Poll::Pending
     }
@@ -647,6 +688,54 @@ mod tests {
             h.now()
         });
         assert_eq!(t, us(10));
+    }
+
+    #[test]
+    fn timeout_returns_ok_when_future_wins() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let out = sim.run_to(async move {
+            let hh = h.clone();
+            h.timeout(us(10), async move {
+                hh.sleep(us(3)).await;
+                7u32
+            })
+            .await
+        });
+        assert_eq!(out, Ok(7));
+    }
+
+    #[test]
+    fn timeout_returns_elapsed_when_deadline_wins() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let (out, t) = sim.run_to(async move {
+            let hh = h.clone();
+            let r = h
+                .timeout(us(10), async move {
+                    hh.sleep(ms(1)).await;
+                    7u32
+                })
+                .await;
+            (r, h.now())
+        });
+        assert_eq!(out, Err(Elapsed));
+        assert_eq!(t, us(10));
+    }
+
+    #[test]
+    fn timeout_at_exact_deadline_prefers_the_future() {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let out = sim.run_to(async move {
+            let hh = h.clone();
+            h.timeout(us(10), async move {
+                hh.sleep(us(10)).await;
+                1u32
+            })
+            .await
+        });
+        assert_eq!(out, Ok(1));
     }
 
     #[test]

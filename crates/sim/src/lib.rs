@@ -35,5 +35,5 @@ pub mod rng;
 pub mod sync;
 pub mod time;
 
-pub use executor::{JoinHandle, Sim, SimHandle};
+pub use executor::{Elapsed, JoinHandle, Sim, SimHandle, Timeout};
 pub use time::{ms, ns, secs, us, SimTime};

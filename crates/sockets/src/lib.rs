@@ -42,6 +42,7 @@
 
 pub mod config;
 pub mod flow;
+pub mod lane;
 pub mod stream;
 
 pub use config::SocketsConfig;

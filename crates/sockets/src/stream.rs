@@ -14,6 +14,7 @@ use dc_sim::sync::{Notify, Semaphore};
 
 use crate::config::SocketsConfig;
 use crate::flow::{decode_feedback, encode_feedback, frame, Reassembler};
+use crate::lane::{LaneReceiver, LaneSender};
 
 /// Which protocol a stream uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -187,10 +188,7 @@ impl Tx {
             StreamKind::HostTcp => {
                 drop(fb_ep); // TCP needs no feedback lane
                 Tx::Tcp(TcpTx {
-                    cluster: cluster.clone(),
-                    local,
-                    peer,
-                    data_port,
+                    lane: LaneSender::new(cluster, local, peer, data_port, Transport::Tcp),
                 })
             }
             StreamKind::Sdp => Tx::Sdp(CreditTx::new(cluster, local, peer, data_port, fb_ep, cfg)),
@@ -198,9 +196,7 @@ impl Tx {
                 drop(fb_ep); // window is locally managed
                 Tx::Az(AzTx {
                     cluster: cluster.clone(),
-                    local,
-                    peer,
-                    data_port,
+                    lane: LaneSender::new(cluster, local, peer, data_port, Transport::RdmaSend),
                     cfg,
                     window: Semaphore::new(cfg.az_window),
                 })
@@ -240,14 +236,14 @@ impl Rx {
     ) -> Rx {
         match kind {
             StreamKind::HostTcp => Rx::Tcp(TcpRx {
-                ep: data_ep,
+                lane: LaneReceiver::new(data_ep),
                 reasm: Reassembler::new(),
             }),
             StreamKind::Sdp => Rx::Sdp(CreditRx::new(cluster, local, peer, fb_port, data_ep, cfg)),
             StreamKind::AzSdp => Rx::Az(AzRx {
                 cluster: cluster.clone(),
                 local,
-                ep: data_ep,
+                lane: LaneReceiver::new(data_ep),
                 reasm: Reassembler::new(),
                 cfg,
             }),
@@ -270,34 +266,30 @@ impl Rx {
 // ---------------------------------------------------------------- Host TCP
 
 struct TcpTx {
-    cluster: Cluster,
-    local: NodeId,
-    peer: NodeId,
-    data_port: u16,
+    lane: LaneSender,
 }
 
 impl TcpTx {
     async fn send(&mut self, data: &[u8]) {
         // The kernel stack segments internally; at this abstraction one
-        // message travels whole, with stack CPU charged by the fabric.
+        // message travels whole, with stack CPU charged by the fabric. The
+        // lane retransmits on drops, as kernel TCP would.
         for chunk in frame(data, usize::MAX / 2) {
-            self.cluster
-                .send(self.local, self.peer, self.data_port, chunk, Transport::Tcp)
-                .await;
+            self.lane.send_tracked(chunk).await;
         }
     }
 }
 
 struct TcpRx {
-    ep: Endpoint,
+    lane: LaneReceiver,
     reasm: Reassembler,
 }
 
 impl TcpRx {
     async fn recv(&mut self) -> Bytes {
         loop {
-            let msg = self.ep.recv().await;
-            if let Some(m) = self.reasm.feed(&msg.data) {
+            let chunk = self.lane.recv().await;
+            if let Some(m) = self.reasm.feed(&chunk) {
                 return m;
             }
         }
@@ -309,8 +301,7 @@ impl TcpRx {
 struct CreditTx {
     cluster: Cluster,
     local: NodeId,
-    peer: NodeId,
-    data_port: u16,
+    lane: LaneSender,
     cfg: SocketsConfig,
     credits: Rc<Cell<usize>>,
     notify: Notify,
@@ -340,8 +331,7 @@ impl CreditTx {
         CreditTx {
             cluster: cluster.clone(),
             local,
-            peer,
-            data_port,
+            lane: LaneSender::new(cluster, local, peer, data_port, Transport::RdmaSend),
             cfg,
             credits,
             notify,
@@ -363,11 +353,7 @@ impl CreditTx {
                 .sim()
                 .sleep(self.cfg.issue_overhead_ns)
                 .await;
-            let cl = self.cluster.clone();
-            let (from, to, port) = (self.local, self.peer, self.data_port);
-            self.cluster.sim().spawn(async move {
-                cl.send(from, to, port, chunk, Transport::RdmaSend).await;
-            });
+            self.lane.send_bg(chunk);
         }
     }
 }
@@ -390,19 +376,20 @@ impl CreditRx {
         local: NodeId,
         peer: NodeId,
         fb_port: u16,
-        mut ep: Endpoint,
+        ep: Endpoint,
         cfg: SocketsConfig,
     ) -> CreditRx {
         let (tx_q, rx_q) = dc_sim::sync::channel();
         let cl = cluster.clone();
+        let mut lane = LaneReceiver::new(ep);
         cluster.sim().clone().spawn(async move {
             let mut pending = 0usize;
             loop {
-                let msg = ep.recv().await;
+                let chunk = lane.recv().await;
                 // Copy out of the temporary buffer into the socket buffer,
                 // then re-post the buffer before its credit can return.
                 cl.cpu(local)
-                    .execute(cfg.copy_cost(msg.data.len()) + cfg.prepost_ns)
+                    .execute(cfg.copy_cost(chunk.len()) + cfg.prepost_ns)
                     .await;
                 pending += 1;
                 // Coalesced credit return (real SDP stacks batch updates).
@@ -412,17 +399,21 @@ impl CreditRx {
                     pending = 0;
                     let cl2 = cl.clone();
                     cl.sim().clone().spawn(async move {
-                        cl2.send(
+                        // Credit counts are cumulative, so ordering does not
+                        // matter, but a *lost* return would strand the
+                        // sender's credits forever: use the reliable path.
+                        cl2.send_reliable(
                             local,
                             peer,
                             fb_port,
                             encode_feedback(n),
                             Transport::RdmaSend,
                         )
-                        .await;
+                        .await
+                        .unwrap_or_else(|e| panic!("SDP credit return undeliverable: {e}"));
                     });
                 }
-                if tx_q.send(msg.data).is_err() {
+                if tx_q.send(chunk).is_err() {
                     break; // application side dropped the stream
                 }
             }
@@ -451,9 +442,7 @@ impl CreditRx {
 
 struct AzTx {
     cluster: Cluster,
-    local: NodeId,
-    peer: NodeId,
-    data_port: u16,
+    lane: LaneSender,
     cfg: SocketsConfig,
     window: Semaphore,
 }
@@ -467,11 +456,10 @@ impl AzTx {
         self.cluster.sim().sleep(self.cfg.issue_overhead_ns).await;
         // Zero copy: no CPU copy cost; the whole buffer travels at once.
         let chunk = frame(data, usize::MAX / 2).remove(0);
-        let cl = self.cluster.clone();
-        let (from, to, port) = (self.local, self.peer, self.data_port);
+        let delivered = self.lane.send_tracked(chunk);
         let window = self.window.clone();
         self.cluster.sim().spawn(async move {
-            cl.send(from, to, port, chunk, Transport::RdmaSend).await;
+            delivered.await;
             // Transfer complete: buffer unprotected, window slot reusable.
             window.release();
         });
@@ -481,7 +469,7 @@ impl AzTx {
 struct AzRx {
     cluster: Cluster,
     local: NodeId,
-    ep: Endpoint,
+    lane: LaneReceiver,
     reasm: Reassembler,
     cfg: SocketsConfig,
 }
@@ -489,14 +477,14 @@ struct AzRx {
 impl AzRx {
     async fn recv(&mut self) -> Bytes {
         loop {
-            let msg = self.ep.recv().await;
+            let chunk = self.lane.recv().await;
             // Receive side still lands in a buffer and is copied out on
             // recv() (the AZ-SDP design removes the *sender* copy).
             self.cluster
                 .cpu(self.local)
-                .execute(self.cfg.copy_cost(msg.data.len()))
+                .execute(self.cfg.copy_cost(chunk.len()))
                 .await;
-            if let Some(m) = self.reasm.feed(&msg.data) {
+            if let Some(m) = self.reasm.feed(&chunk) {
                 return m;
             }
         }
@@ -508,8 +496,7 @@ impl AzRx {
 struct PackTx {
     cluster: Cluster,
     local: NodeId,
-    peer: NodeId,
-    data_port: u16,
+    lane: LaneSender,
     cfg: SocketsConfig,
     space: Rc<Cell<usize>>,
     notify: Notify,
@@ -538,8 +525,7 @@ impl PackTx {
         PackTx {
             cluster: cluster.clone(),
             local,
-            peer,
-            data_port,
+            lane: LaneSender::new(cluster, local, peer, data_port, Transport::RdmaSend),
             cfg,
             space,
             notify,
@@ -562,11 +548,7 @@ impl PackTx {
             self.space.set(self.space.get() - need);
             cpu.execute(self.cfg.copy_cost(chunk.len())).await;
             self.cluster.sim().sleep(self.cfg.issue_overhead_ns).await;
-            let cl = self.cluster.clone();
-            let (from, to, port) = (self.local, self.peer, self.data_port);
-            self.cluster.sim().spawn(async move {
-                cl.send(from, to, port, chunk, Transport::RdmaSend).await;
-            });
+            self.lane.send_bg(chunk);
         }
     }
 }
@@ -584,35 +566,39 @@ impl PackRx {
         local: NodeId,
         peer: NodeId,
         fb_port: u16,
-        mut ep: Endpoint,
+        ep: Endpoint,
         cfg: SocketsConfig,
     ) -> PackRx {
         let (tx_q, rx_q) = dc_sim::sync::channel();
         let cl = cluster.clone();
+        let mut lane = LaneReceiver::new(ep);
         cluster.sim().clone().spawn(async move {
             let mut freed = 0usize;
             loop {
-                let msg = ep.recv().await;
+                let chunk = lane.recv().await;
                 cl.cpu(local)
-                    .execute(cfg.copy_cost(msg.data.len()))
+                    .execute(cfg.copy_cost(chunk.len()))
                     .await;
-                freed += msg.data.len();
+                freed += chunk.len();
                 if freed >= cfg.ring_bytes / 4 {
                     let n = freed as u64;
                     freed = 0;
                     let cl2 = cl.clone();
                     cl.sim().clone().spawn(async move {
-                        cl2.send(
+                        // Ring-space returns are cumulative like credits;
+                        // reliability matters, ordering does not.
+                        cl2.send_reliable(
                             local,
                             peer,
                             fb_port,
                             encode_feedback(n),
                             Transport::RdmaSend,
                         )
-                        .await;
+                        .await
+                        .unwrap_or_else(|e| panic!("ring-space return undeliverable: {e}"));
                     });
                 }
-                if tx_q.send(msg.data).is_err() {
+                if tx_q.send(chunk).is_err() {
                     break;
                 }
             }
@@ -787,6 +773,42 @@ mod tests {
         // the charge exists at all.
         assert!(tcp >= FabricModel::calibrated_2007().tcp_recv_cpu(32 * 1024));
         let _ = ms(1); // keep the time helpers imported for other tests
+    }
+
+    #[test]
+    fn bulk_transfer_survives_lossy_fabric_all_kinds() {
+        use dc_fabric::FaultPlan;
+        // Chunk drops force retransmissions that arrive out of order; the
+        // lane layer must still hand the reassembler an intact stream.
+        for (i, kind) in StreamKind::ALL.into_iter().enumerate() {
+            let (sim, cluster) = setup();
+            cluster.install_faults(FaultPlan::from_parts(
+                40 + i as u64,
+                vec![],
+                vec![],
+                vec![],
+                0.15,
+            ));
+            let (mut a, mut b) =
+                connect(&cluster, NodeId(0), NodeId(1), kind, SocketsConfig::default());
+            let payload: Vec<u8> = (0..6_000).map(|i| (i * 13 % 256) as u8).collect();
+            let expect = payload.clone();
+            sim.spawn(async move {
+                for _ in 0..20 {
+                    a.send(&payload).await;
+                }
+            });
+            sim.run_to(async move {
+                for _ in 0..20 {
+                    let m = b.recv().await;
+                    assert_eq!(&m[..], &expect[..], "corrupt bytes over {kind:?}");
+                }
+            });
+            assert!(
+                cluster.fault_stats().dropped_msgs > 0,
+                "fault plan never fired for {kind:?}"
+            );
+        }
     }
 
     #[test]

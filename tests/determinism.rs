@@ -4,6 +4,7 @@
 
 use nextgen_datacenter::coopcache::CacheScheme;
 use nextgen_datacenter::core::{run_hosting, run_webfarm, HostingCfg, WebFarmCfg};
+use nextgen_datacenter::fabric::FaultConfig;
 use nextgen_datacenter::resmon::MonitorScheme;
 
 #[test]
@@ -61,6 +62,81 @@ fn hosting_is_bit_identical_across_runs() {
     let b = run_hosting(&cfg);
     assert_eq!(a.tps.to_bits(), b.tps.to_bits());
     assert_eq!(a.mean_latency_ns, b.mean_latency_ns);
+    assert_eq!(a.span_ns, b.span_ns);
+}
+
+/// The fault schedule is part of the seed space: the same (workload seed,
+/// fault seed) pair reproduces every number bit-for-bit even while nodes
+/// crash, messages drop, and links inflate mid-run.
+#[test]
+fn webfarm_under_faults_is_bit_identical_per_fault_seed() {
+    let cfg = WebFarmCfg {
+        scheme: CacheScheme::Bcc,
+        requests: 700,
+        num_docs: 96,
+        seed: 5,
+        faults: Some((
+            0xFA_017,
+            FaultConfig {
+                drop_prob: 0.05,
+                ..FaultConfig::default()
+            },
+        )),
+        ..WebFarmCfg::default()
+    };
+    let a = run_webfarm(&cfg);
+    let b = run_webfarm(&cfg);
+    assert_eq!(a.tps.to_bits(), b.tps.to_bits());
+    assert_eq!(a.mean_latency_ns, b.mean_latency_ns);
+    assert_eq!(a.p99_latency_ns, b.p99_latency_ns);
+    assert_eq!(a.cache, b.cache);
+    assert_eq!(a.span_ns, b.span_ns);
+}
+
+#[test]
+fn webfarm_fault_seed_changes_results() {
+    let base = WebFarmCfg {
+        scheme: CacheScheme::Bcc,
+        requests: 700,
+        num_docs: 96,
+        seed: 5,
+        faults: Some((1, FaultConfig::default())),
+        ..WebFarmCfg::default()
+    };
+    let mut other = base.clone();
+    other.faults = Some((2, FaultConfig::default()));
+    let a = run_webfarm(&base);
+    let b = run_webfarm(&other);
+    // Different crash/drop/latency schedules ⇒ different fine-grained timing.
+    assert_ne!(
+        (a.mean_latency_ns, a.span_ns),
+        (b.mean_latency_ns, b.span_ns),
+        "fault seed had no observable effect"
+    );
+}
+
+#[test]
+fn hosting_under_faults_is_bit_identical_per_fault_seed() {
+    let cfg = HostingCfg {
+        scheme: MonitorScheme::RdmaSync,
+        backends: 3,
+        clients: 15,
+        requests: 700,
+        seed: 77,
+        faults: Some((
+            0xBEE,
+            FaultConfig {
+                drop_prob: 0.05,
+                ..FaultConfig::default()
+            },
+        )),
+        ..HostingCfg::default()
+    };
+    let a = run_hosting(&cfg);
+    let b = run_hosting(&cfg);
+    assert_eq!(a.tps.to_bits(), b.tps.to_bits());
+    assert_eq!(a.mean_latency_ns, b.mean_latency_ns);
+    assert_eq!(a.p99_latency_ns, b.p99_latency_ns);
     assert_eq!(a.span_ns, b.span_ns);
 }
 

@@ -129,6 +129,71 @@ proptest! {
         prop_assert!((sum - 1.0).abs() < 1e-9);
     }
 
+    /// DLM safety/liveness over random interleavings: clients cycle
+    /// lock→hold→unlock on randomly chosen locks with random arrival and
+    /// hold times; no lock ever has two exclusive holders at once, and
+    /// every requested cycle completes (no waiter is ever orphaned).
+    #[test]
+    fn dlm_random_interleavings_are_safe_and_drain(
+        plans in prop::collection::vec(
+            // (lock id, exclusive, arrive µs, hold µs, cycles) per client
+            (0u32..3, any::<bool>(), 0u64..2_000, 10u64..300, 1usize..4),
+            1..8
+        )
+    ) {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        use nextgen_datacenter::dlm::{DlmConfig, LockMode, NcosedDlm};
+        use nextgen_datacenter::fabric::{Cluster, FabricModel};
+        use nextgen_datacenter::sim::time::{ms, us};
+
+        let sim = nextgen_datacenter::sim::Sim::new();
+        let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 9);
+        let members: Vec<NodeId> = (0..9).map(NodeId).collect();
+        let dlm = NcosedDlm::new(&cluster, DlmConfig::default(), NodeId(0), 3, &members);
+
+        // Per-lock count of concurrent exclusive holders.
+        let excl: Rc<[Cell<i32>; 3]> = Rc::default();
+        let violations: Rc<Cell<u32>> = Rc::default();
+        let completed: Rc<Cell<usize>> = Rc::default();
+        let expect: usize = plans.iter().map(|p| p.4).sum();
+        for (i, &(lock, exclusive, arrive, hold, cycles)) in plans.iter().enumerate() {
+            let client = dlm.client(NodeId(1 + i as u32));
+            let excl = Rc::clone(&excl);
+            let violations = Rc::clone(&violations);
+            let completed = Rc::clone(&completed);
+            let h = sim.handle();
+            sim.spawn(async move {
+                h.sleep(us(arrive)).await;
+                for _ in 0..cycles {
+                    let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                    client.lock(lock, mode).await;
+                    if exclusive {
+                        if excl[lock as usize].get() > 0 {
+                            violations.set(violations.get() + 1);
+                        }
+                        excl[lock as usize].set(excl[lock as usize].get() + 1);
+                    } else if excl[lock as usize].get() > 0 {
+                        violations.set(violations.get() + 1);
+                    }
+                    h.sleep(us(hold)).await;
+                    if exclusive {
+                        excl[lock as usize].set(excl[lock as usize].get() - 1);
+                    }
+                    client.unlock(lock).await;
+                    completed.set(completed.get() + 1);
+                }
+            });
+        }
+        let reached = sim.run_until(ms(500));
+        prop_assert_eq!(reached, ms(500), "lock traffic wedged the executor");
+        prop_assert_eq!(violations.get(), 0, "exclusive lock doubly granted");
+        prop_assert_eq!(completed.get(), expect, "a lock waiter never drained");
+        for c in excl.iter() {
+            prop_assert_eq!(c.get(), 0);
+        }
+    }
+
     /// Executor timers fire in deadline order regardless of registration
     /// order, and the clock ends at the maximum deadline.
     #[test]

@@ -1,0 +1,147 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the bench-definition API the workspace's `micro.rs` uses
+//! (`Criterion`, `criterion_group!`, `criterion_main!`, benchmark groups,
+//! `BenchmarkId`) backed by a simple wall-clock timing loop: a short warm-up,
+//! then a fixed measurement window, reporting mean time per iteration. No
+//! statistics, plots, or baselines — just honest numbers for eyeballing.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement loop handed to bench closures.
+pub struct Bencher {
+    /// (total elapsed, iterations) of the measurement phase.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time `f`, first warming up briefly, then measuring for ~1 s.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and rate estimation: run for at least 100 ms.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < Duration::from_millis(100) {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as u64 / warm_iters.max(1);
+        // Measurement: enough iterations for ~1 s, at least 10.
+        let iters = (1_000_000_000u64 / per_iter.max(1)).clamp(10, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { measured: None };
+    f(&mut b);
+    match b.measured {
+        Some((elapsed, iters)) => {
+            let per = elapsed.as_nanos() as f64 / iters as f64;
+            println!("{label:<40} {:>12.1} ns/iter  ({iters} iters)", per);
+        }
+        None => println!("{label:<40} (no measurement)"),
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes its own loops.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `f` against `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.label), |b| f(b, input));
+        self
+    }
+
+    /// Benchmark `f` under `id` with no input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), |b| f(b));
+        self
+    }
+
+    /// End the group (no-op; printing happens per bench).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmark `f` under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, |b| f(b));
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _c: self,
+        }
+    }
+}
+
+/// Prevent the optimizer from deleting a computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
