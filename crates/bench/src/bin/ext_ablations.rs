@@ -2,12 +2,17 @@
 //! monitoring cadence).
 
 fn main() {
+    let cli = dc_bench::cli::BenchCli::parse();
     let verbs = dc_bench::ext_ablations::run_coherence();
-    dc_bench::ext_ablations::coherence_table(&verbs).print();
-    println!();
     let caps = dc_bench::ext_ablations::run_capacity();
-    dc_bench::ext_ablations::capacity_table(&caps).print();
-    println!();
     let grans = dc_bench::ext_ablations::run_granularity();
-    dc_bench::ext_ablations::granularity_table(&grans).print();
+    cli.emit(
+        "ext_ablations",
+        vec![],
+        &[
+            dc_bench::ext_ablations::coherence_table(&verbs),
+            dc_bench::ext_ablations::capacity_table(&caps),
+            dc_bench::ext_ablations::granularity_table(&grans),
+        ],
+    );
 }

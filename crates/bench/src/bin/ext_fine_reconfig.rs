@@ -1,7 +1,12 @@
 //! Regenerates the §6 fine- vs coarse-grained reconfiguration comparison.
 
 fn main() {
+    let cli = dc_bench::cli::BenchCli::parse();
     let fine = dc_bench::ext_reconfig::reaction(true);
     let coarse = dc_bench::ext_reconfig::reaction(false);
-    dc_bench::ext_reconfig::table(&fine, &coarse).print();
+    cli.emit(
+        "ext_fine_reconfig",
+        vec![],
+        &[dc_bench::ext_reconfig::table(&fine, &coarse)],
+    );
 }

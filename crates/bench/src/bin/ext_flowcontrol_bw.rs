@@ -1,6 +1,11 @@
 //! Regenerates the §6 flow-control bandwidth comparison.
 
 fn main() {
+    let cli = dc_bench::cli::BenchCli::parse();
     let series = dc_bench::ext_flowcontrol::run();
-    dc_bench::ext_flowcontrol::table(&series).print();
+    cli.emit(
+        "ext_flowcontrol_bw",
+        vec![],
+        &[dc_bench::ext_flowcontrol::table(&series)],
+    );
 }

@@ -1,6 +1,11 @@
 //! Regenerates Figure 3a: DDSS put() latency by coherence model.
 
 fn main() {
+    let cli = dc_bench::cli::BenchCli::parse();
     let series = dc_bench::fig3a::run();
-    dc_bench::fig3a::table(&series).print();
+    cli.emit(
+        "fig3a_ddss_put",
+        vec![("models", (series.len() as u64).into())],
+        &[dc_bench::fig3a::table(&series)],
+    );
 }

@@ -1,6 +1,11 @@
 //! Regenerates Figure 3b: distributed STORM, sockets vs DDSS.
 
 fn main() {
+    let cli = dc_bench::cli::BenchCli::parse();
     let rows = dc_bench::fig3b::run();
-    dc_bench::fig3b::table(&rows).print();
+    cli.emit(
+        "fig3b_storm",
+        vec![("rows", (rows.len() as u64).into())],
+        &[dc_bench::fig3b::table(&rows)],
+    );
 }

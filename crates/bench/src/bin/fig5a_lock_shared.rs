@@ -3,6 +3,14 @@
 use dc_dlm::LockMode;
 
 fn main() {
+    let cli = dc_bench::cli::BenchCli::parse();
     let series = dc_bench::fig5::run(LockMode::Shared);
-    dc_bench::fig5::table("Fig 5a — Shared-lock cascading latency (us)", &series).print();
+    cli.emit(
+        "fig5a_lock_shared",
+        vec![("mode", "shared".into())],
+        &[dc_bench::fig5::table(
+            "Fig 5a — Shared-lock cascading latency (us)",
+            &series,
+        )],
+    );
 }

@@ -3,6 +3,14 @@
 use dc_dlm::LockMode;
 
 fn main() {
+    let cli = dc_bench::cli::BenchCli::parse();
     let series = dc_bench::fig5::run(LockMode::Exclusive);
-    dc_bench::fig5::table("Fig 5b — Exclusive-lock cascading latency (us)", &series).print();
+    cli.emit(
+        "fig5b_lock_exclusive",
+        vec![("mode", "exclusive".into())],
+        &[dc_bench::fig5::table(
+            "Fig 5b — Exclusive-lock cascading latency (us)",
+            &series,
+        )],
+    );
 }

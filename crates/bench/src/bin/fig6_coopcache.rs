@@ -1,9 +1,18 @@
 //! Regenerates Figure 6: cooperative-cache throughput, both panels.
 
 fn main() {
-    for proxies in [2usize, 8] {
-        let cells = dc_bench::fig6::run_panel(proxies);
-        dc_bench::fig6::table(proxies, &cells).print();
-        println!();
-    }
+    let cli = dc_bench::cli::BenchCli::parse();
+    let panels = [2usize, 8];
+    let tables: Vec<dc_core::Table> = panels
+        .iter()
+        .map(|&proxies| {
+            let cells = dc_bench::fig6::run_panel(proxies);
+            dc_bench::fig6::table(proxies, &cells)
+        })
+        .collect();
+    cli.emit(
+        "fig6_coopcache",
+        vec![("panels", "2,8".into())],
+        &tables,
+    );
 }

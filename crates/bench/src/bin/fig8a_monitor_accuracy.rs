@@ -4,10 +4,15 @@
 //! (one row per 50 ms) for each scheme — the data behind the paper's plot.
 
 fn main() {
-    let series = std::env::args().any(|a| a == "--series");
+    let cli = dc_bench::cli::BenchCli::parse();
+    let series = cli.has_flag("--series");
     let results = dc_bench::fig8a::run();
-    dc_bench::fig8a::table(&results).print();
-    if series {
+    cli.emit(
+        "fig8a_monitor_accuracy",
+        vec![("schemes", (results.len() as u64).into())],
+        &[dc_bench::fig8a::table(&results)],
+    );
+    if series && !cli.json {
         for r in &results {
             println!("\n# {} — t(ms), reported, actual", r.scheme.label());
             for s in r.samples.iter().step_by(5) {

@@ -1,6 +1,11 @@
 //! Regenerates Figure 8b: hosted throughput by monitoring scheme.
 
 fn main() {
+    let cli = dc_bench::cli::BenchCli::parse();
     let cells = dc_bench::fig8b::run();
-    dc_bench::fig8b::table(&cells).print();
+    cli.emit(
+        "fig8b_monitor_throughput",
+        vec![("cells", (cells.len() as u64).into())],
+        &[dc_bench::fig8b::table(&cells)],
+    );
 }

@@ -1,0 +1,128 @@
+//! Shared command-line handling for the figure bins.
+//!
+//! Every `[[bin]]` target accepts the same two flags on top of its own:
+//!
+//! * `--json` — emit a `dc-bench-report/v1` [`BenchReport`] document instead
+//!   of the paper-style text tables.
+//! * `--out PATH` — write the JSON to `PATH` instead of stdout (implies
+//!   `--json`).
+//!
+//! Flags the shared parser does not recognise are left for the bin to
+//! inspect via [`BenchCli::has_flag`] (e.g. `--series` in fig8a).
+
+use dc_core::Table;
+use dc_trace::{ArgVal, BenchReport};
+
+/// Parsed shared flags plus the raw argument list.
+pub struct BenchCli {
+    /// Emit BenchReport JSON instead of text tables.
+    pub json: bool,
+    /// Write output to this path instead of stdout.
+    pub out: Option<std::path::PathBuf>,
+    args: Vec<String>,
+}
+
+impl BenchCli {
+    /// Parse `std::env::args()`.
+    pub fn parse() -> BenchCli {
+        Self::from_args(std::env::args().skip(1).collect())
+    }
+
+    fn from_args(args: Vec<String>) -> BenchCli {
+        let mut json = false;
+        let mut out = None;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--json" => json = true,
+                "--out" => {
+                    i += 1;
+                    let path = args
+                        .get(i)
+                        .unwrap_or_else(|| panic!("--out requires a path argument"));
+                    out = Some(std::path::PathBuf::from(path));
+                    json = true;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        BenchCli { json, out, args }
+    }
+
+    /// Whether a bin-specific flag (e.g. `--series`) was passed.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a == flag)
+    }
+
+    /// Render the run: text tables normally, a single BenchReport document
+    /// covering all tables under `--json`.
+    pub fn emit(&self, bench: &str, params: Vec<(&str, ArgVal)>, tables: &[Table]) {
+        if !self.json {
+            for (i, t) in tables.iter().enumerate() {
+                if i > 0 {
+                    println!();
+                }
+                t.print();
+            }
+            return;
+        }
+        let mut report = BenchReport::new(bench);
+        for (k, v) in params {
+            report.add_param(k, v);
+        }
+        for t in tables {
+            report.add_table(t.to_report());
+        }
+        let text = report.to_json();
+        match &self.out {
+            Some(path) => std::fs::write(path, &text)
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display())),
+            None => println!("{text}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(args: &[&str]) -> BenchCli {
+        BenchCli::from_args(args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn parses_shared_flags() {
+        let c = cli(&[]);
+        assert!(!c.json);
+        assert!(c.out.is_none());
+
+        let c = cli(&["--json"]);
+        assert!(c.json);
+
+        let c = cli(&["--out", "/tmp/r.json"]);
+        assert!(c.json, "--out implies --json");
+        assert_eq!(c.out.as_deref(), Some(std::path::Path::new("/tmp/r.json")));
+    }
+
+    #[test]
+    fn leaves_bin_specific_flags_visible() {
+        let c = cli(&["--series", "--json"]);
+        assert!(c.json);
+        assert!(c.has_flag("--series"));
+        assert!(!c.has_flag("--missing"));
+    }
+
+    #[test]
+    fn json_emission_is_schema_valid() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let mut report = BenchReport::new("demo_bench");
+        report.add_param("mode", "shared");
+        report.add_table(t.to_report());
+        let json = report.to_json();
+        assert!(json.contains("\"schema\":\"dc-bench-report/v1\""));
+        assert!(json.contains("\"bench\":\"demo_bench\""));
+        assert!(json.contains("\"demo\""));
+    }
+}

@@ -20,6 +20,7 @@
 //! | [`ext_reconfig`] | §6 fine- vs coarse-grained adaptation |
 //! | [`ext_ablations`] | coherence verbs, cache capacity, cadence |
 
+pub mod cli;
 pub mod ext_ablations;
 pub mod ext_flowcontrol;
 pub mod ext_reconfig;

@@ -16,12 +16,12 @@
 //!   path (duplicated, zero-hop hot hits); larger documents take the MTACC
 //!   path (no duplication of expensive bytes).
 
-use std::cell::Cell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
 use bytes::Bytes;
 use dc_fabric::{Cluster, NodeId};
+use dc_trace::{Counter, Subsys};
 use dc_workloads::FileSet;
 
 use crate::backend::Backend;
@@ -70,16 +70,20 @@ impl CacheStats {
 }
 
 struct Inner {
+    cluster: Cluster,
     scheme: CacheScheme,
     nodes: HashMap<NodeId, CacheNode>,
     proxies: Vec<NodeId>,
     owners: Vec<NodeId>,
     fileset: Rc<FileSet>,
     cfg: CacheCfg,
-    local_hits: Cell<u64>,
-    remote_hits: Cell<u64>,
-    backend_misses: Cell<u64>,
-    stale_fallbacks: Cell<u64>,
+    // Serve-outcome counters live in the cluster's unified metrics registry
+    // so traced/bench runs enumerate them alongside fabric and DLM metrics;
+    // `stats()` reads them back through the same handles.
+    local_hits: Counter,
+    remote_hits: Counter,
+    backend_misses: Counter,
+    stale_fallbacks: Counter,
 }
 
 /// The cooperative cache spanning the proxy (and optionally app) tier.
@@ -123,18 +127,20 @@ impl CoopCache {
         } else {
             proxies.to_vec()
         };
+        let metrics = cluster.metrics();
         CoopCache {
             inner: Rc::new(Inner {
+                cluster: cluster.clone(),
                 scheme,
                 nodes,
                 proxies: proxies.to_vec(),
                 owners,
                 fileset,
                 cfg,
-                local_hits: Cell::new(0),
-                remote_hits: Cell::new(0),
-                backend_misses: Cell::new(0),
-                stale_fallbacks: Cell::new(0),
+                local_hits: metrics.counter("coopcache.local_hits"),
+                remote_hits: metrics.counter("coopcache.remote_hits"),
+                backend_misses: metrics.counter("coopcache.backend_misses"),
+                stale_fallbacks: metrics.counter("coopcache.stale_fallbacks"),
             }),
         }
     }
@@ -203,8 +209,21 @@ impl CoopCache {
         &self.inner.nodes[&n]
     }
 
+    /// A cooperative fast path went stale mid-serve and degraded to a
+    /// backend fetch: count it and leave a marker on the proxy's track.
+    fn note_degrade(&self, proxy: NodeId, doc: DocId) {
+        self.inner.stale_fallbacks.inc();
+        self.inner.cluster.tracer().instant(
+            proxy.0,
+            Subsys::Coopcache,
+            "cache.degrade",
+            vec![("doc", u64::from(doc).into())],
+        );
+    }
+
     /// Serve `doc` at `proxy`; returns the content and how it was obtained.
     pub async fn serve(&self, proxy: NodeId, doc: DocId) -> (Bytes, ServeOutcome) {
+        let t0 = self.inner.cluster.tracer().begin();
         let size = self.inner.fileset.size(doc as usize);
         let (data, outcome) = match self.inner.scheme {
             CacheScheme::Ac => self.serve_local_only(proxy, doc, size).await,
@@ -219,14 +238,28 @@ impl CoopCache {
             }
         };
         match outcome {
-            ServeOutcome::LocalHit => self.inner.local_hits.set(self.inner.local_hits.get() + 1),
-            ServeOutcome::RemoteHit(_) => {
-                self.inner.remote_hits.set(self.inner.remote_hits.get() + 1)
-            }
-            ServeOutcome::BackendMiss => self
-                .inner
-                .backend_misses
-                .set(self.inner.backend_misses.get() + 1),
+            ServeOutcome::LocalHit => self.inner.local_hits.inc(),
+            ServeOutcome::RemoteHit(_) => self.inner.remote_hits.inc(),
+            ServeOutcome::BackendMiss => self.inner.backend_misses.inc(),
+        }
+        if let Some(t0) = t0 {
+            let (outcome_label, source) = match outcome {
+                ServeOutcome::LocalHit => ("local_hit", proxy.0),
+                ServeOutcome::RemoteHit(h) => ("remote_hit", h.0),
+                ServeOutcome::BackendMiss => ("backend_miss", proxy.0),
+            };
+            self.inner.cluster.tracer().complete(
+                t0,
+                proxy.0,
+                Subsys::Coopcache,
+                "cache.serve",
+                vec![
+                    ("doc", u64::from(doc).into()),
+                    ("bytes", (size as u64).into()),
+                    ("outcome", outcome_label.into()),
+                    ("source", u64::from(source).into()),
+                ],
+            );
         }
         (data, outcome)
     }
@@ -266,9 +299,7 @@ impl CoopCache {
                         return (data, ServeOutcome::RemoteHit(h));
                     }
                     Err(()) => {
-                        self.inner
-                            .stale_fallbacks
-                            .set(self.inner.stale_fallbacks.get() + 1);
+                        self.note_degrade(proxy, doc);
                     }
                 }
             }
@@ -301,9 +332,7 @@ impl CoopCache {
                             // Evicted between reserve and read (thrashing):
                             // fall back to a direct backend fetch without
                             // caching (no duplication).
-                            self.inner
-                                .stale_fallbacks
-                                .set(self.inner.stale_fallbacks.get() + 1);
+                            self.note_degrade(proxy, doc);
                             let data = owner_node
                                 .local_get(doc, size)
                                 .await
@@ -510,6 +539,41 @@ mod tests {
         let total: usize = per_node.iter().map(|&(_, b)| b).sum();
         assert_eq!(total, 3 * (4096 + crate::node::DOC_HDR));
         assert_eq!(per_node.len(), 3); // two proxies + one app node
+    }
+
+    #[test]
+    fn serve_outcomes_reach_registry_and_trace() {
+        use dc_trace::TraceMode;
+        let (sim, c, cache) = setup(CacheScheme::Bcc, 1 << 20, 4, 4096);
+        c.tracer().enable(TraceMode::Full);
+        let cc = cache.clone();
+        sim.run_to(async move {
+            for _ in 0..3 {
+                cc.serve(NodeId(1), 2).await;
+            }
+        });
+        let snap = c.metrics().snapshot();
+        assert_eq!(snap.counter("coopcache.backend_misses"), 1);
+        assert_eq!(snap.counter("coopcache.local_hits"), 2);
+        let s = cache.stats();
+        assert_eq!(s.backend_misses, snap.counter("coopcache.backend_misses"));
+        assert_eq!(s.local_hits, snap.counter("coopcache.local_hits"));
+        let serves: Vec<_> = c
+            .tracer()
+            .events()
+            .into_iter()
+            .filter(|e| e.name == "cache.serve")
+            .collect();
+        assert_eq!(serves.len(), 3);
+        let outcome = |e: &dc_trace::Event| {
+            e.args
+                .iter()
+                .find(|(k, _)| *k == "outcome")
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(outcome(&serves[0]), dc_trace::ArgVal::S("backend_miss".into()));
+        assert_eq!(outcome(&serves[1]), dc_trace::ArgVal::S("local_hit".into()));
     }
 
     #[test]

@@ -1,150 +1,9 @@
 //! Latency/throughput accounting for the experiment engines.
+//!
+//! The implementation moved to `dc-trace` (the unified observability
+//! crate), where it backs both the standalone histograms used here and the
+//! `HistHandle` metrics enumerable through the cluster's registry. This
+//! module re-exports it so `dc_core::metrics::LatencyHist` stays the
+//! engine-facing path.
 
-use std::cell::RefCell;
-
-use dc_sim::SimTime;
-
-/// A latency histogram with power-of-two microsecond buckets plus exact
-/// aggregate moments.
-#[derive(Debug, Clone, Default)]
-pub struct LatencyHist {
-    count: u64,
-    sum_ns: u128,
-    min_ns: u64,
-    max_ns: u64,
-    samples: Vec<u64>,
-    /// Sorted copy of `samples`, built lazily on the first quantile query
-    /// and invalidated by `record` — experiment reports ask for several
-    /// quantiles back to back, and re-sorting per query made that O(k·n log n).
-    sorted: RefCell<Option<Vec<u64>>>,
-}
-
-impl LatencyHist {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        LatencyHist {
-            min_ns: u64::MAX,
-            ..Default::default()
-        }
-    }
-
-    /// Record one latency.
-    pub fn record(&mut self, ns: SimTime) {
-        self.count += 1;
-        self.sum_ns += ns as u128;
-        self.min_ns = self.min_ns.min(ns);
-        self.max_ns = self.max_ns.max(ns);
-        self.samples.push(ns);
-        *self.sorted.borrow_mut() = None;
-    }
-
-    /// Number of samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean latency in nanoseconds (0 when empty).
-    pub fn mean_ns(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            (self.sum_ns / self.count as u128) as u64
-        }
-    }
-
-    /// Minimum sample (0 when empty).
-    pub fn min_ns(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.min_ns
-        }
-    }
-
-    /// Maximum sample.
-    pub fn max_ns(&self) -> u64 {
-        self.max_ns
-    }
-
-    /// The q-quantile (0.0–1.0) by nearest-rank on the sorted samples.
-    pub fn quantile_ns(&self, q: f64) -> u64 {
-        assert!((0.0..=1.0).contains(&q));
-        if self.samples.is_empty() {
-            return 0;
-        }
-        let mut cache = self.sorted.borrow_mut();
-        let sorted = cache.get_or_insert_with(|| {
-            let mut v = self.samples.clone();
-            v.sort_unstable();
-            v
-        });
-        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        sorted[rank - 1]
-    }
-}
-
-/// Throughput over a span: `completed / span`.
-pub fn tps(completed: u64, span_ns: SimTime) -> f64 {
-    if span_ns == 0 {
-        return 0.0;
-    }
-    completed as f64 / (span_ns as f64 / 1e9)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use dc_sim::time::{ms, us};
-
-    #[test]
-    fn moments_and_quantiles() {
-        let mut h = LatencyHist::new();
-        for v in [us(1), us(2), us(3), us(4), us(100)] {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 5);
-        assert_eq!(h.mean_ns(), us(22));
-        assert_eq!(h.min_ns(), us(1));
-        assert_eq!(h.max_ns(), us(100));
-        assert_eq!(h.quantile_ns(0.5), us(3));
-        assert_eq!(h.quantile_ns(1.0), us(100));
-        assert_eq!(h.quantile_ns(0.2), us(1));
-    }
-
-    #[test]
-    fn repeated_quantile_queries_agree_and_track_new_samples() {
-        let mut h = LatencyHist::new();
-        for v in [us(5), us(1), us(9), us(3), us(7)] {
-            h.record(v);
-        }
-        // Repeated queries hit the cached sort and must agree exactly.
-        for _ in 0..3 {
-            assert_eq!(h.quantile_ns(0.5), us(5));
-            assert_eq!(h.quantile_ns(0.0), us(1));
-            assert_eq!(h.quantile_ns(1.0), us(9));
-        }
-        // A new record invalidates the cache; queries see the new sample.
-        h.record(us(11));
-        assert_eq!(h.quantile_ns(1.0), us(11));
-        assert_eq!(h.quantile_ns(0.5), us(5));
-        // Cloned histograms answer independently and identically.
-        let c = h.clone();
-        assert_eq!(c.quantile_ns(0.5), h.quantile_ns(0.5));
-        assert_eq!(c.quantile_ns(0.99), h.quantile_ns(0.99));
-    }
-
-    #[test]
-    fn empty_histogram_is_safe() {
-        let h = LatencyHist::new();
-        assert_eq!(h.mean_ns(), 0);
-        assert_eq!(h.min_ns(), 0);
-        assert_eq!(h.quantile_ns(0.99), 0);
-    }
-
-    #[test]
-    fn tps_math() {
-        assert_eq!(tps(1000, ms(500)), 2000.0);
-        assert_eq!(tps(0, ms(500)), 0.0);
-        assert_eq!(tps(5, 0), 0.0);
-    }
-}
+pub use dc_trace::{tps, HistSummary, LatencyHist};

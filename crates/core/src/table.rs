@@ -30,6 +30,30 @@ impl Table {
         self
     }
 
+    /// Table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// The table in `BenchReport` form, for `--json` bench output.
+    pub fn to_report(&self) -> dc_trace::ReportTable {
+        dc_trace::ReportTable {
+            title: self.title.clone(),
+            headers: self.headers.clone(),
+            rows: self.rows.clone(),
+        }
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()

@@ -17,6 +17,8 @@ use dc_sim::rng::component_rng;
 use dc_sim::{Sim, SimTime};
 use dc_workloads::{FileSet, Zipf};
 
+use dc_trace::TraceMode;
+
 use crate::metrics::{tps, LatencyHist};
 
 /// Configuration of one web-farm run.
@@ -91,12 +93,46 @@ pub struct WebFarmResult {
     pub span_ns: SimTime,
 }
 
+/// Exported observability artifacts of a traced run.
+#[derive(Debug, Clone)]
+pub struct TraceArtifacts {
+    /// Chrome trace-event JSON (load in Perfetto / `chrome://tracing`).
+    pub trace_json: String,
+    /// Flat metrics-registry snapshot as JSON.
+    pub metrics_json: String,
+    /// Events retained by the recorder.
+    pub events: usize,
+    /// Events discarded by ring eviction or sampling.
+    pub dropped: u64,
+}
+
 /// Run one configuration to completion and report.
 pub fn run_webfarm(cfg: &WebFarmCfg) -> WebFarmResult {
+    run_webfarm_inner(cfg, None).0
+}
+
+/// [`run_webfarm`] with the cluster tracer enabled in `mode`. Tracing never
+/// perturbs the simulated schedule, so the result is identical to the
+/// untraced run of the same config, and two traced runs of the same config
+/// export byte-identical artifacts.
+pub fn run_webfarm_traced(cfg: &WebFarmCfg, mode: TraceMode) -> (WebFarmResult, TraceArtifacts) {
+    let (result, artifacts) = run_webfarm_inner(cfg, Some(mode));
+    (result, artifacts.expect("traced run returns artifacts"))
+}
+
+fn run_webfarm_inner(
+    cfg: &WebFarmCfg,
+    trace: Option<TraceMode>,
+) -> (WebFarmResult, Option<TraceArtifacts>) {
     assert!(cfg.proxies >= 1);
     let sim = Sim::new();
     let total_nodes = 1 + cfg.proxies + cfg.app_nodes;
     let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), total_nodes);
+    if let Some(mode) = trace {
+        // Enable before faults install so the static fault-window events
+        // are captured too.
+        cluster.tracer().enable(mode);
+    }
     let backend_node = NodeId(0);
     if let Some((fault_seed, fault_cfg)) = &cfg.faults {
         let mut fc = fault_cfg.clone();
@@ -198,13 +234,20 @@ pub fn run_webfarm(cfg: &WebFarmCfg) -> WebFarmResult {
     });
     let span = last_done.get().saturating_sub(measure_start.get());
     let h = hist.borrow();
-    WebFarmResult {
+    let result = WebFarmResult {
         tps: tps(completed_measured.get(), span),
         mean_latency_ns: h.mean_ns(),
         p99_latency_ns: h.quantile_ns(0.99),
         cache: cache.stats(),
         span_ns: span,
-    }
+    };
+    let artifacts = trace.map(|_| TraceArtifacts {
+        trace_json: cluster.tracer().export_chrome_json(),
+        metrics_json: cluster.metrics().snapshot().to_json(),
+        events: cluster.tracer().len(),
+        dropped: cluster.tracer().dropped(),
+    });
+    (result, artifacts)
 }
 
 #[cfg(test)]
@@ -247,6 +290,26 @@ mod tests {
         assert_eq!(a.tps, b.tps);
         assert_eq!(a.mean_latency_ns, b.mean_latency_ns);
         assert_eq!(a.cache, b.cache);
+    }
+
+    #[test]
+    fn tracing_does_not_change_results() {
+        let cfg = quick_cfg(CacheScheme::Bcc);
+        let plain = run_webfarm(&cfg);
+        let (traced, art) = run_webfarm_traced(&cfg, TraceMode::Full);
+        assert_eq!(plain.tps, traced.tps);
+        assert_eq!(plain.mean_latency_ns, traced.mean_latency_ns);
+        assert_eq!(plain.cache, traced.cache);
+        assert!(art.events > 0);
+        assert_eq!(art.dropped, 0);
+    }
+
+    #[test]
+    fn ring_mode_bounds_trace_memory() {
+        let cfg = quick_cfg(CacheScheme::Bcc);
+        let (_, art) = run_webfarm_traced(&cfg, TraceMode::Ring(100));
+        assert_eq!(art.events, 100);
+        assert!(art.dropped > 0);
     }
 
     #[test]

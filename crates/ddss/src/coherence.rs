@@ -59,6 +59,19 @@ impl Coherence {
     ];
 
     /// Stable wire encoding (for the allocation RPC).
+    /// Lowercase name, for trace args and bench table legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Coherence::Null => "null",
+            Coherence::Read => "read",
+            Coherence::Write => "write",
+            Coherence::Strict => "strict",
+            Coherence::Version => "version",
+            Coherence::Delta => "delta",
+            Coherence::Temporal => "temporal",
+        }
+    }
+
     pub fn to_u8(self) -> u8 {
         match self {
             Coherence::Null => 0,

@@ -37,6 +37,7 @@ use std::rc::Rc;
 use bytes::Bytes;
 use dc_fabric::{Cluster, NodeId, RegionId, RemoteAddr, Transport};
 use dc_sim::SimTime;
+use dc_trace::{Counter, HistHandle, Subsys};
 
 use crate::alloc::FreeListAllocator;
 use crate::coherence::Coherence;
@@ -142,6 +143,10 @@ struct Inner {
     homes: RefCell<HashMap<NodeId, Rc<HomeState>>>,
     next_key: Cell<u64>,
     next_client: Cell<u64>,
+    puts: Counter,
+    gets: Counter,
+    put_ns: HistHandle,
+    get_ns: HistHandle,
 }
 
 /// The substrate. Clone to share; create clients with [`Ddss::client`].
@@ -154,6 +159,7 @@ impl Ddss {
     /// Stand up the substrate on `nodes`: registers each node's heap and
     /// spawns its DDSS daemon.
     pub fn new(cluster: &Cluster, cfg: DdssConfig, nodes: &[NodeId]) -> Ddss {
+        let metrics = cluster.metrics();
         let ddss = Ddss {
             inner: Rc::new(Inner {
                 cluster: cluster.clone(),
@@ -161,6 +167,10 @@ impl Ddss {
                 homes: RefCell::new(HashMap::new()),
                 next_key: Cell::new(1),
                 next_client: Cell::new(1),
+                puts: metrics.counter("ddss.puts"),
+                gets: metrics.counter("ddss.gets"),
+                put_ns: metrics.hist("ddss.put_ns"),
+                get_ns: metrics.hist("ddss.get_ns"),
             }),
         };
         for &n in nodes {
@@ -413,6 +423,28 @@ impl DdssClient {
     /// Write `data` (≤ the segment length) under the segment's coherence
     /// model.
     pub async fn put(&self, key: &SharedKey, data: &[u8]) {
+        let c = self.cluster().clone();
+        let t_start = c.sim().now();
+        let t0 = c.tracer().begin();
+        self.put_inner(key, data).await;
+        self.ddss.inner.puts.inc();
+        self.ddss.inner.put_ns.record(c.sim().now() - t_start);
+        if let Some(t0) = t0 {
+            c.tracer().complete(
+                t0,
+                self.node.0,
+                Subsys::Ddss,
+                "ddss.put",
+                vec![
+                    ("key", key.id.into()),
+                    ("bytes", (data.len() as u64).into()),
+                    ("coherence", key.coherence.label().into()),
+                ],
+            );
+        }
+    }
+
+    async fn put_inner(&self, key: &SharedKey, data: &[u8]) {
         assert!(
             data.len() <= key.len,
             "put of {} bytes into a {}-byte segment",
@@ -466,6 +498,29 @@ impl DdssClient {
 
     /// Read the full segment under its coherence model.
     pub async fn get(&self, key: &SharedKey) -> Bytes {
+        let c = self.cluster().clone();
+        let t_start = c.sim().now();
+        let t0 = c.tracer().begin();
+        let data = self.get_inner(key).await;
+        self.ddss.inner.gets.inc();
+        self.ddss.inner.get_ns.record(c.sim().now() - t_start);
+        if let Some(t0) = t0 {
+            c.tracer().complete(
+                t0,
+                self.node.0,
+                Subsys::Ddss,
+                "ddss.get",
+                vec![
+                    ("key", key.id.into()),
+                    ("bytes", (data.len() as u64).into()),
+                    ("coherence", key.coherence.label().into()),
+                ],
+            );
+        }
+        data
+    }
+
+    async fn get_inner(&self, key: &SharedKey) -> Bytes {
         self.overhead().await;
         let c = self.cluster().clone();
         let me = self.node;
@@ -608,6 +663,31 @@ mod tests {
             });
             assert_eq!(&got[..20], b"the quick brown fox!", "model {coh}");
         }
+    }
+
+    #[test]
+    fn put_get_record_spans_and_metrics() {
+        use dc_trace::TraceMode;
+        let (sim, c, ddss) = setup(2);
+        c.tracer().enable(TraceMode::Full);
+        let client = ddss.client(NodeId(0));
+        sim.run_to(async move {
+            let key = client.allocate(NodeId(1), 64, Coherence::Read).await.unwrap();
+            client.put(&key, b"abc").await;
+            client.get(&key).await;
+            client.get(&key).await;
+        });
+        let snap = c.metrics().snapshot();
+        assert_eq!(snap.counter("ddss.puts"), 1);
+        assert_eq!(snap.counter("ddss.gets"), 2);
+        let names: Vec<_> = c
+            .tracer()
+            .events()
+            .iter()
+            .filter(|e| e.subsys == dc_trace::Subsys::Ddss)
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(names, vec!["ddss.put", "ddss.get", "ddss.get"]);
     }
 
     #[test]

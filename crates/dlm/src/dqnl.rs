@@ -14,9 +14,10 @@ use std::rc::Rc;
 
 use dc_fabric::{Cluster, NodeId, RegionId, RemoteAddr, Transport};
 use dc_sim::sync::{oneshot, OneSender};
+use dc_trace::{Counter, HistHandle, Subsys};
 
 use crate::config::{DlmConfig, LockMode};
-use crate::msg::{DlmMsg, LockId};
+use crate::msg::{grant_flow_id, req_flow_id, DlmMsg, LockId};
 
 #[derive(Default)]
 struct LockLocal {
@@ -39,6 +40,9 @@ struct Inner {
     num_locks: u32,
     agents: RefCell<HashMap<NodeId, Rc<Agent>>>,
     agent_ports: RefCell<HashMap<NodeId, u16>>,
+    acquires: Counter,
+    grants: Counter,
+    lock_wait: HistHandle,
 }
 
 /// The DQNL lock manager.
@@ -57,6 +61,7 @@ impl DqnlDlm {
         members: &[NodeId],
     ) -> DqnlDlm {
         let region = cluster.register(home, num_locks as usize * 8);
+        let metrics = cluster.metrics();
         let dlm = DqnlDlm {
             inner: Rc::new(Inner {
                 cluster: cluster.clone(),
@@ -66,6 +71,9 @@ impl DqnlDlm {
                 num_locks,
                 agents: RefCell::new(HashMap::new()),
                 agent_ports: RefCell::new(HashMap::new()),
+                acquires: metrics.counter("dlm.lock_acquires"),
+                grants: metrics.counter("dlm.grants"),
+                lock_wait: metrics.hist("dlm.lock_wait_ns"),
             }),
         };
         for &m in members {
@@ -116,6 +124,11 @@ impl DqnlDlm {
     }
 
     fn send_grant(&self, from: NodeId, to: NodeId, lock: LockId) {
+        self.inner.grants.inc();
+        self.inner
+            .cluster
+            .tracer()
+            .flow_start(grant_flow_id(lock, to), from.0, Subsys::Dlm, "lock.grant");
         let cluster = self.inner.cluster.clone();
         let issue = self.inner.cfg.grant_issue_ns;
         let policy = self.inner.cfg.msg_retry;
@@ -167,6 +180,12 @@ impl DqnlDlm {
                 cluster.sim().sleep(proc_ns).await;
                 match DlmMsg::decode(&msg.data) {
                     DlmMsg::ExclReq { lock, from, .. } => {
+                        cluster.tracer().flow_end(
+                            req_flow_id(lock, from),
+                            agent.node.0,
+                            Subsys::Dlm,
+                            "lock.request",
+                        );
                         agent
                             .locks
                             .borrow_mut()
@@ -177,6 +196,12 @@ impl DqnlDlm {
                         dlm.try_progress(&agent, lock);
                     }
                     DlmMsg::Grant { lock, .. } => {
+                        cluster.tracer().flow_end(
+                            grant_flow_id(lock, agent.node),
+                            agent.node.0,
+                            Subsys::Dlm,
+                            "lock.grant",
+                        );
                         let tx = agent
                             .locks
                             .borrow_mut()
@@ -206,6 +231,8 @@ impl DqnlClient {
     pub async fn lock(&self, lock: LockId, mode: LockMode) {
         let _ = mode; // no shared support — the scheme's defining gap
         let cluster = self.dlm.inner.cluster.clone();
+        let t_start = cluster.sim().now();
+        let t0 = cluster.tracer().begin();
         let addr = self.dlm.word_addr(lock);
         let me = (self.node.0 + 1) as u64;
         let mut expect = 0u64;
@@ -238,6 +265,9 @@ impl DqnlClient {
                 shared_seen: 0,
             }
             .encode();
+            cluster
+                .tracer()
+                .flow_start(req_flow_id(lock, from), from.0, Subsys::Dlm, "lock.request");
             cluster.sim().clone().spawn(async move {
                 cl.sim().sleep(issue).await;
                 cl.send_reliable_with(from, pred, port, req, Transport::RdmaSend, policy)
@@ -249,11 +279,32 @@ impl DqnlClient {
             rx.await.expect("DQNL grant channel closed");
         }
         agent.locks.borrow_mut().entry(lock).or_default().held = true;
+        self.dlm.inner.acquires.inc();
+        self.dlm.inner.lock_wait.record(cluster.sim().now() - t_start);
+        if let Some(t0) = t0 {
+            cluster.tracer().complete(
+                t0,
+                self.node.0,
+                Subsys::Dlm,
+                "lock.acquire",
+                vec![
+                    ("lock", lock.into()),
+                    ("exclusive", 1u64.into()),
+                    ("queued", u64::from(prior != 0).into()),
+                ],
+            );
+        }
     }
 
     /// Release `lock`.
     pub async fn unlock(&self, lock: LockId) {
         let cluster = self.dlm.inner.cluster.clone();
+        cluster.tracer().instant(
+            self.node.0,
+            Subsys::Dlm,
+            "lock.release",
+            vec![("lock", lock.into()), ("exclusive", 1u64.into())],
+        );
         let agent = Rc::clone(&self.dlm.inner.agents.borrow()[&self.node]);
         {
             let mut locks = agent.locks.borrow_mut();

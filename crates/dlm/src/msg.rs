@@ -11,6 +11,21 @@ use dc_fabric::NodeId;
 /// A lock identifier within one manager (dense, `0..num_locks`).
 pub type LockId = u32;
 
+/// Deterministic flow-correlation id for a lock *request* in flight from
+/// `requester`. Derivable on both ends from protocol state alone, so the
+/// requester's `flow_start` and the granter agent's `flow_end` pair up
+/// without any wire-format change.
+pub(crate) fn req_flow_id(lock: LockId, requester: NodeId) -> u64 {
+    (u64::from(lock) << 32) | u64::from(requester.0)
+}
+
+/// Deterministic flow-correlation id for a *grant* in flight to `target`.
+/// Bit 31 separates the grant arrow from the request arrow of the same
+/// `(lock, node)` pair (node ids never reach 2^31).
+pub(crate) fn grant_flow_id(lock: LockId, target: NodeId) -> u64 {
+    (u64::from(lock) << 32) | 0x8000_0000 | u64::from(target.0)
+}
+
 /// Wire messages exchanged by DLM agents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DlmMsg {

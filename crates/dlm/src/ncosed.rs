@@ -28,9 +28,10 @@ use std::rc::Rc;
 
 use dc_fabric::{Cluster, NodeId, RegionId, RemoteAddr, Transport};
 use dc_sim::sync::{oneshot, OneSender};
+use dc_trace::{Counter, HistHandle, Subsys};
 
 use crate::config::{DlmConfig, LockMode};
-use crate::msg::{DlmMsg, LockId};
+use crate::msg::{grant_flow_id, req_flow_id, DlmMsg, LockId};
 use crate::word::{LockWord, SHARED_FAA_DELTA};
 
 /// Per-lock, per-node protocol state.
@@ -75,6 +76,9 @@ struct Inner {
     home_port: u16,
     /// Grants issued (for tests/ablations).
     grants_sent: Cell<u64>,
+    acquires: Counter,
+    grants: Counter,
+    lock_wait: HistHandle,
 }
 
 /// The N-CoSED lock manager. One instance manages `num_locks` locks homed
@@ -96,6 +100,7 @@ impl NcosedDlm {
     ) -> NcosedDlm {
         let region = cluster.register(home, num_locks as usize * 8);
         let home_port = cluster.alloc_port();
+        let metrics = cluster.metrics();
         let dlm = NcosedDlm {
             inner: Rc::new(Inner {
                 cluster: cluster.clone(),
@@ -107,6 +112,9 @@ impl NcosedDlm {
                 agent_ports: RefCell::new(HashMap::new()),
                 home_port,
                 grants_sent: Cell::new(0),
+                acquires: metrics.counter("dlm.lock_acquires"),
+                grants: metrics.counter("dlm.grants"),
+                lock_wait: metrics.hist("dlm.lock_wait_ns"),
             }),
         };
         for &m in members {
@@ -176,6 +184,30 @@ impl NcosedDlm {
         self.inner
             .grants_sent
             .set(self.inner.grants_sent.get() + msgs.len() as u64);
+        // Open a flow arrow per protocol message so a grant in the trace
+        // links back to the CAS/FAA that queued its requester. Ids derive
+        // from protocol state, so the receiving agent closes the same arrow.
+        let tracer = self.inner.cluster.tracer();
+        for (to, _port, msg) in &msgs {
+            match *msg {
+                DlmMsg::Grant { lock, .. } => {
+                    self.inner.grants.inc();
+                    tracer.flow_start(grant_flow_id(lock, *to), from.0, Subsys::Dlm, "lock.grant");
+                }
+                DlmMsg::ExclReq { lock, from: req, .. } | DlmMsg::ShReq { lock, from: req } => {
+                    tracer.flow_start(req_flow_id(lock, req), from.0, Subsys::Dlm, "lock.request");
+                }
+                DlmMsg::WaitShared { lock, waiter, .. } => {
+                    tracer.flow_start(
+                        req_flow_id(lock, waiter),
+                        from.0,
+                        Subsys::Dlm,
+                        "lock.wait_shared",
+                    );
+                }
+                _ => {}
+            }
+        }
         self.inner.cluster.sim().clone().spawn(async move {
             for (to, port, msg) in msgs {
                 cluster.sim().sleep(issue_ns).await;
@@ -275,6 +307,12 @@ impl NcosedDlm {
                         from,
                         shared_seen,
                     } => {
+                        cluster.tracer().flow_end(
+                            req_flow_id(lock, from),
+                            agent.node.0,
+                            Subsys::Dlm,
+                            "lock.request",
+                        );
                         {
                             let mut locks = agent.locks.borrow_mut();
                             let ll = locks.entry(lock).or_default();
@@ -287,6 +325,12 @@ impl NcosedDlm {
                         dlm.try_progress(&agent, lock);
                     }
                     DlmMsg::ShReq { lock, from } => {
+                        cluster.tracer().flow_end(
+                            req_flow_id(lock, from),
+                            agent.node.0,
+                            Subsys::Dlm,
+                            "lock.request",
+                        );
                         {
                             let mut locks = agent.locks.borrow_mut();
                             locks.entry(lock).or_default().pending_shared.push(from);
@@ -294,6 +338,12 @@ impl NcosedDlm {
                         dlm.try_progress(&agent, lock);
                     }
                     DlmMsg::Grant { lock, .. } => {
+                        cluster.tracer().flow_end(
+                            grant_flow_id(lock, agent.node),
+                            agent.node.0,
+                            Subsys::Dlm,
+                            "lock.grant",
+                        );
                         let tx = {
                             let mut locks = agent.locks.borrow_mut();
                             locks
@@ -332,6 +382,12 @@ impl NcosedDlm {
                         (lock, e)
                     }
                     DlmMsg::WaitShared { lock, waiter, need } => {
+                        cluster.tracer().flow_end(
+                            req_flow_id(lock, waiter),
+                            dlm.inner.home.0,
+                            Subsys::Dlm,
+                            "lock.wait_shared",
+                        );
                         let e = locks.entry(lock).or_insert(HomeLock {
                             have: 0,
                             pending: None,
@@ -390,6 +446,9 @@ impl NcosedClient {
     /// including while the node still anchors a shared group.
     pub async fn lock(&self, lock: LockId, mode: LockMode) {
         let cluster = self.dlm.inner.cluster.clone();
+        let t_start = cluster.sim().now();
+        let t0 = cluster.tracer().begin();
+        let mut queued = false;
         let addr = self.dlm.word_addr(lock);
         let agent = self.dlm.agent(self.node);
         {
@@ -417,6 +476,7 @@ impl NcosedClient {
                 match (prior.tail, prior.shared) {
                     (None, 0) => {} // free: held immediately
                     _ => {
+                        queued = true;
                         let rx = {
                             let mut locks = agent.locks.borrow_mut();
                             let ll = locks.entry(lock).or_default();
@@ -453,6 +513,7 @@ impl NcosedClient {
                 let old = cluster.atomic_faa(self.node, addr, SHARED_FAA_DELTA).await;
                 let prior = LockWord::decode(old);
                 if let Some(t) = prior.tail {
+                    queued = true;
                     let rx = {
                         let mut locks = agent.locks.borrow_mut();
                         let ll = locks.entry(lock).or_default();
@@ -476,6 +537,21 @@ impl NcosedClient {
             }
         }
         agent.locks.borrow_mut().entry(lock).or_default().held = Some(mode);
+        self.dlm.inner.acquires.inc();
+        self.dlm.inner.lock_wait.record(cluster.sim().now() - t_start);
+        if let Some(t0) = t0 {
+            cluster.tracer().complete(
+                t0,
+                self.node.0,
+                Subsys::Dlm,
+                "lock.acquire",
+                vec![
+                    ("lock", lock.into()),
+                    ("exclusive", u64::from(mode == LockMode::Exclusive).into()),
+                    ("queued", u64::from(queued).into()),
+                ],
+            );
+        }
     }
 
     /// Release `lock`.
@@ -491,6 +567,15 @@ impl NcosedClient {
                 .take()
                 .expect("unlock of a lock this node does not hold")
         };
+        cluster.tracer().instant(
+            self.node.0,
+            Subsys::Dlm,
+            "lock.release",
+            vec![
+                ("lock", lock.into()),
+                ("exclusive", u64::from(mode == LockMode::Exclusive).into()),
+            ],
+        );
         match mode {
             LockMode::Shared => {
                 // Off-critical-path bookkeeping to the home agent.
@@ -829,6 +914,82 @@ mod tests {
         assert_eq!(max_seen.get(), 1, "two exclusive holders overlapped");
         assert_eq!(done.get(), 4, "a waiter was orphaned by a dropped message");
         assert!(c.fault_stats().dropped_msgs > 0, "fault plan never fired");
+    }
+
+    #[test]
+    fn trace_links_grant_back_to_request() {
+        use dc_trace::{Ph, TraceMode};
+        let (sim, c, dlm) = setup(3, 1);
+        c.tracer().enable(TraceMode::Full);
+        let h = sim.handle();
+        let holder = dlm.client(NodeId(1));
+        let hh = h.clone();
+        sim.spawn(async move {
+            holder.lock(0, LockMode::Exclusive).await;
+            hh.sleep(ms(1)).await;
+            holder.unlock(0).await;
+        });
+        let waiter = dlm.client(NodeId(2));
+        let hh = h.clone();
+        sim.spawn(async move {
+            hh.sleep(us(100)).await;
+            waiter.lock(0, LockMode::Exclusive).await;
+            waiter.unlock(0).await;
+        });
+        sim.run();
+        let evs = c.tracer().events();
+        // Node 2 queued behind node 1: its request flow must start on node 2
+        // and end on node 1; the grant flow the reverse.
+        let req = crate::msg::req_flow_id(0, NodeId(2));
+        let grant = crate::msg::grant_flow_id(0, NodeId(2));
+        let find = |id, start: bool| {
+            evs.iter()
+                .find(|e| match e.ph {
+                    Ph::FlowStart { id: i } => start && i == id,
+                    Ph::FlowEnd { id: i } => !start && i == id,
+                    _ => false,
+                })
+                .unwrap_or_else(|| panic!("missing flow half id={id} start={start}"))
+        };
+        assert_eq!(find(req, true).node, 2);
+        assert_eq!(find(req, false).node, 1);
+        assert_eq!(find(grant, true).node, 1);
+        assert_eq!(find(grant, false).node, 2);
+        // Both acquires left complete spans, and the registry counted them.
+        let acquires = evs.iter().filter(|e| e.name == "lock.acquire").count();
+        assert_eq!(acquires, 2);
+        let snap = c.metrics().snapshot();
+        assert_eq!(snap.counter("dlm.lock_acquires"), 2);
+        assert_eq!(snap.counter("dlm.grants"), 1);
+    }
+
+    #[test]
+    fn lock_wait_histogram_sees_contention() {
+        let (sim, c, dlm) = setup(3, 1);
+        let h = sim.handle();
+        let holder = dlm.client(NodeId(1));
+        let hh = h.clone();
+        sim.spawn(async move {
+            holder.lock(0, LockMode::Exclusive).await;
+            hh.sleep(ms(2)).await;
+            holder.unlock(0).await;
+        });
+        let waiter = dlm.client(NodeId(2));
+        let hh = h.clone();
+        sim.spawn(async move {
+            hh.sleep(us(100)).await;
+            waiter.lock(0, LockMode::Exclusive).await;
+            waiter.unlock(0).await;
+        });
+        sim.run();
+        let snap = c.metrics().snapshot();
+        let s = match snap.get("dlm.lock_wait_ns").unwrap() {
+            dc_trace::MetricValue::Hist(s) => *s,
+            other => panic!("wrong metric kind: {other:?}"),
+        };
+        assert_eq!(s.count, 2);
+        // The waiter blocked for roughly the residual 1.9ms hold.
+        assert!(s.max_ns > ms(1), "max wait {} too small", s.max_ns);
     }
 
     #[test]

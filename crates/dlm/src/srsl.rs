@@ -12,9 +12,10 @@ use std::rc::Rc;
 
 use dc_fabric::{Cluster, NodeId, Transport};
 use dc_sim::sync::{oneshot, OneSender};
+use dc_trace::{Counter, HistHandle, Subsys};
 
 use crate::config::{DlmConfig, LockMode};
-use crate::msg::{DlmMsg, LockId};
+use crate::msg::{grant_flow_id, req_flow_id, DlmMsg, LockId};
 
 #[derive(Default)]
 struct ServerLock {
@@ -36,6 +37,9 @@ struct Inner {
     server_port: u16,
     agents: RefCell<HashMap<NodeId, Rc<ClientAgent>>>,
     agent_ports: RefCell<HashMap<NodeId, u16>>,
+    acquires: Counter,
+    grants: Counter,
+    lock_wait: HistHandle,
 }
 
 /// The SRSL lock manager.
@@ -48,6 +52,7 @@ impl SrslDlm {
     /// Create the manager with its server process on `server`.
     pub fn new(cluster: &Cluster, cfg: DlmConfig, server: NodeId, members: &[NodeId]) -> SrslDlm {
         let server_port = cluster.alloc_port();
+        let metrics = cluster.metrics();
         let dlm = SrslDlm {
             inner: Rc::new(Inner {
                 cluster: cluster.clone(),
@@ -56,6 +61,9 @@ impl SrslDlm {
                 server_port,
                 agents: RefCell::new(HashMap::new()),
                 agent_ports: RefCell::new(HashMap::new()),
+                acquires: metrics.counter("dlm.lock_acquires"),
+                grants: metrics.counter("dlm.grants"),
+                lock_wait: metrics.hist("dlm.lock_wait_ns"),
             }),
         };
         for &m in members {
@@ -86,6 +94,9 @@ impl SrslDlm {
             loop {
                 let msg = ep.recv().await;
                 if let DlmMsg::Grant { lock, .. } = DlmMsg::decode(&msg.data) {
+                    cluster
+                        .tracer()
+                        .flow_end(grant_flow_id(lock, node), node.0, Subsys::Dlm, "lock.grant");
                     let tx = agent
                         .waiting
                         .borrow_mut()
@@ -127,6 +138,12 @@ impl SrslDlm {
                         from,
                         exclusive,
                     } => {
+                        cluster.tracer().flow_end(
+                            req_flow_id(lock, from),
+                            server.0,
+                            Subsys::Dlm,
+                            "lock.request",
+                        );
                         let st = locks.entry(lock).or_default();
                         let admissible = if exclusive {
                             st.holders == 0
@@ -174,6 +191,13 @@ impl SrslDlm {
                 // doorbell at a time), flights overlapping.
                 for (to, lock, exclusive) in grants {
                     cluster.cpu(server).execute(cfg.grant_issue_ns).await;
+                    inner.grants.inc();
+                    cluster.tracer().flow_start(
+                        grant_flow_id(lock, to),
+                        server.0,
+                        Subsys::Dlm,
+                        "lock.grant",
+                    );
                     let port = inner.agent_ports.borrow()[&to];
                     let c2 = cluster.clone();
                     let data = DlmMsg::Grant { lock, exclusive }.encode();
@@ -201,10 +225,18 @@ impl SrslClient {
     /// Acquire `lock` in `mode` through the server.
     pub async fn lock(&self, lock: LockId, mode: LockMode) {
         let inner = &self.dlm.inner;
+        let t_start = inner.cluster.sim().now();
+        let t0 = inner.cluster.tracer().begin();
         let agent = Rc::clone(&inner.agents.borrow()[&self.node]);
         let (tx, rx) = oneshot();
         let prev = agent.waiting.borrow_mut().insert(lock, tx);
         assert!(prev.is_none(), "concurrent SRSL ops on one lock");
+        inner.cluster.tracer().flow_start(
+            req_flow_id(lock, self.node),
+            self.node.0,
+            Subsys::Dlm,
+            "lock.request",
+        );
         inner
             .cluster
             .send_reliable_with(
@@ -223,11 +255,31 @@ impl SrslClient {
             .await
             .unwrap_or_else(|e| panic!("SRSL lock request undeliverable: {e}"));
         rx.await.expect("SRSL grant channel closed");
+        inner.acquires.inc();
+        inner.lock_wait.record(inner.cluster.sim().now() - t_start);
+        if let Some(t0) = t0 {
+            inner.cluster.tracer().complete(
+                t0,
+                self.node.0,
+                Subsys::Dlm,
+                "lock.acquire",
+                vec![
+                    ("lock", lock.into()),
+                    ("exclusive", u64::from(mode == LockMode::Exclusive).into()),
+                ],
+            );
+        }
     }
 
     /// Release `lock`.
     pub async fn unlock(&self, lock: LockId) {
         let inner = &self.dlm.inner;
+        inner.cluster.tracer().instant(
+            self.node.0,
+            Subsys::Dlm,
+            "lock.release",
+            vec![("lock", lock.into())],
+        );
         inner
             .cluster
             .send_reliable_with(

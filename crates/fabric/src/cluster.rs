@@ -30,6 +30,7 @@ use std::rc::Rc;
 use bytes::Bytes;
 use dc_sim::sync::{channel, Receiver, Semaphore, Sender};
 use dc_sim::SimHandle;
+use dc_trace::{Counter, Gauge, Registry, Subsys, Tracer};
 
 use crate::faults::{inflate, FabricError, FaultPlan, FaultStats, RetryPolicy};
 use crate::kstat::KSTAT_REGION_LEN;
@@ -87,6 +88,17 @@ pub struct VerbStats {
     pub bytes_read: u64,
     /// Payload bytes moved by writes.
     pub bytes_written: u64,
+    /// Messages actually placed into a bound endpoint's mailbox (recv side;
+    /// excludes drops, crashes, and unbound ports).
+    pub delivered: u64,
+    /// Lane-level retransmissions (reliable-send retries reported by the
+    /// socket layer).
+    pub retransmits: u64,
+    /// High-water mark of any lane's reorder (early-arrival) buffer.
+    pub reorder_hwm: u64,
+    /// Times a sender blocked on exhausted flow-control credits or ring
+    /// space.
+    pub credit_stalls: u64,
 }
 
 struct NodeInner {
@@ -101,23 +113,50 @@ struct ClusterInner {
     sim: SimHandle,
     model: FabricModel,
     nodes: RefCell<Vec<Rc<NodeInner>>>,
-    stats: StatsCells,
+    stats: VerbCounters,
     next_port: Cell<u16>,
     /// Installed fault schedule, if any. `None` means the fabric is
     /// perfectly reliable and every `try_*` verb is infallible in practice.
     faults: RefCell<Option<Rc<FaultPlan>>>,
+    tracer: Tracer,
+    metrics: Rc<Registry>,
 }
 
-#[derive(Default)]
-struct StatsCells {
-    reads: Cell<u64>,
-    writes: Cell<u64>,
-    cas: Cell<u64>,
-    faa: Cell<u64>,
-    sends_rdma: Cell<u64>,
-    sends_tcp: Cell<u64>,
-    bytes_read: Cell<u64>,
-    bytes_written: Cell<u64>,
+/// Verb counters, backed by the unified metrics registry: `stats()` reads
+/// the same storage that `metrics().snapshot()` enumerates under the
+/// `fabric.*` / `sockets.*` names.
+struct VerbCounters {
+    reads: Counter,
+    writes: Counter,
+    cas: Counter,
+    faa: Counter,
+    sends_rdma: Counter,
+    sends_tcp: Counter,
+    bytes_read: Counter,
+    bytes_written: Counter,
+    delivered: Counter,
+    retransmits: Counter,
+    reorder_hwm: Gauge,
+    credit_stalls: Counter,
+}
+
+impl VerbCounters {
+    fn new(reg: &Registry) -> VerbCounters {
+        VerbCounters {
+            reads: reg.counter("fabric.verbs.read"),
+            writes: reg.counter("fabric.verbs.write"),
+            cas: reg.counter("fabric.verbs.cas"),
+            faa: reg.counter("fabric.verbs.faa"),
+            sends_rdma: reg.counter("fabric.verbs.send_rdma"),
+            sends_tcp: reg.counter("fabric.verbs.send_tcp"),
+            bytes_read: reg.counter("fabric.bytes.read"),
+            bytes_written: reg.counter("fabric.bytes.written"),
+            delivered: reg.counter("fabric.delivered"),
+            retransmits: reg.counter("sockets.retransmits"),
+            reorder_hwm: reg.gauge("sockets.reorder_hwm"),
+            credit_stalls: reg.counter("sockets.credit_stalls"),
+        }
+    }
 }
 
 /// Handle to the simulated cluster; clone freely.
@@ -130,14 +169,18 @@ impl Cluster {
     /// Build a cluster of `nodes` nodes under the given cost model. Each
     /// node's region 0 is its kernel-statistics block.
     pub fn new(sim: SimHandle, model: FabricModel, nodes: usize) -> Cluster {
+        let metrics = Rc::new(Registry::new());
+        let tracer = Tracer::new(sim.clone());
         let cluster = Cluster {
             inner: Rc::new(ClusterInner {
                 sim,
                 model,
                 nodes: RefCell::new(Vec::new()),
-                stats: StatsCells::default(),
+                stats: VerbCounters::new(&metrics),
                 next_port: Cell::new(1024),
                 faults: RefCell::new(None),
+                tracer,
+                metrics,
             }),
         };
         for _ in 0..nodes {
@@ -197,7 +240,42 @@ impl Cluster {
             sends_tcp: s.sends_tcp.get(),
             bytes_read: s.bytes_read.get(),
             bytes_written: s.bytes_written.get(),
+            delivered: s.delivered.get(),
+            retransmits: s.retransmits.get(),
+            reorder_hwm: s.reorder_hwm.get().max(0) as u64,
+            credit_stalls: s.credit_stalls.get(),
         }
+    }
+
+    /// The cluster's trace recorder. Disabled (free) by default; enable with
+    /// `cluster.tracer().enable(mode)` to capture verb/protocol/fault events
+    /// for Perfetto export. Enabling never changes simulated behaviour.
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
+    }
+
+    /// The unified metrics registry every layer of this cluster registers
+    /// into (`fabric.*`, `sockets.*`, `fault.*`, plus service-level names).
+    pub fn metrics(&self) -> Rc<Registry> {
+        Rc::clone(&self.inner.metrics)
+    }
+
+    /// Record one lane-level retransmission (called by the socket layer).
+    pub fn note_retransmit(&self) {
+        self.inner.stats.retransmits.inc();
+    }
+
+    /// Record a sender blocking on exhausted credits/ring space on `node`.
+    pub fn note_credit_stall(&self, node: NodeId) {
+        self.inner.stats.credit_stalls.inc();
+        self.inner
+            .tracer
+            .instant(node.0, Subsys::Sockets, "credit.stall", Vec::new());
+    }
+
+    /// Report a lane's reorder-buffer depth; keeps the high-water mark.
+    pub fn note_reorder_depth(&self, depth: usize) {
+        self.inner.stats.reorder_hwm.set_max(depth as i64);
     }
 
     /// Install a fault schedule. Every verb and send consults it from now
@@ -208,6 +286,43 @@ impl Cluster {
             self.inner.faults.borrow().is_none(),
             "fault plan already installed"
         );
+        plan.bind_counters(&self.inner.metrics);
+        // The whole schedule is known now, so export the windows with
+        // explicit timestamps instead of spawning marker tasks at runtime —
+        // extra tasks would shift executor timer ordering and perturb the
+        // very schedule being observed.
+        let tr = &self.inner.tracer;
+        for w in plan.crash_windows() {
+            tr.complete_at(
+                w.start,
+                w.end.saturating_sub(w.start),
+                w.node.0,
+                Subsys::Fault,
+                "fault.crash",
+                Vec::new(),
+            );
+        }
+        for w in plan.stall_windows() {
+            tr.complete_at(
+                w.start,
+                w.dur,
+                w.node.0,
+                Subsys::Fault,
+                "fault.stall",
+                vec![("cpu_ns", w.dur.into())],
+            );
+        }
+        // Latency windows are cluster-global; render them on node 0's track.
+        for w in plan.latency_windows() {
+            tr.complete_at(
+                w.start,
+                w.end.saturating_sub(w.start),
+                0,
+                Subsys::Fault,
+                "fault.latency",
+                vec![("factor_milli", w.factor_milli.into())],
+            );
+        }
         for w in plan.stall_windows() {
             let cpu = self.cpu(w.node);
             let sim = self.inner.sim.clone();
@@ -250,6 +365,12 @@ impl Cluster {
                 let down = p.is_down(node, self.inner.sim.now());
                 if down {
                     p.note_unreachable();
+                    self.inner.tracer.instant(
+                        node.0,
+                        Subsys::Fault,
+                        "fault.unreachable",
+                        Vec::new(),
+                    );
                 }
                 down
             }
@@ -258,9 +379,20 @@ impl Cluster {
     }
 
     /// Whether the message under way is dropped in flight.
-    fn fault_drop(&self) -> bool {
+    fn fault_drop(&self, from: NodeId, to: NodeId) -> bool {
         match &*self.inner.faults.borrow() {
-            Some(p) => p.should_drop(),
+            Some(p) => {
+                let dropped = p.should_drop();
+                if dropped {
+                    self.inner.tracer.instant(
+                        to.0,
+                        Subsys::Fault,
+                        "fault.drop",
+                        vec![("src", from.0.into())],
+                    );
+                }
+                dropped
+            }
             None => false,
         }
     }
@@ -347,6 +479,7 @@ impl Cluster {
         let m = &self.inner.model;
         let sim = self.inner.sim.clone();
         let f = self.fault_factor();
+        let t0 = self.inner.tracer.begin();
         if self.fault_down(from) {
             return Err(FabricError::Unreachable(from));
         }
@@ -369,11 +502,21 @@ impl Cluster {
             f,
         ))
         .await;
-        self.inner.stats.reads.set(self.inner.stats.reads.get() + 1);
-        self.inner
-            .stats
-            .bytes_read
-            .set(self.inner.stats.bytes_read.get() + len as u64);
+        self.inner.stats.reads.inc();
+        self.inner.stats.bytes_read.add(len as u64);
+        if let Some(t0) = t0 {
+            self.inner.tracer.complete(
+                t0,
+                from.0,
+                Subsys::Fabric,
+                "verb.read",
+                vec![
+                    ("bytes", len.into()),
+                    ("target", addr.node.0.into()),
+                    ("remote_cpu_ns", 0u64.into()),
+                ],
+            );
+        }
         Ok(data)
     }
 
@@ -408,6 +551,7 @@ impl Cluster {
         let m = &self.inner.model;
         let sim = self.inner.sim.clone();
         let f = self.fault_factor();
+        let t0 = self.inner.tracer.begin();
         if self.fault_down(from) {
             return Err(FabricError::Unreachable(from));
         }
@@ -429,14 +573,21 @@ impl Cluster {
             f,
         ))
         .await;
-        self.inner
-            .stats
-            .writes
-            .set(self.inner.stats.writes.get() + 1);
-        self.inner
-            .stats
-            .bytes_written
-            .set(self.inner.stats.bytes_written.get() + data.len() as u64);
+        self.inner.stats.writes.inc();
+        self.inner.stats.bytes_written.add(data.len() as u64);
+        if let Some(t0) = t0 {
+            self.inner.tracer.complete(
+                t0,
+                from.0,
+                Subsys::Fabric,
+                "verb.write",
+                vec![
+                    ("bytes", data.len().into()),
+                    ("target", addr.node.0.into()),
+                    ("remote_cpu_ns", 0u64.into()),
+                ],
+            );
+        }
         Ok(())
     }
 
@@ -472,6 +623,7 @@ impl Cluster {
         let m = &self.inner.model;
         let sim = self.inner.sim.clone();
         let f = self.fault_factor();
+        let t0 = self.inner.tracer.begin();
         if self.fault_down(from) {
             return Err(FabricError::Unreachable(from));
         }
@@ -485,7 +637,20 @@ impl Cluster {
         let old = region.cas_u64(addr.offset, expect, swap);
         sim.sleep(inflate(m.atomic_base_ns - m.atomic_base_ns / 2, f))
             .await;
-        self.inner.stats.cas.set(self.inner.stats.cas.get() + 1);
+        self.inner.stats.cas.inc();
+        if let Some(t0) = t0 {
+            self.inner.tracer.complete(
+                t0,
+                from.0,
+                Subsys::Fabric,
+                "verb.cas",
+                vec![
+                    ("target", addr.node.0.into()),
+                    ("swapped", u64::from(old == expect).into()),
+                    ("remote_cpu_ns", 0u64.into()),
+                ],
+            );
+        }
         Ok(old)
     }
 
@@ -520,6 +685,7 @@ impl Cluster {
         let m = &self.inner.model;
         let sim = self.inner.sim.clone();
         let f = self.fault_factor();
+        let t0 = self.inner.tracer.begin();
         if self.fault_down(from) {
             return Err(FabricError::Unreachable(from));
         }
@@ -533,7 +699,19 @@ impl Cluster {
         let old = region.faa_u64(addr.offset, add);
         sim.sleep(inflate(m.atomic_base_ns - m.atomic_base_ns / 2, f))
             .await;
-        self.inner.stats.faa.set(self.inner.stats.faa.get() + 1);
+        self.inner.stats.faa.inc();
+        if let Some(t0) = t0 {
+            self.inner.tracer.complete(
+                t0,
+                from.0,
+                Subsys::Fabric,
+                "verb.faa",
+                vec![
+                    ("target", addr.node.0.into()),
+                    ("remote_cpu_ns", 0u64.into()),
+                ],
+            );
+        }
         Ok(old)
     }
 
@@ -595,6 +773,7 @@ impl Cluster {
         let sim = self.inner.sim.clone();
         let len = data.len();
         let f = self.fault_factor();
+        let t0 = self.inner.tracer.begin();
         if self.fault_down(from) {
             return Err(FabricError::Unreachable(from));
         }
@@ -606,17 +785,27 @@ impl Cluster {
                 sim.sleep(inflate(m.ib_bytes_time(len), f)).await;
                 drop(permit);
                 sim.sleep(inflate(m.rdma_send_base_ns, f)).await;
-                self.inner
-                    .stats
-                    .sends_rdma
-                    .set(self.inner.stats.sends_rdma.get() + 1);
+                self.inner.stats.sends_rdma.inc();
                 if self.fault_down(to) {
                     return Err(FabricError::Unreachable(to));
                 }
-                if self.fault_drop() {
+                if self.fault_drop(from, to) {
                     return Err(FabricError::Dropped);
                 }
                 self.deliver(from, to, port, data);
+                if let Some(t0) = t0 {
+                    self.inner.tracer.complete(
+                        t0,
+                        from.0,
+                        Subsys::Fabric,
+                        "verb.send_rdma",
+                        vec![
+                            ("bytes", len.into()),
+                            ("target", to.0.into()),
+                            ("remote_cpu_ns", 0u64.into()),
+                        ],
+                    );
+                }
             }
             Transport::Tcp => {
                 // Sender-side stack processing (copy into kernel buffers).
@@ -626,20 +815,30 @@ impl Cluster {
                 sim.sleep(inflate(m.tcp_bytes_time(len), f)).await;
                 drop(permit);
                 sim.sleep(inflate(m.tcp_base_ns, f)).await;
-                self.inner
-                    .stats
-                    .sends_tcp
-                    .set(self.inner.stats.sends_tcp.get() + 1);
+                self.inner.stats.sends_tcp.inc();
                 if self.fault_down(to) {
                     return Err(FabricError::Unreachable(to));
                 }
-                if self.fault_drop() {
+                if self.fault_drop(from, to) {
                     return Err(FabricError::Dropped);
                 }
                 // Receiver-side stack processing competes with load.
                 let dst = self.node(to);
                 dst.cpu.execute(m.tcp_recv_cpu(len)).await;
                 self.deliver(from, to, port, data);
+                if let Some(t0) = t0 {
+                    self.inner.tracer.complete(
+                        t0,
+                        from.0,
+                        Subsys::Fabric,
+                        "verb.send_tcp",
+                        vec![
+                            ("bytes", len.into()),
+                            ("target", to.0.into()),
+                            ("remote_cpu_ns", m.tcp_recv_cpu(len).into()),
+                        ],
+                    );
+                }
             }
         }
         Ok(())
@@ -700,6 +899,7 @@ impl Cluster {
                 port,
                 data,
             });
+            self.inner.stats.delivered.inc();
         }
     }
 }
@@ -1223,6 +1423,73 @@ mod tests {
         let cc = c.clone();
         let res = sim.run_to(async move { cc.try_rdma_write(NodeId(0), addr, b"x").await });
         assert_eq!(res, Err(crate::faults::FabricError::Unreachable(NodeId(0))));
+    }
+
+    #[test]
+    fn tracing_records_verbs_without_changing_timing() {
+        use dc_trace::TraceMode;
+        let run = |traced: bool| {
+            let (sim, c) = setup(2);
+            if traced {
+                c.tracer().enable(TraceMode::Full);
+            }
+            let r = c.register(NodeId(1), 64);
+            let addr = RemoteAddr {
+                node: NodeId(1),
+                region: r,
+                offset: 0,
+            };
+            let cc = c.clone();
+            let h = sim.handle();
+            let t = sim.run_to(async move {
+                cc.rdma_write(NodeId(0), addr, b"abc").await;
+                cc.rdma_read(NodeId(0), addr, 3).await;
+                h.now()
+            });
+            (t, c)
+        };
+        let (t_off, _) = run(false);
+        let (t_on, c) = run(true);
+        assert_eq!(t_off, t_on, "enabling tracing must not change the schedule");
+        let names: Vec<_> = c.tracer().events().iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["verb.write", "verb.read"]);
+        let snap = c.metrics().snapshot();
+        assert_eq!(snap.counter("fabric.verbs.read"), 1);
+        assert_eq!(snap.counter("fabric.verbs.write"), 1);
+        assert_eq!(snap.counter("fabric.bytes.written"), 3);
+    }
+
+    #[test]
+    fn fault_metrics_mirror_fault_stats() {
+        use crate::faults::FaultPlan;
+        let (sim, c) = setup(2);
+        c.install_faults(FaultPlan::from_parts(3, vec![], vec![], vec![], 0.5));
+        let mut ep = c.bind(NodeId(1), 7);
+        let cc = c.clone();
+        sim.spawn(async move {
+            for i in 0..10u8 {
+                cc.send_reliable(
+                    NodeId(0),
+                    NodeId(1),
+                    7,
+                    Bytes::from(vec![i]),
+                    Transport::RdmaSend,
+                )
+                .await
+                .unwrap();
+            }
+        });
+        sim.run_to(async move {
+            for _ in 0..10 {
+                ep.recv().await;
+            }
+        });
+        let fs = c.fault_stats();
+        let snap = c.metrics().snapshot();
+        assert!(fs.dropped_msgs > 0);
+        assert_eq!(snap.counter("fault.dropped_msgs"), fs.dropped_msgs);
+        assert_eq!(snap.counter("fault.retries"), fs.retries);
+        assert_eq!(snap.counter("fabric.delivered"), 10);
     }
 
     #[test]

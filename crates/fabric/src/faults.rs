@@ -16,9 +16,10 @@
 //! protocols face the hard part — timeouts, retries, and duplicate
 //! suppression — without the simulator having to tear tasks down.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 
 use dc_sim::time::ms;
+use dc_trace::Counter;
 use dc_sim::SimTime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -216,6 +217,16 @@ pub struct FaultPlan {
     dropped_msgs: Cell<u64>,
     unreachable_ops: Cell<u64>,
     retries: Cell<u64>,
+    /// Registry counters mirroring the cells above, bound when the plan is
+    /// installed on a cluster so `fault.*` metrics appear alongside the
+    /// legacy [`FaultStats`] snapshot.
+    mirror: RefCell<Option<FaultMirror>>,
+}
+
+struct FaultMirror {
+    dropped_msgs: Counter,
+    unreachable_ops: Counter,
+    retries: Counter,
 }
 
 impl FaultPlan {
@@ -287,6 +298,7 @@ impl FaultPlan {
             dropped_msgs: Cell::new(0),
             unreachable_ops: Cell::new(0),
             retries: Cell::new(0),
+            mirror: RefCell::new(None),
         }
     }
 
@@ -317,7 +329,24 @@ impl FaultPlan {
             dropped_msgs: Cell::new(0),
             unreachable_ops: Cell::new(0),
             retries: Cell::new(0),
+            mirror: RefCell::new(None),
         }
+    }
+
+    /// Bind `fault.*` counters from `registry` so every exercised fault is
+    /// visible through the unified metrics as well as [`FaultPlan::stats`].
+    /// Called by `Cluster::install_faults`; past exercise (from a plan used
+    /// before installation) is carried over.
+    pub fn bind_counters(&self, registry: &dc_trace::Registry) {
+        let m = FaultMirror {
+            dropped_msgs: registry.counter("fault.dropped_msgs"),
+            unreachable_ops: registry.counter("fault.unreachable_ops"),
+            retries: registry.counter("fault.retries"),
+        };
+        m.dropped_msgs.add(self.dropped_msgs.get());
+        m.unreachable_ops.add(self.unreachable_ops.get());
+        m.retries.add(self.retries.get());
+        *self.mirror.borrow_mut() = Some(m);
     }
 
     /// The seed this plan was generated from.
@@ -353,6 +382,9 @@ impl FaultPlan {
         let dropped = splitmix64(self.drop_salt ^ c) < self.drop_threshold;
         if dropped {
             self.dropped_msgs.set(self.dropped_msgs.get() + 1);
+            if let Some(m) = &*self.mirror.borrow() {
+                m.dropped_msgs.inc();
+            }
         }
         dropped
     }
@@ -360,11 +392,17 @@ impl FaultPlan {
     /// Record an operation that failed on a crashed node.
     pub fn note_unreachable(&self) {
         self.unreachable_ops.set(self.unreachable_ops.get() + 1);
+        if let Some(m) = &*self.mirror.borrow() {
+            m.unreachable_ops.inc();
+        }
     }
 
     /// Record one retry performed by a reliable wrapper.
     pub fn note_retry(&self) {
         self.retries.set(self.retries.get() + 1);
+        if let Some(m) = &*self.mirror.borrow() {
+            m.retries.inc();
+        }
     }
 
     /// The scheduled crash windows.

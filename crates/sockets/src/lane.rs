@@ -69,13 +69,29 @@ impl LaneSender {
         let cluster = self.cluster.clone();
         let (from, to, port, transport, policy) =
             (self.from, self.to, self.port, self.transport, self.policy);
+        let wire = Bytes::from(wire);
+        // Same loop as Cluster::send_reliable_with, inlined so each lane
+        // retransmission is also counted in the sockets.retransmits metric.
         async move {
-            cluster
-                .send_reliable_with(from, to, port, Bytes::from(wire), transport, policy)
-                .await
-                .unwrap_or_else(|e| {
-                    panic!("stream lane {from:?}->{to:?}:{port} undeliverable: {e}")
-                });
+            for attempt in 0..policy.max_attempts {
+                match cluster
+                    .try_send(from, to, port, wire.clone(), transport)
+                    .await
+                {
+                    Ok(()) => return,
+                    Err(e) if attempt + 1 >= policy.max_attempts => {
+                        panic!("stream lane {from:?}->{to:?}:{port} undeliverable: {e}")
+                    }
+                    Err(_) => {
+                        cluster.note_retransmit();
+                        if let Some(p) = cluster.faults() {
+                            p.note_retry();
+                        }
+                        cluster.sim().sleep(policy.backoff_after(attempt)).await;
+                    }
+                }
+            }
+            unreachable!()
         }
     }
 
@@ -89,6 +105,7 @@ impl LaneSender {
 /// Receiving half of an ordered lane: wraps the bound endpoint and hands
 /// messages out strictly in sequence.
 pub struct LaneReceiver {
+    cluster: Cluster,
     ep: Endpoint,
     next_seq: u32,
     early: HashMap<u32, Bytes>,
@@ -96,8 +113,9 @@ pub struct LaneReceiver {
 
 impl LaneReceiver {
     /// Wrap a bound endpoint.
-    pub fn new(ep: Endpoint) -> LaneReceiver {
+    pub fn new(cluster: &Cluster, ep: Endpoint) -> LaneReceiver {
         LaneReceiver {
+            cluster: cluster.clone(),
             ep,
             next_seq: 0,
             early: HashMap::new(),
@@ -121,6 +139,7 @@ impl LaneReceiver {
             // Out-of-order arrival (retransmission or latency skew): park it.
             let dup = self.early.insert(seq, payload);
             assert!(dup.is_none(), "duplicate lane message seq {seq}");
+            self.cluster.note_reorder_depth(self.early.len());
         }
     }
 }
@@ -136,7 +155,7 @@ mod tests {
         let sim = Sim::new();
         let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 2);
         let port = cluster.alloc_port();
-        let mut rx = LaneReceiver::new(cluster.bind(NodeId(1), port));
+        let mut rx = LaneReceiver::new(&cluster, cluster.bind(NodeId(1), port));
         let tx = LaneSender::new(&cluster, NodeId(0), NodeId(1), port, Transport::RdmaSend);
         for i in 0..20u8 {
             tx.send_bg(Bytes::from(vec![i]));
@@ -159,7 +178,7 @@ mod tests {
         // numbers; the receiver must still deliver 0..n in order.
         cluster.install_faults(FaultPlan::from_parts(3, vec![], vec![], vec![], 0.35));
         let port = cluster.alloc_port();
-        let mut rx = LaneReceiver::new(cluster.bind(NodeId(1), port));
+        let mut rx = LaneReceiver::new(&cluster, cluster.bind(NodeId(1), port));
         let tx = LaneSender::new(&cluster, NodeId(0), NodeId(1), port, Transport::RdmaSend);
         for i in 0..50u8 {
             tx.send_bg(Bytes::from(vec![i]));
@@ -173,5 +192,13 @@ mod tests {
         });
         assert_eq!(got, (0..50u8).collect::<Vec<_>>());
         assert!(cluster.fault_stats().dropped_msgs > 0);
+        // Every drop forced a lane retransmission, and at least one
+        // retransmitted chunk arrived after a successor (parking it).
+        let s = cluster.stats();
+        assert_eq!(s.retransmits, cluster.fault_stats().dropped_msgs);
+        assert!(s.reorder_hwm > 0, "no out-of-order arrival was observed");
+        let snap = cluster.metrics().snapshot();
+        assert_eq!(snap.counter("sockets.retransmits"), s.retransmits);
+        assert_eq!(snap.gauge("sockets.reorder_hwm") as u64, s.reorder_hwm);
     }
 }

@@ -196,6 +196,7 @@ impl Tx {
                 drop(fb_ep); // window is locally managed
                 Tx::Az(AzTx {
                     cluster: cluster.clone(),
+                    local,
                     lane: LaneSender::new(cluster, local, peer, data_port, Transport::RdmaSend),
                     cfg,
                     window: Semaphore::new(cfg.az_window),
@@ -236,14 +237,14 @@ impl Rx {
     ) -> Rx {
         match kind {
             StreamKind::HostTcp => Rx::Tcp(TcpRx {
-                lane: LaneReceiver::new(data_ep),
+                lane: LaneReceiver::new(cluster, data_ep),
                 reasm: Reassembler::new(),
             }),
             StreamKind::Sdp => Rx::Sdp(CreditRx::new(cluster, local, peer, fb_port, data_ep, cfg)),
             StreamKind::AzSdp => Rx::Az(AzRx {
                 cluster: cluster.clone(),
                 local,
-                lane: LaneReceiver::new(data_ep),
+                lane: LaneReceiver::new(cluster, data_ep),
                 reasm: Reassembler::new(),
                 cfg,
             }),
@@ -343,8 +344,11 @@ impl CreditTx {
         for chunk in frame(data, self.cfg.sdp_buf_size) {
             // One credit per chunk, *regardless of chunk size* — this is the
             // per-buffer accounting the paper's §6 criticizes.
-            while self.credits.get() == 0 {
-                self.notify.notified().await;
+            if self.credits.get() == 0 {
+                self.cluster.note_credit_stall(self.local);
+                while self.credits.get() == 0 {
+                    self.notify.notified().await;
+                }
             }
             self.credits.set(self.credits.get() - 1);
             // Buffered SDP copies into a send buffer before posting.
@@ -381,7 +385,7 @@ impl CreditRx {
     ) -> CreditRx {
         let (tx_q, rx_q) = dc_sim::sync::channel();
         let cl = cluster.clone();
-        let mut lane = LaneReceiver::new(ep);
+        let mut lane = LaneReceiver::new(cluster, ep);
         cluster.sim().clone().spawn(async move {
             let mut pending = 0usize;
             loop {
@@ -442,6 +446,7 @@ impl CreditRx {
 
 struct AzTx {
     cluster: Cluster,
+    local: NodeId,
     lane: LaneSender,
     cfg: SocketsConfig,
     window: Semaphore,
@@ -452,6 +457,10 @@ impl AzTx {
         // Memory-protect the user buffer: the application believes the send
         // completed synchronously, while the data moves asynchronously.
         self.cluster.sim().sleep(self.cfg.az_protect_ns).await;
+        if self.window.available() == 0 {
+            // An exhausted send window is AZ-SDP's flavour of a credit stall.
+            self.cluster.note_credit_stall(self.local);
+        }
         self.window.acquire().await;
         self.cluster.sim().sleep(self.cfg.issue_overhead_ns).await;
         // Zero copy: no CPU copy cost; the whole buffer travels at once.
@@ -542,8 +551,11 @@ impl PackTx {
             // length of ring space (the sender packs data precisely because
             // it manages the remote buffer with RDMA).
             let need = chunk.len();
-            while self.space.get() < need {
-                self.notify.notified().await;
+            if self.space.get() < need {
+                self.cluster.note_credit_stall(self.local);
+                while self.space.get() < need {
+                    self.notify.notified().await;
+                }
             }
             self.space.set(self.space.get() - need);
             cpu.execute(self.cfg.copy_cost(chunk.len())).await;
@@ -571,7 +583,7 @@ impl PackRx {
     ) -> PackRx {
         let (tx_q, rx_q) = dc_sim::sync::channel();
         let cl = cluster.clone();
-        let mut lane = LaneReceiver::new(ep);
+        let mut lane = LaneReceiver::new(cluster, ep);
         cluster.sim().clone().spawn(async move {
             let mut freed = 0usize;
             loop {
@@ -700,19 +712,24 @@ mod tests {
                 }
             });
             let h = sim.handle();
-            sim.run_to(async move {
+            let t = sim.run_to(async move {
                 for _ in 0..64 {
                     a.send(&[42u8]).await;
                 }
                 h.now()
-            })
+            });
+            (t, cluster.stats().credit_stalls)
         };
-        let sdp = elapsed(StreamKind::Sdp);
-        let pack = elapsed(StreamKind::Packetized);
+        let (sdp, sdp_stalls) = elapsed(StreamKind::Sdp);
+        let (pack, pack_stalls) = elapsed(StreamKind::Packetized);
         assert!(
             sdp > pack * 3,
             "expected credit stalls to dominate: sdp={sdp} pack={pack}"
         );
+        // The new counter explains the gap: SDP stalled repeatedly on
+        // credits, packetized never ran out of ring space for 1-byte sends.
+        assert!(sdp_stalls > 10, "sdp_stalls={sdp_stalls}");
+        assert_eq!(pack_stalls, 0);
     }
 
     #[test]

@@ -1,0 +1,402 @@
+//! Minimal, dependency-free JSON emission and validation.
+//!
+//! The workspace's vendored `serde` is an offline marker stub, so the
+//! exporters build their documents by hand through [`JsonWriter`]. Output is
+//! deterministic: same calls, byte-identical text (floats use Rust's
+//! shortest-roundtrip formatting, integers are exact).
+//!
+//! [`validate`] is a strict recursive-descent syntax checker used by the
+//! golden tests and the CI artifact job to assert that every exported
+//! document parses — it accepts exactly the JSON grammar (RFC 8259), no
+//! trailing commas, no comments.
+
+/// Incremental JSON writer with correct string escaping.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    /// Whether the next element at each nesting level needs a comma.
+    need_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finish and take the document text.
+    pub fn finish(self) -> String {
+        assert!(self.need_comma.is_empty(), "unclosed JSON container");
+        self.buf
+    }
+
+    fn elem(&mut self) {
+        if let Some(last) = self.need_comma.last_mut() {
+            if *last {
+                self.buf.push(',');
+            }
+            *last = true;
+        }
+    }
+
+    /// Open an object as the next element.
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.elem();
+        self.buf.push('{');
+        self.need_comma.push(false);
+        self
+    }
+
+    /// Close the innermost object.
+    pub fn end_object(&mut self) -> &mut Self {
+        self.need_comma.pop().expect("end_object without begin");
+        self.buf.push('}');
+        self
+    }
+
+    /// Open an array as the next element.
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.elem();
+        self.buf.push('[');
+        self.need_comma.push(false);
+        self
+    }
+
+    /// Close the innermost array.
+    pub fn end_array(&mut self) -> &mut Self {
+        self.need_comma.pop().expect("end_array without begin");
+        self.buf.push(']');
+        self
+    }
+
+    /// Emit an object key; the next call writes its value.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        self.elem();
+        write_escaped(&mut self.buf, k);
+        self.buf.push(':');
+        // The value that follows is not a new element at this level.
+        if let Some(last) = self.need_comma.last_mut() {
+            *last = false;
+        }
+        self
+    }
+
+    /// Emit a string value.
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.elem();
+        write_escaped(&mut self.buf, s);
+        self
+    }
+
+    /// Emit an unsigned integer value.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.elem();
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Emit a signed integer value.
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.elem();
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Emit a float value (NaN/inf degrade to null, which JSON requires).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.elem();
+        if v.is_finite() {
+            let s = format!("{v}");
+            self.buf.push_str(&s);
+            // `{}` prints integral floats without a dot; keep the value a
+            // JSON number either way (it already is), nothing to fix.
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Emit a boolean value.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.elem();
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Emit raw pre-rendered JSON as the next element (caller guarantees
+    /// validity — used to splice sub-documents).
+    pub fn raw(&mut self, json: &str) -> &mut Self {
+        self.elem();
+        self.buf.push_str(json);
+        self
+    }
+}
+
+fn write_escaped(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                buf.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+/// Validate that `text` is exactly one well-formed JSON value. Returns the
+/// first error as `(byte_offset, message)`.
+pub fn validate(text: &str) -> Result<(), (usize, &'static str)> {
+    let b = text.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.i != b.len() {
+        return Err((p.i, "trailing characters after JSON value"));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn value(&mut self) -> Result<(), (usize, &'static str)> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal(b"true"),
+            Some(b'f') => self.literal(b"false"),
+            Some(b'n') => self.literal(b"null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err((self.i, "expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &[u8]) -> Result<(), (usize, &'static str)> {
+        if self.b[self.i..].starts_with(lit) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err((self.i, "malformed literal"))
+        }
+    }
+
+    fn object(&mut self) -> Result<(), (usize, &'static str)> {
+        self.i += 1; // '{'
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err((self.i, "expected object key"));
+            }
+            self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err((self.i, "expected ':' after key"));
+            }
+            self.i += 1;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err((self.i, "expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), (usize, &'static str)> {
+        self.i += 1; // '['
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err((self.i, "expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), (usize, &'static str)> {
+        self.i += 1; // opening quote
+        while let Some(c) = self.peek() {
+            match c {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.i += 1;
+                        }
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(h) if h.is_ascii_hexdigit() => self.i += 1,
+                                    _ => return Err((self.i, "bad \\u escape")),
+                                }
+                            }
+                        }
+                        _ => return Err((self.i, "bad escape")),
+                    }
+                }
+                0x00..=0x1f => return Err((self.i, "raw control character in string")),
+                _ => self.i += 1,
+            }
+        }
+        Err((self.i, "unterminated string"))
+    }
+
+    fn number(&mut self) -> Result<(), (usize, &'static str)> {
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.i += 1,
+            Some(c) if c.is_ascii_digit() => {
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.i += 1;
+                }
+            }
+            _ => return Err((self.i, "malformed number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err((self.i, "digit required after decimal point"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err((self.i, "digit required in exponent"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_builds_nested_documents() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("name").string("fig\"3a\"");
+        w.key("values").begin_array().u64(1).f64(2.5).i64(-3).end_array();
+        w.key("ok").bool(true);
+        w.key("inner").begin_object().key("x").f64(0.1).end_object();
+        w.end_object();
+        let s = w.finish();
+        assert_eq!(
+            s,
+            r#"{"name":"fig\"3a\"","values":[1,2.5,-3],"ok":true,"inner":{"x":0.1}}"#
+        );
+        assert!(validate(&s).is_ok());
+    }
+
+    #[test]
+    fn escaping_covers_control_and_quote_chars() {
+        let mut w = JsonWriter::new();
+        w.string("a\nb\t\"c\"\\d\u{1}");
+        let s = w.finish();
+        assert_eq!(s, r#""a\nb\t\"c\"\\d\u0001""#);
+        assert!(validate(&s).is_ok());
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array().f64(f64::NAN).f64(f64::INFINITY).f64(1.0).end_array();
+        let s = w.finish();
+        assert_eq!(s, "[null,null,1]");
+        assert!(validate(&s).is_ok());
+    }
+
+    #[test]
+    fn validator_accepts_valid_documents() {
+        for good in [
+            "{}",
+            "[]",
+            "null",
+            "-0.5e+10",
+            r#"{"a":[1,2,{"b":"c"}],"d":null}"#,
+            "  [ true , false ]  ",
+            r#""\u00e9""#,
+        ] {
+            assert!(validate(good).is_ok(), "rejected valid: {good}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{'a':1}",
+            "[1 2]",
+            "01",
+            "1.",
+            "\"unterminated",
+            "[1] trailing",
+            "{\"a\":1,}",
+        ] {
+            assert!(validate(bad).is_err(), "accepted invalid: {bad}");
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! The `BenchReport` machine-readable result schema.
+//!
+//! Every `fig*`/sweep binary can emit one of these (via the shared
+//! `--json` CLI flag) instead of — or alongside — its human-formatted
+//! table. The document shape, version `dc-bench-report/v1`:
+//!
+//! ```json
+//! {
+//!   "schema": "dc-bench-report/v1",
+//!   "bench": "fig3a_ddss_put",
+//!   "params": {"nodes": 8, "seed": 42},
+//!   "tables": [
+//!     {"title": "...", "headers": ["col", ...], "rows": [["cell", ...], ...]}
+//!   ],
+//!   "metrics": {"fabric.verbs.read": 1234, ...}
+//! }
+//! ```
+//!
+//! `params` records the experiment configuration, `tables` carries the same
+//! data the binary prints (cells pre-rendered as strings so formatting is
+//! identical between modes), and `metrics` is an optional flat snapshot
+//! (see [`MetricsSnapshot`]). Fields appear in the order above; params,
+//! tables, and metric keys keep insertion order, so a report built the same
+//! way is byte-identical.
+
+use crate::event::ArgVal;
+use crate::json::JsonWriter;
+use crate::metrics::MetricsSnapshot;
+
+/// Schema identifier emitted in every report.
+pub const BENCH_REPORT_SCHEMA: &str = "dc-bench-report/v1";
+
+/// One table of results: a pre-rendered grid plus its title.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportTable {
+    /// Table title (same string the human-format print shows).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells, pre-rendered.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// Builder for a schema-versioned bench result document.
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    bench: String,
+    params: Vec<(String, ArgVal)>,
+    tables: Vec<ReportTable>,
+    metrics: Option<MetricsSnapshot>,
+}
+
+impl BenchReport {
+    /// A new empty report for the bench named `bench` (use the binary
+    /// name, e.g. `"fig3a_ddss_put"`).
+    pub fn new(bench: &str) -> Self {
+        BenchReport {
+            bench: bench.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Record one configuration parameter (kept in insertion order).
+    pub fn add_param(&mut self, key: &str, value: impl Into<ArgVal>) -> &mut Self {
+        self.params.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Append a result table.
+    pub fn add_table(&mut self, table: ReportTable) -> &mut Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Attach a metrics snapshot (at most one; later calls replace it).
+    pub fn set_metrics(&mut self, snapshot: MetricsSnapshot) -> &mut Self {
+        self.metrics = Some(snapshot);
+        self
+    }
+
+    /// Render the report as a `dc-bench-report/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("schema").string(BENCH_REPORT_SCHEMA);
+        w.key("bench").string(&self.bench);
+        w.key("params").begin_object();
+        for (k, v) in &self.params {
+            w.key(k);
+            match v {
+                ArgVal::U(x) => w.u64(*x),
+                ArgVal::I(x) => w.i64(*x),
+                ArgVal::F(x) => w.f64(*x),
+                ArgVal::S(x) => w.string(x),
+            };
+        }
+        w.end_object();
+        w.key("tables").begin_array();
+        for t in &self.tables {
+            w.begin_object();
+            w.key("title").string(&t.title);
+            w.key("headers").begin_array();
+            for h in &t.headers {
+                w.string(h);
+            }
+            w.end_array();
+            w.key("rows").begin_array();
+            for row in &t.rows {
+                w.begin_array();
+                for cell in row {
+                    w.string(cell);
+                }
+                w.end_array();
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+        if let Some(m) = &self.metrics {
+            w.key("metrics").raw(&m.to_json());
+        }
+        w.end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn report_shape_and_determinism() {
+        let r = Registry::new();
+        r.counter("fabric.verbs.read").add(3);
+        let mut rep = BenchReport::new("fig3a_ddss_put");
+        rep.add_param("nodes", 8u64)
+            .add_param("seed", 42u64)
+            .add_param("scheme", "bcc");
+        rep.add_table(ReportTable {
+            title: "DDSS put latency".into(),
+            headers: vec!["size".into(), "us".into()],
+            rows: vec![
+                vec!["64".into(), "5.20".into()],
+                vec!["4096".into(), "9.75".into()],
+            ],
+        });
+        rep.set_metrics(r.snapshot());
+        let a = rep.to_json();
+        let b = rep.to_json();
+        assert_eq!(a, b);
+        assert!(validate(&a).is_ok(), "report must parse: {a}");
+        assert!(a.starts_with(r#"{"schema":"dc-bench-report/v1","bench":"fig3a_ddss_put""#));
+        assert!(a.contains(r#""params":{"nodes":8,"seed":42,"scheme":"bcc"}"#));
+        assert!(a.contains(r#""rows":[["64","5.20"],["4096","9.75"]]"#));
+        assert!(a.contains(r#""metrics":{"fabric.verbs.read":3}"#));
+    }
+
+    #[test]
+    fn empty_report_is_still_valid() {
+        let rep = BenchReport::new("sweep");
+        let s = rep.to_json();
+        assert!(validate(&s).is_ok());
+        assert_eq!(
+            s,
+            r#"{"schema":"dc-bench-report/v1","bench":"sweep","params":{},"tables":[]}"#
+        );
+    }
+}

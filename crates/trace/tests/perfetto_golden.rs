@@ -1,0 +1,83 @@
+//! Golden-file test for the Perfetto (Chrome trace-event) exporter.
+//!
+//! A small fixed scenario is exported and compared byte-for-byte against
+//! the checked-in golden file. Any change to the export format shows up as
+//! a diff here; regenerate intentionally with:
+//!
+//! ```sh
+//! BLESS=1 cargo test -p dc-trace --test perfetto_golden
+//! ```
+
+use dc_sim::time::us;
+use dc_sim::Sim;
+use dc_trace::{json, Subsys, TraceMode, Tracer};
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/perfetto_small.json"
+);
+
+/// A fixed two-node scenario exercising every phase kind: verb spans,
+/// a DLM request/grant flow pair, a fault instant, and arg types.
+fn fixed_scenario_export() -> String {
+    let sim = Sim::new();
+    let tr = Tracer::new(sim.handle());
+    tr.enable(TraceMode::Full);
+    let h = sim.handle();
+    let tr2 = tr.clone();
+    sim.run_to(async move {
+        let t0 = tr2.begin().unwrap();
+        h.sleep(us(3)).await;
+        tr2.complete(
+            t0,
+            0,
+            Subsys::Fabric,
+            "verb.read",
+            vec![("bytes", 4096u64.into()), ("peer", 1u32.into())],
+        );
+        let flow = 7u64 << 32;
+        tr2.flow_start(flow, 0, Subsys::Dlm, "lock.req");
+        h.sleep(us(2)).await;
+        tr2.flow_end(flow, 1, Subsys::Dlm, "lock.req");
+        tr2.instant(
+            1,
+            Subsys::Fault,
+            "fault.drop",
+            vec![("src", 0u32.into()), ("why", "drop_prob".into())],
+        );
+        let t1 = tr2.begin().unwrap();
+        h.sleep(us(4)).await;
+        tr2.complete(
+            t1,
+            1,
+            Subsys::Dlm,
+            "lock.hold",
+            vec![("lock", 7u64.into()), ("queued", (-1i64).into())],
+        );
+    });
+    tr.export_chrome_json()
+}
+
+#[test]
+fn perfetto_export_matches_golden_file() {
+    let got = fixed_scenario_export();
+    assert!(
+        json::validate(&got).is_ok(),
+        "export must be valid JSON: {got}"
+    );
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN_PATH).expect("read golden (run with BLESS=1 once)");
+    assert_eq!(
+        got, want,
+        "Perfetto export drifted from the golden file; if intentional, \
+         regenerate with BLESS=1 cargo test -p dc-trace --test perfetto_golden"
+    );
+}
+
+#[test]
+fn export_is_reproducible_across_runs() {
+    assert_eq!(fixed_scenario_export(), fixed_scenario_export());
+}

@@ -1,0 +1,47 @@
+//! Trace a full webfarm run and export the artifacts: a Chrome trace-event
+//! JSON you can open at <https://ui.perfetto.dev> (one track per node, one
+//! row per subsystem) and a flat metrics snapshot.
+//!
+//! Run with: `cargo run --release --example trace_run [-- OUT_DIR]`
+//!
+//! The same seed always produces byte-identical artifacts — diff two runs
+//! to convince yourself.
+
+use nextgen_datacenter::coopcache::CacheScheme;
+use nextgen_datacenter::core::{run_webfarm_traced, WebFarmCfg};
+use nextgen_datacenter::trace::TraceMode;
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target".to_string());
+
+    let cfg = WebFarmCfg {
+        scheme: CacheScheme::Hybcc,
+        proxies: 4,
+        app_nodes: 2,
+        num_docs: 256,
+        requests: 1200,
+        seed: 0xDC_2007,
+        ..WebFarmCfg::default()
+    };
+    let (result, artifacts) = run_webfarm_traced(&cfg, TraceMode::Full);
+
+    let trace_path = format!("{out_dir}/webfarm-trace.json");
+    let metrics_path = format!("{out_dir}/webfarm-metrics.json");
+    std::fs::write(&trace_path, &artifacts.trace_json).expect("write trace");
+    std::fs::write(&metrics_path, &artifacts.metrics_json).expect("write metrics");
+
+    println!(
+        "webfarm: {:.0} TPS, {:.1}% cache hit rate, seed {:#x}",
+        result.tps,
+        100.0 * result.cache.hit_rate(),
+        cfg.seed
+    );
+    println!(
+        "captured {} events ({} dropped) -> {trace_path}",
+        artifacts.events, artifacts.dropped
+    );
+    println!("metrics snapshot -> {metrics_path}");
+    println!("open the trace at https://ui.perfetto.dev");
+}

@@ -21,7 +21,9 @@
 //! [`core`] ties the layers into runnable multi-tier data-centers and hosts
 //! the experiment engines behind the paper's figures; [`sim`] is the
 //! virtual-time executor everything runs on; [`workloads`] generates the
-//! evaluation's Zipf, RUBiS, STORM, and burst workloads.
+//! evaluation's Zipf, RUBiS, STORM, and burst workloads; [`trace`] records
+//! deterministic sim-time traces and the unified metrics registry behind
+//! every run (Perfetto/JSON export).
 //!
 //! See `DESIGN.md` for the system inventory, `EXPERIMENTS.md` for
 //! paper-vs-measured results, and `examples/` for runnable entry points.
@@ -35,4 +37,5 @@ pub use dc_reconfig as reconfig;
 pub use dc_resmon as resmon;
 pub use dc_sim as sim;
 pub use dc_sockets as sockets;
+pub use dc_trace as trace;
 pub use dc_workloads as workloads;

@@ -1,0 +1,67 @@
+//! Trace determinism: a traced run is observationally free — it changes no
+//! result — and its exported artifacts are *byte-identical* across runs with
+//! the same seed. Timestamps are sim-time, never wall-clock, so the Perfetto
+//! JSON and the metrics snapshot are as reproducible as the numbers
+//! themselves.
+
+use nextgen_datacenter::coopcache::CacheScheme;
+use nextgen_datacenter::core::{run_webfarm_traced, WebFarmCfg};
+use nextgen_datacenter::fabric::FaultConfig;
+use nextgen_datacenter::trace::TraceMode;
+
+#[test]
+fn traced_webfarm_artifacts_are_byte_identical() {
+    let cfg = WebFarmCfg {
+        scheme: CacheScheme::Hybcc,
+        proxies: 3,
+        app_nodes: 2,
+        num_docs: 96,
+        requests: 600,
+        seed: 0xDEC0DE,
+        ..WebFarmCfg::default()
+    };
+    let (ra, ta) = run_webfarm_traced(&cfg, TraceMode::Full);
+    let (rb, tb) = run_webfarm_traced(&cfg, TraceMode::Full);
+    assert_eq!(ra.tps.to_bits(), rb.tps.to_bits());
+    assert!(ta.events > 0, "trace captured nothing");
+    assert_eq!(ta.trace_json, tb.trace_json, "Perfetto JSON diverged");
+    assert_eq!(ta.metrics_json, tb.metrics_json, "metrics snapshot diverged");
+}
+
+#[test]
+fn traced_webfarm_under_faults_is_byte_identical() {
+    let cfg = WebFarmCfg {
+        scheme: CacheScheme::Bcc,
+        requests: 500,
+        num_docs: 64,
+        seed: 7,
+        faults: Some((
+            0xFA_017,
+            FaultConfig {
+                drop_prob: 0.05,
+                ..FaultConfig::default()
+            },
+        )),
+        ..WebFarmCfg::default()
+    };
+    let (_, ta) = run_webfarm_traced(&cfg, TraceMode::Full);
+    let (_, tb) = run_webfarm_traced(&cfg, TraceMode::Full);
+    assert_eq!(ta.trace_json, tb.trace_json);
+    assert_eq!(ta.metrics_json, tb.metrics_json);
+}
+
+#[test]
+fn different_seed_changes_the_trace() {
+    let base = WebFarmCfg {
+        scheme: CacheScheme::Bcc,
+        requests: 500,
+        num_docs: 64,
+        seed: 7,
+        ..WebFarmCfg::default()
+    };
+    let mut other = base.clone();
+    other.seed = 8;
+    let (_, ta) = run_webfarm_traced(&base, TraceMode::Full);
+    let (_, tb) = run_webfarm_traced(&other, TraceMode::Full);
+    assert_ne!(ta.trace_json, tb.trace_json, "seed had no effect on trace");
+}
