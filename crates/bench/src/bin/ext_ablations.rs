@@ -3,16 +3,5 @@
 
 fn main() {
     let cli = dc_bench::cli::BenchCli::parse();
-    let verbs = dc_bench::ext_ablations::run_coherence();
-    let caps = dc_bench::ext_ablations::run_capacity();
-    let grans = dc_bench::ext_ablations::run_granularity();
-    cli.emit(
-        "ext_ablations",
-        vec![],
-        &[
-            dc_bench::ext_ablations::coherence_table(&verbs),
-            dc_bench::ext_ablations::capacity_table(&caps),
-            dc_bench::ext_ablations::granularity_table(&grans),
-        ],
-    );
+    cli.emit_report(&dc_bench::scenario::ext_ablations_report());
 }

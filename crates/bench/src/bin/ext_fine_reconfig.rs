@@ -2,11 +2,5 @@
 
 fn main() {
     let cli = dc_bench::cli::BenchCli::parse();
-    let fine = dc_bench::ext_reconfig::reaction(true);
-    let coarse = dc_bench::ext_reconfig::reaction(false);
-    cli.emit(
-        "ext_fine_reconfig",
-        vec![],
-        &[dc_bench::ext_reconfig::table(&fine, &coarse)],
-    );
+    cli.emit_report(&dc_bench::scenario::ext_fine_reconfig_report());
 }

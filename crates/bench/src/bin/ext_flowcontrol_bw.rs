@@ -2,10 +2,5 @@
 
 fn main() {
     let cli = dc_bench::cli::BenchCli::parse();
-    let series = dc_bench::ext_flowcontrol::run();
-    cli.emit(
-        "ext_flowcontrol_bw",
-        vec![],
-        &[dc_bench::ext_flowcontrol::table(&series)],
-    );
+    cli.emit_report(&dc_bench::scenario::ext_flowcontrol_report());
 }

@@ -2,10 +2,5 @@
 
 fn main() {
     let cli = dc_bench::cli::BenchCli::parse();
-    let series = dc_bench::fig3a::run();
-    cli.emit(
-        "fig3a_ddss_put",
-        vec![("models", (series.len() as u64).into())],
-        &[dc_bench::fig3a::table(&series)],
-    );
+    cli.emit_report(&dc_bench::scenario::fig3a_report());
 }

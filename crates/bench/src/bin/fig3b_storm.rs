@@ -2,10 +2,5 @@
 
 fn main() {
     let cli = dc_bench::cli::BenchCli::parse();
-    let rows = dc_bench::fig3b::run();
-    cli.emit(
-        "fig3b_storm",
-        vec![("rows", (rows.len() as u64).into())],
-        &[dc_bench::fig3b::table(&rows)],
-    );
+    cli.emit_report(&dc_bench::scenario::fig3b_report());
 }

@@ -1,16 +1,6 @@
 //! Regenerates Figure 5a: shared-lock cascading latency.
 
-use dc_dlm::LockMode;
-
 fn main() {
     let cli = dc_bench::cli::BenchCli::parse();
-    let series = dc_bench::fig5::run(LockMode::Shared);
-    cli.emit(
-        "fig5a_lock_shared",
-        vec![("mode", "shared".into())],
-        &[dc_bench::fig5::table(
-            "Fig 5a — Shared-lock cascading latency (us)",
-            &series,
-        )],
-    );
+    cli.emit_report(&dc_bench::scenario::fig5a_report());
 }

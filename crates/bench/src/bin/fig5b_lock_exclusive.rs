@@ -1,16 +1,6 @@
 //! Regenerates Figure 5b: exclusive-lock cascading latency.
 
-use dc_dlm::LockMode;
-
 fn main() {
     let cli = dc_bench::cli::BenchCli::parse();
-    let series = dc_bench::fig5::run(LockMode::Exclusive);
-    cli.emit(
-        "fig5b_lock_exclusive",
-        vec![("mode", "exclusive".into())],
-        &[dc_bench::fig5::table(
-            "Fig 5b — Exclusive-lock cascading latency (us)",
-            &series,
-        )],
-    );
+    cli.emit_report(&dc_bench::scenario::fig5b_report());
 }

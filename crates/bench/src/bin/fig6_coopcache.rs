@@ -2,17 +2,5 @@
 
 fn main() {
     let cli = dc_bench::cli::BenchCli::parse();
-    let panels = [2usize, 8];
-    let tables: Vec<dc_core::Table> = panels
-        .iter()
-        .map(|&proxies| {
-            let cells = dc_bench::fig6::run_panel(proxies);
-            dc_bench::fig6::table(proxies, &cells)
-        })
-        .collect();
-    cli.emit(
-        "fig6_coopcache",
-        vec![("panels", "2,8".into())],
-        &tables,
-    );
+    cli.emit_report(&dc_bench::scenario::fig6_report());
 }

@@ -7,11 +7,7 @@ fn main() {
     let cli = dc_bench::cli::BenchCli::parse();
     let series = cli.has_flag("--series");
     let results = dc_bench::fig8a::run();
-    cli.emit(
-        "fig8a_monitor_accuracy",
-        vec![("schemes", (results.len() as u64).into())],
-        &[dc_bench::fig8a::table(&results)],
-    );
+    cli.emit_report(&dc_bench::scenario::fig8a_report_from(&results));
     if series && !cli.json {
         for r in &results {
             println!("\n# {} — t(ms), reported, actual", r.scheme.label());

@@ -2,10 +2,5 @@
 
 fn main() {
     let cli = dc_bench::cli::BenchCli::parse();
-    let cells = dc_bench::fig8b::run();
-    cli.emit(
-        "fig8b_monitor_throughput",
-        vec![("cells", (cells.len() as u64).into())],
-        &[dc_bench::fig8b::table(&cells)],
-    );
+    cli.emit_report(&dc_bench::scenario::fig8b_report());
 }

@@ -2,7 +2,7 @@
 //!
 //! Every `[[bin]]` target accepts the same two flags on top of its own:
 //!
-//! * `--json` — emit a `dc-bench-report/v1` [`BenchReport`] document instead
+//! * `--json` — emit a `dc-bench-report/v2` [`BenchReport`] document instead
 //!   of the paper-style text tables.
 //! * `--out PATH` — write the JSON to `PATH` instead of stdout (implies
 //!   `--json`).
@@ -11,7 +11,7 @@
 //! inspect via [`BenchCli::has_flag`] (e.g. `--series` in fig8a).
 
 use dc_core::Table;
-use dc_trace::{ArgVal, BenchReport};
+use dc_trace::BenchReport;
 
 /// Parsed shared flags plus the raw argument list.
 pub struct BenchCli {
@@ -55,24 +55,18 @@ impl BenchCli {
         self.args.iter().any(|a| a == flag)
     }
 
-    /// Render the run: text tables normally, a single BenchReport document
-    /// covering all tables under `--json`.
-    pub fn emit(&self, bench: &str, params: Vec<(&str, ArgVal)>, tables: &[Table]) {
+    /// Render a finished scenario report: aligned text tables normally, the
+    /// full JSON document under `--json` (to stdout or `--out`). Both modes
+    /// read the *same* [`BenchReport`], so they can never disagree.
+    pub fn emit_report(&self, report: &BenchReport) {
         if !self.json {
-            for (i, t) in tables.iter().enumerate() {
+            for (i, t) in report.tables().iter().enumerate() {
                 if i > 0 {
                     println!();
                 }
-                t.print();
+                Table::from_report(t).print();
             }
             return;
-        }
-        let mut report = BenchReport::new(bench);
-        for (k, v) in params {
-            report.add_param(k, v);
-        }
-        for t in tables {
-            report.add_table(t.to_report());
         }
         let text = report.to_json();
         match &self.out {
@@ -121,8 +115,23 @@ mod tests {
         report.add_param("mode", "shared");
         report.add_table(t.to_report());
         let json = report.to_json();
-        assert!(json.contains("\"schema\":\"dc-bench-report/v1\""));
+        assert!(json.contains("\"schema\":\"dc-bench-report/v2\""));
         assert!(json.contains("\"bench\":\"demo_bench\""));
         assert!(json.contains("\"demo\""));
+    }
+
+    #[test]
+    fn emit_report_text_mode_reads_the_report_tables() {
+        // emit_report renders from the report's own tables; a report with
+        // two tables must print both (checked indirectly: from_report
+        // round-trips the rendering input).
+        let mut t = Table::new("panel", &["a"]);
+        t.row(vec!["42".into()]);
+        let mut report = BenchReport::new("two_panel");
+        report.add_table(t.to_report());
+        report.add_table(t.to_report());
+        assert_eq!(report.tables().len(), 2);
+        let back = Table::from_report(&report.tables()[0]);
+        assert_eq!(back.render(), t.render());
     }
 }

@@ -23,8 +23,15 @@ pub struct PutSeries {
 
 /// Measure a single put latency for `model` and `size`.
 pub fn put_latency_ns(model: Coherence, size: usize) -> u64 {
+    put_latency_ns_with(&FabricModel::calibrated_2007(), model, size)
+}
+
+/// [`put_latency_ns`] under an explicit fabric model. The paper-claims
+/// suite runs this with a deliberately perturbed calibration to prove the
+/// claims actually constrain the model (a broken calibration must fail).
+pub fn put_latency_ns_with(fabric: &FabricModel, model: Coherence, size: usize) -> u64 {
     let sim = Sim::new();
-    let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 2);
+    let cluster = Cluster::new(sim.handle(), fabric.clone(), 2);
     let ddss = Ddss::new(&cluster, DdssConfig::default(), &[NodeId(0), NodeId(1)]);
     let client = ddss.client(NodeId(0));
     let h = sim.handle();
@@ -44,13 +51,18 @@ pub fn put_latency_ns(model: Coherence, size: usize) -> u64 {
 
 /// Run the full sweep.
 pub fn run() -> Vec<PutSeries> {
+    run_with(&FabricModel::calibrated_2007())
+}
+
+/// Run the full sweep under an explicit fabric model.
+pub fn run_with(fabric: &FabricModel) -> Vec<PutSeries> {
     Coherence::FIG3A
         .iter()
         .map(|&model| PutSeries {
             model,
             latency_us: SIZES
                 .iter()
-                .map(|&s| as_us(put_latency_ns(model, s)))
+                .map(|&s| as_us(put_latency_ns_with(fabric, model, s)))
                 .collect(),
         })
         .collect()

@@ -30,4 +30,5 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig8a;
 pub mod fig8b;
+pub mod scenario;
 pub mod sweep;

@@ -54,6 +54,18 @@ impl Table {
         }
     }
 
+    /// Rebuild a printable table from its `BenchReport` form — the inverse
+    /// of [`Table::to_report`]. The scenario runners in `dc-bench` return
+    /// finished [`dc_trace::BenchReport`]s; the bins use this to render the
+    /// same data as text, so the two output modes can never disagree.
+    pub fn from_report(t: &dc_trace::ReportTable) -> Table {
+        Table {
+            title: t.title.clone(),
+            headers: t.headers.clone(),
+            rows: t.rows.clone(),
+        }
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()

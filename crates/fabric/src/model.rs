@@ -79,6 +79,43 @@ impl FabricModel {
         m
     }
 
+    /// A stable digest of every calibration constant in this model,
+    /// formatted `fm1-<16 hex digits>`.
+    ///
+    /// Bench reports embed it (`dc-bench-report/v2` `fingerprint`), and the
+    /// `dc-regress` differ refuses to compare reports produced under
+    /// different fingerprints: a calibration change invalidates committed
+    /// baselines *loudly* instead of showing up as a wall of numeric
+    /// deltas. Changing any field — including the CPU parameters — changes
+    /// the digest; the `fm1` prefix versions the digest scheme itself.
+    pub fn fingerprint(&self) -> String {
+        // FNV-1a, 64-bit. Field order is fixed and append-only.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.rdma_read_base_ns);
+        mix(self.rdma_write_base_ns);
+        mix(self.atomic_base_ns);
+        mix(self.rdma_send_base_ns);
+        mix(self.post_overhead_ns);
+        mix(self.ib_bytes_per_us);
+        mix(self.tcp_base_ns);
+        mix(self.tcp_bytes_per_us);
+        mix(self.tcp_send_cpu_base_ns);
+        mix(self.tcp_send_cpu_per_kb_ns);
+        mix(self.tcp_recv_cpu_base_ns);
+        mix(self.tcp_recv_cpu_per_kb_ns);
+        mix(self.cpu.cores as u64);
+        mix(self.cpu.quantum_ns);
+        format!("fm1-{h:016x}")
+    }
+
     /// Time to move `len` payload bytes across the SAN at IB bandwidth.
     #[inline]
     pub fn ib_bytes_time(&self, len: usize) -> u64 {
@@ -168,6 +205,49 @@ mod tests {
         let m = FabricModel::tcp_cluster_2007();
         assert!(m.rdma_read_base_ns > FabricModel::calibrated_2007().rdma_read_base_ns);
         assert_eq!(m.ib_bytes_per_us, m.tcp_bytes_per_us);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive_to_every_constant() {
+        let base = FabricModel::calibrated_2007();
+        assert_eq!(base.fingerprint(), base.fingerprint(), "must be pure");
+        assert!(base.fingerprint().starts_with("fm1-"));
+        assert_eq!(base.fingerprint().len(), 4 + 16);
+        assert_ne!(
+            base.fingerprint(),
+            FabricModel::tcp_cluster_2007().fingerprint()
+        );
+        // Perturbing any single constant must change the digest.
+        let perturbations: Vec<FabricModel> = vec![
+            FabricModel { rdma_read_base_ns: base.rdma_read_base_ns + 1, ..base.clone() },
+            FabricModel { rdma_write_base_ns: base.rdma_write_base_ns + 1, ..base.clone() },
+            FabricModel { atomic_base_ns: base.atomic_base_ns + 1, ..base.clone() },
+            FabricModel { rdma_send_base_ns: base.rdma_send_base_ns + 1, ..base.clone() },
+            FabricModel { post_overhead_ns: base.post_overhead_ns + 1, ..base.clone() },
+            FabricModel { ib_bytes_per_us: base.ib_bytes_per_us + 1, ..base.clone() },
+            FabricModel { tcp_base_ns: base.tcp_base_ns + 1, ..base.clone() },
+            FabricModel { tcp_bytes_per_us: base.tcp_bytes_per_us + 1, ..base.clone() },
+            FabricModel { tcp_send_cpu_base_ns: base.tcp_send_cpu_base_ns + 1, ..base.clone() },
+            FabricModel { tcp_send_cpu_per_kb_ns: base.tcp_send_cpu_per_kb_ns + 1, ..base.clone() },
+            FabricModel { tcp_recv_cpu_base_ns: base.tcp_recv_cpu_base_ns + 1, ..base.clone() },
+            FabricModel { tcp_recv_cpu_per_kb_ns: base.tcp_recv_cpu_per_kb_ns + 1, ..base.clone() },
+            FabricModel {
+                cpu: CpuConfig { cores: base.cpu.cores + 1, ..base.cpu },
+                ..base.clone()
+            },
+            FabricModel {
+                cpu: CpuConfig { quantum_ns: base.cpu.quantum_ns + 1, ..base.cpu },
+                ..base.clone()
+            },
+        ];
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(base.fingerprint());
+        for (i, m) in perturbations.iter().enumerate() {
+            assert!(
+                seen.insert(m.fingerprint()),
+                "perturbation {i} collided with an earlier fingerprint"
+            );
+        }
     }
 
     #[test]

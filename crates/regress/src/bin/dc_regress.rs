@@ -1,0 +1,6 @@
+//! Command-line entry point; see `dc_regress::cli` for the interface.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(dc_regress::cli::run(&args));
+}

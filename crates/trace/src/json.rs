@@ -5,10 +5,11 @@
 //! deterministic: same calls, byte-identical text (floats use Rust's
 //! shortest-roundtrip formatting, integers are exact).
 //!
-//! [`validate`] is a strict recursive-descent syntax checker used by the
-//! golden tests and the CI artifact job to assert that every exported
-//! document parses — it accepts exactly the JSON grammar (RFC 8259), no
-//! trailing commas, no comments.
+//! [`parse`] is a strict recursive-descent parser producing a [`JsonValue`]
+//! tree, used by the round-trip tests, the CI artifact job, and the
+//! `dc-regress` baseline loader — it accepts exactly the JSON grammar
+//! (RFC 8259), no trailing commas, no comments. [`validate`] is the
+//! syntax-check-only wrapper around it.
 
 /// Incremental JSON writer with correct string escaping.
 #[derive(Debug, Default)]
@@ -150,18 +151,89 @@ fn write_escaped(buf: &mut String, s: &str) {
     buf.push('"');
 }
 
-/// Validate that `text` is exactly one well-formed JSON value. Returns the
-/// first error as `(byte_offset, message)`.
-pub fn validate(text: &str) -> Result<(), (usize, &'static str)> {
+/// A parsed JSON value tree.
+///
+/// Objects preserve key insertion order (the writer emits deterministic
+/// documents, so order is meaningful to the round-trip tests and the
+/// `dc-regress` baseline loader). Numbers are held as `f64`, which is exact
+/// for every integer the exporters emit below 2^53.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string, with escapes decoded.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, keys in document order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on an object (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The member list, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+}
+
+/// Parse `text` as exactly one well-formed JSON value. Returns the first
+/// error as `(byte_offset, message)`. Accepts exactly the same grammar as
+/// [`validate`].
+pub fn parse(text: &str) -> Result<JsonValue, (usize, &'static str)> {
     let b = text.as_bytes();
     let mut p = Parser { b, i: 0 };
     p.skip_ws();
-    p.value()?;
+    let v = p.value()?;
     p.skip_ws();
     if p.i != b.len() {
         return Err((p.i, "trailing characters after JSON value"));
     }
-    Ok(())
+    Ok(v)
+}
+
+/// Validate that `text` is exactly one well-formed JSON value. Returns the
+/// first error as `(byte_offset, message)`.
+pub fn validate(text: &str) -> Result<(), (usize, &'static str)> {
+    parse(text).map(|_| ())
 }
 
 struct Parser<'a> {
@@ -180,14 +252,14 @@ impl Parser<'_> {
         self.b.get(self.i).copied()
     }
 
-    fn value(&mut self) -> Result<(), (usize, &'static str)> {
+    fn value(&mut self) -> Result<JsonValue, (usize, &'static str)> {
         match self.peek() {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
-            Some(b'"') => self.string(),
-            Some(b't') => self.literal(b"true"),
-            Some(b'f') => self.literal(b"false"),
-            Some(b'n') => self.literal(b"null"),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b't') => self.literal(b"true").map(|()| JsonValue::Bool(true)),
+            Some(b'f') => self.literal(b"false").map(|()| JsonValue::Bool(false)),
+            Some(b'n') => self.literal(b"null").map(|()| JsonValue::Null),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             _ => Err((self.i, "expected a JSON value")),
         }
@@ -202,94 +274,172 @@ impl Parser<'_> {
         }
     }
 
-    fn object(&mut self) -> Result<(), (usize, &'static str)> {
+    fn object(&mut self) -> Result<JsonValue, (usize, &'static str)> {
         self.i += 1; // '{'
         self.skip_ws();
+        let mut members = Vec::new();
         if self.peek() == Some(b'}') {
             self.i += 1;
-            return Ok(());
+            return Ok(JsonValue::Obj(members));
         }
         loop {
             self.skip_ws();
             if self.peek() != Some(b'"') {
                 return Err((self.i, "expected object key"));
             }
-            self.string()?;
+            let key = self.string()?;
             self.skip_ws();
             if self.peek() != Some(b':') {
                 return Err((self.i, "expected ':' after key"));
             }
             self.i += 1;
             self.skip_ws();
-            self.value()?;
+            let value = self.value()?;
+            members.push((key, value));
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.i += 1,
                 Some(b'}') => {
                     self.i += 1;
-                    return Ok(());
+                    return Ok(JsonValue::Obj(members));
                 }
                 _ => return Err((self.i, "expected ',' or '}' in object")),
             }
         }
     }
 
-    fn array(&mut self) -> Result<(), (usize, &'static str)> {
+    fn array(&mut self) -> Result<JsonValue, (usize, &'static str)> {
         self.i += 1; // '['
         self.skip_ws();
+        let mut items = Vec::new();
         if self.peek() == Some(b']') {
             self.i += 1;
-            return Ok(());
+            return Ok(JsonValue::Arr(items));
         }
         loop {
             self.skip_ws();
-            self.value()?;
+            items.push(self.value()?);
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.i += 1,
                 Some(b']') => {
                     self.i += 1;
-                    return Ok(());
+                    return Ok(JsonValue::Arr(items));
                 }
                 _ => return Err((self.i, "expected ',' or ']' in array")),
             }
         }
     }
 
-    fn string(&mut self) -> Result<(), (usize, &'static str)> {
+    fn string(&mut self) -> Result<String, (usize, &'static str)> {
         self.i += 1; // opening quote
+        let start = self.i;
+        let mut out = String::new();
         while let Some(c) = self.peek() {
             match c {
                 b'"' => {
                     self.i += 1;
-                    return Ok(());
+                    return Ok(out);
                 }
                 b'\\' => {
                     self.i += 1;
                     match self.peek() {
-                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                        Some(b'"') => {
+                            out.push('"');
+                            self.i += 1;
+                        }
+                        Some(b'\\') => {
+                            out.push('\\');
+                            self.i += 1;
+                        }
+                        Some(b'/') => {
+                            out.push('/');
+                            self.i += 1;
+                        }
+                        Some(b'b') => {
+                            out.push('\u{8}');
+                            self.i += 1;
+                        }
+                        Some(b'f') => {
+                            out.push('\u{c}');
+                            self.i += 1;
+                        }
+                        Some(b'n') => {
+                            out.push('\n');
+                            self.i += 1;
+                        }
+                        Some(b'r') => {
+                            out.push('\r');
+                            self.i += 1;
+                        }
+                        Some(b't') => {
+                            out.push('\t');
                             self.i += 1;
                         }
                         Some(b'u') => {
                             self.i += 1;
-                            for _ in 0..4 {
-                                match self.peek() {
-                                    Some(h) if h.is_ascii_hexdigit() => self.i += 1,
-                                    _ => return Err((self.i, "bad \\u escape")),
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: pair with the following
+                                // \uXXXX low surrogate if present.
+                                if self.b[self.i..].starts_with(b"\\u") {
+                                    let save = self.i;
+                                    self.i += 2;
+                                    let lo = self.hex4()?;
+                                    if (0xDC00..0xE000).contains(&lo) {
+                                        0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                    } else {
+                                        self.i = save;
+                                        0xFFFD
+                                    }
+                                } else {
+                                    0xFFFD
                                 }
-                            }
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                0xFFFD // lone low surrogate
+                            } else {
+                                hi
+                            };
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
                         }
                         _ => return Err((self.i, "bad escape")),
                     }
                 }
                 0x00..=0x1f => return Err((self.i, "raw control character in string")),
-                _ => self.i += 1,
+                _ => {
+                    // Copy one whole UTF-8 scalar (input is a &str, so the
+                    // byte offsets of char boundaries are trustworthy).
+                    let s = &self.text()[self.i..];
+                    let ch = s.chars().next().expect("peeked byte implies a char");
+                    out.push(ch);
+                    self.i += ch.len_utf8();
+                }
             }
         }
-        Err((self.i, "unterminated string"))
+        Err((start, "unterminated string"))
     }
 
-    fn number(&mut self) -> Result<(), (usize, &'static str)> {
+    fn hex4(&mut self) -> Result<u32, (usize, &'static str)> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            match self.peek() {
+                Some(h) if h.is_ascii_hexdigit() => {
+                    v = v * 16 + (h as char).to_digit(16).expect("hexdigit");
+                    self.i += 1;
+                }
+                _ => return Err((self.i, "bad \\u escape")),
+            }
+        }
+        Ok(v)
+    }
+
+    fn text(&self) -> &str {
+        // The parser is only constructed from &str input.
+        std::str::from_utf8(self.b).expect("parser input was a str")
+    }
+
+    fn number(&mut self) -> Result<JsonValue, (usize, &'static str)> {
+        let start = self.i;
         if self.peek() == Some(b'-') {
             self.i += 1;
         }
@@ -323,7 +473,10 @@ impl Parser<'_> {
                 self.i += 1;
             }
         }
-        Ok(())
+        let s = &self.text()[start..self.i];
+        s.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| (start, "number out of range"))
     }
 }
 
@@ -379,6 +532,65 @@ mod tests {
         ] {
             assert!(validate(good).is_ok(), "rejected valid: {good}");
         }
+    }
+
+    #[test]
+    fn parse_builds_the_expected_tree() {
+        let v = parse(r#"{"a":[1,-2.5,"x"],"b":{"c":null,"d":true},"e":""}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap(),
+            &[
+                JsonValue::Num(1.0),
+                JsonValue::Num(-2.5),
+                JsonValue::Str("x".into())
+            ]
+        );
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&JsonValue::Null));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&JsonValue::Bool(true)));
+        assert_eq!(v.get("e").unwrap().as_str(), Some(""));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_preserves_key_order() {
+        let v = parse(r#"{"z":1,"a":2,"m":3}"#).unwrap();
+        let keys: Vec<&str> = v.as_obj().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["z", "a", "m"]);
+    }
+
+    #[test]
+    fn parse_decodes_escapes_and_surrogate_pairs() {
+        let v = parse(r#""a\nb\t\"c\"\\d\u0001\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\nb\t\"c\"\\d\u{1}é😀"));
+        // Lone surrogates decode to the replacement character but remain
+        // syntactically acceptable (the writer never emits them).
+        let v = parse(r#""\ud800x""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{FFFD}x"));
+    }
+
+    #[test]
+    fn writer_output_round_trips_through_parse() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("title").string("Fig 5a — Shared-lock \"cascade\"\n(µs)");
+        w.key("rows").begin_array().u64(7).i64(-3).f64(0.125).end_array();
+        w.key("ok").bool(false);
+        w.end_object();
+        let text = w.finish();
+        let v = parse(&text).unwrap();
+        assert_eq!(
+            v.get("title").unwrap().as_str(),
+            Some("Fig 5a — Shared-lock \"cascade\"\n(µs)")
+        );
+        assert_eq!(
+            v.get("rows").unwrap().as_arr().unwrap(),
+            &[
+                JsonValue::Num(7.0),
+                JsonValue::Num(-3.0),
+                JsonValue::Num(0.125)
+            ]
+        );
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(false)));
     }
 
     #[test]

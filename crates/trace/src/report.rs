@@ -2,12 +2,13 @@
 //!
 //! Every `fig*`/sweep binary can emit one of these (via the shared
 //! `--json` CLI flag) instead of — or alongside — its human-formatted
-//! table. The document shape, version `dc-bench-report/v1`:
+//! table. The document shape, version `dc-bench-report/v2`:
 //!
 //! ```json
 //! {
-//!   "schema": "dc-bench-report/v1",
+//!   "schema": "dc-bench-report/v2",
 //!   "bench": "fig3a_ddss_put",
+//!   "fingerprint": "fm1-8e9c6d2a41b7f05c",
 //!   "params": {"nodes": 8, "seed": 42},
 //!   "tables": [
 //!     {"title": "...", "headers": ["col", ...], "rows": [["cell", ...], ...]}
@@ -16,19 +17,42 @@
 //! }
 //! ```
 //!
-//! `params` records the experiment configuration, `tables` carries the same
-//! data the binary prints (cells pre-rendered as strings so formatting is
-//! identical between modes), and `metrics` is an optional flat snapshot
-//! (see [`MetricsSnapshot`]). Fields appear in the order above; params,
-//! tables, and metric keys keep insertion order, so a report built the same
-//! way is byte-identical.
+//! `fingerprint` is an optional digest of the calibration constants the run
+//! was produced under (`dc_fabric::FabricModel::fingerprint`); regression
+//! tooling refuses to diff reports with different fingerprints, so a stale
+//! baseline is *detected* rather than silently compared. `params` records
+//! the experiment configuration, `tables` carries the same data the binary
+//! prints (cells pre-rendered as strings so formatting is identical between
+//! modes), and `metrics` is an optional flat snapshot (see
+//! [`MetricsSnapshot`]). Fields appear in the order above; params, tables,
+//! and metric keys keep insertion order, so a report built the same way is
+//! byte-identical.
+//!
+//! `v1` is the same document without the `fingerprint` field; readers
+//! ([`schema_version`], the `dc-regress` loader) accept both.
 
 use crate::event::ArgVal;
 use crate::json::JsonWriter;
 use crate::metrics::MetricsSnapshot;
 
 /// Schema identifier emitted in every report.
-pub const BENCH_REPORT_SCHEMA: &str = "dc-bench-report/v1";
+pub const BENCH_REPORT_SCHEMA: &str = "dc-bench-report/v2";
+
+/// The previous schema identifier, still accepted by readers (identical
+/// shape minus the optional `fingerprint` field).
+pub const BENCH_REPORT_SCHEMA_V1: &str = "dc-bench-report/v1";
+
+/// Extract the schema version number from a report's `schema` string:
+/// `Some(1)` for `dc-bench-report/v1`, `Some(2)` for v2, `None` for
+/// anything else. Readers should reject `None` (unknown contract) rather
+/// than guess.
+pub fn schema_version(schema: &str) -> Option<u32> {
+    match schema {
+        BENCH_REPORT_SCHEMA_V1 => Some(1),
+        BENCH_REPORT_SCHEMA => Some(2),
+        _ => None,
+    }
+}
 
 /// One table of results: a pre-rendered grid plus its title.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +69,7 @@ pub struct ReportTable {
 #[derive(Debug, Clone, Default)]
 pub struct BenchReport {
     bench: String,
+    fingerprint: Option<String>,
     params: Vec<(String, ArgVal)>,
     tables: Vec<ReportTable>,
     metrics: Option<MetricsSnapshot>,
@@ -58,6 +83,12 @@ impl BenchReport {
             bench: bench.to_string(),
             ..Default::default()
         }
+    }
+
+    /// Record the calibration fingerprint the run was produced under.
+    pub fn set_fingerprint(&mut self, fingerprint: &str) -> &mut Self {
+        self.fingerprint = Some(fingerprint.to_string());
+        self
     }
 
     /// Record one configuration parameter (kept in insertion order).
@@ -78,12 +109,40 @@ impl BenchReport {
         self
     }
 
-    /// Render the report as a `dc-bench-report/v1` JSON document.
+    /// The bench name.
+    pub fn bench(&self) -> &str {
+        &self.bench
+    }
+
+    /// The calibration fingerprint, if one was recorded.
+    pub fn fingerprint(&self) -> Option<&str> {
+        self.fingerprint.as_deref()
+    }
+
+    /// The recorded parameters, in insertion order.
+    pub fn params(&self) -> &[(String, ArgVal)] {
+        &self.params
+    }
+
+    /// The result tables, in insertion order.
+    pub fn tables(&self) -> &[ReportTable] {
+        &self.tables
+    }
+
+    /// The attached metrics snapshot, if any.
+    pub fn metrics(&self) -> Option<&MetricsSnapshot> {
+        self.metrics.as_ref()
+    }
+
+    /// Render the report as a `dc-bench-report/v2` JSON document.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
         w.key("schema").string(BENCH_REPORT_SCHEMA);
         w.key("bench").string(&self.bench);
+        if let Some(fp) = &self.fingerprint {
+            w.key("fingerprint").string(fp);
+        }
         w.key("params").begin_object();
         for (k, v) in &self.params {
             w.key(k);
@@ -151,7 +210,7 @@ mod tests {
         let b = rep.to_json();
         assert_eq!(a, b);
         assert!(validate(&a).is_ok(), "report must parse: {a}");
-        assert!(a.starts_with(r#"{"schema":"dc-bench-report/v1","bench":"fig3a_ddss_put""#));
+        assert!(a.starts_with(r#"{"schema":"dc-bench-report/v2","bench":"fig3a_ddss_put""#));
         assert!(a.contains(r#""params":{"nodes":8,"seed":42,"scheme":"bcc"}"#));
         assert!(a.contains(r#""rows":[["64","5.20"],["4096","9.75"]]"#));
         assert!(a.contains(r#""metrics":{"fabric.verbs.read":3}"#));
@@ -164,7 +223,45 @@ mod tests {
         assert!(validate(&s).is_ok());
         assert_eq!(
             s,
-            r#"{"schema":"dc-bench-report/v1","bench":"sweep","params":{},"tables":[]}"#
+            r#"{"schema":"dc-bench-report/v2","bench":"sweep","params":{},"tables":[]}"#
         );
+    }
+
+    #[test]
+    fn fingerprint_is_emitted_between_bench_and_params() {
+        let mut rep = BenchReport::new("fig5a_lock_shared");
+        rep.set_fingerprint("fm1-0011223344556677");
+        rep.add_param("mode", "shared");
+        let s = rep.to_json();
+        assert!(validate(&s).is_ok());
+        assert!(s.starts_with(
+            r#"{"schema":"dc-bench-report/v2","bench":"fig5a_lock_shared","fingerprint":"fm1-0011223344556677","params""#
+        ));
+        assert_eq!(rep.fingerprint(), Some("fm1-0011223344556677"));
+    }
+
+    #[test]
+    fn schema_versions_are_recognised() {
+        assert_eq!(schema_version("dc-bench-report/v1"), Some(1));
+        assert_eq!(schema_version("dc-bench-report/v2"), Some(2));
+        assert_eq!(schema_version(BENCH_REPORT_SCHEMA), Some(2));
+        assert_eq!(schema_version("dc-bench-report/v3"), None);
+        assert_eq!(schema_version(""), None);
+    }
+
+    #[test]
+    fn accessors_expose_the_built_document() {
+        let mut rep = BenchReport::new("demo");
+        rep.add_param("n", 4u64);
+        rep.add_table(ReportTable {
+            title: "t".into(),
+            headers: vec!["a".into()],
+            rows: vec![vec!["1".into()]],
+        });
+        assert_eq!(rep.bench(), "demo");
+        assert_eq!(rep.params().len(), 1);
+        assert_eq!(rep.tables().len(), 1);
+        assert!(rep.metrics().is_none());
+        assert!(rep.fingerprint().is_none());
     }
 }

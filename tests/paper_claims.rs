@@ -1,0 +1,216 @@
+//! The paper-claims conformance suite.
+//!
+//! Every `fig*`/`ext*` scenario runs in-process (same code path as the
+//! `--json` bins) and is checked against the claim tables transcribed
+//! from `EXPERIMENTS.md` in `dc_regress::claims`. This is tier-1: a
+//! change that breaks a figure's *shape* — an ordering flip, a lost
+//! crossover, a vanished 80x factor — fails `cargo test` directly,
+//! before the numeric baseline gate even looks at it.
+//!
+//! Also here: the negative control (a deliberately perturbed fabric
+//! calibration must violate claims — proving the claims actually
+//! constrain the model), the live-vs-committed-baseline diff, and
+//! fault-seeded robustness claims (opt-in via `DC_CLAIMS_FAULTS=1`,
+//! exercised by CI).
+
+use dc_bench::scenario;
+use dc_regress::{claims_for, diff, evaluate, LoadedReport, Tolerance};
+
+/// Run one scenario and assert its transcribed claims hold.
+fn assert_claims_hold(name: &str) {
+    let s = scenario::by_name(name).expect("scenario registered");
+    let claims = claims_for(name);
+    assert!(!claims.is_empty(), "no claims transcribed for {name}");
+    let report = (s.run)();
+    let violations = evaluate(report.tables(), &claims);
+    assert!(
+        violations.is_empty(),
+        "{name}: {} paper claim(s) violated:\n{}",
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn fig3a_ddss_put_claims() {
+    assert_claims_hold("fig3a_ddss_put");
+}
+
+#[test]
+fn fig3b_storm_claims() {
+    assert_claims_hold("fig3b_storm");
+}
+
+#[test]
+fn fig5a_lock_shared_claims() {
+    assert_claims_hold("fig5a_lock_shared");
+}
+
+#[test]
+fn fig5b_lock_exclusive_claims() {
+    assert_claims_hold("fig5b_lock_exclusive");
+}
+
+#[test]
+fn fig6_coopcache_claims() {
+    assert_claims_hold("fig6_coopcache");
+}
+
+#[test]
+fn fig8a_monitor_accuracy_claims() {
+    assert_claims_hold("fig8a_monitor_accuracy");
+}
+
+#[test]
+fn fig8b_monitor_throughput_claims() {
+    assert_claims_hold("fig8b_monitor_throughput");
+}
+
+#[test]
+fn ext_flowcontrol_bw_claims() {
+    assert_claims_hold("ext_flowcontrol_bw");
+}
+
+#[test]
+fn ext_fine_reconfig_claims() {
+    assert_claims_hold("ext_fine_reconfig");
+}
+
+#[test]
+fn ext_ablations_claims() {
+    assert_claims_hold("ext_ablations");
+}
+
+#[test]
+fn every_registered_scenario_has_claims() {
+    for s in &scenario::ALL {
+        assert!(
+            !claims_for(s.name).is_empty(),
+            "{} has no transcribed paper claims",
+            s.name
+        );
+    }
+}
+
+/// Negative control: the claims must *constrain* the calibration. A
+/// fabric model with a wrecked RDMA-write cost has to violate at least
+/// one Fig 3a claim and carry a different fingerprint — if this test
+/// ever passes with zero violations, the claim tables have gone soft.
+#[test]
+fn perturbed_calibration_fails_fig3a_claims() {
+    let good = dc_fabric::FabricModel::calibrated_2007();
+    let mut bad = good.clone();
+    // An RDMA write costing more than a Strict-coherence lock cycle
+    // inverts the Fig 3a ordering and blows the 1-byte Null band.
+    bad.rdma_write_base_ns *= 8;
+
+    assert_ne!(
+        good.fingerprint(),
+        bad.fingerprint(),
+        "perturbation must be visible in the calibration fingerprint"
+    );
+
+    let report = scenario::fig3a_report_with(&bad);
+    assert_eq!(report.fingerprint(), Some(bad.fingerprint().as_str()));
+    let violations = evaluate(report.tables(), &claims_for("fig3a_ddss_put"));
+    assert!(
+        !violations.is_empty(),
+        "a 8x RDMA-write cost must break at least one Fig 3a claim"
+    );
+}
+
+/// The perturbed report also refuses to diff against a healthy baseline:
+/// calibration drift surfaces as a hard fingerprint error, not as a wall
+/// of numeric deltas.
+#[test]
+fn perturbed_calibration_is_rejected_by_the_differ() {
+    let mut bad = dc_fabric::FabricModel::calibrated_2007();
+    bad.rdma_write_base_ns += 1;
+    let healthy = LoadedReport::from_bench(&scenario::fig3a_report());
+    let drifted = LoadedReport::from_bench(&scenario::fig3a_report_with(&bad));
+    let err = diff(&healthy, &drifted, &Tolerance::pct(100.0)).unwrap_err();
+    assert!(matches!(err, dc_regress::DiffError::FingerprintMismatch(_, _)));
+}
+
+/// A live run diffs cleanly against itself at zero tolerance — the
+/// regression gate's self-consistency floor (determinism guarantee).
+#[test]
+fn live_report_self_comparison_is_clean() {
+    let a = LoadedReport::from_bench(&scenario::fig5a_report());
+    let b = LoadedReport::from_bench(&scenario::fig5a_report());
+    let d = diff(&a, &b, &Tolerance::pct(0.0)).unwrap();
+    assert_eq!(d.regressions(), 0, "same seed, same model, same numbers:\n{}", d.render(false));
+    assert!(!d.cells.is_empty());
+}
+
+/// Live runs must match the committed `baselines/` exactly: the same
+/// check CI's regression gate performs, kept in tier-1 so a drift is
+/// caught at `cargo test` time with a cell-level explanation.
+#[test]
+fn live_runs_match_committed_baselines() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("baselines");
+    assert!(dir.is_dir(), "committed baselines missing at {}", dir.display());
+    for s in &scenario::ALL {
+        let base = LoadedReport::from_path(&dir.join(format!("{}.json", s.name)))
+            .expect("baseline loads");
+        let live = LoadedReport::from_bench(&(s.run)());
+        let d = diff(&base, &live, &Tolerance::pct(0.0))
+            .unwrap_or_else(|e| panic!("{}: {e}", s.name));
+        assert_eq!(
+            d.regressions(),
+            0,
+            "{} drifted from its committed baseline (re-bless deliberately):\n{}",
+            s.name,
+            d.render(false)
+        );
+    }
+}
+
+/// Fault-seeded robustness claims, opt-in via `DC_CLAIMS_FAULTS=1` (CI
+/// runs the suite a second time with it set). Under injected crashes,
+/// drops, and latency storms the exact figures move, but the paper's
+/// *relative* story must survive: cooperation still beats no
+/// cooperation, and accurate RDMA monitoring still beats blind socket
+/// polling.
+#[test]
+fn fault_seeded_claims_hold_when_enabled() {
+    if std::env::var("DC_CLAIMS_FAULTS").ok().as_deref() != Some("1") {
+        return; // opt-in: default tier-1 stays fault-free
+    }
+    let faults = dc_fabric::FaultConfig::default();
+    for seed in [7u64, 8, 9] {
+        // Cooperative caching under faults: BCC still beats AC.
+        let mk = |scheme| {
+            let mut cfg = dc_bench::fig6::cell_cfg(2, scheme, 16 * 1024);
+            cfg.faults = Some((seed, faults.clone()));
+            dc_core::run_webfarm(&cfg)
+        };
+        let ac = mk(dc_coopcache::CacheScheme::Ac);
+        let bcc = mk(dc_coopcache::CacheScheme::Bcc);
+        assert!(
+            bcc.tps > ac.tps,
+            "seed {seed}: faulted BCC {:.0} should still beat AC {:.0}",
+            bcc.tps,
+            ac.tps
+        );
+
+        // Hosted throughput under faults: RDMA-Sync still beats Socket-Sync.
+        let mk = |scheme| {
+            let mut cfg = dc_bench::fig8b::cell_cfg(scheme, 0.75);
+            cfg.faults = Some((seed, faults.clone()));
+            dc_core::run_hosting(&cfg)
+        };
+        let socket = mk(dc_resmon::MonitorScheme::SocketSync);
+        let rdma = mk(dc_resmon::MonitorScheme::RdmaSync);
+        assert!(
+            rdma.tps > socket.tps,
+            "seed {seed}: faulted RDMA-Sync {:.0} should still beat Socket-Sync {:.0}",
+            rdma.tps,
+            socket.tps
+        );
+    }
+}

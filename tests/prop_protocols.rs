@@ -1,6 +1,7 @@
 //! Property-based tests of the distributed protocols: lock-manager safety
-//! and liveness under randomized schedules, and DDSS coherence invariants
-//! under concurrent access.
+//! and liveness under randomized schedules, DDSS coherence invariants
+//! under concurrent access, monitoring-accuracy dominance, and
+//! reconfiguration stability.
 
 use std::cell::Cell;
 use std::rc::Rc;
@@ -177,5 +178,100 @@ proptest! {
         let final_version = sim.run_to(async move { reader.version(&key).await });
         prop_assert_eq!(final_version, successes.get());
         prop_assert_eq!(successes.get(), (writers * rounds) as u64);
+    }
+}
+
+proptest! {
+    // These properties drive whole sub-simulations per case, so they run
+    // fewer cases than the protocol invariants above.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Fig 8a generalized: synchronous RDMA sampling dominates both
+    /// asynchronous schemes on monitoring accuracy, not just at the
+    /// figure's sampling cadence but across sampling periods and horizon
+    /// lengths. (Sync RDMA reads the truth at the instant it is consumed;
+    /// async schemes serve a stale snapshot no matter the transport.)
+    #[test]
+    fn rdma_sync_accuracy_dominates_async_schemes(
+        sample_period_ms in 5u64..25,
+        duration_ms in 150u64..400,
+    ) {
+        use nextgen_datacenter::resmon::MonitorScheme;
+        let duration = ms(duration_ms);
+        let period = ms(sample_period_ms);
+        let run = |scheme| dc_bench::fig8a::run_scheme(scheme, duration, period);
+        let sync = run(MonitorScheme::RdmaSync);
+        let rdma_async = run(MonitorScheme::RdmaAsync);
+        let socket_async = run(MonitorScheme::SocketAsync);
+        prop_assert!(!sync.samples.is_empty());
+        prop_assert!(
+            sync.mean_deviation() <= rdma_async.mean_deviation(),
+            "RDMA-Sync {:.3} should not trail RDMA-Async {:.3} (period {sample_period_ms}ms)",
+            sync.mean_deviation(),
+            rdma_async.mean_deviation()
+        );
+        prop_assert!(
+            sync.mean_deviation() <= socket_async.mean_deviation(),
+            "RDMA-Sync {:.3} should not trail Socket-Async {:.3} (period {sample_period_ms}ms)",
+            sync.mean_deviation(),
+            socket_async.mean_deviation()
+        );
+        prop_assert!(
+            sync.max_deviation() <= socket_async.max_deviation(),
+            "worst-case deviation must not regress either"
+        );
+    }
+
+    /// Reconfiguration stability: under *stable, balanced* load the
+    /// adaptation agent must never move a node — for either the fine
+    /// (2 ms RDMA) or coarse (500 ms socket) profile, at any uniform load
+    /// level. Oscillation under steady state would thrash caches and
+    /// processes; the imbalance-ratio and hysteresis guards exist exactly
+    /// to forbid it.
+    #[test]
+    fn reconfiguration_never_oscillates_under_stable_load(
+        fine in any::<bool>(),
+        threads_per_node in 0u32..4,
+    ) {
+        use nextgen_datacenter::reconfig::{AdaptCfg, Reconfigurator, SiteMap};
+        use nextgen_datacenter::resmon::{Monitor, MonitorCfg, MonitorScheme};
+
+        let sim = Sim::new();
+        let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 5);
+        let backends = [NodeId(1), NodeId(2), NodeId(3), NodeId(4)];
+        let map = SiteMap::new(
+            &cluster,
+            NodeId(0),
+            &[(NodeId(1), 0), (NodeId(2), 0), (NodeId(3), 1), (NodeId(4), 1)],
+        );
+        let (scheme, cfg) = if fine {
+            (MonitorScheme::RdmaSync, AdaptCfg::fine(2))
+        } else {
+            (MonitorScheme::SocketSync, AdaptCfg::coarse(2))
+        };
+        let monitor =
+            Monitor::spawn(&cluster, scheme, MonitorCfg::default(), NodeId(0), &backends);
+        let agent = Reconfigurator::spawn(sim.handle(), NodeId(0), map, monitor, 2, cfg);
+
+        // Identical steady load on every backend of both sites.
+        for node in backends {
+            let cpu = cluster.cpu(node);
+            let h = sim.handle();
+            sim.spawn(async move {
+                for _ in 0..threads_per_node {
+                    let c = cpu.clone();
+                    h.spawn(async move { c.execute(ms(1_500)).await });
+                }
+            });
+        }
+        sim.run_until(ms(1_000));
+        prop_assert!(agent.checks() > 0, "the agent must actually be evaluating load");
+        prop_assert_eq!(
+            agent.moves().len(),
+            0,
+            "stable balanced load must never trigger a move (fine={}, threads={})",
+            fine,
+            threads_per_node
+        );
     }
 }
