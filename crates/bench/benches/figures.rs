@@ -63,8 +63,7 @@ fn main() {
     println!();
     dc_bench::ext_ablations::capacity_table(&dc_bench::ext_ablations::run_capacity()).print();
     println!();
-    dc_bench::ext_ablations::granularity_table(&dc_bench::ext_ablations::run_granularity())
-        .print();
+    dc_bench::ext_ablations::granularity_table(&dc_bench::ext_ablations::run_granularity()).print();
     println!("[ablations took {:.1?}]\n", t.elapsed());
 
     println!("All figures regenerated in {:.1?}.", wall.elapsed());

@@ -46,9 +46,7 @@ fn bench_dlm_cascade(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::from_parameter(scheme.label()),
             &scheme,
-            |b, &scheme| {
-                b.iter(|| dc_bench::fig5::cascade_ns(scheme, 8, LockMode::Exclusive))
-            },
+            |b, &scheme| b.iter(|| dc_bench::fig5::cascade_ns(scheme, 8, LockMode::Exclusive)),
         );
     }
     g.finish();

@@ -12,7 +12,12 @@ fn main() {
         for r in &results {
             println!("\n# {} — t(ms), reported, actual", r.scheme.label());
             for s in r.samples.iter().step_by(5) {
-                println!("{:8.1}  {:>3}  {:>3}", s.at as f64 / 1e6, s.reported, s.actual);
+                println!(
+                    "{:8.1}  {:>3}  {:>3}",
+                    s.at as f64 / 1e6,
+                    s.reported,
+                    s.actual
+                );
             }
         }
     }

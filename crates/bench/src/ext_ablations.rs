@@ -139,7 +139,14 @@ pub fn run_capacity() -> Vec<CapacityCell> {
 pub fn capacity_table(cells: &[CapacityCell]) -> dc_core::Table {
     let mut t = dc_core::Table::new(
         "Ablation — hit rate vs per-node cache size (working set 16MB)",
-        &["scheme", "cache/node", "hit rate", "misses/1k", "TPS", "mean lat"],
+        &[
+            "scheme",
+            "cache/node",
+            "hit rate",
+            "misses/1k",
+            "TPS",
+            "mean lat",
+        ],
     );
     for c in cells {
         t.row(vec![

@@ -35,14 +35,25 @@ pub fn reaction(fine: bool) -> ReactionResult {
     let map = SiteMap::new(
         &cluster,
         NodeId(0),
-        &[(NodeId(1), 0), (NodeId(2), 0), (NodeId(3), 1), (NodeId(4), 1)],
+        &[
+            (NodeId(1), 0),
+            (NodeId(2), 0),
+            (NodeId(3), 1),
+            (NodeId(4), 1),
+        ],
     );
     let (scheme, cfg) = if fine {
         (MonitorScheme::RdmaSync, AdaptCfg::fine(2))
     } else {
         (MonitorScheme::SocketSync, AdaptCfg::coarse(2))
     };
-    let monitor = Monitor::spawn(&cluster, scheme, MonitorCfg::default(), NodeId(0), &backends);
+    let monitor = Monitor::spawn(
+        &cluster,
+        scheme,
+        MonitorCfg::default(),
+        NodeId(0),
+        &backends,
+    );
     let agent = Reconfigurator::spawn(sim.handle(), NodeId(0), map, monitor, 2, cfg);
 
     // Burst hits site 0 (nodes 1 and 2) at t = 100 ms.
@@ -79,7 +90,12 @@ pub fn table(fine: &ReactionResult, coarse: &ReactionResult) -> dc_core::Table {
     );
     for r in [fine, coarse] {
         t.row(vec![
-            if r.fine { "fine (RDMA, 2ms)" } else { "coarse (socket, 500ms)" }.to_string(),
+            if r.fine {
+                "fine (RDMA, 2ms)"
+            } else {
+                "coarse (socket, 500ms)"
+            }
+            .to_string(),
             match r.reaction_ns {
                 Some(ns) => format!("{:.1}", ns as f64 / 1e6),
                 None => "never".to_string(),

@@ -15,6 +15,7 @@ use dc_fabric::{Cluster, FabricModel, NodeId, Transport};
 use dc_sim::time::as_ms;
 use dc_sim::Sim;
 use dc_sockets::{connect, SocketsConfig, StreamKind};
+use dc_svc::bind_raw;
 use dc_workloads::StormQuery;
 
 /// Transfer chunk used by both transports.
@@ -73,9 +74,9 @@ pub fn query_time_ns(records: usize, transport: StormTransport) -> u64 {
             };
             let ddss = Rc::new(Ddss::new(&cluster, ddss_cfg, &[client_node, data_node]));
             // Control channel for query + completion notification.
-            let query_port = cluster.alloc_port();
-            let done_port = cluster.alloc_port();
-            let mut query_ep = cluster.bind(data_node, query_port);
+            let query_port = cluster.alloc_port_for(data_node, "bench.fig3b.query");
+            let done_port = cluster.alloc_port_for(client_node, "bench.fig3b.done");
+            let mut query_ep = bind_raw(&cluster, data_node, query_port);
             let cl = cluster.clone();
             let ddss2 = Rc::clone(&ddss);
             sim.spawn(async move {
@@ -111,7 +112,7 @@ pub fn query_time_ns(records: usize, transport: StormTransport) -> u64 {
                 // Keys are reconstructed client-side from the notice.
                 drop(keys);
             });
-            let mut done_ep = cluster.bind(client_node, done_port);
+            let mut done_ep = bind_raw(&cluster, client_node, done_port);
             let cl2 = cluster.clone();
             let ddss3 = Rc::clone(&ddss);
             sim.run_to(async move {

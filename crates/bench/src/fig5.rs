@@ -73,23 +73,28 @@ impl AnyClient {
     }
 }
 
-fn make_clients(
-    cluster: &Cluster,
-    scheme: LockScheme,
-    members: &[NodeId],
-) -> Vec<AnyClient> {
+fn make_clients(cluster: &Cluster, scheme: LockScheme, members: &[NodeId]) -> Vec<AnyClient> {
     match scheme {
         LockScheme::Ncosed => {
             let dlm = NcosedDlm::new(cluster, DlmConfig::default(), NodeId(0), 1, members);
-            members.iter().map(|&n| AnyClient::N(dlm.client(n))).collect()
+            members
+                .iter()
+                .map(|&n| AnyClient::N(dlm.client(n)))
+                .collect()
         }
         LockScheme::Dqnl => {
             let dlm = DqnlDlm::new(cluster, DlmConfig::default(), NodeId(0), 1, members);
-            members.iter().map(|&n| AnyClient::D(dlm.client(n))).collect()
+            members
+                .iter()
+                .map(|&n| AnyClient::D(dlm.client(n)))
+                .collect()
         }
         LockScheme::Srsl => {
             let dlm = SrslDlm::new(cluster, DlmConfig::default(), NodeId(0), members);
-            members.iter().map(|&n| AnyClient::S(dlm.client(n))).collect()
+            members
+                .iter()
+                .map(|&n| AnyClient::S(dlm.client(n)))
+                .collect()
         }
     }
 }

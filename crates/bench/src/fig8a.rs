@@ -52,12 +52,20 @@ impl AccuracyResult {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().map(|s| s.deviation() as f64).sum::<f64>() / self.samples.len() as f64
+        self.samples
+            .iter()
+            .map(|s| s.deviation() as f64)
+            .sum::<f64>()
+            / self.samples.len() as f64
     }
 
     /// Worst absolute deviation.
     pub fn max_deviation(&self) -> u64 {
-        self.samples.iter().map(|s| s.deviation()).max().unwrap_or(0)
+        self.samples
+            .iter()
+            .map(|s| s.deviation())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Fraction of samples that were exactly right.
@@ -73,7 +81,12 @@ impl AccuracyResult {
 /// Run the accuracy experiment for one scheme with the default refresh
 /// period.
 pub fn run_scheme(scheme: MonitorScheme, duration: SimTime, sample_period: u64) -> AccuracyResult {
-    run_scheme_with_period(scheme, duration, sample_period, MonitorCfg::default().period_ns)
+    run_scheme_with_period(
+        scheme,
+        duration,
+        sample_period,
+        MonitorCfg::default().period_ns,
+    )
 }
 
 /// Run the accuracy experiment with an explicit async refresh period (used

@@ -136,9 +136,7 @@ impl ActiveCache {
             Some(e) => e.deps.clone(),
         };
         let current = self.table.read_all(self.node).await;
-        let fresh = deps
-            .iter()
-            .all(|&(dep, v)| current[dep as usize] == v);
+        let fresh = deps.iter().all(|&(dep, v)| current[dep as usize] == v);
         if fresh {
             self.hits.set(self.hits.get() + 1);
             // Entry may have been replaced while we validated; re-read.

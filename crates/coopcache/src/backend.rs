@@ -10,8 +10,10 @@
 use std::rc::Rc;
 
 use bytes::Bytes;
-use dc_fabric::rpc::{parse_request, respond, RpcClient};
 use dc_fabric::{Cluster, NodeId, Transport};
+use dc_svc::{
+    parse_request, respond, Cost, Dispatcher, Mode, Service, ServiceSpec, Subsys, SvcClient,
+};
 use dc_workloads::FileSet;
 
 use crate::lru::DocId;
@@ -54,31 +56,34 @@ impl Backend {
         cfg: BackendCfg,
         fileset: Rc<FileSet>,
     ) -> Backend {
-        let port = cluster.alloc_port();
-        let mut ep = cluster.bind(node, port);
-        let cl = cluster.clone();
+        let port = cluster.alloc_port_for(node, "coopcache.backend");
+        // Query processing competes for the backend CPU; storage latency
+        // overlaps across concurrent requests. Each request runs in its own
+        // handler task (Concurrent) so the daemon keeps accepting.
+        let spec = ServiceSpec {
+            name: "coopcache.backend",
+            subsys: Subsys::Coopcache,
+            node,
+            port,
+            cost: Cost::None,
+            mode: Mode::Concurrent,
+            queue_cap: None,
+        };
         let fs = Rc::clone(&fileset);
-        cluster.sim().clone().spawn(async move {
-            loop {
-                let msg = ep.recv().await;
+        let dispatcher = Dispatcher::new().fallback(move |ctx, msg| {
+            let fs = Rc::clone(&fs);
+            async move {
                 let req = parse_request(&msg);
                 let doc = u32::from_le_bytes(req.payload[..4].try_into().unwrap()) as usize;
                 let size = fs.size(doc);
-                // Query processing competes for the backend CPU; storage
-                // latency overlaps across concurrent requests. Both happen
-                // in a per-request task so the daemon keeps accepting.
-                let cl2 = cl.clone();
-                let fs2 = Rc::clone(&fs);
                 let cpu_ns = cfg.cpu_base_ns + (size as u64 * cfg.cpu_per_kb_ns).div_ceil(1024);
-                let io_ns = cfg.io_ns;
-                cl.sim().clone().spawn(async move {
-                    cl2.cpu(node).execute(cpu_ns).await;
-                    cl2.sim().sleep(io_ns).await;
-                    let content = fs2.content(doc, size);
-                    respond(&cl2, node, &req, &content, Transport::Tcp).await;
-                });
+                ctx.cluster.cpu(node).execute(cpu_ns).await;
+                ctx.cluster.sim().sleep(cfg.io_ns).await;
+                let content = fs.content(doc, size);
+                respond(&ctx.cluster, node, &req, &content, Transport::Tcp).await;
             }
         });
+        Service::spawn(cluster, spec, dispatcher);
         Backend {
             node,
             port,
@@ -102,9 +107,10 @@ impl Backend {
         &self.fileset
     }
 
-    /// Fetch `doc` through `rpc` (the caller's RPC client).
-    pub async fn fetch(&self, rpc: &RpcClient, doc: DocId) -> Bytes {
-        rpc.call(self.node, self.port, &doc.to_le_bytes(), Transport::Tcp)
+    /// Fetch `doc` through `client` (the caller's control-plane client).
+    pub async fn fetch(&self, client: &SvcClient, doc: DocId) -> Bytes {
+        client
+            .call(self.node, self.port, &doc.to_le_bytes(), Transport::Tcp)
             .await
     }
 }
@@ -127,7 +133,7 @@ mod tests {
     #[test]
     fn fetch_returns_document_content() {
         let (sim, cluster, backend) = setup();
-        let rpc = RpcClient::new(&cluster, NodeId(0));
+        let rpc = SvcClient::new(&cluster, NodeId(0));
         let data = sim.run_to(async move { backend.fetch(&rpc, 3).await });
         assert_eq!(data.len(), 8192);
         assert_eq!(data[0], FileSet::content_byte(3, 0));
@@ -137,7 +143,7 @@ mod tests {
     #[test]
     fn fetch_pays_cpu_io_and_transfer() {
         let (sim, cluster, backend) = setup();
-        let rpc = RpcClient::new(&cluster, NodeId(0));
+        let rpc = SvcClient::new(&cluster, NodeId(0));
         let h = sim.handle();
         let t = sim.run_to(async move {
             backend.fetch(&rpc, 0).await;
@@ -155,7 +161,7 @@ mod tests {
         let mut joins = Vec::new();
         for n in 0..4u32 {
             let b = backend.clone();
-            let rpc = RpcClient::new(&_cluster, NodeId(0));
+            let rpc = SvcClient::new(&_cluster, NodeId(0));
             let hh = h.clone();
             joins.push(sim.spawn(async move {
                 b.fetch(&rpc, n).await;
@@ -163,11 +169,7 @@ mod tests {
             }));
         }
         sim.run();
-        let last = joins
-            .iter()
-            .map(|j| j.try_take().unwrap())
-            .max()
-            .unwrap();
+        let last = joins.iter().map(|j| j.try_take().unwrap()).max().unwrap();
         // Four serialized fetches would take > 4 × 1.35ms; overlap keeps the
         // tail well under that.
         assert!(last < ms(4), "no overlap: last finished at {last}ns");

@@ -47,7 +47,7 @@ pub mod node;
 pub mod scheme;
 pub mod service;
 
-pub use active::{ActiveCache, DependencyTable, DepId};
+pub use active::{ActiveCache, DepId, DependencyTable};
 pub use backend::{Backend, BackendCfg};
 pub use directory::Directory;
 pub use lru::{DocId, LruStore};

@@ -106,14 +106,7 @@ impl LruStore {
             evicted.push((victim, e.offset, e.size));
         };
         let seq = self.bump_seq();
-        self.map.insert(
-            doc,
-            Entry {
-                offset,
-                size,
-                seq,
-            },
-        );
+        self.map.insert(doc, Entry { offset, size, seq });
         self.order.insert(seq, doc);
         self.bytes_used += size;
         Some((offset, evicted))

@@ -13,9 +13,11 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use bytes::Bytes;
-use dc_fabric::rpc::{parse_request, respond, RpcClient};
 use dc_fabric::{Cluster, NodeId, RegionId, RemoteAddr, Transport};
 use dc_sim::sync::Notify;
+use dc_svc::{
+    parse_request, respond, Cost, Dispatcher, Mode, Service, ServiceSpec, Subsys, SvcClient,
+};
 
 use crate::backend::Backend;
 use crate::directory::Directory;
@@ -59,7 +61,7 @@ struct Inner {
     inflight: RefCell<HashMap<DocId, Notify>>,
     directory: Directory,
     backend: Backend,
-    rpc: RpcClient,
+    client: SvcClient,
     reserve_port: u16,
     backend_fetches: Cell<u64>,
 }
@@ -82,7 +84,7 @@ impl CacheNode {
     ) -> CacheNode {
         let data_region = cluster.register(node, cfg.per_node_bytes);
         let index_region = cluster.register(node, num_docs * 8);
-        let reserve_port = cluster.alloc_port();
+        let reserve_port = cluster.alloc_port_for(node, "coopcache.reserve");
         let cn = CacheNode {
             inner: Rc::new(Inner {
                 cluster: cluster.clone(),
@@ -94,7 +96,7 @@ impl CacheNode {
                 inflight: RefCell::new(HashMap::new()),
                 directory,
                 backend,
-                rpc: RpcClient::new(cluster, node),
+                client: SvcClient::new(cluster, node),
                 reserve_port,
                 backend_fetches: Cell::new(0),
             }),
@@ -162,7 +164,10 @@ impl CacheNode {
         let placement = self.inner.store.borrow_mut().get(doc);
         let (offset, stored) = placement?;
         debug_assert_eq!(stored, size + DOC_HDR);
-        let region = self.inner.cluster.region(self.inner.node, self.inner.data_region);
+        let region = self
+            .inner
+            .cluster
+            .region(self.inner.node, self.inner.data_region);
         let raw = region.read(offset + DOC_HDR, size);
         self.inner
             .cluster
@@ -187,10 +192,7 @@ impl CacheNode {
                     continue; // re-check the store
                 }
                 None => {
-                    self.inner
-                        .inflight
-                        .borrow_mut()
-                        .insert(doc, Notify::new());
+                    self.inner.inflight.borrow_mut().insert(doc, Notify::new());
                     let result = self.fetch_and_install(doc, size).await;
                     let n = self
                         .inner
@@ -209,7 +211,7 @@ impl CacheNode {
         self.inner
             .backend_fetches
             .set(self.inner.backend_fetches.get() + 1);
-        let content = self.inner.backend.fetch(&self.inner.rpc, doc).await;
+        let content = self.inner.backend.fetch(&self.inner.client, doc).await;
         assert_eq!(content.len(), size, "backend returned wrong size");
         self.install(doc, &content).await
     }
@@ -225,8 +227,14 @@ impl CacheNode {
             return Some(offset);
         }
         let (offset, evicted) = self.inner.store.borrow_mut().insert(doc, total)?;
-        let region = self.inner.cluster.region(self.inner.node, self.inner.data_region);
-        let index = self.inner.cluster.region(self.inner.node, self.inner.index_region);
+        let region = self
+            .inner
+            .cluster
+            .region(self.inner.node, self.inner.data_region);
+        let index = self
+            .inner
+            .cluster
+            .region(self.inner.node, self.inner.index_region);
         // Invalidate victims: local index first, then the shared directory
         // (background — the directory is soft state).
         for (victim, _, _) in &evicted {
@@ -299,13 +307,12 @@ impl CacheNode {
     pub async fn reserve_at(&self, owner: &CacheNode, doc: DocId) -> Option<usize> {
         let resp = self
             .inner
-            .rpc
+            .client
             .try_call(
                 owner.node(),
                 owner.reserve_port(),
                 &doc.to_le_bytes(),
                 Transport::RdmaSend,
-                dc_fabric::rpc::DEFAULT_TIMEOUT_NS,
             )
             .await?;
         let v = u64::from_le_bytes(resp[..8].try_into().unwrap());
@@ -317,33 +324,42 @@ impl CacheNode {
     }
 
     fn spawn_reserve_daemon(&self) {
+        // Each reserve runs in its own handler task (Concurrent) so one
+        // backend fetch does not block other requests to this daemon.
+        let spec = ServiceSpec {
+            name: "coopcache.reserve",
+            subsys: Subsys::Coopcache,
+            node: self.inner.node,
+            port: self.inner.reserve_port,
+            cost: Cost::None,
+            mode: Mode::Concurrent,
+            queue_cap: None,
+        };
         let this = self.clone();
-        let cluster = self.inner.cluster.clone();
-        let mut ep = cluster.bind(self.inner.node, self.inner.reserve_port);
         let fileset = Rc::clone(self.inner.backend.fileset());
-        cluster.sim().clone().spawn(async move {
-            loop {
-                let msg = ep.recv().await;
+        let dispatcher = Dispatcher::new().fallback(move |_ctx, msg| {
+            let this = this.clone();
+            let fileset = Rc::clone(&fileset);
+            async move {
                 let req = parse_request(&msg);
                 let doc = u32::from_le_bytes(req.payload[..4].try_into().unwrap());
                 let size = fileset.size(doc as usize);
-                let this2 = this.clone();
-                let cl = this.inner.cluster.clone();
-                let node = this.inner.node;
-                // Serve each reserve in its own task so one backend fetch
-                // does not block other requests to this daemon.
-                cl.sim().clone().spawn(async move {
-                    let offset = this2.ensure_local(doc, size).await;
-                    let enc = match offset {
-                        Some(o) => o as u64 + 1,
-                        None => 0,
-                    };
-                    respond(&this2.inner.cluster, node, &req, &enc.to_le_bytes(), Transport::RdmaSend)
-                        .await;
-                });
-                let _ = node;
+                let offset = this.ensure_local(doc, size).await;
+                let enc = match offset {
+                    Some(o) => o as u64 + 1,
+                    None => 0,
+                };
+                respond(
+                    &this.inner.cluster,
+                    this.inner.node,
+                    &req,
+                    &enc.to_le_bytes(),
+                    Transport::RdmaSend,
+                )
+                .await;
             }
         });
+        Service::spawn(&self.inner.cluster, spec, dispatcher);
     }
 }
 

@@ -333,19 +333,15 @@ impl CoopCache {
                             // fall back to a direct backend fetch without
                             // caching (no duplication).
                             self.note_degrade(proxy, doc);
-                            let data = owner_node
-                                .local_get(doc, size)
-                                .await
-                                .unwrap_or_else(|| {
-                                    Bytes::from(self.inner.fileset.content(doc as usize, size))
-                                });
+                            let data = owner_node.local_get(doc, size).await.unwrap_or_else(|| {
+                                Bytes::from(self.inner.fileset.content(doc as usize, size))
+                            });
                             (data, ServeOutcome::BackendMiss)
                         }
                     },
                     None => {
                         // Uncacheable at the owner (too big): direct fetch.
-                        let data =
-                            Bytes::from(self.inner.fileset.content(doc as usize, size));
+                        let data = Bytes::from(self.inner.fileset.content(doc as usize, size));
                         (data, ServeOutcome::BackendMiss)
                     }
                 }
@@ -391,7 +387,9 @@ mod tests {
 
     fn expected(doc: DocId, size: usize) -> Vec<u8> {
         FileSet::uniform(1, size); // silence unused-constructor lint paths
-        (0..size).map(|off| FileSet::content_byte(doc as usize, off)).collect()
+        (0..size)
+            .map(|off| FileSet::content_byte(doc as usize, off))
+            .collect()
     }
 
     #[test]
@@ -437,7 +435,11 @@ mod tests {
         sim.run_to(async move {
             let doc = 0u32;
             let owner = cc.owner_of(doc);
-            let non_owner = if owner == NodeId(1) { NodeId(2) } else { NodeId(1) };
+            let non_owner = if owner == NodeId(1) {
+                NodeId(2)
+            } else {
+                NodeId(1)
+            };
             let (d, o) = cc.serve(non_owner, doc).await;
             assert_eq!(o, ServeOutcome::BackendMiss);
             assert_eq!(&d[..], &expected(doc, 4096)[..]);
@@ -491,7 +493,11 @@ mod tests {
             assert_eq!(o, ServeOutcome::LocalHit);
             // Large doc: owner path → non-owner never keeps a copy.
             let owner = cc.owner_of(1);
-            let other = if owner == NodeId(1) { NodeId(2) } else { NodeId(1) };
+            let other = if owner == NodeId(1) {
+                NodeId(2)
+            } else {
+                NodeId(1)
+            };
             cc.serve(other, 1).await;
             let (_, o2) = cc.serve(other, 1).await;
             assert_eq!(o2, ServeOutcome::RemoteHit(owner));
@@ -572,7 +578,10 @@ mod tests {
                 .map(|(_, v)| v.clone())
                 .unwrap()
         };
-        assert_eq!(outcome(&serves[0]), dc_trace::ArgVal::S("backend_miss".into()));
+        assert_eq!(
+            outcome(&serves[0]),
+            dc_trace::ArgVal::S("backend_miss".into())
+        );
         assert_eq!(outcome(&serves[1]), dc_trace::ArgVal::S("local_hit".into()));
     }
 

@@ -123,7 +123,10 @@ impl GlobalMemoryAggregator {
                 candidates.sort_by(|a, b| {
                     let a_local = a.0 == client.node();
                     let b_local = b.0 == client.node();
-                    b_local.cmp(&a_local).then(b.1.cmp(&a.1)).then(a.0.cmp(&b.0))
+                    b_local
+                        .cmp(&a_local)
+                        .then(b.1.cmp(&a.1))
+                        .then(a.0.cmp(&b.0))
                 });
             }
             Placement::Spread => {
@@ -194,7 +197,11 @@ mod tests {
         };
         let ddss = Ddss::new(&cluster, cfg, &nodes);
         let agg = Rc::new(GlobalMemoryAggregator::new(
-            &cluster, &ddss, NodeId(0), &nodes, heap,
+            &cluster,
+            &ddss,
+            NodeId(0),
+            &nodes,
+            heap,
         ));
         (sim, cluster, ddss, agg)
     }

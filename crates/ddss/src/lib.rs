@@ -42,6 +42,7 @@
 pub mod aggregator;
 pub mod alloc;
 pub mod coherence;
+pub mod ctrl;
 pub mod ipc;
 pub mod substrate;
 

@@ -37,16 +37,18 @@ use std::rc::Rc;
 use bytes::Bytes;
 use dc_fabric::{Cluster, NodeId, RegionId, RemoteAddr, Transport};
 use dc_sim::SimTime;
+use dc_svc::{
+    call_legacy, legacy_request, CallPolicy, Cost, Ctx, Dispatcher, Mode, Service, ServiceSpec,
+    Wire,
+};
 use dc_trace::{Counter, HistHandle, Subsys};
 
 use crate::alloc::FreeListAllocator;
 use crate::coherence::Coherence;
+use crate::ctrl::{AllocReq, AllocResp, FreeReq, FreeResp, OP_ALLOC, OP_FREE};
 
 /// Block header: lock word + version word.
 pub const BLOCK_HDR: usize = 16;
-
-const OP_ALLOC: u8 = 1;
-const OP_FREE: u8 = 2;
 
 /// Tuning knobs of the substrate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -182,7 +184,7 @@ impl Ddss {
     /// Add a participating node after construction.
     pub fn add_home(&self, node: NodeId) {
         let region = self.inner.cluster.register(node, self.inner.cfg.heap_bytes);
-        let port = self.inner.cluster.alloc_port();
+        let port = self.inner.cluster.alloc_port_for(node, "ddss.home");
         let home = Rc::new(HomeState {
             region,
             alloc: RefCell::new(FreeListAllocator::new(self.inner.cfg.heap_bytes)),
@@ -258,48 +260,49 @@ impl Ddss {
     }
 
     fn spawn_daemon(&self, node: NodeId, home: Rc<HomeState>) {
-        let cluster = self.inner.cluster.clone();
-        let ddss = self.clone();
-        let cfg = self.inner.cfg;
-        let mut ep = cluster.bind(node, home.port);
-        cluster.sim().clone().spawn(async move {
-            loop {
-                let msg = ep.recv().await;
-                // Control-plane processing costs daemon CPU (competes with
-                // node load — allocation is not one-sided).
-                cluster.cpu(node).execute(cfg.daemon_cpu_ns).await;
-                let b = &msg.data[..];
-                let op = b[0];
-                let reply_port = u16::from_le_bytes(b[1..3].try_into().unwrap());
-                let reply = match op {
-                    OP_ALLOC => {
-                        let len = u64::from_le_bytes(b[3..11].try_into().unwrap()) as usize;
-                        let coh = Coherence::from_u8(b[11]);
-                        match ddss.alloc_local(node, len, coh) {
-                            Some(key) => {
-                                let mut r = vec![1u8];
-                                r.extend_from_slice(&key.id.to_le_bytes());
-                                r.extend_from_slice(&(key.block_off as u64).to_le_bytes());
-                                r
-                            }
-                            None => vec![0u8],
-                        }
-                    }
-                    OP_FREE => {
-                        let id = u64::from_le_bytes(b[3..11].try_into().unwrap());
-                        vec![u8::from(ddss.free_local(node, id))]
-                    }
-                    _ => panic!("unknown DDSS control op {op}"),
-                };
-                // Reliable reply: a dropped response would otherwise strand
-                // the client until its control timeout. If the requester
-                // stays crashed past the retry budget the reply is abandoned
-                // and the client-side timeout takes over.
-                let _ = cluster
-                    .send_reliable(node, msg.src, reply_port, Bytes::from(reply), Transport::RdmaSend)
-                    .await;
-            }
-        });
+        // Control-plane processing costs daemon CPU (competes with node
+        // load — allocation is not one-sided); replies ride the reliable
+        // transport so a dropped response cannot strand a client past its
+        // control timeout.
+        let spec = ServiceSpec {
+            name: "ddss.home",
+            subsys: Subsys::Ddss,
+            node,
+            port: home.port,
+            cost: Cost::Cpu(self.inner.cfg.daemon_cpu_ns),
+            mode: Mode::Serial,
+            queue_cap: None,
+        };
+        let alloc_d = self.clone();
+        let free_d = self.clone();
+        let dispatcher = Dispatcher::new()
+            .on(OP_ALLOC, move |ctx: Ctx, msg| {
+                let ddss = alloc_d.clone();
+                async move {
+                    let (reply_port, body) = legacy_request(&msg);
+                    let req = AllocReq::decode(&body).expect("malformed DDSS alloc request");
+                    let resp = AllocResp {
+                        key: ddss
+                            .alloc_local(node, req.len as usize, req.coherence)
+                            .map(|key| (key.id, key.block_off as u64)),
+                    };
+                    ctx.reply(msg.src, reply_port, resp.encode(), Transport::RdmaSend)
+                        .await;
+                }
+            })
+            .on(OP_FREE, move |ctx: Ctx, msg| {
+                let ddss = free_d.clone();
+                async move {
+                    let (reply_port, body) = legacy_request(&msg);
+                    let req = FreeReq::decode(&body).expect("malformed DDSS free request");
+                    let resp = FreeResp {
+                        ok: ddss.free_local(node, req.id),
+                    };
+                    ctx.reply(msg.src, reply_port, resp.encode(), Transport::RdmaSend)
+                        .await;
+                }
+            });
+        Service::spawn(&self.inner.cluster, spec, dispatcher);
     }
 }
 
@@ -327,10 +330,7 @@ impl DdssClient {
     }
 
     async fn overhead(&self) {
-        self.cluster()
-            .sim()
-            .sleep(self.cfg().op_overhead_ns)
-            .await;
+        self.cluster().sim().sleep(self.cfg().op_overhead_ns).await;
     }
 
     /// Allocate `len` bytes on `home` under `coherence`. Local allocations
@@ -347,42 +347,30 @@ impl DdssClient {
             return self.ddss.alloc_local(home, len, coherence);
         }
         let home_state = self.ddss.home(home);
-        let reply_port = self.cluster().alloc_port();
-        let mut ep = self.cluster().bind(self.node, reply_port);
-        let mut req = vec![OP_ALLOC];
-        req.extend_from_slice(&reply_port.to_le_bytes());
-        req.extend_from_slice(&(len as u64).to_le_bytes());
-        req.push(coherence.to_u8());
         // Reliable request + bounded response wait: a home that stays down
         // past every retry makes the allocation fail rather than hang.
-        if self
-            .cluster()
-            .send_reliable(self.node, home, home_state.port, Bytes::from(req), Transport::RdmaSend)
-            .await
-            .is_err()
-        {
-            return None;
-        }
-        let resp = match self
-            .cluster()
-            .sim()
-            .timeout(self.cfg().ctrl_timeout_ns, ep.recv())
-            .await
-        {
-            Ok(m) => m,
-            Err(_) => return None,
-        };
-        let b = &resp.data[..];
-        if b[0] == 0 {
-            return None;
-        }
-        let id = u64::from_le_bytes(b[1..9].try_into().unwrap());
-        let block_off = u64::from_le_bytes(b[9..17].try_into().unwrap()) as usize;
+        let resp = call_legacy(
+            self.cluster(),
+            self.node,
+            home,
+            home_state.port,
+            OP_ALLOC,
+            &AllocReq {
+                len: len as u64,
+                coherence,
+            }
+            .encode(),
+            Transport::RdmaSend,
+            CallPolicy::one_shot(self.cfg().ctrl_timeout_ns),
+        )
+        .await?;
+        let resp = AllocResp::decode(&resp).expect("malformed DDSS alloc response");
+        let (id, block_off) = resp.key?;
         Some(SharedKey {
             id,
             home,
             region: home_state.region,
-            block_off,
+            block_off: block_off as usize,
             len,
             coherence,
         })
@@ -396,27 +384,24 @@ impl DdssClient {
             return self.ddss.free_local(key.home, key.id);
         }
         let home_state = self.ddss.home(key.home);
-        let reply_port = self.cluster().alloc_port();
-        let mut ep = self.cluster().bind(self.node, reply_port);
-        let mut req = vec![OP_FREE];
-        req.extend_from_slice(&reply_port.to_le_bytes());
-        req.extend_from_slice(&key.id.to_le_bytes());
-        if self
-            .cluster()
-            .send_reliable(self.node, key.home, home_state.port, Bytes::from(req), Transport::RdmaSend)
-            .await
-            .is_err()
+        match call_legacy(
+            self.cluster(),
+            self.node,
+            key.home,
+            home_state.port,
+            OP_FREE,
+            &FreeReq { id: key.id }.encode(),
+            Transport::RdmaSend,
+            CallPolicy::one_shot(self.cfg().ctrl_timeout_ns),
+        )
+        .await
         {
-            return false;
-        }
-        match self
-            .cluster()
-            .sim()
-            .timeout(self.cfg().ctrl_timeout_ns, ep.recv())
-            .await
-        {
-            Ok(resp) => resp.data[0] == 1,
-            Err(_) => false,
+            Some(resp) => {
+                FreeResp::decode(&resp)
+                    .expect("malformed DDSS free response")
+                    .ok
+            }
+            None => false,
         }
     }
 
@@ -579,7 +564,9 @@ impl DdssClient {
     pub async fn lock(&self, key: &SharedKey) {
         let c = self.cluster().clone();
         for _ in 0..self.cfg().lock_attempts {
-            let old = c.atomic_cas(self.node, key.lock_addr(), 0, self.token).await;
+            let old = c
+                .atomic_cas(self.node, key.lock_addr(), 0, self.token)
+                .await;
             if old == 0 {
                 return;
             }
@@ -596,7 +583,9 @@ impl DdssClient {
     /// (a protocol bug).
     pub async fn unlock(&self, key: &SharedKey) {
         let c = self.cluster().clone();
-        let old = c.atomic_cas(self.node, key.lock_addr(), self.token, 0).await;
+        let old = c
+            .atomic_cas(self.node, key.lock_addr(), self.token, 0)
+            .await;
         assert_eq!(old, self.token, "unlock by non-holder of {:?}", key.id);
     }
 
@@ -672,7 +661,10 @@ mod tests {
         c.tracer().enable(TraceMode::Full);
         let client = ddss.client(NodeId(0));
         sim.run_to(async move {
-            let key = client.allocate(NodeId(1), 64, Coherence::Read).await.unwrap();
+            let key = client
+                .allocate(NodeId(1), 64, Coherence::Read)
+                .await
+                .unwrap();
             client.put(&key, b"abc").await;
             client.get(&key).await;
             client.get(&key).await;
@@ -687,7 +679,9 @@ mod tests {
             .filter(|e| e.subsys == dc_trace::Subsys::Ddss)
             .map(|e| e.name)
             .collect();
-        assert_eq!(names, vec!["ddss.put", "ddss.get", "ddss.get"]);
+        // The remote allocation shows up as one uniform service-runtime span
+        // at the home daemon, then the data-plane ops record their own spans.
+        assert_eq!(names, vec!["ddss.home", "ddss.put", "ddss.get", "ddss.get"]);
     }
 
     #[test]
@@ -705,7 +699,10 @@ mod tests {
         let (sim, c, ddss) = setup(2);
         let client = ddss.client(NodeId(0));
         sim.run_to(async move {
-            client.allocate(NodeId(0), 128, Coherence::Null).await.unwrap();
+            client
+                .allocate(NodeId(0), 128, Coherence::Null)
+                .await
+                .unwrap();
         });
         assert_eq!(c.stats().sends_rdma, 0, "local alloc used the network");
     }
@@ -721,10 +718,19 @@ mod tests {
         let ddss = Ddss::new(&cluster, cfg, &[NodeId(0)]);
         let client = ddss.client(NodeId(0));
         sim.run_to(async move {
-            let k1 = client.allocate(NodeId(0), 100, Coherence::Null).await.unwrap();
-            assert!(client.allocate(NodeId(0), 100, Coherence::Null).await.is_none());
+            let k1 = client
+                .allocate(NodeId(0), 100, Coherence::Null)
+                .await
+                .unwrap();
+            assert!(client
+                .allocate(NodeId(0), 100, Coherence::Null)
+                .await
+                .is_none());
             assert!(client.free(k1).await);
-            assert!(client.allocate(NodeId(0), 100, Coherence::Null).await.is_some());
+            assert!(client
+                .allocate(NodeId(0), 100, Coherence::Null)
+                .await
+                .is_some());
         });
     }
 
@@ -733,7 +739,10 @@ mod tests {
         let (sim, _c, ddss) = setup(2);
         let client = ddss.client(NodeId(0));
         sim.run_to(async move {
-            let k = client.allocate(NodeId(1), 32, Coherence::Null).await.unwrap();
+            let k = client
+                .allocate(NodeId(1), 32, Coherence::Null)
+                .await
+                .unwrap();
             assert!(client.free(k).await);
             assert!(!client.free(k).await);
         });
@@ -743,9 +752,8 @@ mod tests {
     fn strict_put_serializes_concurrent_writers() {
         let (sim, _c, ddss) = setup(3);
         let c0 = ddss.client(NodeId(0));
-        let key = sim.run_to(async move {
-            c0.allocate(NodeId(0), 8, Coherence::Strict).await.unwrap()
-        });
+        let key =
+            sim.run_to(async move { c0.allocate(NodeId(0), 8, Coherence::Strict).await.unwrap() });
         // Two remote writers race; strict coherence must serialize them so
         // the final value is exactly one of the two payloads.
         for n in [1u32, 2u32] {
@@ -766,9 +774,8 @@ mod tests {
     fn lock_excludes_and_hands_over() {
         let (sim, _c, ddss) = setup(3);
         let c0 = ddss.client(NodeId(0));
-        let key = sim.run_to(async move {
-            c0.allocate(NodeId(0), 8, Coherence::Null).await.unwrap()
-        });
+        let key =
+            sim.run_to(async move { c0.allocate(NodeId(0), 8, Coherence::Null).await.unwrap() });
         let order: Rc<RefCell<Vec<u32>>> = Rc::default();
         for n in [1u32, 2u32] {
             let cl = ddss.client(NodeId(n));
@@ -824,7 +831,10 @@ mod tests {
         let (sim, _c, ddss) = setup(2);
         let c0 = ddss.client(NodeId(0));
         sim.run_to(async move {
-            let key = c0.allocate(NodeId(1), 16, Coherence::Version).await.unwrap();
+            let key = c0
+                .allocate(NodeId(1), 16, Coherence::Version)
+                .await
+                .unwrap();
             for i in 0..5u64 {
                 assert_eq!(c0.version(&key).await, i);
                 c0.put(&key, &[i as u8; 16]).await;
@@ -916,7 +926,10 @@ mod tests {
         sim.run_to(async move {
             // Allocate, round-trip data, and free, all across a 30%-drop
             // wire: the reliable control plane must still land every step.
-            let key = client.allocate(NodeId(1), 64, Coherence::Read).await.unwrap();
+            let key = client
+                .allocate(NodeId(1), 64, Coherence::Read)
+                .await
+                .unwrap();
             client.put(&key, b"chaos-proof payload!").await;
             let got = client.get(&key).await;
             assert_eq!(&got[..20], b"chaos-proof payload!");
@@ -930,8 +943,12 @@ mod tests {
         use dc_fabric::faults::{CrashWindow, FaultPlan};
         let (sim, c, ddss) = setup(2);
         let client = ddss.client(NodeId(0));
-        let key =
-            sim.run_to(async move { client.allocate(NodeId(1), 8, Coherence::Null).await.unwrap() });
+        let key = sim.run_to(async move {
+            client
+                .allocate(NodeId(1), 8, Coherence::Null)
+                .await
+                .unwrap()
+        });
         c.install_faults(FaultPlan::from_parts(
             0,
             vec![CrashWindow {
@@ -980,7 +997,10 @@ mod tests {
         let (sim, c, ddss) = setup(2);
         let client = ddss.client(NodeId(0));
         sim.run_to(async move {
-            let key = client.allocate(NodeId(1), 1024, Coherence::Version).await.unwrap();
+            let key = client
+                .allocate(NodeId(1), 1024, Coherence::Version)
+                .await
+                .unwrap();
             client.put(&key, &[1u8; 1024]).await;
             for _ in 0..10 {
                 client.get(&key).await;

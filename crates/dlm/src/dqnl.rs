@@ -12,12 +12,14 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use bytes::Bytes;
 use dc_fabric::{Cluster, NodeId, RegionId, RemoteAddr, Transport};
 use dc_sim::sync::{oneshot, OneSender};
+use dc_svc::{Cost, Ctx, Dispatcher, Mode, Service, ServiceSpec, Wire};
 use dc_trace::{Counter, HistHandle, Subsys};
 
 use crate::config::{DlmConfig, LockMode};
-use crate::msg::{grant_flow_id, req_flow_id, DlmMsg, LockId};
+use crate::msg::{grant_flow_id, req_flow_id, DlmMsg, LockId, T_EXCL_REQ, T_GRANT};
 
 #[derive(Default)]
 struct LockLocal {
@@ -84,7 +86,7 @@ impl DqnlDlm {
 
     /// Register a member node.
     pub fn add_member(&self, node: NodeId) {
-        let port = self.inner.cluster.alloc_port();
+        let port = self.inner.cluster.alloc_port_for(node, "dlm.dqnl.agent");
         let agent = Rc::new(Agent {
             node,
             locks: RefCell::new(HashMap::new()),
@@ -125,10 +127,12 @@ impl DqnlDlm {
 
     fn send_grant(&self, from: NodeId, to: NodeId, lock: LockId) {
         self.inner.grants.inc();
-        self.inner
-            .cluster
-            .tracer()
-            .flow_start(grant_flow_id(lock, to), from.0, Subsys::Dlm, "lock.grant");
+        self.inner.cluster.tracer().flow_start(
+            grant_flow_id(lock, to),
+            from.0,
+            Subsys::Dlm,
+            "lock.grant",
+        );
         let cluster = self.inner.cluster.clone();
         let issue = self.inner.cfg.grant_issue_ns;
         let policy = self.inner.cfg.msg_retry;
@@ -140,11 +144,13 @@ impl DqnlDlm {
                     from,
                     to,
                     port,
-                    DlmMsg::Grant {
-                        lock,
-                        exclusive: true,
-                    }
-                    .encode(),
+                    Bytes::from(
+                        DlmMsg::Grant {
+                            lock,
+                            exclusive: true,
+                        }
+                        .encode(),
+                    ),
                     Transport::RdmaSend,
                     policy,
                 )
@@ -170,52 +176,68 @@ impl DqnlDlm {
     }
 
     fn spawn_agent(&self, agent: Rc<Agent>, port: u16) {
-        let dlm = self.clone();
-        let cluster = self.inner.cluster.clone();
-        let proc_ns = self.inner.cfg.agent_proc_ns;
-        let mut ep = cluster.bind(agent.node, port);
-        cluster.sim().clone().spawn(async move {
-            loop {
-                let msg = ep.recv().await;
-                cluster.sim().sleep(proc_ns).await;
-                match DlmMsg::decode(&msg.data) {
-                    DlmMsg::ExclReq { lock, from, .. } => {
-                        cluster.tracer().flow_end(
-                            req_flow_id(lock, from),
-                            agent.node.0,
-                            Subsys::Dlm,
-                            "lock.request",
-                        );
-                        agent
-                            .locks
-                            .borrow_mut()
-                            .entry(lock)
-                            .or_default()
-                            .pending
-                            .push(from);
-                        dlm.try_progress(&agent, lock);
-                    }
-                    DlmMsg::Grant { lock, .. } => {
-                        cluster.tracer().flow_end(
-                            grant_flow_id(lock, agent.node),
-                            agent.node.0,
-                            Subsys::Dlm,
-                            "lock.grant",
-                        );
-                        let tx = agent
-                            .locks
-                            .borrow_mut()
-                            .entry(lock)
-                            .or_default()
-                            .wait_grant
-                            .take()
-                            .expect("DQNL grant without waiter");
-                        tx.send(());
-                    }
-                    other => panic!("unexpected DQNL message {other:?}"),
+        // Agent processing is a fixed per-message delay (NIC-level agent,
+        // not host CPU), serialized per agent.
+        let spec = ServiceSpec {
+            name: "dlm.dqnl.agent",
+            subsys: Subsys::Dlm,
+            node: agent.node,
+            port,
+            cost: Cost::Sleep(self.inner.cfg.agent_proc_ns),
+            mode: Mode::Serial,
+            queue_cap: None,
+        };
+        let req_dlm = self.clone();
+        let req_agent = Rc::clone(&agent);
+        let grant_agent = Rc::clone(&agent);
+        let dispatcher = Dispatcher::new()
+            .on(T_EXCL_REQ, move |ctx: Ctx, msg| {
+                let dlm = req_dlm.clone();
+                let agent = Rc::clone(&req_agent);
+                async move {
+                    let DlmMsg::ExclReq { lock, from, .. } = DlmMsg::parse(&msg.data) else {
+                        unreachable!()
+                    };
+                    ctx.cluster.tracer().flow_end(
+                        req_flow_id(lock, from),
+                        agent.node.0,
+                        Subsys::Dlm,
+                        "lock.request",
+                    );
+                    agent
+                        .locks
+                        .borrow_mut()
+                        .entry(lock)
+                        .or_default()
+                        .pending
+                        .push(from);
+                    dlm.try_progress(&agent, lock);
                 }
-            }
-        });
+            })
+            .on(T_GRANT, move |ctx: Ctx, msg| {
+                let agent = Rc::clone(&grant_agent);
+                async move {
+                    let DlmMsg::Grant { lock, .. } = DlmMsg::parse(&msg.data) else {
+                        unreachable!()
+                    };
+                    ctx.cluster.tracer().flow_end(
+                        grant_flow_id(lock, agent.node),
+                        agent.node.0,
+                        Subsys::Dlm,
+                        "lock.grant",
+                    );
+                    let tx = agent
+                        .locks
+                        .borrow_mut()
+                        .entry(lock)
+                        .or_default()
+                        .wait_grant
+                        .take()
+                        .expect("DQNL grant without waiter");
+                    tx.send(());
+                }
+            });
+        Service::spawn(&self.inner.cluster, spec, dispatcher);
     }
 }
 
@@ -259,15 +281,20 @@ impl DqnlClient {
             let issue = self.dlm.inner.cfg.grant_issue_ns;
             let policy = self.dlm.inner.cfg.msg_retry;
             let from = self.node;
-            let req = DlmMsg::ExclReq {
-                lock,
-                from,
-                shared_seen: 0,
-            }
-            .encode();
-            cluster
-                .tracer()
-                .flow_start(req_flow_id(lock, from), from.0, Subsys::Dlm, "lock.request");
+            let req = Bytes::from(
+                DlmMsg::ExclReq {
+                    lock,
+                    from,
+                    shared_seen: 0,
+                }
+                .encode(),
+            );
+            cluster.tracer().flow_start(
+                req_flow_id(lock, from),
+                from.0,
+                Subsys::Dlm,
+                "lock.request",
+            );
             cluster.sim().clone().spawn(async move {
                 cl.sim().sleep(issue).await;
                 cl.send_reliable_with(from, pred, port, req, Transport::RdmaSend, policy)
@@ -280,7 +307,10 @@ impl DqnlClient {
         }
         agent.locks.borrow_mut().entry(lock).or_default().held = true;
         self.dlm.inner.acquires.inc();
-        self.dlm.inner.lock_wait.record(cluster.sim().now() - t_start);
+        self.dlm
+            .inner
+            .lock_wait
+            .record(cluster.sim().now() - t_start);
         if let Some(t0) = t0 {
             cluster.tracer().complete(
                 t0,

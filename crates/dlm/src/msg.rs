@@ -5,8 +5,8 @@
 //! epoch-completion waits) goes through the home agent; grants travel peer
 //! to peer.
 
-use bytes::Bytes;
 use dc_fabric::NodeId;
+use dc_svc::{Reader, Wire, Writer};
 
 /// A lock identifier within one manager (dense, `0..num_locks`).
 pub type LockId = u32;
@@ -86,102 +86,98 @@ pub enum DlmMsg {
     },
 }
 
-const T_EXCL_REQ: u8 = 1;
-const T_SH_REQ: u8 = 2;
-const T_GRANT: u8 = 3;
-const T_SH_RELEASE: u8 = 4;
-const T_WAIT_SHARED: u8 = 5;
-const T_SRV_LOCK: u8 = 6;
-const T_SRV_UNLOCK: u8 = 7;
+/// Message tags — the opcode bytes the service dispatchers route on.
+pub(crate) const T_EXCL_REQ: u8 = 1;
+pub(crate) const T_SH_REQ: u8 = 2;
+pub(crate) const T_GRANT: u8 = 3;
+pub(crate) const T_SH_RELEASE: u8 = 4;
+pub(crate) const T_WAIT_SHARED: u8 = 5;
+pub(crate) const T_SRV_LOCK: u8 = 6;
+pub(crate) const T_SRV_UNLOCK: u8 = 7;
 
 impl DlmMsg {
-    /// Encode to the wire representation.
-    pub fn encode(&self) -> Bytes {
-        let mut b = Vec::with_capacity(16);
+    /// Decode, panicking on malformed bytes — protocol agents receive only
+    /// peer-encoded messages, so corruption is a simulator bug.
+    pub(crate) fn parse(b: &[u8]) -> DlmMsg {
+        <DlmMsg as Wire>::decode(b).expect("malformed DLM message")
+    }
+}
+
+impl Wire for DlmMsg {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = Writer::new(out);
         match *self {
             DlmMsg::ExclReq {
                 lock,
                 from,
                 shared_seen,
             } => {
-                b.push(T_EXCL_REQ);
-                b.extend_from_slice(&lock.to_le_bytes());
-                b.extend_from_slice(&from.0.to_le_bytes());
-                b.extend_from_slice(&shared_seen.to_le_bytes());
+                w.u8(T_EXCL_REQ).u32(lock).u32(from.0).u32(shared_seen);
             }
             DlmMsg::ShReq { lock, from } => {
-                b.push(T_SH_REQ);
-                b.extend_from_slice(&lock.to_le_bytes());
-                b.extend_from_slice(&from.0.to_le_bytes());
+                w.u8(T_SH_REQ).u32(lock).u32(from.0);
             }
             DlmMsg::Grant { lock, exclusive } => {
-                b.push(T_GRANT);
-                b.extend_from_slice(&lock.to_le_bytes());
-                b.push(u8::from(exclusive));
+                w.u8(T_GRANT).u32(lock).u8(u8::from(exclusive));
             }
             DlmMsg::ShRelease { lock } => {
-                b.push(T_SH_RELEASE);
-                b.extend_from_slice(&lock.to_le_bytes());
+                w.u8(T_SH_RELEASE).u32(lock);
             }
             DlmMsg::WaitShared { lock, waiter, need } => {
-                b.push(T_WAIT_SHARED);
-                b.extend_from_slice(&lock.to_le_bytes());
-                b.extend_from_slice(&waiter.0.to_le_bytes());
-                b.extend_from_slice(&need.to_le_bytes());
+                w.u8(T_WAIT_SHARED).u32(lock).u32(waiter.0).u32(need);
             }
             DlmMsg::SrvLock {
                 lock,
                 from,
                 exclusive,
             } => {
-                b.push(T_SRV_LOCK);
-                b.extend_from_slice(&lock.to_le_bytes());
-                b.extend_from_slice(&from.0.to_le_bytes());
-                b.push(u8::from(exclusive));
+                w.u8(T_SRV_LOCK)
+                    .u32(lock)
+                    .u32(from.0)
+                    .u8(u8::from(exclusive));
             }
             DlmMsg::SrvUnlock { lock, from } => {
-                b.push(T_SRV_UNLOCK);
-                b.extend_from_slice(&lock.to_le_bytes());
-                b.extend_from_slice(&from.0.to_le_bytes());
+                w.u8(T_SRV_UNLOCK).u32(lock).u32(from.0);
             }
         }
-        Bytes::from(b)
     }
 
-    /// Decode from the wire representation.
-    pub fn decode(b: &[u8]) -> DlmMsg {
-        let lock = u32::from_le_bytes(b[1..5].try_into().unwrap());
-        match b[0] {
+    fn decode(b: &[u8]) -> Option<DlmMsg> {
+        let mut r = Reader::new(b);
+        let tag = r.u8()?;
+        let lock = r.u32()?;
+        let msg = match tag {
             T_EXCL_REQ => DlmMsg::ExclReq {
                 lock,
-                from: NodeId(u32::from_le_bytes(b[5..9].try_into().unwrap())),
-                shared_seen: u32::from_le_bytes(b[9..13].try_into().unwrap()),
+                from: NodeId(r.u32()?),
+                shared_seen: r.u32()?,
             },
             T_SH_REQ => DlmMsg::ShReq {
                 lock,
-                from: NodeId(u32::from_le_bytes(b[5..9].try_into().unwrap())),
+                from: NodeId(r.u32()?),
             },
             T_GRANT => DlmMsg::Grant {
                 lock,
-                exclusive: b[5] != 0,
+                exclusive: r.u8()? != 0,
             },
             T_SH_RELEASE => DlmMsg::ShRelease { lock },
             T_WAIT_SHARED => DlmMsg::WaitShared {
                 lock,
-                waiter: NodeId(u32::from_le_bytes(b[5..9].try_into().unwrap())),
-                need: u32::from_le_bytes(b[9..13].try_into().unwrap()),
+                waiter: NodeId(r.u32()?),
+                need: r.u32()?,
             },
             T_SRV_LOCK => DlmMsg::SrvLock {
                 lock,
-                from: NodeId(u32::from_le_bytes(b[5..9].try_into().unwrap())),
-                exclusive: b[9] != 0,
+                from: NodeId(r.u32()?),
+                exclusive: r.u8()? != 0,
             },
             T_SRV_UNLOCK => DlmMsg::SrvUnlock {
                 lock,
-                from: NodeId(u32::from_le_bytes(b[5..9].try_into().unwrap())),
+                from: NodeId(r.u32()?),
             },
-            t => panic!("unknown DLM message type {t}"),
-        }
+            _ => return None,
+        };
+        r.finish(msg)
     }
 }
 
@@ -226,7 +222,7 @@ mod tests {
             },
         ];
         for m in msgs {
-            assert_eq!(DlmMsg::decode(&m.encode()), m, "round trip of {m:?}");
+            assert_eq!(DlmMsg::parse(&m.encode()), m, "round trip of {m:?}");
         }
     }
 }

@@ -26,12 +26,17 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use bytes::Bytes;
 use dc_fabric::{Cluster, NodeId, RegionId, RemoteAddr, Transport};
 use dc_sim::sync::{oneshot, OneSender};
+use dc_svc::{Cost, Dispatcher, Mode, Service, ServiceSpec, Wire};
 use dc_trace::{Counter, HistHandle, Subsys};
 
 use crate::config::{DlmConfig, LockMode};
-use crate::msg::{grant_flow_id, req_flow_id, DlmMsg, LockId};
+use crate::msg::{
+    grant_flow_id, req_flow_id, DlmMsg, LockId, T_EXCL_REQ, T_GRANT, T_SH_RELEASE, T_SH_REQ,
+    T_WAIT_SHARED,
+};
 use crate::word::{LockWord, SHARED_FAA_DELTA};
 
 /// Per-lock, per-node protocol state.
@@ -99,7 +104,7 @@ impl NcosedDlm {
         members: &[NodeId],
     ) -> NcosedDlm {
         let region = cluster.register(home, num_locks as usize * 8);
-        let home_port = cluster.alloc_port();
+        let home_port = cluster.alloc_port_for(home, "dlm.ncosed.home");
         let metrics = cluster.metrics();
         let dlm = NcosedDlm {
             inner: Rc::new(Inner {
@@ -126,12 +131,16 @@ impl NcosedDlm {
 
     /// Register another member node (spawns its agent).
     pub fn add_member(&self, node: NodeId) {
-        let port = self.inner.cluster.alloc_port();
+        let port = self.inner.cluster.alloc_port_for(node, "dlm.ncosed.agent");
         let agent = Rc::new(Agent {
             node,
             locks: RefCell::new(HashMap::new()),
         });
-        let prev_a = self.inner.agents.borrow_mut().insert(node, Rc::clone(&agent));
+        let prev_a = self
+            .inner
+            .agents
+            .borrow_mut()
+            .insert(node, Rc::clone(&agent));
         assert!(prev_a.is_none(), "{node:?} is already a DLM member");
         self.inner.agent_ports.borrow_mut().insert(node, port);
         self.spawn_agent(agent, port);
@@ -194,7 +203,10 @@ impl NcosedDlm {
                     self.inner.grants.inc();
                     tracer.flow_start(grant_flow_id(lock, *to), from.0, Subsys::Dlm, "lock.grant");
                 }
-                DlmMsg::ExclReq { lock, from: req, .. } | DlmMsg::ShReq { lock, from: req } => {
+                DlmMsg::ExclReq {
+                    lock, from: req, ..
+                }
+                | DlmMsg::ShReq { lock, from: req } => {
                     tracer.flow_start(req_flow_id(lock, req), from.0, Subsys::Dlm, "lock.request");
                 }
                 DlmMsg::WaitShared { lock, waiter, .. } => {
@@ -212,7 +224,7 @@ impl NcosedDlm {
             for (to, port, msg) in msgs {
                 cluster.sim().sleep(issue_ns).await;
                 let c2 = cluster.clone();
-                let data = msg.encode();
+                let data = Bytes::from(msg.encode());
                 cluster.sim().clone().spawn(async move {
                     // Grant authority is handed over exactly once; losing a
                     // protocol message would orphan a waiter forever, so ride
@@ -293,101 +305,145 @@ impl NcosedDlm {
     }
 
     fn spawn_agent(&self, agent: Rc<Agent>, port: u16) {
-        let dlm = self.clone();
-        let cluster = self.inner.cluster.clone();
-        let proc_ns = self.inner.cfg.agent_proc_ns;
-        let mut ep = cluster.bind(agent.node, port);
-        cluster.sim().clone().spawn(async move {
-            loop {
-                let msg = ep.recv().await;
-                cluster.sim().sleep(proc_ns).await;
-                match DlmMsg::decode(&msg.data) {
-                    DlmMsg::ExclReq {
+        let spec = ServiceSpec {
+            name: "dlm.ncosed.agent",
+            subsys: Subsys::Dlm,
+            node: agent.node,
+            port,
+            cost: Cost::Sleep(self.inner.cfg.agent_proc_ns),
+            mode: Mode::Serial,
+            queue_cap: None,
+        };
+        let excl_dlm = self.clone();
+        let excl_agent = Rc::clone(&agent);
+        let sh_dlm = self.clone();
+        let sh_agent = Rc::clone(&agent);
+        let dispatcher = Dispatcher::new()
+            .on(T_EXCL_REQ, move |ctx, msg| {
+                let dlm = excl_dlm.clone();
+                let agent = Rc::clone(&excl_agent);
+                async move {
+                    let DlmMsg::ExclReq {
                         lock,
                         from,
                         shared_seen,
-                    } => {
-                        cluster.tracer().flow_end(
-                            req_flow_id(lock, from),
-                            agent.node.0,
-                            Subsys::Dlm,
-                            "lock.request",
+                    } = DlmMsg::parse(&msg.data)
+                    else {
+                        unreachable!("tag-routed");
+                    };
+                    ctx.cluster.tracer().flow_end(
+                        req_flow_id(lock, from),
+                        agent.node.0,
+                        Subsys::Dlm,
+                        "lock.request",
+                    );
+                    {
+                        let mut locks = agent.locks.borrow_mut();
+                        let ll = locks.entry(lock).or_default();
+                        assert!(
+                            ll.pending_excl.is_none(),
+                            "two exclusive successors queued on one node"
                         );
-                        {
-                            let mut locks = agent.locks.borrow_mut();
-                            let ll = locks.entry(lock).or_default();
-                            assert!(
-                                ll.pending_excl.is_none(),
-                                "two exclusive successors queued on one node"
-                            );
-                            ll.pending_excl = Some((from, shared_seen));
-                        }
-                        dlm.try_progress(&agent, lock);
+                        ll.pending_excl = Some((from, shared_seen));
                     }
-                    DlmMsg::ShReq { lock, from } => {
-                        cluster.tracer().flow_end(
-                            req_flow_id(lock, from),
-                            agent.node.0,
-                            Subsys::Dlm,
-                            "lock.request",
-                        );
-                        {
-                            let mut locks = agent.locks.borrow_mut();
-                            locks.entry(lock).or_default().pending_shared.push(from);
-                        }
-                        dlm.try_progress(&agent, lock);
-                    }
-                    DlmMsg::Grant { lock, .. } => {
-                        cluster.tracer().flow_end(
-                            grant_flow_id(lock, agent.node),
-                            agent.node.0,
-                            Subsys::Dlm,
-                            "lock.grant",
-                        );
-                        let tx = {
-                            let mut locks = agent.locks.borrow_mut();
-                            locks
-                                .entry(lock)
-                                .or_default()
-                                .wait_grant
-                                .take()
-                                .expect("grant without a waiting requester")
-                        };
-                        tx.send(());
-                    }
-                    other => panic!("unexpected message at member agent: {other:?}"),
+                    dlm.try_progress(&agent, lock);
                 }
-            }
-        });
+            })
+            .on(T_SH_REQ, move |ctx, msg| {
+                let dlm = sh_dlm.clone();
+                let agent = Rc::clone(&sh_agent);
+                async move {
+                    let DlmMsg::ShReq { lock, from } = DlmMsg::parse(&msg.data) else {
+                        unreachable!("tag-routed");
+                    };
+                    ctx.cluster.tracer().flow_end(
+                        req_flow_id(lock, from),
+                        agent.node.0,
+                        Subsys::Dlm,
+                        "lock.request",
+                    );
+                    {
+                        let mut locks = agent.locks.borrow_mut();
+                        locks.entry(lock).or_default().pending_shared.push(from);
+                    }
+                    dlm.try_progress(&agent, lock);
+                }
+            })
+            .on(T_GRANT, move |ctx, msg| {
+                let agent = Rc::clone(&agent);
+                async move {
+                    let DlmMsg::Grant { lock, .. } = DlmMsg::parse(&msg.data) else {
+                        unreachable!("tag-routed");
+                    };
+                    ctx.cluster.tracer().flow_end(
+                        grant_flow_id(lock, agent.node),
+                        agent.node.0,
+                        Subsys::Dlm,
+                        "lock.grant",
+                    );
+                    let tx = {
+                        let mut locks = agent.locks.borrow_mut();
+                        locks
+                            .entry(lock)
+                            .or_default()
+                            .wait_grant
+                            .take()
+                            .expect("grant without a waiting requester")
+                    };
+                    tx.send(());
+                }
+            });
+        Service::spawn(&self.inner.cluster, spec, dispatcher);
     }
 
     fn spawn_home_agent(&self) {
-        let dlm = self.clone();
-        let cluster = self.inner.cluster.clone();
-        let proc_ns = self.inner.cfg.agent_proc_ns;
-        let mut ep = cluster.bind(self.inner.home, self.inner.home_port);
-        cluster.sim().clone().spawn(async move {
-            let mut locks: HashMap<LockId, HomeLock> = HashMap::new();
-            loop {
-                let msg = ep.recv().await;
-                cluster.sim().sleep(proc_ns).await;
-                let m = DlmMsg::decode(&msg.data);
-                let (lock, entry) = match m {
-                    DlmMsg::ShRelease { lock } => {
-                        let e = locks.entry(lock).or_insert(HomeLock {
+        let spec = ServiceSpec {
+            name: "dlm.ncosed.home",
+            subsys: Subsys::Dlm,
+            node: self.inner.home,
+            port: self.inner.home_port,
+            cost: Cost::Sleep(self.inner.cfg.agent_proc_ns),
+            mode: Mode::Serial,
+            queue_cap: None,
+        };
+        let locks: Rc<RefCell<HashMap<LockId, HomeLock>>> = Rc::default();
+        let rel_dlm = self.clone();
+        let rel_locks = Rc::clone(&locks);
+        let wait_dlm = self.clone();
+        let dispatcher = Dispatcher::new()
+            .on(T_SH_RELEASE, move |_ctx, msg| {
+                let dlm = rel_dlm.clone();
+                let locks = Rc::clone(&rel_locks);
+                async move {
+                    let DlmMsg::ShRelease { lock } = DlmMsg::parse(&msg.data) else {
+                        unreachable!("tag-routed");
+                    };
+                    locks
+                        .borrow_mut()
+                        .entry(lock)
+                        .or_insert(HomeLock {
                             have: 0,
                             pending: None,
-                        });
-                        e.have += 1;
-                        (lock, e)
-                    }
-                    DlmMsg::WaitShared { lock, waiter, need } => {
-                        cluster.tracer().flow_end(
-                            req_flow_id(lock, waiter),
-                            dlm.inner.home.0,
-                            Subsys::Dlm,
-                            "lock.wait_shared",
-                        );
+                        })
+                        .have += 1;
+                    dlm.home_epoch_check(&locks, lock);
+                }
+            })
+            .on(T_WAIT_SHARED, move |ctx, msg| {
+                let dlm = wait_dlm.clone();
+                let locks = Rc::clone(&locks);
+                async move {
+                    let DlmMsg::WaitShared { lock, waiter, need } = DlmMsg::parse(&msg.data) else {
+                        unreachable!("tag-routed");
+                    };
+                    ctx.cluster.tracer().flow_end(
+                        req_flow_id(lock, waiter),
+                        dlm.inner.home.0,
+                        Subsys::Dlm,
+                        "lock.wait_shared",
+                    );
+                    {
+                        let mut locks = locks.borrow_mut();
                         let e = locks.entry(lock).or_insert(HomeLock {
                             have: 0,
                             pending: None,
@@ -397,30 +453,44 @@ impl NcosedDlm {
                             "two exclusive requesters waiting on one epoch"
                         );
                         e.pending = Some((waiter, need));
-                        (lock, e)
                     }
-                    other => panic!("unexpected message at home agent: {other:?}"),
-                };
-                if let Some((waiter, need)) = entry.pending {
-                    if entry.have >= need {
-                        entry.have -= need;
-                        entry.pending = None;
-                        let port = dlm.agent_port(waiter);
-                        dlm.issue(
-                            dlm.inner.home,
-                            vec![(
-                                waiter,
-                                port,
-                                DlmMsg::Grant {
-                                    lock,
-                                    exclusive: true,
-                                },
-                            )],
-                        );
-                    }
+                    dlm.home_epoch_check(&locks, lock);
                 }
+            });
+        Service::spawn(&self.inner.cluster, spec, dispatcher);
+    }
+
+    /// Grant the waiting exclusive requester once every shared release of its
+    /// epoch has been counted.
+    fn home_epoch_check(&self, locks: &RefCell<HashMap<LockId, HomeLock>>, lock: LockId) {
+        let granted = {
+            let mut locks = locks.borrow_mut();
+            let e = locks
+                .get_mut(&lock)
+                .expect("epoch check without home entry");
+            match e.pending {
+                Some((waiter, need)) if e.have >= need => {
+                    e.have -= need;
+                    e.pending = None;
+                    Some(waiter)
+                }
+                _ => None,
             }
-        });
+        };
+        if let Some(waiter) = granted {
+            let port = self.agent_port(waiter);
+            self.issue(
+                self.inner.home,
+                vec![(
+                    waiter,
+                    port,
+                    DlmMsg::Grant {
+                        lock,
+                        exclusive: true,
+                    },
+                )],
+            );
+        }
     }
 }
 
@@ -538,7 +608,10 @@ impl NcosedClient {
         }
         agent.locks.borrow_mut().entry(lock).or_default().held = Some(mode);
         self.dlm.inner.acquires.inc();
-        self.dlm.inner.lock_wait.record(cluster.sim().now() - t_start);
+        self.dlm
+            .inner
+            .lock_wait
+            .record(cluster.sim().now() - t_start);
         if let Some(t0) = t0 {
             cluster.tracer().complete(
                 t0,
@@ -645,7 +718,13 @@ mod tests {
         let sim = Sim::new();
         let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), nodes);
         let members: Vec<NodeId> = (0..nodes as u32).map(NodeId).collect();
-        let dlm = NcosedDlm::new(&cluster, DlmConfig::default(), NodeId(0), num_locks, &members);
+        let dlm = NcosedDlm::new(
+            &cluster,
+            DlmConfig::default(),
+            NodeId(0),
+            num_locks,
+            &members,
+        );
         (sim, cluster, dlm)
     }
 

@@ -10,12 +10,14 @@ use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
+use bytes::Bytes;
 use dc_fabric::{Cluster, NodeId, Transport};
 use dc_sim::sync::{oneshot, OneSender};
+use dc_svc::{Cost, Dispatcher, Mode, Service, ServiceSpec, Wire};
 use dc_trace::{Counter, HistHandle, Subsys};
 
 use crate::config::{DlmConfig, LockMode};
-use crate::msg::{grant_flow_id, req_flow_id, DlmMsg, LockId};
+use crate::msg::{grant_flow_id, req_flow_id, DlmMsg, LockId, T_GRANT, T_SRV_LOCK, T_SRV_UNLOCK};
 
 #[derive(Default)]
 struct ServerLock {
@@ -51,7 +53,7 @@ pub struct SrslDlm {
 impl SrslDlm {
     /// Create the manager with its server process on `server`.
     pub fn new(cluster: &Cluster, cfg: DlmConfig, server: NodeId, members: &[NodeId]) -> SrslDlm {
-        let server_port = cluster.alloc_port();
+        let server_port = cluster.alloc_port_for(server, "dlm.srsl.server");
         let metrics = cluster.metrics();
         let dlm = SrslDlm {
             inner: Rc::new(Inner {
@@ -73,9 +75,9 @@ impl SrslDlm {
         dlm
     }
 
-    /// Register a member node (spawns its grant-listener).
+    /// Register a member node (spawns its grant-listener service).
     pub fn add_member(&self, node: NodeId) {
-        let port = self.inner.cluster.alloc_port();
+        let port = self.inner.cluster.alloc_port_for(node, "dlm.srsl.client");
         let agent = Rc::new(ClientAgent {
             waiting: RefCell::new(HashMap::new()),
         });
@@ -88,26 +90,36 @@ impl SrslDlm {
             "{node:?} already an SRSL member"
         );
         self.inner.agent_ports.borrow_mut().insert(node, port);
-        let cluster = self.inner.cluster.clone();
-        let mut ep = cluster.bind(node, port);
-        cluster.sim().clone().spawn(async move {
-            loop {
-                let msg = ep.recv().await;
-                if let DlmMsg::Grant { lock, .. } = DlmMsg::decode(&msg.data) {
-                    cluster
-                        .tracer()
-                        .flow_end(grant_flow_id(lock, node), node.0, Subsys::Dlm, "lock.grant");
-                    let tx = agent
-                        .waiting
-                        .borrow_mut()
-                        .remove(&lock)
-                        .expect("SRSL grant without waiter");
-                    tx.send(());
-                } else {
-                    panic!("unexpected message at SRSL client");
-                }
+        let spec = ServiceSpec {
+            name: "dlm.srsl.client",
+            subsys: Subsys::Dlm,
+            node,
+            port,
+            cost: Cost::None,
+            mode: Mode::Serial,
+            queue_cap: None,
+        };
+        let dispatcher = Dispatcher::new().on(T_GRANT, move |ctx, msg| {
+            let agent = Rc::clone(&agent);
+            async move {
+                let DlmMsg::Grant { lock, .. } = DlmMsg::parse(&msg.data) else {
+                    unreachable!("tag-routed");
+                };
+                ctx.cluster.tracer().flow_end(
+                    grant_flow_id(lock, node),
+                    node.0,
+                    Subsys::Dlm,
+                    "lock.grant",
+                );
+                let tx = agent
+                    .waiting
+                    .borrow_mut()
+                    .remove(&lock)
+                    .expect("SRSL grant without waiter");
+                tx.send(());
             }
         });
+        Service::spawn(&self.inner.cluster, spec, dispatcher);
     }
 
     /// Client handle for `node`.
@@ -120,30 +132,43 @@ impl SrslDlm {
     }
 
     fn spawn_server(&self) {
-        let cluster = self.inner.cluster.clone();
-        let cfg = self.inner.cfg;
-        let server = self.inner.server;
-        let inner = Rc::clone(&self.inner);
-        let mut ep = cluster.bind(server, self.inner.server_port);
-        cluster.sim().clone().spawn(async move {
-            let mut locks: HashMap<LockId, ServerLock> = HashMap::new();
-            loop {
-                let msg = ep.recv().await;
-                // Server processing competes with any load on its node.
-                cluster.cpu(server).execute(cfg.server_cpu_ns).await;
-                let mut grants: Vec<(NodeId, LockId, bool)> = Vec::new();
-                match DlmMsg::decode(&msg.data) {
-                    DlmMsg::SrvLock {
+        // Server processing competes with any load on its node: the pump
+        // charges `server_cpu_ns` on the server CPU before each dispatch.
+        let spec = ServiceSpec {
+            name: "dlm.srsl.server",
+            subsys: Subsys::Dlm,
+            node: self.inner.server,
+            port: self.inner.server_port,
+            cost: Cost::Cpu(self.inner.cfg.server_cpu_ns),
+            mode: Mode::Serial,
+            queue_cap: None,
+        };
+        let locks: Rc<RefCell<HashMap<LockId, ServerLock>>> = Rc::default();
+        let lock_inner = Rc::clone(&self.inner);
+        let lock_locks = Rc::clone(&locks);
+        let unlock_inner = Rc::clone(&self.inner);
+        let dispatcher = Dispatcher::new()
+            .on(T_SRV_LOCK, move |ctx, msg| {
+                let inner = Rc::clone(&lock_inner);
+                let locks = Rc::clone(&lock_locks);
+                async move {
+                    let DlmMsg::SrvLock {
                         lock,
                         from,
                         exclusive,
-                    } => {
-                        cluster.tracer().flow_end(
-                            req_flow_id(lock, from),
-                            server.0,
-                            Subsys::Dlm,
-                            "lock.request",
-                        );
+                    } = DlmMsg::parse(&msg.data)
+                    else {
+                        unreachable!("tag-routed");
+                    };
+                    ctx.cluster.tracer().flow_end(
+                        req_flow_id(lock, from),
+                        inner.server.0,
+                        Subsys::Dlm,
+                        "lock.request",
+                    );
+                    let mut grants: Vec<(NodeId, LockId, bool)> = Vec::new();
+                    {
+                        let mut locks = locks.borrow_mut();
                         let st = locks.entry(lock).or_default();
                         let admissible = if exclusive {
                             st.holders == 0
@@ -158,7 +183,19 @@ impl SrslDlm {
                             st.queue.push_back((from, exclusive));
                         }
                     }
-                    DlmMsg::SrvUnlock { lock, .. } => {
+                    issue_grants(&inner, grants).await;
+                }
+            })
+            .on(T_SRV_UNLOCK, move |_ctx, msg| {
+                let inner = Rc::clone(&unlock_inner);
+                let locks = Rc::clone(&locks);
+                async move {
+                    let DlmMsg::SrvUnlock { lock, .. } = DlmMsg::parse(&msg.data) else {
+                        unreachable!("tag-routed");
+                    };
+                    let mut grants: Vec<(NodeId, LockId, bool)> = Vec::new();
+                    {
+                        let mut locks = locks.borrow_mut();
                         let st = locks.entry(lock).or_default();
                         assert!(st.holders > 0, "SRSL release without holders");
                         st.holders -= 1;
@@ -185,32 +222,34 @@ impl SrslDlm {
                             }
                         }
                     }
-                    other => panic!("unexpected message at SRSL server: {other:?}"),
+                    issue_grants(&inner, grants).await;
                 }
-                // Issue grants serially (one server process, one NIC
-                // doorbell at a time), flights overlapping.
-                for (to, lock, exclusive) in grants {
-                    cluster.cpu(server).execute(cfg.grant_issue_ns).await;
-                    inner.grants.inc();
-                    cluster.tracer().flow_start(
-                        grant_flow_id(lock, to),
-                        server.0,
-                        Subsys::Dlm,
-                        "lock.grant",
-                    );
-                    let port = inner.agent_ports.borrow()[&to];
-                    let c2 = cluster.clone();
-                    let data = DlmMsg::Grant { lock, exclusive }.encode();
-                    cluster.sim().clone().spawn(async move {
-                        // A lost grant would orphan the waiter: reliable or bust.
-                        c2.send_reliable_with(server, to, port, data, Transport::RdmaSend, cfg.msg_retry)
-                            .await
-                            .unwrap_or_else(|e| {
-                                panic!("SRSL grant {server:?}->{to:?} undeliverable: {e}")
-                            });
-                    });
-                }
-            }
+            });
+        Service::spawn(&self.inner.cluster, spec, dispatcher);
+    }
+}
+
+/// Issue grants serially (one server process, one NIC doorbell at a time),
+/// flights overlapping. Runs inside the serial service handler, so grant
+/// issue occupies the server exactly as the hand-rolled loop did.
+async fn issue_grants(inner: &Rc<Inner>, grants: Vec<(NodeId, LockId, bool)>) {
+    let cluster = &inner.cluster;
+    let server = inner.server;
+    let cfg = inner.cfg;
+    for (to, lock, exclusive) in grants {
+        cluster.cpu(server).execute(cfg.grant_issue_ns).await;
+        inner.grants.inc();
+        cluster
+            .tracer()
+            .flow_start(grant_flow_id(lock, to), server.0, Subsys::Dlm, "lock.grant");
+        let port = inner.agent_ports.borrow()[&to];
+        let c2 = cluster.clone();
+        let data = Bytes::from(DlmMsg::Grant { lock, exclusive }.encode());
+        cluster.sim().clone().spawn(async move {
+            // A lost grant would orphan the waiter: reliable or bust.
+            c2.send_reliable_with(server, to, port, data, Transport::RdmaSend, cfg.msg_retry)
+                .await
+                .unwrap_or_else(|e| panic!("SRSL grant {server:?}->{to:?} undeliverable: {e}"));
         });
     }
 }
@@ -243,12 +282,14 @@ impl SrslClient {
                 self.node,
                 inner.server,
                 inner.server_port,
-                DlmMsg::SrvLock {
-                    lock,
-                    from: self.node,
-                    exclusive: mode == LockMode::Exclusive,
-                }
-                .encode(),
+                Bytes::from(
+                    DlmMsg::SrvLock {
+                        lock,
+                        from: self.node,
+                        exclusive: mode == LockMode::Exclusive,
+                    }
+                    .encode(),
+                ),
                 Transport::RdmaSend,
                 inner.cfg.msg_retry,
             )
@@ -286,11 +327,13 @@ impl SrslClient {
                 self.node,
                 inner.server,
                 inner.server_port,
-                DlmMsg::SrvUnlock {
-                    lock,
-                    from: self.node,
-                }
-                .encode(),
+                Bytes::from(
+                    DlmMsg::SrvUnlock {
+                        lock,
+                        from: self.node,
+                    }
+                    .encode(),
+                ),
                 Transport::RdmaSend,
                 inner.cfg.msg_retry,
             )
@@ -388,7 +431,10 @@ mod tests {
         let loaded = grant_time(true);
         // Server CPU queueing under load is exactly what one-sided N-CoSED
         // avoids (see the cross-scheme integration tests).
-        assert!(loaded > unloaded + ms(2), "loaded={loaded} unloaded={unloaded}");
+        assert!(
+            loaded > unloaded + ms(2),
+            "loaded={loaded} unloaded={unloaded}"
+        );
     }
 
     #[test]

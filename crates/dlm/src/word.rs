@@ -76,7 +76,12 @@ mod tests {
 
     #[test]
     fn encode_decode_round_trip() {
-        for tail in [None, Some(NodeId(0)), Some(NodeId(7)), Some(NodeId(4_000_000_000))] {
+        for tail in [
+            None,
+            Some(NodeId(0)),
+            Some(NodeId(7)),
+            Some(NodeId(4_000_000_000)),
+        ] {
             for shared in [0u32, 1, 55, u32::MAX] {
                 let w = LockWord { tail, shared };
                 assert_eq!(LockWord::decode(w.encode()), w);

@@ -183,7 +183,11 @@ fn alternating_modes_chain_cleanly() {
             c.lock(0, mode).await;
             order.borrow_mut().push((
                 n,
-                if mode == LockMode::Exclusive { "X" } else { "S" },
+                if mode == LockMode::Exclusive {
+                    "X"
+                } else {
+                    "S"
+                },
             ));
             hh.sleep(ms(3)).await;
             c.unlock(0).await;
@@ -198,7 +202,6 @@ fn alternating_modes_chain_cleanly() {
     assert!(next_two.contains(&2) && next_two.contains(&3), "{order:?}");
     // No shared request from 5 may overtake exclusive 4's grant if 4 CASed
     // in first; but 5 routed to 4 either way — just require everyone ran.
-    let granted: std::collections::HashSet<u32> =
-        order.iter().map(|&(n, _)| n).collect();
+    let granted: std::collections::HashSet<u32> = order.iter().map(|&(n, _)| n).collect();
     assert_eq!(granted.len(), 6);
 }

@@ -115,6 +115,13 @@ struct ClusterInner {
     nodes: RefCell<Vec<Rc<NodeInner>>>,
     stats: VerbCounters,
     next_port: Cell<u16>,
+    /// Label + owner of the most recent port allocation, kept so a port-space
+    /// exhaustion panic can name the subsystem that burned through the space.
+    last_port_owner: RefCell<String>,
+    /// Live bound endpoints (`fabric.ports.bound`): +1 on `bind`, −1 when the
+    /// endpoint drops. A steadily climbing gauge means some service leaks
+    /// per-call bindings instead of reusing a multiplexed port.
+    ports_bound: Gauge,
     /// Installed fault schedule, if any. `None` means the fabric is
     /// perfectly reliable and every `try_*` verb is infallible in practice.
     faults: RefCell<Option<Rc<FaultPlan>>>,
@@ -178,6 +185,8 @@ impl Cluster {
                 nodes: RefCell::new(Vec::new()),
                 stats: VerbCounters::new(&metrics),
                 next_port: Cell::new(1024),
+                last_port_owner: RefCell::new(String::from("none")),
+                ports_bound: metrics.gauge("fabric.ports.bound"),
                 faults: RefCell::new(None),
                 tracer,
                 metrics,
@@ -192,11 +201,8 @@ impl Cluster {
     /// Add one node; returns its id.
     pub fn add_node(&self) -> NodeId {
         let kstat = RegionData::new(KSTAT_REGION_LEN);
-        let cpu = crate::cpu::CpuModel::new(
-            self.inner.sim.clone(),
-            self.inner.model.cpu,
-            kstat.clone(),
-        );
+        let cpu =
+            crate::cpu::CpuModel::new(self.inner.sim.clone(), self.inner.model.cpu, kstat.clone());
         let node = Rc::new(NodeInner {
             regions: RefCell::new(vec![kstat]),
             cpu,
@@ -497,11 +503,8 @@ impl Cluster {
         let data = Bytes::from(region.read(addr.offset, len));
         sim.sleep(inflate(m.ib_bytes_time(len), f)).await;
         drop(permit);
-        sim.sleep(inflate(
-            m.rdma_read_base_ns - m.rdma_read_base_ns / 2,
-            f,
-        ))
-        .await;
+        sim.sleep(inflate(m.rdma_read_base_ns - m.rdma_read_base_ns / 2, f))
+            .await;
         self.inner.stats.reads.inc();
         self.inner.stats.bytes_read.add(len as u64);
         if let Some(t0) = t0 {
@@ -568,11 +571,8 @@ impl Cluster {
         let target = self.node(addr.node);
         let region = target.regions.borrow()[addr.region.0 as usize].clone();
         region.write(addr.offset, data);
-        sim.sleep(inflate(
-            m.rdma_write_base_ns - m.rdma_write_base_ns / 2,
-            f,
-        ))
-        .await;
+        sim.sleep(inflate(m.rdma_write_base_ns - m.rdma_write_base_ns / 2, f))
+            .await;
         self.inner.stats.writes.inc();
         self.inner.stats.bytes_written.add(data.len() as u64);
         if let Some(t0) = t0 {
@@ -716,10 +716,37 @@ impl Cluster {
     }
 
     /// Allocate a cluster-unique port number (usable on any node). Ports
-    /// below 1024 are reserved for well-known services.
+    /// below 1024 are reserved for well-known services. Prefer
+    /// [`Cluster::alloc_port_for`], which makes exhaustion diagnosable.
     pub fn alloc_port(&self) -> u16 {
         let p = self.inner.next_port.get();
-        assert!(p < u16::MAX, "port space exhausted");
+        assert!(
+            p < u16::MAX,
+            "port space exhausted ({} dynamic ports allocated; last labeled \
+             owner: {}) — some subsystem allocates per-call ports without \
+             reusing a multiplexed client",
+            p - 1024,
+            self.inner.last_port_owner.borrow(),
+        );
+        self.inner.next_port.set(p + 1);
+        p
+    }
+
+    /// Allocate a cluster-unique port, recording the owning node and
+    /// subsystem label so a port-space exhaustion panic names the culprit
+    /// instead of failing with a bare assertion.
+    pub fn alloc_port_for(&self, node: NodeId, label: &str) -> u16 {
+        let p = self.inner.next_port.get();
+        assert!(
+            p < u16::MAX,
+            "port space exhausted allocating '{label}' for {node:?} \
+             ({} dynamic ports allocated; previous labeled owner: {}) — some \
+             subsystem allocates per-call ports without reusing a multiplexed \
+             client",
+            p - 1024,
+            self.inner.last_port_owner.borrow(),
+        );
+        *self.inner.last_port_owner.borrow_mut() = format!("{label} for {node:?}");
         self.inner.next_port.set(p + 1);
         p
     }
@@ -731,11 +758,13 @@ impl Cluster {
         let n = self.node(node);
         let prev = n.ports.borrow_mut().insert(port, tx);
         assert!(prev.is_none(), "port {port} already bound on {node:?}");
+        self.inner.ports_bound.add(1);
         Endpoint {
             node: Rc::downgrade(&n),
             id: node,
             port,
             rx,
+            bound: self.inner.ports_bound.clone(),
         }
     }
 
@@ -873,10 +902,7 @@ impl Cluster {
     ) -> Result<(), FabricError> {
         assert!(policy.max_attempts >= 1, "need at least one attempt");
         for attempt in 0..policy.max_attempts {
-            match self
-                .try_send(from, to, port, data.clone(), transport)
-                .await
-            {
+            match self.try_send(from, to, port, data.clone(), transport).await {
                 Ok(()) => return Ok(()),
                 Err(e) if attempt + 1 >= policy.max_attempts => return Err(e),
                 Err(_) => {
@@ -910,6 +936,7 @@ pub struct Endpoint {
     id: NodeId,
     port: u16,
     rx: Receiver<Message>,
+    bound: Gauge,
 }
 
 impl Endpoint {
@@ -947,6 +974,7 @@ impl Drop for Endpoint {
         if let Some(n) = self.node.upgrade() {
             n.ports.borrow_mut().remove(&self.port);
         }
+        self.bound.add(-1);
     }
 }
 
@@ -960,6 +988,30 @@ mod tests {
         let sim = Sim::new();
         let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), n);
         (sim, cluster)
+    }
+
+    #[test]
+    fn bound_ports_gauge_tracks_bind_and_drop() {
+        let (_sim, c) = setup(2);
+        let gauge = || c.metrics().gauge("fabric.ports.bound").get();
+        assert_eq!(gauge(), 0);
+        let p1 = c.alloc_port_for(NodeId(0), "test.a");
+        let p2 = c.alloc_port_for(NodeId(1), "test.b");
+        let e1 = c.bind(NodeId(0), p1);
+        let e2 = c.bind(NodeId(1), p2);
+        assert_eq!(gauge(), 2);
+        drop(e1);
+        assert_eq!(gauge(), 1);
+        drop(e2);
+        assert_eq!(gauge(), 0);
+    }
+
+    #[test]
+    fn labeled_and_plain_port_allocation_share_one_space() {
+        let (_sim, c) = setup(1);
+        let a = c.alloc_port();
+        let b = c.alloc_port_for(NodeId(0), "test.labeled");
+        assert_eq!(b, a + 1);
     }
 
     #[test]
@@ -1055,9 +1107,9 @@ mod tests {
         let mut joins = Vec::new();
         for n in 1..4u32 {
             let cc = c.clone();
-            joins.push(sim.spawn(async move {
-                cc.atomic_cas(NodeId(n), addr, 0, n as u64).await == 0
-            }));
+            joins.push(
+                sim.spawn(async move { cc.atomic_cas(NodeId(n), addr, 0, n as u64).await == 0 }),
+            );
         }
         sim.run();
         let winners: usize = joins.iter().filter(|j| j.try_take() == Some(true)).count();
@@ -1140,7 +1192,10 @@ mod tests {
         let loaded = deliver_time(true);
         // Four competing jobs at a 1ms quantum should delay receive-side
         // processing by several milliseconds.
-        assert!(loaded > unloaded + ms(3), "loaded={loaded} unloaded={unloaded}");
+        assert!(
+            loaded > unloaded + ms(3),
+            "loaded={loaded} unloaded={unloaded}"
+        );
     }
 
     #[test]
@@ -1263,7 +1318,10 @@ mod tests {
             let late = cc.try_rdma_read(NodeId(0), addr, 8).await;
             (early_read, early_cas, late)
         });
-        assert_eq!(early_read, Err(crate::faults::FabricError::Unreachable(NodeId(1))));
+        assert_eq!(
+            early_read,
+            Err(crate::faults::FabricError::Unreachable(NodeId(1)))
+        );
         assert!(early_cas.is_err());
         assert!(late.is_ok());
         // The failed CAS must not have touched memory.
@@ -1376,7 +1434,10 @@ mod tests {
         let base = m.post_overhead_ns + m.rdma_read_base_ns + 2;
         assert_eq!(t_out, base);
         // 3x factor on every wire segment (integer division truncates).
-        assert!(t_in >= base * 3 - 3 && t_in <= base * 3, "t_in={t_in} base={base}");
+        assert!(
+            t_in >= base * 3 - 3 && t_in <= base * 3,
+            "t_in={t_in} base={base}"
+        );
     }
 
     #[test]

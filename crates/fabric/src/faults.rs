@@ -19,8 +19,8 @@
 use std::cell::{Cell, RefCell};
 
 use dc_sim::time::ms;
-use dc_trace::Counter;
 use dc_sim::SimTime;
+use dc_trace::Counter;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -272,9 +272,12 @@ impl FaultPlan {
         for _ in 0..cfg.latency_windows {
             let start = rng.gen_range(0..cfg.horizon_ns.max(1));
             let dur = rng.gen_range(cfg.latency_min_ns..=cfg.latency_max_ns);
-            let factor = rng.gen_range(cfg.latency_factor_min..cfg.latency_factor_max.max(
-                cfg.latency_factor_min + f64::EPSILON,
-            ));
+            let factor = rng.gen_range(
+                cfg.latency_factor_min
+                    ..cfg
+                        .latency_factor_max
+                        .max(cfg.latency_factor_min + f64::EPSILON),
+            );
             latency.push(LatencyWindow {
                 start,
                 end: start.saturating_add(dur),

@@ -54,9 +54,9 @@ pub mod model;
 pub mod rpc;
 
 pub use cluster::{Cluster, Endpoint, Message, NodeId, Transport, VerbStats};
-pub use faults::{FabricError, FaultConfig, FaultPlan, FaultStats, RetryPolicy};
-pub use rpc::RpcClient;
 pub use cpu::{CpuConfig, CpuModel};
+pub use faults::{FabricError, FaultConfig, FaultPlan, FaultStats, RetryPolicy};
 pub use kstat::KernelStats;
 pub use mem::{RegionId, RemoteAddr};
 pub use model::FabricModel;
+pub use rpc::RpcClient;

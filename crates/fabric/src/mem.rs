@@ -82,7 +82,9 @@ impl RegionData {
     /// Copy `len` bytes out of the region at `offset`.
     pub fn read(&self, offset: usize, len: usize) -> Vec<u8> {
         let d = self.data.borrow();
-        let end = offset.checked_add(len).expect("region read offset overflow");
+        let end = offset
+            .checked_add(len)
+            .expect("region read offset overflow");
         assert!(
             end <= d.len(),
             "region read out of bounds: {}..{} > {}",

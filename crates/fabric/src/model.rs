@@ -219,24 +219,66 @@ mod tests {
         );
         // Perturbing any single constant must change the digest.
         let perturbations: Vec<FabricModel> = vec![
-            FabricModel { rdma_read_base_ns: base.rdma_read_base_ns + 1, ..base.clone() },
-            FabricModel { rdma_write_base_ns: base.rdma_write_base_ns + 1, ..base.clone() },
-            FabricModel { atomic_base_ns: base.atomic_base_ns + 1, ..base.clone() },
-            FabricModel { rdma_send_base_ns: base.rdma_send_base_ns + 1, ..base.clone() },
-            FabricModel { post_overhead_ns: base.post_overhead_ns + 1, ..base.clone() },
-            FabricModel { ib_bytes_per_us: base.ib_bytes_per_us + 1, ..base.clone() },
-            FabricModel { tcp_base_ns: base.tcp_base_ns + 1, ..base.clone() },
-            FabricModel { tcp_bytes_per_us: base.tcp_bytes_per_us + 1, ..base.clone() },
-            FabricModel { tcp_send_cpu_base_ns: base.tcp_send_cpu_base_ns + 1, ..base.clone() },
-            FabricModel { tcp_send_cpu_per_kb_ns: base.tcp_send_cpu_per_kb_ns + 1, ..base.clone() },
-            FabricModel { tcp_recv_cpu_base_ns: base.tcp_recv_cpu_base_ns + 1, ..base.clone() },
-            FabricModel { tcp_recv_cpu_per_kb_ns: base.tcp_recv_cpu_per_kb_ns + 1, ..base.clone() },
             FabricModel {
-                cpu: CpuConfig { cores: base.cpu.cores + 1, ..base.cpu },
+                rdma_read_base_ns: base.rdma_read_base_ns + 1,
                 ..base.clone()
             },
             FabricModel {
-                cpu: CpuConfig { quantum_ns: base.cpu.quantum_ns + 1, ..base.cpu },
+                rdma_write_base_ns: base.rdma_write_base_ns + 1,
+                ..base.clone()
+            },
+            FabricModel {
+                atomic_base_ns: base.atomic_base_ns + 1,
+                ..base.clone()
+            },
+            FabricModel {
+                rdma_send_base_ns: base.rdma_send_base_ns + 1,
+                ..base.clone()
+            },
+            FabricModel {
+                post_overhead_ns: base.post_overhead_ns + 1,
+                ..base.clone()
+            },
+            FabricModel {
+                ib_bytes_per_us: base.ib_bytes_per_us + 1,
+                ..base.clone()
+            },
+            FabricModel {
+                tcp_base_ns: base.tcp_base_ns + 1,
+                ..base.clone()
+            },
+            FabricModel {
+                tcp_bytes_per_us: base.tcp_bytes_per_us + 1,
+                ..base.clone()
+            },
+            FabricModel {
+                tcp_send_cpu_base_ns: base.tcp_send_cpu_base_ns + 1,
+                ..base.clone()
+            },
+            FabricModel {
+                tcp_send_cpu_per_kb_ns: base.tcp_send_cpu_per_kb_ns + 1,
+                ..base.clone()
+            },
+            FabricModel {
+                tcp_recv_cpu_base_ns: base.tcp_recv_cpu_base_ns + 1,
+                ..base.clone()
+            },
+            FabricModel {
+                tcp_recv_cpu_per_kb_ns: base.tcp_recv_cpu_per_kb_ns + 1,
+                ..base.clone()
+            },
+            FabricModel {
+                cpu: CpuConfig {
+                    cores: base.cpu.cores + 1,
+                    ..base.cpu
+                },
+                ..base.clone()
+            },
+            FabricModel {
+                cpu: CpuConfig {
+                    quantum_ns: base.cpu.quantum_ns + 1,
+                    ..base.cpu
+                },
                 ..base.clone()
             },
         ];

@@ -31,18 +31,25 @@ impl RpcClient {
     /// Create a client on `node` (binds one port and spawns the response
     /// pump).
     pub fn new(cluster: &Cluster, node: NodeId) -> RpcClient {
-        let port = cluster.alloc_port();
+        let port = cluster.alloc_port_for(node, "rpc.client");
         let mut ep = cluster.bind(node, port);
         let pending: Rc<RefCell<HashMap<u64, dc_sim::sync::OneSender<Bytes>>>> = Rc::default();
         let pending2 = Rc::clone(&pending);
+        let orphans = cluster.metrics().counter("rpc.orphan_responses");
         cluster.sim().clone().spawn(async move {
             loop {
                 let msg = ep.recv().await;
                 let id = u64::from_le_bytes(msg.data[..RESP_HDR].try_into().unwrap());
                 if let Some(tx) = pending2.borrow_mut().remove(&id) {
                     tx.send(msg.data.slice(RESP_HDR..));
+                } else {
+                    // Response to a call that already timed out or whose
+                    // future was dropped: its pending slot is gone, so the
+                    // payload has no taker. Count it rather than losing the
+                    // signal — a climbing orphan rate means callers' response
+                    // deadlines are tighter than the servers they talk to.
+                    orphans.inc();
                 }
-                // Unknown ids (responses to abandoned calls) are dropped.
             }
         });
         RpcClient {
@@ -59,19 +66,18 @@ impl RpcClient {
         self.node
     }
 
+    /// The cluster this client sends through.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
     /// Call `(to, port)` with `payload`; resolves with the response payload.
     ///
     /// Infallible wrapper over [`RpcClient::try_call`]: retries the whole
     /// call a few times on timeout/unreachability and panics once the budget
     /// is exhausted. Callers that can degrade (e.g. fall back to a slower
     /// path) should use `try_call` directly.
-    pub async fn call(
-        &self,
-        to: NodeId,
-        port: u16,
-        payload: &[u8],
-        transport: Transport,
-    ) -> Bytes {
+    pub async fn call(&self, to: NodeId, port: u16, payload: &[u8], transport: Transport) -> Bytes {
         const CALL_ATTEMPTS: u32 = 4;
         for attempt in 0..CALL_ATTEMPTS {
             if let Some(resp) = self
@@ -101,6 +107,14 @@ impl RpcClient {
         self.next_id.set(id + 1);
         let (tx, rx) = dc_sim::sync::oneshot();
         self.pending.borrow_mut().insert(id, tx);
+        // Guard, not manual removes: every exit path — send failure, response
+        // timeout, *and this future being dropped mid-await* (a caller racing
+        // the call against its own deadline) — evicts the pending slot, so the
+        // map cannot grow without bound under sustained timeouts.
+        let _guard = PendingGuard {
+            pending: Rc::clone(&self.pending),
+            id,
+        };
         let mut req = Vec::with_capacity(REQ_HDR + payload.len());
         req.extend_from_slice(&self.port.to_le_bytes());
         req.extend_from_slice(&id.to_le_bytes());
@@ -111,18 +125,31 @@ impl RpcClient {
             .await
             .is_err()
         {
-            self.pending.borrow_mut().remove(&id);
             return None;
         }
         match self.cluster.sim().timeout(timeout_ns, rx).await {
             Ok(resp) => Some(resp.expect("rpc response channel closed")),
-            Err(_) => {
-                // A late response will arrive with an unknown id and be
-                // dropped by the pump.
-                self.pending.borrow_mut().remove(&id);
-                None
-            }
+            // A late response arrives with an unknown id; the pump counts it
+            // under `rpc.orphan_responses`.
+            Err(_) => None,
         }
+    }
+
+    /// Calls currently awaiting a response (primarily for leak assertions).
+    pub fn pending_calls(&self) -> usize {
+        self.pending.borrow().len()
+    }
+}
+
+/// Evicts a call's pending slot when the call completes or is abandoned.
+struct PendingGuard {
+    pending: Rc<RefCell<HashMap<u64, dc_sim::sync::OneSender<Bytes>>>>,
+    id: u64,
+}
+
+impl Drop for PendingGuard {
+    fn drop(&mut self) {
+        self.pending.borrow_mut().remove(&self.id);
     }
 }
 
@@ -171,7 +198,13 @@ pub async fn respond(
     resp.extend_from_slice(&req.id.to_le_bytes());
     resp.extend_from_slice(payload);
     let _ = cluster
-        .send_reliable(server, req.src, req.reply_port, Bytes::from(resp), transport)
+        .send_reliable(
+            server,
+            req.src,
+            req.reply_port,
+            Bytes::from(resp),
+            transport,
+        )
         .await;
 }
 
@@ -204,7 +237,9 @@ mod tests {
         let port = echo_server(&cluster, NodeId(1));
         let client = RpcClient::new(&cluster, NodeId(0));
         let resp = sim.run_to(async move {
-            client.call(NodeId(1), port, b"hello", Transport::RdmaSend).await
+            client
+                .call(NodeId(1), port, b"hello", Transport::RdmaSend)
+                .await
         });
         assert_eq!(&resp[..], b"echo:hello");
     }
@@ -247,7 +282,11 @@ mod tests {
         let resps = sim.run_to(async move {
             let mut out = Vec::new();
             for i in 0..10u8 {
-                out.push(client.call(NodeId(1), port, &[i], Transport::RdmaSend).await);
+                out.push(
+                    client
+                        .call(NodeId(1), port, &[i], Transport::RdmaSend)
+                        .await,
+                );
             }
             out
         });
@@ -285,15 +324,78 @@ mod tests {
         assert_eq!(resp, None);
     }
 
+    /// A server that answers every request after a fixed think time.
+    fn slow_echo_server(cluster: &Cluster, node: NodeId, delay_ns: u64) -> u16 {
+        let port = cluster.alloc_port();
+        let mut ep = cluster.bind(node, port);
+        let cl = cluster.clone();
+        cluster.sim().clone().spawn(async move {
+            loop {
+                let msg = ep.recv().await;
+                let req = parse_request(&msg);
+                cl.sim().sleep(delay_ns).await;
+                let payload = req.payload.clone();
+                respond(&cl, node, &req, &payload[..], Transport::RdmaSend).await;
+            }
+        });
+        port
+    }
+
+    #[test]
+    fn late_response_counts_as_orphan_and_evicts_slot() {
+        use dc_sim::time::ms;
+        let sim = Sim::new();
+        let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 2);
+        // Server answers after 5 ms; caller gives up after 1 ms.
+        let port = slow_echo_server(&cluster, NodeId(1), ms(5));
+        let client = RpcClient::new(&cluster, NodeId(0));
+        let c2 = client.clone();
+        let pending_after_timeout = sim.run_to(async move {
+            let resp = c2
+                .try_call(NodeId(1), port, b"x", Transport::RdmaSend, ms(1))
+                .await;
+            assert_eq!(resp, None);
+            c2.pending_calls()
+        });
+        assert_eq!(
+            pending_after_timeout, 0,
+            "timed-out call must evict its slot"
+        );
+        // Let the late response land: it must be counted, not silently lost.
+        sim.run();
+        assert_eq!(cluster.metrics().counter("rpc.orphan_responses").get(), 1);
+        assert_eq!(client.pending_calls(), 0);
+    }
+
+    #[test]
+    fn abandoned_call_future_evicts_pending_slot() {
+        use dc_sim::time::ms;
+        let sim = Sim::new();
+        let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 2);
+        let port = slow_echo_server(&cluster, NodeId(1), ms(50));
+        let client = RpcClient::new(&cluster, NodeId(0));
+        let c2 = client.clone();
+        let h = sim.handle();
+        let pending = sim.run_to(async move {
+            // Abandon the call long before its own generous deadline: the
+            // dropped future must still clean up its pending entry.
+            let call = c2.try_call(NodeId(1), port, b"x", Transport::RdmaSend, ms(500));
+            let _ = h.timeout(ms(1), call).await;
+            c2.pending_calls()
+        });
+        assert_eq!(pending, 0, "dropped call future leaked a pending slot");
+        sim.run();
+        assert_eq!(cluster.metrics().counter("rpc.orphan_responses").get(), 1);
+    }
+
     #[test]
     fn tcp_transport_works_for_rpc() {
         let sim = Sim::new();
         let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 2);
         let port = echo_server(&cluster, NodeId(1));
         let client = RpcClient::new(&cluster, NodeId(0));
-        let resp = sim.run_to(async move {
-            client.call(NodeId(1), port, b"x", Transport::Tcp).await
-        });
+        let resp =
+            sim.run_to(async move { client.call(NodeId(1), port, b"x", Transport::Tcp).await });
         assert_eq!(&resp[..], b"echo:x");
     }
 }

@@ -199,9 +199,8 @@ impl Reconfigurator {
             .iter()
             .copied()
             .filter(|n| {
-                now.saturating_sub(
-                    inner.last_move.borrow().get(n).copied().unwrap_or(0),
-                ) >= inner.cfg.hysteresis_ns
+                now.saturating_sub(inner.last_move.borrow().get(n).copied().unwrap_or(0))
+                    >= inner.cfg.hysteresis_ns
                     || !inner.last_move.borrow().contains_key(n)
             })
             .min_by_key(|n| inner.last_move.borrow().get(n).copied().unwrap_or(0));
@@ -240,7 +239,12 @@ mod tests {
         let map = SiteMap::new(
             &cluster,
             NodeId(0),
-            &[(NodeId(1), 0), (NodeId(2), 0), (NodeId(3), 1), (NodeId(4), 1)],
+            &[
+                (NodeId(1), 0),
+                (NodeId(2), 0),
+                (NodeId(3), 1),
+                (NodeId(4), 1),
+            ],
         );
         let monitor = Monitor::spawn(
             &cluster,
@@ -330,7 +334,10 @@ mod tests {
         sim.run_until(ms(100));
         let moves = r.moves();
         assert!(!moves.is_empty());
-        assert_eq!(moves[0].to, 0, "node should flow to the low-priority-weighted hot site");
+        assert_eq!(
+            moves[0].to, 0,
+            "node should flow to the low-priority-weighted hot site"
+        );
         assert!(map.serving(0).len() >= 3);
     }
 }

@@ -7,6 +7,7 @@
 //! directions — the paper's concurrency control against live-locks.
 
 use dc_fabric::{Cluster, NodeId, RegionId, RemoteAddr};
+use dc_svc::{Reader, Wire, Writer};
 
 /// Marks a node whose reassignment is still in progress.
 pub const TRANSITION_BIT: u64 = 1 << 63;
@@ -36,6 +37,20 @@ impl Assignment {
             raw |= TRANSITION_BIT;
         }
         raw
+    }
+}
+
+/// The map word as wire bytes (little-endian u64) — what a CAS or read of a
+/// map slot carries on the fabric.
+impl Wire for Assignment {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        Writer::new(out).u64((*self).encode());
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Assignment> {
+        let mut r = Reader::new(bytes);
+        let raw = r.u64()?;
+        r.finish(Assignment::decode(raw))
     }
 }
 
@@ -120,13 +135,7 @@ impl SiteMap {
     /// Atomically claim `node` for `to_site` if it currently serves
     /// `from_site` (not in transition). Returns whether this agent won the
     /// claim. The winner must later call [`SiteMap::complete`].
-    pub async fn claim(
-        &self,
-        agent: NodeId,
-        node: NodeId,
-        from_site: u32,
-        to_site: u32,
-    ) -> bool {
+    pub async fn claim(&self, agent: NodeId, node: NodeId, from_site: u32, to_site: u32) -> bool {
         let expect = Assignment {
             site: from_site,
             in_transition: false,
@@ -176,7 +185,12 @@ mod tests {
         let map = SiteMap::new(
             &cluster,
             NodeId(0),
-            &[(NodeId(1), 0), (NodeId(2), 0), (NodeId(3), 1), (NodeId(4), 1)],
+            &[
+                (NodeId(1), 0),
+                (NodeId(2), 0),
+                (NodeId(3), 1),
+                (NodeId(4), 1),
+            ],
         );
         (sim, cluster, map)
     }
@@ -227,10 +241,7 @@ mod tests {
             joins.push(sim.spawn(async move { m.claim(agent, NodeId(1), 0, 1).await }));
         }
         sim.run();
-        let winners = joins
-            .iter()
-            .filter(|j| j.try_take() == Some(true))
-            .count();
+        let winners = joins.iter().filter(|j| j.try_take() == Some(true)).count();
         assert_eq!(winners, 1, "CAS concurrency control failed");
     }
 

@@ -40,12 +40,20 @@ pub enum Sel {
 impl Series {
     /// Series from a labelled row of table `table`.
     pub fn row(table: usize, label: &str) -> Series {
-        Series { table, sel: Sel::Row(label.to_string()), slice: None }
+        Series {
+            table,
+            sel: Sel::Row(label.to_string()),
+            slice: None,
+        }
     }
 
     /// Series from a named column of table `table`.
     pub fn col(table: usize, header: &str) -> Series {
-        Series { table, sel: Sel::Col(header.to_string()), slice: None }
+        Series {
+            table,
+            sel: Sel::Col(header.to_string()),
+            slice: None,
+        }
     }
 
     /// Restrict the extracted series to rows/columns `[from, to)`.
@@ -155,19 +163,54 @@ impl At {
 #[derive(Debug, Clone)]
 pub enum Claim {
     /// `lo[i] < hi[i]` at every common point.
-    PointwiseLess { lo: Series, hi: Series, note: &'static str },
+    PointwiseLess {
+        lo: Series,
+        hi: Series,
+        note: &'static str,
+    },
     /// `lo[i] <= hi[i]` at every common point.
-    PointwiseLeq { lo: Series, hi: Series, note: &'static str },
+    PointwiseLeq {
+        lo: Series,
+        hi: Series,
+        note: &'static str,
+    },
     /// The series never moves the wrong way by more than `tol`.
-    Monotone { s: Series, non_decreasing: bool, tol: f64, note: &'static str },
+    Monotone {
+        s: Series,
+        non_decreasing: bool,
+        tol: f64,
+        note: &'static str,
+    },
     /// `num/den >= min` at the selected points.
-    RatioAtLeast { num: Series, den: Series, at: At, min: f64, note: &'static str },
+    RatioAtLeast {
+        num: Series,
+        den: Series,
+        at: At,
+        min: f64,
+        note: &'static str,
+    },
     /// `num/den <= max` at the selected points.
-    RatioAtMost { num: Series, den: Series, at: At, max: f64, note: &'static str },
+    RatioAtMost {
+        num: Series,
+        den: Series,
+        at: At,
+        max: f64,
+        note: &'static str,
+    },
     /// `min <= s <= max` at the selected points.
-    ValueBand { s: Series, at: At, min: f64, max: f64, note: &'static str },
+    ValueBand {
+        s: Series,
+        at: At,
+        min: f64,
+        max: f64,
+        note: &'static str,
+    },
     /// `a` starts strictly above `b` and ends strictly below it.
-    Crossover { a: Series, b: Series, note: &'static str },
+    Crossover {
+        a: Series,
+        b: Series,
+        note: &'static str,
+    },
 }
 
 impl Claim {
@@ -195,10 +238,19 @@ impl Claim {
                 let (a, b) = (lo.extract(tables)?, hi.extract(tables)?);
                 pointwise(&a, &b, |x, y| x <= y, "<=")
             }
-            Claim::Monotone { s, non_decreasing, tol, .. } => {
+            Claim::Monotone {
+                s,
+                non_decreasing,
+                tol,
+                ..
+            } => {
                 let v = s.extract(tables)?;
                 for (i, w) in v.windows(2).enumerate() {
-                    let ok = if *non_decreasing { w[1] >= w[0] - tol } else { w[1] <= w[0] + tol };
+                    let ok = if *non_decreasing {
+                        w[1] >= w[0] - tol
+                    } else {
+                        w[1] <= w[0] + tol
+                    };
                     if !ok {
                         return Err(format!(
                             "point {}→{}: {} then {} (tol {tol})",
@@ -211,13 +263,15 @@ impl Claim {
                 }
                 Ok(())
             }
-            Claim::RatioAtLeast { num, den, at, min, .. } => {
-                ratio(tables, num, den, *at, |r| r >= *min, &format!(">= {min}"))
-            }
-            Claim::RatioAtMost { num, den, at, max, .. } => {
-                ratio(tables, num, den, *at, |r| r <= *max, &format!("<= {max}"))
-            }
-            Claim::ValueBand { s, at, min, max, .. } => {
+            Claim::RatioAtLeast {
+                num, den, at, min, ..
+            } => ratio(tables, num, den, *at, |r| r >= *min, &format!(">= {min}")),
+            Claim::RatioAtMost {
+                num, den, at, max, ..
+            } => ratio(tables, num, den, *at, |r| r <= *max, &format!("<= {max}")),
+            Claim::ValueBand {
+                s, at, min, max, ..
+            } => {
                 let v = s.extract(tables)?;
                 for i in at.pick(v.len())? {
                     if v[i] < *min || v[i] > *max {
@@ -228,7 +282,10 @@ impl Claim {
             }
             Claim::Crossover { a, b, .. } => {
                 let (x, y) = (a.extract(tables)?, b.extract(tables)?);
-                let (xf, yf) = (*x.first().ok_or("empty series")?, *y.first().ok_or("empty series")?);
+                let (xf, yf) = (
+                    *x.first().ok_or("empty series")?,
+                    *y.first().ok_or("empty series")?,
+                );
                 let (xl, yl) = (*x.last().unwrap(), *y.last().unwrap());
                 if xf <= yf {
                     return Err(format!("no lead at start: {xf} <= {yf}"));
@@ -272,7 +329,10 @@ fn ratio(
         }
         let r = n[i] / d[i];
         if !ok(r) {
-            return Err(format!("point {i}: ratio {}/{} = {r:.3}, want {bound}", n[i], d[i]));
+            return Err(format!(
+                "point {i}: ratio {}/{} = {r:.3}, want {bound}",
+                n[i], d[i]
+            ));
         }
     }
     Ok(())
@@ -297,7 +357,12 @@ impl std::fmt::Display for Violation {
 pub fn evaluate(tables: &[ReportTable], claims: &[Claim]) -> Vec<Violation> {
     claims
         .iter()
-        .filter_map(|c| c.check(tables).err().map(|detail| Violation { note: c.note(), detail }))
+        .filter_map(|c| {
+            c.check(tables).err().map(|detail| Violation {
+                note: c.note(),
+                detail,
+            })
+        })
         .collect()
 }
 
@@ -527,7 +592,8 @@ pub fn claims_for(bench: &str) -> Vec<Claim> {
                 at: At::All,
                 min: 30.0,
                 max: 100.0,
-                note: "Fig 8b: accurate RDMA monitoring lifts hosted throughput >=30% at every alpha",
+                note:
+                    "Fig 8b: accurate RDMA monitoring lifts hosted throughput >=30% at every alpha",
             },
             Claim::PointwiseLeq {
                 lo: row(0, "RDMA-Sync"),
@@ -700,9 +766,18 @@ mod tests {
     #[test]
     fn row_and_col_extraction() {
         let t = table();
-        assert_eq!(Series::row(0, "A").extract(&t).unwrap(), vec![1.0, 2.0, 4.0]);
-        assert_eq!(Series::col(0, "2").extract(&t).unwrap(), vec![2.0, 3.0, 4000.0]);
-        assert_eq!(Series::row(0, "B").rows(1, 3).extract(&t).unwrap(), vec![3.0, 3.0]);
+        assert_eq!(
+            Series::row(0, "A").extract(&t).unwrap(),
+            vec![1.0, 2.0, 4.0]
+        );
+        assert_eq!(
+            Series::col(0, "2").extract(&t).unwrap(),
+            vec![2.0, 3.0, 4000.0]
+        );
+        assert_eq!(
+            Series::row(0, "B").rows(1, 3).extract(&t).unwrap(),
+            vec![3.0, 3.0]
+        );
         assert!(Series::row(0, "Z").extract(&t).is_err());
         assert!(Series::col(0, "missing").extract(&t).is_err());
         assert!(Series::row(1, "A").extract(&t).is_err());

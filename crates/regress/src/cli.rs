@@ -107,7 +107,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 let n: f64 = n.parse().map_err(|_| format!("bad tolerance in {kv:?}"))?;
                 o.tol.per_column.push((col.to_string(), n));
             }
-            "--report" => o.report = Some(PathBuf::from(it.next().ok_or("--report requires a path")?)),
+            "--report" => {
+                o.report = Some(PathBuf::from(it.next().ok_or("--report requires a path")?))
+            }
             "-v" | "--verbose" => o.verbose = true,
             other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
             other => {
@@ -285,15 +287,13 @@ fn claims(args: &[String]) -> i32 {
     let mut violations = 0usize;
     for s in selected(&o.names) {
         let tables = match &o.from {
-            Some(dir) => {
-                match LoadedReport::from_path(&dir.join(format!("{}.json", s.name))) {
-                    Ok(r) => r.tables,
-                    Err(e) => {
-                        eprintln!("{e}");
-                        return 2;
-                    }
+            Some(dir) => match LoadedReport::from_path(&dir.join(format!("{}.json", s.name))) {
+                Ok(r) => r.tables,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 2;
                 }
-            }
+            },
             None => (s.run)().tables().to_vec(),
         };
         let table_claims = claims_for(s.name);
@@ -360,18 +360,38 @@ mod tests {
         assert!(text.contains("\"160.1\""), "expected DQNL 16-waiter cell");
         std::fs::write(&path, text.replace("\"160.1\"", "\"172.0\"")).unwrap();
         assert_eq!(
-            run(&sv(&["check", "--dir", dirs, "--tol-pct", "5", "fig5a_lock_shared"])),
+            run(&sv(&[
+                "check",
+                "--dir",
+                dirs,
+                "--tol-pct",
+                "5",
+                "fig5a_lock_shared"
+            ])),
             1
         );
         // …and pass once the tolerance covers the delta.
         assert_eq!(
-            run(&sv(&["check", "--dir", dirs, "--tol-pct", "10", "fig5a_lock_shared"])),
+            run(&sv(&[
+                "check",
+                "--dir",
+                dirs,
+                "--tol-pct",
+                "10",
+                "fig5a_lock_shared"
+            ])),
             0
         );
         // Per-column override: only the 16-waiter column is loose.
         assert_eq!(
             run(&sv(&[
-                "check", "--dir", dirs, "--tol-pct", "0", "--tol", "16 waiters=10",
+                "check",
+                "--dir",
+                dirs,
+                "--tol-pct",
+                "0",
+                "--tol",
+                "16 waiters=10",
                 "fig5a_lock_shared",
             ])),
             0
@@ -383,10 +403,29 @@ mod tests {
     fn compare_files_and_dirs() {
         let a = tmpdir("cmp-a");
         let b = tmpdir("cmp-b");
-        assert_eq!(run(&sv(&["bless", "--dir", a.to_str().unwrap(), "ext_fine_reconfig"])), 0);
-        assert_eq!(run(&sv(&["bless", "--dir", b.to_str().unwrap(), "ext_fine_reconfig"])), 0);
+        assert_eq!(
+            run(&sv(&[
+                "bless",
+                "--dir",
+                a.to_str().unwrap(),
+                "ext_fine_reconfig"
+            ])),
+            0
+        );
+        assert_eq!(
+            run(&sv(&[
+                "bless",
+                "--dir",
+                b.to_str().unwrap(),
+                "ext_fine_reconfig"
+            ])),
+            0
+        );
         // Dir vs dir self-comparison: clean.
-        assert_eq!(run(&sv(&["compare", a.to_str().unwrap(), b.to_str().unwrap()])), 0);
+        assert_eq!(
+            run(&sv(&["compare", a.to_str().unwrap(), b.to_str().unwrap()])),
+            0
+        );
         // File vs file with an injected 100% delta: exit 1, report written.
         let fa = a.join("ext_fine_reconfig.json");
         let fb = b.join("ext_fine_reconfig.json");
@@ -407,7 +446,10 @@ mod tests {
         );
         assert!(std::fs::read_to_string(&report).unwrap().contains("FAIL"));
         // Mixed file/dir operands are a usage error.
-        assert_eq!(run(&sv(&["compare", fa.to_str().unwrap(), b.to_str().unwrap()])), 2);
+        assert_eq!(
+            run(&sv(&["compare", fa.to_str().unwrap(), b.to_str().unwrap()])),
+            2
+        );
         let _ = std::fs::remove_dir_all(&a);
         let _ = std::fs::remove_dir_all(&b);
     }
@@ -415,7 +457,15 @@ mod tests {
     #[test]
     fn fingerprint_mismatch_exits_3() {
         let a = tmpdir("fp-a");
-        assert_eq!(run(&sv(&["bless", "--dir", a.to_str().unwrap(), "fig5b_lock_exclusive"])), 0);
+        assert_eq!(
+            run(&sv(&[
+                "bless",
+                "--dir",
+                a.to_str().unwrap(),
+                "fig5b_lock_exclusive"
+            ])),
+            0
+        );
         let p = a.join("fig5b_lock_exclusive.json");
         let text = std::fs::read_to_string(&p).unwrap();
         let fp_start = text.find("fm1-").unwrap();
@@ -423,7 +473,12 @@ mod tests {
         let swapped = text.replace(old_fp, "fm1-deadbeefdeadbeef");
         std::fs::write(&p, swapped).unwrap();
         assert_eq!(
-            run(&sv(&["check", "--dir", a.to_str().unwrap(), "fig5b_lock_exclusive"])),
+            run(&sv(&[
+                "check",
+                "--dir",
+                a.to_str().unwrap(),
+                "fig5b_lock_exclusive"
+            ])),
             3
         );
         let _ = std::fs::remove_dir_all(&a);
@@ -432,9 +487,22 @@ mod tests {
     #[test]
     fn claims_subcommand_runs_live_and_from_dir() {
         let a = tmpdir("claims");
-        assert_eq!(run(&sv(&["bless", "--dir", a.to_str().unwrap(), "fig5a_lock_shared"])), 0);
         assert_eq!(
-            run(&sv(&["claims", "--from", a.to_str().unwrap(), "fig5a_lock_shared"])),
+            run(&sv(&[
+                "bless",
+                "--dir",
+                a.to_str().unwrap(),
+                "fig5a_lock_shared"
+            ])),
+            0
+        );
+        assert_eq!(
+            run(&sv(&[
+                "claims",
+                "--from",
+                a.to_str().unwrap(),
+                "fig5a_lock_shared"
+            ])),
             0
         );
         assert_eq!(run(&sv(&["claims", "fig5a_lock_shared"])), 0);
@@ -444,7 +512,12 @@ mod tests {
         let text = std::fs::read_to_string(&p).unwrap();
         std::fs::write(&p, text.replace("\"160.1\"", "\"41.0\"")).unwrap();
         assert_eq!(
-            run(&sv(&["claims", "--from", a.to_str().unwrap(), "fig5a_lock_shared"])),
+            run(&sv(&[
+                "claims",
+                "--from",
+                a.to_str().unwrap(),
+                "fig5a_lock_shared"
+            ])),
             1
         );
         let _ = std::fs::remove_dir_all(&a);

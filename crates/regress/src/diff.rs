@@ -39,8 +39,8 @@ impl std::str::FromStr for LoadedReport {
             .get("schema")
             .and_then(JsonValue::as_str)
             .ok_or("missing \"schema\" field")?;
-        let version = schema_version(schema)
-            .ok_or_else(|| format!("unsupported schema {schema:?}"))?;
+        let version =
+            schema_version(schema).ok_or_else(|| format!("unsupported schema {schema:?}"))?;
         let bench = doc
             .get("bench")
             .and_then(JsonValue::as_str)
@@ -56,7 +56,12 @@ impl std::str::FromStr for LoadedReport {
                 tables.push(load_table(t).map_err(|e| format!("table #{i}: {e}"))?);
             }
         }
-        Ok(LoadedReport { version, bench, fingerprint, tables })
+        Ok(LoadedReport {
+            version,
+            bench,
+            fingerprint,
+            tables,
+        })
     }
 }
 
@@ -102,7 +107,11 @@ fn load_table(v: &JsonValue) -> Result<ReportTable, String> {
         .enumerate()
         .map(|(i, r)| strings(&format!("row {i}"), r))
         .collect::<Result<Vec<_>, _>>()?;
-    Ok(ReportTable { title, headers, rows })
+    Ok(ReportTable {
+        title,
+        headers,
+        rows,
+    })
 }
 
 /// Relative tolerance policy for numeric cells.
@@ -117,7 +126,10 @@ pub struct Tolerance {
 impl Tolerance {
     /// Uniform tolerance of `pct` percent.
     pub fn pct(pct: f64) -> Tolerance {
-        Tolerance { default_pct: pct, per_column: Vec::new() }
+        Tolerance {
+            default_pct: pct,
+            per_column: Vec::new(),
+        }
     }
 
     /// Tolerance for a given column header.
@@ -230,16 +242,26 @@ impl std::fmt::Display for DiffError {
 }
 
 /// Diff `new` against the `old` baseline under a tolerance policy.
-pub fn diff(old: &LoadedReport, new: &LoadedReport, tol: &Tolerance) -> Result<DiffReport, DiffError> {
+pub fn diff(
+    old: &LoadedReport,
+    new: &LoadedReport,
+    tol: &Tolerance,
+) -> Result<DiffReport, DiffError> {
     if old.bench != new.bench {
-        return Err(DiffError::BenchMismatch(old.bench.clone(), new.bench.clone()));
+        return Err(DiffError::BenchMismatch(
+            old.bench.clone(),
+            new.bench.clone(),
+        ));
     }
     if let (Some(a), Some(b)) = (&old.fingerprint, &new.fingerprint) {
         if a != b {
             return Err(DiffError::FingerprintMismatch(a.clone(), b.clone()));
         }
     }
-    let mut out = DiffReport { bench: new.bench.clone(), ..Default::default() };
+    let mut out = DiffReport {
+        bench: new.bench.clone(),
+        ..Default::default()
+    };
     if old.tables.len() != new.tables.len() {
         out.structural.push(format!(
             "table count changed: {} -> {}",
@@ -249,7 +271,8 @@ pub fn diff(old: &LoadedReport, new: &LoadedReport, tol: &Tolerance) -> Result<D
     }
     for (ti, ot) in old.tables.iter().enumerate() {
         let Some(nt) = new.tables.get(ti) else {
-            out.structural.push(format!("table {:?} missing from new report", ot.title));
+            out.structural
+                .push(format!("table {:?} missing from new report", ot.title));
             continue;
         };
         if ot.headers != nt.headers {
@@ -271,7 +294,11 @@ pub fn diff(old: &LoadedReport, new: &LoadedReport, tol: &Tolerance) -> Result<D
         for (or, nr) in ot.rows.iter().zip(&nt.rows) {
             let label = or.first().cloned().unwrap_or_default();
             for (ci, (oc, nc)) in or.iter().zip(nr).enumerate() {
-                let column = ot.headers.get(ci).cloned().unwrap_or_else(|| format!("#{ci}"));
+                let column = ot
+                    .headers
+                    .get(ci)
+                    .cloned()
+                    .unwrap_or_else(|| format!("#{ci}"));
                 match (parse_cell(oc), parse_cell(nc)) {
                     (Some(ov), Some(nv)) => {
                         let delta_pct = if ov == nv {
@@ -393,7 +420,10 @@ mod tests {
         let a = sample(Some("fm1-1"), "10.0");
         let mut b = a.clone();
         b.bench = "other".into();
-        assert!(matches!(diff(&a, &b, &Tolerance::default()), Err(DiffError::BenchMismatch(_, _))));
+        assert!(matches!(
+            diff(&a, &b, &Tolerance::default()),
+            Err(DiffError::BenchMismatch(_, _))
+        ));
 
         let mut c = a.clone();
         c.tables[0].rows.push(vec!["B".into(), "1.0".into()]);
@@ -403,7 +433,10 @@ mod tests {
 
         let mut e = a.clone();
         e.tables[0].headers[1] = "y".into();
-        assert_eq!(diff(&a, &e, &Tolerance::default()).unwrap().regressions(), 1);
+        assert_eq!(
+            diff(&a, &e, &Tolerance::default()).unwrap().regressions(),
+            1
+        );
 
         let mut f = a.clone();
         f.tables[0].rows[0][0] = "renamed".into();

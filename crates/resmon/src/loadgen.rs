@@ -20,7 +20,12 @@ pub struct BurstLoad {
 impl BurstLoad {
     /// Drive `schedule` on `node` until `until` (virtual time), then wind
     /// down all workers.
-    pub fn spawn(cluster: &Cluster, node: NodeId, schedule: BurstSchedule, until: SimTime) -> BurstLoad {
+    pub fn spawn(
+        cluster: &Cluster,
+        node: NodeId,
+        schedule: BurstSchedule,
+        until: SimTime,
+    ) -> BurstLoad {
         let stop = Rc::new(Cell::new(false));
         let stop2 = Rc::clone(&stop);
         let cluster = cluster.clone();

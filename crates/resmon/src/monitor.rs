@@ -11,9 +11,11 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use dc_fabric::kstat::{KernelStats, KSTAT_REGION_LEN};
-use dc_fabric::rpc::{parse_request, respond, RpcClient};
 use dc_fabric::{Cluster, NodeId, Transport};
 use dc_sim::SimTime;
+use dc_svc::{
+    parse_request, respond, Cost, Dispatcher, Mode, Service, ServiceSpec, Subsys, SvcClient, Wire,
+};
 
 use crate::scheme::MonitorScheme;
 
@@ -68,7 +70,7 @@ struct Inner {
     scheme: MonitorScheme,
     cfg: MonitorCfg,
     frontend: NodeId,
-    rpc: RpcClient,
+    client: SvcClient,
     targets: HashMap<NodeId, Rc<TargetState>>,
 }
 
@@ -90,7 +92,7 @@ impl Monitor {
         let mut map = HashMap::new();
         for &t in targets {
             let daemon_port = scheme.needs_daemon().then(|| {
-                let port = cluster.alloc_port();
+                let port = cluster.alloc_port_for(t, "resmon.daemon");
                 spawn_daemon(cluster, t, port, cfg);
                 port
             });
@@ -111,7 +113,7 @@ impl Monitor {
                 scheme,
                 cfg,
                 frontend,
-                rpc: RpcClient::new(cluster, frontend),
+                client: SvcClient::new(cluster, frontend),
                 targets: map,
             }),
         };
@@ -199,7 +201,7 @@ impl Monitor {
         let port = st.daemon_port.expect("socket scheme without daemon");
         let resp = self
             .inner
-            .rpc
+            .client
             .call(target, port, &[], Transport::Tcp)
             .await;
         let view = LoadView {
@@ -242,7 +244,10 @@ impl Monitor {
                     let observed_at = sim.now();
                     // Model the push as the TCP costs of a small message.
                     let m = cluster.model().clone();
-                    cluster.cpu(target).execute(m.tcp_send_cpu(KSTAT_REGION_LEN)).await;
+                    cluster
+                        .cpu(target)
+                        .execute(m.tcp_send_cpu(KSTAT_REGION_LEN))
+                        .await;
                     sim.sleep(m.tcp_base_ns).await;
                     *st.cached.borrow_mut() = LoadView { stats, observed_at };
                     sim.sleep(cfg.period_ns).await;
@@ -253,22 +258,25 @@ impl Monitor {
 }
 
 fn spawn_daemon(cluster: &Cluster, node: NodeId, port: u16, cfg: MonitorCfg) {
-    let cluster = cluster.clone();
-    let mut ep = cluster.bind(node, port);
-    cluster.sim().clone().spawn(async move {
-        loop {
-            let msg = ep.recv().await;
-            let req = parse_request(&msg);
-            // The user-level daemon must get the CPU to read /proc and
-            // reply — under load this is where the accuracy dies.
-            cluster.cpu(node).execute(cfg.daemon_cpu_ns).await;
-            let mut buf = [0u8; KSTAT_REGION_LEN];
-            let region = dc_fabric::mem::RegionData::new(KSTAT_REGION_LEN);
-            cluster.cpu(node).snapshot().encode_into(&region);
-            buf.copy_from_slice(&region.read(0, KSTAT_REGION_LEN));
-            respond(&cluster, node, &req, &buf, Transport::Tcp).await;
-        }
+    // The user-level daemon must get the CPU to read /proc and reply — under
+    // load this queueing is where the accuracy dies. The pump charges
+    // `daemon_cpu_ns` on the target's CPU before each reply.
+    let spec = ServiceSpec {
+        name: "resmon.daemon",
+        subsys: Subsys::Resmon,
+        node,
+        port,
+        cost: Cost::Cpu(cfg.daemon_cpu_ns),
+        mode: Mode::Serial,
+        queue_cap: None,
+    };
+    let dispatcher = Dispatcher::new().fallback(move |ctx, msg| async move {
+        let req = parse_request(&msg);
+        let buf = ctx.cluster.cpu(node).snapshot().encode();
+        debug_assert_eq!(buf.len(), KSTAT_REGION_LEN);
+        respond(&ctx.cluster, node, &req, &buf, Transport::Tcp).await;
     });
+    Service::spawn(cluster, spec, dispatcher);
 }
 
 #[cfg(test)]
@@ -402,9 +410,8 @@ mod tests {
         }
         sim.run_until(ms(1));
         let m2 = monitor.clone();
-        let (view, best) = sim.run_to(async move {
-            (m2.cluster_view().await, m2.least_loaded().await)
-        });
+        let (view, best) =
+            sim.run_to(async move { (m2.cluster_view().await, m2.least_loaded().await) });
         assert_eq!(
             view.iter().map(|&(n, _)| n).collect::<Vec<_>>(),
             vec![NodeId(1), NodeId(2), NodeId(3)]

@@ -39,11 +39,19 @@ struct TaskWaker {
 
 impl Wake for TaskWaker {
     fn wake(self: Arc<Self>) {
-        self.ready.q.lock().expect("ready queue poisoned").push_back(self.id);
+        self.ready
+            .q
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(self.id);
     }
 
     fn wake_by_ref(self: &Arc<Self>) {
-        self.ready.q.lock().expect("ready queue poisoned").push_back(self.id);
+        self.ready
+            .q
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(self.id);
     }
 }
 
@@ -192,7 +200,13 @@ impl Sim {
                 if jh.is_finished() {
                     return jh.try_take().expect("root output already taken");
                 }
-                let next = self.st.ready.q.lock().expect("ready queue poisoned").pop_front();
+                let next = self
+                    .st
+                    .ready
+                    .q
+                    .lock()
+                    .expect("ready queue poisoned")
+                    .pop_front();
                 match next {
                     Some(tid) => self.poll_task(tid),
                     None => break,
@@ -221,7 +235,13 @@ impl Sim {
         loop {
             // Drain all runnable tasks at the current instant.
             loop {
-                let next = self.st.ready.q.lock().expect("ready queue poisoned").pop_front();
+                let next = self
+                    .st
+                    .ready
+                    .q
+                    .lock()
+                    .expect("ready queue poisoned")
+                    .pop_front();
                 match next {
                     Some(tid) => self.poll_task(tid),
                     None => break,
@@ -312,7 +332,11 @@ where
         }
     };
     st.live.set(st.live.get() + 1);
-    st.ready.q.lock().expect("ready queue poisoned").push_back(tid);
+    st.ready
+        .q
+        .lock()
+        .expect("ready queue poisoned")
+        .push_back(tid);
     JoinHandle { join }
 }
 

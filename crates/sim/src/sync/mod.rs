@@ -12,7 +12,7 @@ mod notify;
 mod oneshot;
 mod semaphore;
 
-pub use mpsc::{channel, RecvError, Receiver, Sender};
+pub use mpsc::{channel, Receiver, RecvError, Sender};
 pub use mutex::{SimMutex, SimMutexGuard};
 pub use notify::Notify;
 pub use oneshot::{oneshot, OneReceiver, OneSender, RecvClosed};

@@ -246,9 +246,6 @@ mod tests {
             out
         });
         // At t=1us producers fire in spawn order; at t=3us (1+2) again.
-        assert_eq!(
-            got,
-            vec![(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)]
-        );
+        assert_eq!(got, vec![(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)]);
     }
 }

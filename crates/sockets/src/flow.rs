@@ -64,8 +64,7 @@ impl Reassembler {
                     "FIRST chunk arrived mid-message (framing violated)"
                 );
                 assert!(chunk.len() >= FIRST_HDR, "truncated FIRST header");
-                self.expected =
-                    u64::from_le_bytes(chunk[1..9].try_into().unwrap()) as usize;
+                self.expected = u64::from_le_bytes(chunk[1..9].try_into().unwrap()) as usize;
                 self.buf.clear();
                 self.buf.extend_from_slice(&chunk[FIRST_HDR..]);
                 self.in_message = true;

@@ -155,7 +155,7 @@ mod tests {
         let sim = Sim::new();
         let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 2);
         let port = cluster.alloc_port();
-        let mut rx = LaneReceiver::new(&cluster, cluster.bind(NodeId(1), port));
+        let mut rx = LaneReceiver::new(&cluster, dc_svc::bind_raw(&cluster, NodeId(1), port));
         let tx = LaneSender::new(&cluster, NodeId(0), NodeId(1), port, Transport::RdmaSend);
         for i in 0..20u8 {
             tx.send_bg(Bytes::from(vec![i]));
@@ -178,7 +178,7 @@ mod tests {
         // numbers; the receiver must still deliver 0..n in order.
         cluster.install_faults(FaultPlan::from_parts(3, vec![], vec![], vec![], 0.35));
         let port = cluster.alloc_port();
-        let mut rx = LaneReceiver::new(&cluster, cluster.bind(NodeId(1), port));
+        let mut rx = LaneReceiver::new(&cluster, dc_svc::bind_raw(&cluster, NodeId(1), port));
         let tx = LaneSender::new(&cluster, NodeId(0), NodeId(1), port, Transport::RdmaSend);
         for i in 0..50u8 {
             tx.send_bg(Bytes::from(vec![i]));

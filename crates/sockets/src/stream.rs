@@ -11,6 +11,7 @@ use std::rc::Rc;
 use bytes::Bytes;
 use dc_fabric::{Cluster, Endpoint, NodeId, Transport};
 use dc_sim::sync::{Notify, Semaphore};
+use dc_svc::bind_raw;
 
 use crate::config::SocketsConfig;
 use crate::flow::{decode_feedback, encode_feedback, frame, Reassembler};
@@ -63,10 +64,10 @@ pub fn connect(
     assert_ne!(a, b, "sockets connect endpoints must be distinct nodes");
     // Four ports per connection: each direction has a data port (bound at
     // its receiver) and a feedback port (bound at its sender).
-    let data_into_a = cluster.alloc_port();
-    let fb_into_a = cluster.alloc_port();
-    let data_into_b = cluster.alloc_port();
-    let fb_into_b = cluster.alloc_port();
+    let data_into_a = cluster.alloc_port_for(a, "sockets.stream.data");
+    let fb_into_a = cluster.alloc_port_for(a, "sockets.stream.fb");
+    let data_into_b = cluster.alloc_port_for(b, "sockets.stream.data");
+    let fb_into_b = cluster.alloc_port_for(b, "sockets.stream.fb");
     let end_a = StreamEnd::new_half(
         cluster,
         a,
@@ -125,8 +126,8 @@ impl StreamEnd {
         cfg: SocketsConfig,
         ports: LanePorts,
     ) -> StreamEnd {
-        let data_ep = cluster.bind(local, ports.data_in);
-        let fb_ep = cluster.bind(local, ports.fb_in);
+        let data_ep = bind_raw(cluster, local, ports.data_in);
+        let fb_ep = bind_raw(cluster, local, ports.fb_in);
         let tx = Tx::new(cluster, local, peer, ports.data_out, fb_ep, kind, cfg);
         let rx = Rx::new(cluster, local, peer, ports.fb_out, data_ep, kind, cfg);
         StreamEnd {
@@ -353,10 +354,7 @@ impl CreditTx {
             self.credits.set(self.credits.get() - 1);
             // Buffered SDP copies into a send buffer before posting.
             cpu.execute(self.cfg.copy_cost(chunk.len())).await;
-            self.cluster
-                .sim()
-                .sleep(self.cfg.issue_overhead_ns)
-                .await;
+            self.cluster.sim().sleep(self.cfg.issue_overhead_ns).await;
             self.lane.send_bg(chunk);
         }
     }
@@ -588,9 +586,7 @@ impl PackRx {
             let mut freed = 0usize;
             loop {
                 let chunk = lane.recv().await;
-                cl.cpu(local)
-                    .execute(cfg.copy_cost(chunk.len()))
-                    .await;
+                cl.cpu(local).execute(cfg.copy_cost(chunk.len())).await;
                 freed += chunk.len();
                 if freed >= cfg.ring_bytes / 4 {
                     let n = freed as u64;
@@ -650,7 +646,13 @@ mod tests {
 
     fn ping_pong(kind: StreamKind) {
         let (sim, cluster) = setup();
-        let (mut a, mut b) = connect(&cluster, NodeId(0), NodeId(1), kind, SocketsConfig::default());
+        let (mut a, mut b) = connect(
+            &cluster,
+            NodeId(0),
+            NodeId(1),
+            kind,
+            SocketsConfig::default(),
+        );
         sim.spawn(async move {
             let msg = b.recv().await;
             assert_eq!(&msg[..], b"ping");
@@ -672,7 +674,13 @@ mod tests {
 
     fn bulk(kind: StreamKind, len: usize, count: usize) {
         let (sim, cluster) = setup();
-        let (mut a, mut b) = connect(&cluster, NodeId(0), NodeId(1), kind, SocketsConfig::default());
+        let (mut a, mut b) = connect(
+            &cluster,
+            NodeId(0),
+            NodeId(1),
+            kind,
+            SocketsConfig::default(),
+        );
         let payload: Vec<u8> = (0..len).map(|i| (i * 7 % 256) as u8).collect();
         let expect = payload.clone();
         sim.spawn(async move {
@@ -704,8 +712,13 @@ mod tests {
         // block on the credit round trip; packetized must not.
         let elapsed = |kind: StreamKind| {
             let (sim, cluster) = setup();
-            let (mut a, mut b) =
-                connect(&cluster, NodeId(0), NodeId(1), kind, SocketsConfig::default());
+            let (mut a, mut b) = connect(
+                &cluster,
+                NodeId(0),
+                NodeId(1),
+                kind,
+                SocketsConfig::default(),
+            );
             sim.spawn(async move {
                 loop {
                     b.recv().await;
@@ -769,7 +782,13 @@ mod tests {
         // the same transfer.
         let receiver_busy = |kind: StreamKind| {
             let (sim, cluster) = setup();
-            let (mut a, mut b) = connect(&cluster, NodeId(0), NodeId(1), kind, SocketsConfig::default());
+            let (mut a, mut b) = connect(
+                &cluster,
+                NodeId(0),
+                NodeId(1),
+                kind,
+                SocketsConfig::default(),
+            );
             sim.spawn(async move { a.send(&vec![7u8; 32 * 1024]).await });
             let cl = cluster.clone();
             sim.run_to(async move {
@@ -806,8 +825,13 @@ mod tests {
                 vec![],
                 0.15,
             ));
-            let (mut a, mut b) =
-                connect(&cluster, NodeId(0), NodeId(1), kind, SocketsConfig::default());
+            let (mut a, mut b) = connect(
+                &cluster,
+                NodeId(0),
+                NodeId(1),
+                kind,
+                SocketsConfig::default(),
+            );
             let payload: Vec<u8> = (0..6_000).map(|i| (i * 13 % 256) as u8).collect();
             let expect = payload.clone();
             sim.spawn(async move {

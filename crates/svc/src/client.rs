@@ -1,0 +1,158 @@
+//! Unified control-plane clients.
+//!
+//! Two call shapes cover every service in the stack, and both are driven by
+//! one [`CallPolicy`] (response deadline + whole-call retry budget) instead
+//! of per-crate `ctrl_timeout_ns` copies:
+//!
+//! * [`call_legacy`] — the DDSS substrate framing: `[op u8][reply-port
+//!   u16le][body…]`, raw response on a fresh ephemeral reply port. One port
+//!   per call; used where wire bytes are pinned by golden baselines.
+//! * [`SvcClient`] — correlation-id multiplexed calls over a single bound
+//!   port (the fabric [`RpcClient`]), for services speaking the RPC framing.
+
+use bytes::Bytes;
+
+use dc_fabric::rpc::{RpcClient, DEFAULT_TIMEOUT_NS};
+use dc_fabric::{Cluster, NodeId, Transport};
+use dc_sim::SimTime;
+
+/// How a control call waits and retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallPolicy {
+    /// Response deadline per attempt.
+    pub timeout_ns: SimTime,
+    /// Whole-call attempts before giving up (min 1). Each attempt re-sends
+    /// the request; transport-level retransmits happen underneath.
+    pub attempts: u32,
+    /// Pause between attempts; `0` retries immediately (and schedules no
+    /// timer at all, preserving legacy executor timing).
+    pub backoff_ns: SimTime,
+}
+
+impl CallPolicy {
+    /// One attempt with the given deadline — the legacy daemons' behavior.
+    pub fn one_shot(timeout_ns: SimTime) -> CallPolicy {
+        CallPolicy {
+            timeout_ns,
+            attempts: 1,
+            backoff_ns: 0,
+        }
+    }
+}
+
+impl Default for CallPolicy {
+    /// Matches the historical `RpcClient::call` budget: four back-to-back
+    /// attempts at the default deadline.
+    fn default() -> CallPolicy {
+        CallPolicy {
+            timeout_ns: DEFAULT_TIMEOUT_NS,
+            attempts: 4,
+            backoff_ns: 0,
+        }
+    }
+}
+
+/// One-shot legacy-framed control call: allocate an ephemeral reply port,
+/// send `[op][reply-port][body]` reliably, await the raw response.
+///
+/// `None` means the request could not be delivered within the transport
+/// retry budget or no response arrived within the deadline on any attempt.
+#[allow(clippy::too_many_arguments)] // mirrors the wire layout, all scalars
+pub async fn call_legacy(
+    cluster: &Cluster,
+    from: NodeId,
+    to: NodeId,
+    port: u16,
+    op: u8,
+    body: &[u8],
+    transport: Transport,
+    policy: CallPolicy,
+) -> Option<Bytes> {
+    for attempt in 0..policy.attempts.max(1) {
+        if attempt > 0 && policy.backoff_ns > 0 {
+            cluster.sim().sleep(policy.backoff_ns).await;
+        }
+        let reply_port = cluster.alloc_port_for(from, "svc.reply");
+        let mut ep = cluster.bind(from, reply_port);
+        let mut req = Vec::with_capacity(3 + body.len());
+        req.push(op);
+        req.extend_from_slice(&reply_port.to_le_bytes());
+        req.extend_from_slice(body);
+        if cluster
+            .send_reliable(from, to, port, Bytes::from(req), transport)
+            .await
+            .is_err()
+        {
+            continue;
+        }
+        if let Ok(msg) = cluster.sim().timeout(policy.timeout_ns, ep.recv()).await {
+            return Some(msg.data);
+        }
+    }
+    None
+}
+
+/// Correlation-id multiplexed client: any number of concurrent calls over
+/// one bound port. Thin policy-carrying wrapper over the fabric
+/// [`RpcClient`]; clone freely.
+#[derive(Clone)]
+pub struct SvcClient {
+    rpc: RpcClient,
+    policy: CallPolicy,
+}
+
+impl SvcClient {
+    /// Client on `node` with the default policy (binds one port, spawns the
+    /// response pump).
+    pub fn new(cluster: &Cluster, node: NodeId) -> SvcClient {
+        SvcClient::with_policy(cluster, node, CallPolicy::default())
+    }
+
+    /// Client on `node` with an explicit policy.
+    pub fn with_policy(cluster: &Cluster, node: NodeId, policy: CallPolicy) -> SvcClient {
+        SvcClient {
+            rpc: RpcClient::new(cluster, node),
+            policy,
+        }
+    }
+
+    /// The node this client calls from.
+    pub fn node(&self) -> NodeId {
+        self.rpc.node()
+    }
+
+    /// Infallible call: retries per the policy, panics once the budget is
+    /// exhausted. Use [`SvcClient::try_call`] where the caller can degrade.
+    pub async fn call(&self, to: NodeId, port: u16, payload: &[u8], transport: Transport) -> Bytes {
+        for attempt in 0..self.policy.attempts.max(1) {
+            if attempt > 0 && self.policy.backoff_ns > 0 {
+                self.rpc.cluster().sim().sleep(self.policy.backoff_ns).await;
+            }
+            if let Some(resp) = self
+                .rpc
+                .try_call(to, port, payload, transport, self.policy.timeout_ns)
+                .await
+            {
+                return resp;
+            }
+        }
+        panic!(
+            "svc call to {to:?}:{port} failed: retry budget exhausted ({} attempts)",
+            self.policy.attempts.max(1)
+        );
+    }
+
+    /// Fallible call: one attempt against the policy deadline; `None` on
+    /// non-delivery or timeout.
+    pub async fn try_call(
+        &self,
+        to: NodeId,
+        port: u16,
+        payload: &[u8],
+        transport: Transport,
+    ) -> Option<Bytes> {
+        self.rpc
+            .try_call(to, port, payload, transport, self.policy.timeout_ns)
+            .await
+    }
+}

@@ -1,0 +1,210 @@
+//! Service-pump behavior: opcode routing, bounded-queue shedding, and
+//! concurrent in-flight handlers.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use bytes::Bytes;
+use dc_fabric::{Cluster, FabricModel, NodeId, Transport};
+use dc_sim::time::{ms, us};
+use dc_sim::Sim;
+use dc_svc::{Cost, Dispatcher, Mode, Service, ServiceSpec, Subsys};
+
+fn setup(nodes: usize) -> (Sim, Cluster) {
+    let sim = Sim::new();
+    let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), nodes);
+    (sim, cluster)
+}
+
+#[test]
+fn requests_route_by_opcode_with_fallback() {
+    let (sim, cluster) = setup(2);
+    let port = cluster.alloc_port_for(NodeId(1), "svc.test");
+    let log: Rc<RefCell<Vec<&'static str>>> = Rc::default();
+    let (l1, l2, l3) = (Rc::clone(&log), Rc::clone(&log), Rc::clone(&log));
+    let dispatcher = Dispatcher::new()
+        .on(1, move |_ctx, _msg| {
+            let log = Rc::clone(&l1);
+            async move { log.borrow_mut().push("one") }
+        })
+        .on(2, move |_ctx, _msg| {
+            let log = Rc::clone(&l2);
+            async move { log.borrow_mut().push("two") }
+        })
+        .fallback(move |_ctx, msg| {
+            let log = Rc::clone(&l3);
+            async move {
+                assert_eq!(msg.data[0], 9);
+                log.borrow_mut().push("other");
+            }
+        });
+    Service::spawn(
+        &cluster,
+        ServiceSpec {
+            name: "test.route",
+            subsys: Subsys::App,
+            node: NodeId(1),
+            port,
+            cost: Cost::None,
+            mode: Mode::Serial,
+            queue_cap: None,
+        },
+        dispatcher,
+    );
+    let c = cluster.clone();
+    sim.run_to(async move {
+        for op in [1u8, 2, 9, 1] {
+            c.send(
+                NodeId(0),
+                NodeId(1),
+                port,
+                Bytes::from(vec![op]),
+                Transport::RdmaSend,
+            )
+            .await;
+        }
+    });
+    sim.run();
+    assert_eq!(*log.borrow(), vec!["one", "two", "other", "one"]);
+    let snap = cluster.metrics().snapshot();
+    assert_eq!(snap.counter("svc.test.route.requests"), 4);
+    assert_eq!(snap.counter("svc.test.route.shed"), 0);
+}
+
+#[test]
+fn bounded_queue_sheds_overflow_and_counts_it() {
+    let (sim, cluster) = setup(2);
+    let port = cluster.alloc_port_for(NodeId(1), "svc.test");
+    let handled: Rc<Cell<u32>> = Rc::default();
+    let h2 = Rc::clone(&handled);
+    let dispatcher = Dispatcher::new().fallback(move |_ctx, _msg| {
+        let handled = Rc::clone(&h2);
+        async move { handled.set(handled.get() + 1) }
+    });
+    Service::spawn(
+        &cluster,
+        ServiceSpec {
+            name: "test.bounded",
+            subsys: Subsys::App,
+            node: NodeId(1),
+            port,
+            // Slow serial service: requests pile up while one is in flight.
+            cost: Cost::Sleep(us(200)),
+            mode: Mode::Serial,
+            queue_cap: Some(2),
+        },
+        dispatcher,
+    );
+    const SENT: u32 = 10;
+    let c = cluster.clone();
+    sim.run_to(async move {
+        for i in 0..SENT {
+            c.send(
+                NodeId(0),
+                NodeId(1),
+                port,
+                Bytes::from(vec![i as u8]),
+                Transport::RdmaSend,
+            )
+            .await;
+        }
+    });
+    sim.run();
+    let snap = cluster.metrics().snapshot();
+    let shed = snap.counter("svc.test.bounded.shed");
+    assert!(shed > 0, "bounded queue never shed");
+    assert_eq!(u64::from(handled.get()) + shed, u64::from(SENT));
+    assert_eq!(
+        snap.counter("svc.test.bounded.requests"),
+        u64::from(handled.get())
+    );
+}
+
+#[test]
+fn concurrent_mode_overlaps_in_flight_handlers() {
+    let (sim, cluster) = setup(2);
+    let port = cluster.alloc_port_for(NodeId(1), "svc.test");
+    let peak: Rc<Cell<u32>> = Rc::default();
+    let live: Rc<Cell<u32>> = Rc::default();
+    let done: Rc<Cell<u32>> = Rc::default();
+    let (p2, l2, d2) = (Rc::clone(&peak), Rc::clone(&live), Rc::clone(&done));
+    let dispatcher = Dispatcher::new().fallback(move |ctx, _msg| {
+        let (peak, live, done) = (Rc::clone(&p2), Rc::clone(&l2), Rc::clone(&d2));
+        async move {
+            live.set(live.get() + 1);
+            peak.set(peak.get().max(live.get()));
+            ctx.cluster.sim().sleep(ms(1)).await;
+            live.set(live.get() - 1);
+            done.set(done.get() + 1);
+        }
+    });
+    Service::spawn(
+        &cluster,
+        ServiceSpec {
+            name: "test.concurrent",
+            subsys: Subsys::App,
+            node: NodeId(1),
+            port,
+            cost: Cost::None,
+            mode: Mode::Concurrent,
+            queue_cap: None,
+        },
+        dispatcher,
+    );
+    let c = cluster.clone();
+    let h = sim.handle();
+    let finished = sim.spawn(async move {
+        for _ in 0..4 {
+            c.send(
+                NodeId(0),
+                NodeId(1),
+                port,
+                Bytes::from(vec![0u8]),
+                Transport::RdmaSend,
+            )
+            .await;
+        }
+        h.now()
+    });
+    sim.run();
+    drop(finished);
+    assert_eq!(done.get(), 4);
+    assert!(
+        peak.get() >= 2,
+        "handlers never overlapped (peak {})",
+        peak.get()
+    );
+}
+
+#[test]
+#[should_panic(expected = "no handler for opcode")]
+fn unroutable_opcode_panics_with_service_name() {
+    let (sim, cluster) = setup(2);
+    let port = cluster.alloc_port_for(NodeId(1), "svc.test");
+    let dispatcher = Dispatcher::new().on(1, |_ctx, _msg| async {});
+    Service::spawn(
+        &cluster,
+        ServiceSpec {
+            name: "test.strict",
+            subsys: Subsys::App,
+            node: NodeId(1),
+            port,
+            cost: Cost::None,
+            mode: Mode::Serial,
+            queue_cap: None,
+        },
+        dispatcher,
+    );
+    let c = cluster.clone();
+    sim.run_to(async move {
+        c.send(
+            NodeId(0),
+            NodeId(1),
+            port,
+            Bytes::from(vec![42u8]),
+            Transport::RdmaSend,
+        )
+        .await;
+    });
+    sim.run();
+}

@@ -489,7 +489,12 @@ mod tests {
         let mut w = JsonWriter::new();
         w.begin_object();
         w.key("name").string("fig\"3a\"");
-        w.key("values").begin_array().u64(1).f64(2.5).i64(-3).end_array();
+        w.key("values")
+            .begin_array()
+            .u64(1)
+            .f64(2.5)
+            .i64(-3)
+            .end_array();
         w.key("ok").bool(true);
         w.key("inner").begin_object().key("x").f64(0.1).end_object();
         w.end_object();
@@ -513,7 +518,11 @@ mod tests {
     #[test]
     fn nonfinite_floats_become_null() {
         let mut w = JsonWriter::new();
-        w.begin_array().f64(f64::NAN).f64(f64::INFINITY).f64(1.0).end_array();
+        w.begin_array()
+            .f64(f64::NAN)
+            .f64(f64::INFINITY)
+            .f64(1.0)
+            .end_array();
         let s = w.finish();
         assert_eq!(s, "[null,null,1]");
         assert!(validate(&s).is_ok());
@@ -554,7 +563,12 @@ mod tests {
     #[test]
     fn parse_preserves_key_order() {
         let v = parse(r#"{"z":1,"a":2,"m":3}"#).unwrap();
-        let keys: Vec<&str> = v.as_obj().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        let keys: Vec<&str> = v
+            .as_obj()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
         assert_eq!(keys, ["z", "a", "m"]);
     }
 
@@ -572,8 +586,14 @@ mod tests {
     fn writer_output_round_trips_through_parse() {
         let mut w = JsonWriter::new();
         w.begin_object();
-        w.key("title").string("Fig 5a — Shared-lock \"cascade\"\n(µs)");
-        w.key("rows").begin_array().u64(7).i64(-3).f64(0.125).end_array();
+        w.key("title")
+            .string("Fig 5a — Shared-lock \"cascade\"\n(µs)");
+        w.key("rows")
+            .begin_array()
+            .u64(7)
+            .i64(-3)
+            .f64(0.125)
+            .end_array();
         w.key("ok").bool(false);
         w.end_object();
         let text = w.finish();

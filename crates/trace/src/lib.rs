@@ -30,8 +30,8 @@ pub mod tracer;
 
 pub use event::{ArgVal, Event, Ph, Subsys, TraceMode};
 pub use hist::{tps, HistSummary, LatencyHist};
-pub use metrics::{Counter, Gauge, HistHandle, MetricValue, MetricsSnapshot, Registry};
 pub use json::JsonValue;
+pub use metrics::{Counter, Gauge, HistHandle, MetricValue, MetricsSnapshot, Registry};
 pub use report::{
     schema_version, BenchReport, ReportTable, BENCH_REPORT_SCHEMA, BENCH_REPORT_SCHEMA_V1,
 };

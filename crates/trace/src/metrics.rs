@@ -164,9 +164,10 @@ impl Registry {
     /// Get or create the histogram named `name`.
     pub fn hist(&self, name: &str) -> HistHandle {
         let mut m = self.metrics.borrow_mut();
-        match m.entry(name.to_string()).or_insert_with(|| {
-            Metric::Hist(HistHandle(Rc::new(RefCell::new(LatencyHist::new()))))
-        }) {
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Hist(HistHandle(Rc::new(RefCell::new(LatencyHist::new())))))
+        {
             Metric::Hist(h) => h.clone(),
             _ => panic!("metric {name:?} already registered with a different kind"),
         }

@@ -400,7 +400,13 @@ mod tests {
         sim.run_to(async move {
             let t0 = tr2.begin().unwrap();
             h.sleep(us(7)).await;
-            tr2.complete(t0, 3, Subsys::Fabric, "verb.read", vec![("bytes", 64u64.into())]);
+            tr2.complete(
+                t0,
+                3,
+                Subsys::Fabric,
+                "verb.read",
+                vec![("bytes", 64u64.into())],
+            );
         });
         let evs = tr.events();
         assert_eq!(evs.len(), 1);
@@ -456,7 +462,14 @@ mod tests {
     fn export_is_valid_json_and_deterministic() {
         let (_sim, tr) = traced_sim(TraceMode::Full);
         tr.instant_at(us(1), 1, Subsys::Fault, "drop", vec![("src", 0u32.into())]);
-        tr.complete_at(us(2), us(5), 0, Subsys::Dlm, "lock", vec![("lock", 7u64.into())]);
+        tr.complete_at(
+            us(2),
+            us(5),
+            0,
+            Subsys::Dlm,
+            "lock",
+            vec![("lock", 7u64.into())],
+        );
         tr.flow_start(42, 0, Subsys::Dlm, "lock.req");
         let a = tr.export_chrome_json();
         let b = tr.export_chrome_json();

@@ -76,7 +76,10 @@ fn bench_report_with_metrics_round_trips() {
     let text = rep.to_json();
 
     let tree = roundtrip(&text);
-    assert_eq!(tree.get("schema").unwrap().as_str(), Some("dc-bench-report/v2"));
+    assert_eq!(
+        tree.get("schema").unwrap().as_str(),
+        Some("dc-bench-report/v2")
+    );
     assert_eq!(
         tree.get("fingerprint").unwrap().as_str(),
         Some("fm1-00ff00ff00ff00ff")
@@ -95,7 +98,10 @@ fn bench_report_with_metrics_round_trips() {
         Some("160.1")
     );
     let metrics = tree.get("metrics").unwrap();
-    assert_eq!(metrics.get("fabric.verbs.read").unwrap().as_f64(), Some(41.0));
+    assert_eq!(
+        metrics.get("fabric.verbs.read").unwrap().as_f64(),
+        Some(41.0)
+    );
     assert_eq!(
         metrics.get("sockets.reorder_depth").unwrap().as_f64(),
         Some(-2.0)
@@ -119,8 +125,14 @@ fn empty_histogram_and_empty_registry_round_trip() {
     let text = r.snapshot().to_json();
     let tree = parse(&text).unwrap_or_else(|e| panic!("{e:?}: {text}"));
     let hist = tree.get("ddss.put_ns").expect("hist key present");
-    for field in ["count", "min_ns", "max_ns", "mean_ns", "p50_ns", "p99_ns", "p999_ns"] {
-        assert_eq!(hist.get(field).and_then(JsonValue::as_f64), Some(0.0), "{field}");
+    for field in [
+        "count", "min_ns", "max_ns", "mean_ns", "p50_ns", "p99_ns", "p999_ns",
+    ] {
+        assert_eq!(
+            hist.get(field).and_then(JsonValue::as_f64),
+            Some(0.0),
+            "{field}"
+        );
     }
     // Same guard at the type level.
     assert!(LatencyHist::new().is_empty());
@@ -152,7 +164,10 @@ fn hostile_strings_survive_the_writer_and_parser() {
         rows: vec![row],
     });
     let text = rep.to_json();
-    assert!(validate(&text).is_ok(), "writer emitted invalid JSON: {text}");
+    assert!(
+        validate(&text).is_ok(),
+        "writer emitted invalid JSON: {text}"
+    );
     let tree = parse(&text).unwrap();
     let params = tree.get("params").unwrap();
     for (i, s) in nasty.iter().enumerate() {
@@ -164,8 +179,13 @@ fn hostile_strings_survive_the_writer_and_parser() {
     }
     let t0 = &tree.get("tables").unwrap().as_arr().unwrap()[0];
     assert_eq!(t0.get("title").unwrap().as_str(), Some(nasty[3]));
-    let cells = t0.get("rows").unwrap().as_arr().unwrap()[0].as_arr().unwrap();
-    let expect: Vec<JsonValue> = nasty.iter().map(|s| JsonValue::Str(s.to_string())).collect();
+    let cells = t0.get("rows").unwrap().as_arr().unwrap()[0]
+        .as_arr()
+        .unwrap();
+    let expect: Vec<JsonValue> = nasty
+        .iter()
+        .map(|s| JsonValue::Str(s.to_string()))
+        .collect();
     assert_eq!(cells, &expect[..]);
 }
 

@@ -109,7 +109,10 @@ mod tests {
         let total: f64 = (0..50).map(|i| z.pmf(i)).sum();
         assert!((total - 1.0).abs() < 1e-9);
         for i in 1..50 {
-            assert!(z.pmf(i) <= z.pmf(i - 1) + 1e-12, "pmf not decreasing at {i}");
+            assert!(
+                z.pmf(i) <= z.pmf(i - 1) + 1e-12,
+                "pmf not decreasing at {i}"
+            );
         }
     }
 

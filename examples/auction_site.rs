@@ -48,7 +48,12 @@ fn main() {
     let map = SiteMap::new(
         &cluster,
         NodeId(0),
-        &[(NodeId(1), 0), (NodeId(2), 0), (NodeId(3), 1), (NodeId(4), 1)],
+        &[
+            (NodeId(1), 0),
+            (NodeId(2), 0),
+            (NodeId(3), 1),
+            (NodeId(4), 1),
+        ],
     );
     let monitor = Monitor::spawn(
         &cluster,

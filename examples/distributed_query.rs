@@ -11,6 +11,7 @@ use nextgen_datacenter::fabric::{Cluster, FabricModel, NodeId, Transport};
 use nextgen_datacenter::sim::time::fmt_time;
 use nextgen_datacenter::sim::Sim;
 use nextgen_datacenter::sockets::{connect, SocketsConfig, StreamKind};
+use nextgen_datacenter::svc::bind_raw;
 use nextgen_datacenter::workloads::StormQuery;
 
 const CHUNK: usize = 32 * 1024;
@@ -56,9 +57,9 @@ fn run_ddss(records: usize) -> u64 {
         ..DdssConfig::default()
     };
     let ddss = Ddss::new(&cluster, cfg, &[NodeId(0), NodeId(1)]);
-    let query_port = cluster.alloc_port();
-    let done_port = cluster.alloc_port();
-    let mut query_ep = cluster.bind(NodeId(1), query_port);
+    let query_port = cluster.alloc_port_for(NodeId(1), "example.query");
+    let done_port = cluster.alloc_port_for(NodeId(0), "example.done");
+    let mut query_ep = bind_raw(&cluster, NodeId(1), query_port);
     let server = ddss.client(NodeId(1));
     let cl = cluster.clone();
     sim.spawn(async move {
@@ -76,10 +77,16 @@ fn run_ddss(records: usize) -> u64 {
             notice.extend_from_slice(&(key.len as u64).to_le_bytes());
             notice.extend_from_slice(&key.region.0.to_le_bytes());
         }
-        cl.send(NodeId(1), NodeId(0), done_port, Bytes::from(notice), Transport::RdmaSend)
-            .await;
+        cl.send(
+            NodeId(1),
+            NodeId(0),
+            done_port,
+            Bytes::from(notice),
+            Transport::RdmaSend,
+        )
+        .await;
     });
-    let mut done_ep = cluster.bind(NodeId(0), done_port);
+    let mut done_ep = bind_raw(&cluster, NodeId(0), done_port);
     let reader = ddss.client(NodeId(0));
     let cl2 = cluster.clone();
     let h = sim.handle();
@@ -114,7 +121,10 @@ fn run_ddss(records: usize) -> u64 {
 
 fn main() {
     println!("STORM-style distributed query: sockets vs DDSS transport\n");
-    println!("{:>8}  {:>12}  {:>12}  {:>12}", "records", "sockets", "DDSS", "improvement");
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>12}",
+        "records", "sockets", "DDSS", "improvement"
+    );
     for records in StormQuery::FIG3B_RECORDS {
         let s = run_sockets(records);
         let d = run_ddss(records);

@@ -96,9 +96,7 @@ fn run(scheme: &str) -> (f64, u64) {
 }
 
 fn main() {
-    println!(
-        "16 nodes × {OPS_PER_NODE} ops on one lock (80% shared / 20% exclusive)\n"
-    );
+    println!("16 nodes × {OPS_PER_NODE} ops on one lock (80% shared / 20% exclusive)\n");
     println!("{:>8}  {:>14}  {:>8}", "scheme", "completion", "ops");
     for scheme in ["SRSL", "DQNL", "N-CoSED"] {
         let (ms_taken, ops) = run(scheme);

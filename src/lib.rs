@@ -37,5 +37,6 @@ pub use dc_reconfig as reconfig;
 pub use dc_resmon as resmon;
 pub use dc_sim as sim;
 pub use dc_sockets as sockets;
+pub use dc_svc as svc;
 pub use dc_trace as trace;
 pub use dc_workloads as workloads;

@@ -147,13 +147,30 @@ mod dc_bench_shim {
         }
         match scheme {
             LockScheme::Ncosed => {
-                drive!(NcosedDlm::new(&cluster, DlmConfig::default(), NodeId(0), 1, &members))
+                drive!(NcosedDlm::new(
+                    &cluster,
+                    DlmConfig::default(),
+                    NodeId(0),
+                    1,
+                    &members
+                ))
             }
             LockScheme::Dqnl => {
-                drive!(DqnlDlm::new(&cluster, DlmConfig::default(), NodeId(0), 1, &members))
+                drive!(DqnlDlm::new(
+                    &cluster,
+                    DlmConfig::default(),
+                    NodeId(0),
+                    1,
+                    &members
+                ))
             }
             LockScheme::Srsl => {
-                drive!(SrslDlm::new(&cluster, DlmConfig::default(), NodeId(0), &members))
+                drive!(SrslDlm::new(
+                    &cluster,
+                    DlmConfig::default(),
+                    NodeId(0),
+                    &members
+                ))
             }
         }
         sim.run();

@@ -41,8 +41,15 @@ fn stalled_lock_holder_delays_but_never_orphans() {
         let hh = h.clone();
         sim.spawn(async move {
             hh.sleep(ms(1)).await;
-            c.lock(0, if n % 2 == 0 { LockMode::Shared } else { LockMode::Exclusive })
-                .await;
+            c.lock(
+                0,
+                if n % 2 == 0 {
+                    LockMode::Shared
+                } else {
+                    LockMode::Exclusive
+                },
+            )
+            .await;
             g.set(g.get() + 1);
             c.unlock(0).await;
         });
@@ -63,7 +70,12 @@ fn eviction_storm_preserves_correctness() {
     let sim = Sim::new();
     let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 4);
     let fileset = Rc::new(FileSet::uniform(256, 8 * 1024));
-    let backend = Backend::spawn(&cluster, NodeId(0), BackendCfg::default(), Rc::clone(&fileset));
+    let backend = Backend::spawn(
+        &cluster,
+        NodeId(0),
+        BackendCfg::default(),
+        Rc::clone(&fileset),
+    );
     // Tiny caches: ~3 docs per node against a 256-doc working set.
     let cache = CoopCache::build(
         &cluster,
@@ -132,7 +144,10 @@ fn ddss_exhaustion_recovers() {
         for k in held.drain(..n) {
             assert!(client.free(k).await);
         }
-        assert!(client.allocate(NodeId(1), 100, Coherence::Null).await.is_some());
+        assert!(client
+            .allocate(NodeId(1), 100, Coherence::Null)
+            .await
+            .is_some());
     });
 }
 
@@ -145,7 +160,12 @@ fn saturation_respects_qos_and_stability() {
     let map = SiteMap::new(
         &cluster,
         NodeId(0),
-        &[(NodeId(1), 0), (NodeId(2), 0), (NodeId(3), 1), (NodeId(4), 1)],
+        &[
+            (NodeId(1), 0),
+            (NodeId(2), 0),
+            (NodeId(3), 1),
+            (NodeId(4), 1),
+        ],
     );
     let monitor = Monitor::spawn(
         &cluster,
@@ -188,7 +208,12 @@ fn ccwr_fallback_never_duplicates() {
     let sim = Sim::new();
     let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 4);
     let fileset = Rc::new(FileSet::uniform(64, 8 * 1024));
-    let backend = Backend::spawn(&cluster, NodeId(0), BackendCfg::default(), Rc::clone(&fileset));
+    let backend = Backend::spawn(
+        &cluster,
+        NodeId(0),
+        BackendCfg::default(),
+        Rc::clone(&fileset),
+    );
     let cache = CoopCache::build(
         &cluster,
         CacheScheme::Ccwr,

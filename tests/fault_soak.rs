@@ -21,7 +21,9 @@ use proptest::prelude::*;
 use nextgen_datacenter::coopcache::{Backend, BackendCfg, CacheCfg, CacheScheme, CoopCache};
 use nextgen_datacenter::ddss::{Coherence, Ddss, DdssConfig};
 use nextgen_datacenter::dlm::{DlmConfig, LockMode, NcosedDlm};
-use nextgen_datacenter::fabric::{Cluster, FabricModel, FaultConfig, FaultPlan, FaultStats, NodeId};
+use nextgen_datacenter::fabric::{
+    Cluster, FabricModel, FaultConfig, FaultPlan, FaultStats, NodeId,
+};
 use nextgen_datacenter::sim::time::{ms, us};
 use nextgen_datacenter::sim::Sim;
 use nextgen_datacenter::workloads::FileSet;
@@ -84,7 +86,12 @@ fn soak_run(wseed: u64, fseed: u64, drop_prob: f64) -> SoakOutcome {
 
     // --- cooperative cache over a lossy fabric ---
     let fileset = Rc::new(FileSet::uniform(DOCS, DOC_SIZE));
-    let backend = Backend::spawn(&cluster, NodeId(0), BackendCfg::default(), Rc::clone(&fileset));
+    let backend = Backend::spawn(
+        &cluster,
+        NodeId(0),
+        BackendCfg::default(),
+        Rc::clone(&fileset),
+    );
     let cache = CoopCache::build(
         &cluster,
         CacheScheme::Bcc,
@@ -153,7 +160,8 @@ fn soak_run(wseed: u64, fseed: u64, drop_prob: f64) -> SoakOutcome {
     // --- strict DDSS segment: concurrent writers, never torn ---
     let ddss = Ddss::new(&cluster, DdssConfig::default(), &members);
     let owner = ddss.client(NodeId(0));
-    let key = sim.run_to(async move { owner.allocate(NodeId(0), 64, Coherence::Strict).await })
+    let key = sim
+        .run_to(async move { owner.allocate(NodeId(0), 64, Coherence::Strict).await })
         .expect("ddss allocate");
     for w in 3..6u32 {
         let client = ddss.client(NodeId(w));
@@ -196,7 +204,11 @@ fn soak_run(wseed: u64, fseed: u64, drop_prob: f64) -> SoakOutcome {
 fn check_invariants(o: &SoakOutcome) {
     assert_eq!(o.wrong_bytes, 0, "served corrupted bytes: {o:?}");
     assert!(o.excl_peak <= 1, "two exclusive holders at once: {o:?}");
-    assert_eq!(o.lock_grants, 3 * LOCK_CYCLES as u32, "a lock waiter was orphaned: {o:?}");
+    assert_eq!(
+        o.lock_grants,
+        3 * LOCK_CYCLES as u32,
+        "a lock waiter was orphaned: {o:?}"
+    );
 }
 
 proptest! {
@@ -226,13 +238,25 @@ fn soak_with_all_fault_classes_is_survivable_and_reproducible() {
     let (wseed, fseed, drop) = (11, 23, 0.10);
     let plan = FaultPlan::generate(fseed, &fault_cfg(drop), 6);
     assert!(!plan.crash_windows().is_empty(), "schedule has no crash");
-    assert!(!plan.latency_windows().is_empty(), "schedule has no latency window");
-    assert!(!plan.stall_windows().is_empty(), "schedule has no stall window");
+    assert!(
+        !plan.latency_windows().is_empty(),
+        "schedule has no latency window"
+    );
+    assert!(
+        !plan.stall_windows().is_empty(),
+        "schedule has no stall window"
+    );
 
     let a = soak_run(wseed, fseed, drop);
     check_invariants(&a);
-    assert!(a.stats.dropped_msgs > 0, "no message was ever dropped: {a:?}");
-    assert!(a.stats.retries > 0, "nothing retried — faults were invisible: {a:?}");
+    assert!(
+        a.stats.dropped_msgs > 0,
+        "no message was ever dropped: {a:?}"
+    );
+    assert!(
+        a.stats.retries > 0,
+        "nothing retried — faults were invisible: {a:?}"
+    );
 
     let b = soak_run(wseed, fseed, drop);
     assert_eq!(a, b, "same fault seed must be bit-identical");

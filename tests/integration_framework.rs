@@ -31,7 +31,12 @@ fn full_stack_coexists_in_one_simulation() {
 
     // Services.
     let fileset = Rc::new(FileSet::uniform(64, 8 * 1024));
-    let backend = Backend::spawn(&cluster, NodeId(7), BackendCfg::default(), Rc::clone(&fileset));
+    let backend = Backend::spawn(
+        &cluster,
+        NodeId(7),
+        BackendCfg::default(),
+        Rc::clone(&fileset),
+    );
     let cache = CoopCache::build(
         &cluster,
         CacheScheme::Hybcc,
@@ -130,7 +135,12 @@ fn monitoring_stays_accurate_under_cache_load() {
     let sim = Sim::new();
     let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 5);
     let fileset = Rc::new(FileSet::uniform(128, 16 * 1024));
-    let backend = Backend::spawn(&cluster, NodeId(4), BackendCfg::default(), Rc::clone(&fileset));
+    let backend = Backend::spawn(
+        &cluster,
+        NodeId(4),
+        BackendCfg::default(),
+        Rc::clone(&fileset),
+    );
     let cache = CoopCache::build(
         &cluster,
         CacheScheme::Bcc,

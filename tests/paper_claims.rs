@@ -133,7 +133,10 @@ fn perturbed_calibration_is_rejected_by_the_differ() {
     let healthy = LoadedReport::from_bench(&scenario::fig3a_report());
     let drifted = LoadedReport::from_bench(&scenario::fig3a_report_with(&bad));
     let err = diff(&healthy, &drifted, &Tolerance::pct(100.0)).unwrap_err();
-    assert!(matches!(err, dc_regress::DiffError::FingerprintMismatch(_, _)));
+    assert!(matches!(
+        err,
+        dc_regress::DiffError::FingerprintMismatch(_, _)
+    ));
 }
 
 /// A live run diffs cleanly against itself at zero tolerance — the
@@ -143,7 +146,12 @@ fn live_report_self_comparison_is_clean() {
     let a = LoadedReport::from_bench(&scenario::fig5a_report());
     let b = LoadedReport::from_bench(&scenario::fig5a_report());
     let d = diff(&a, &b, &Tolerance::pct(0.0)).unwrap();
-    assert_eq!(d.regressions(), 0, "same seed, same model, same numbers:\n{}", d.render(false));
+    assert_eq!(
+        d.regressions(),
+        0,
+        "same seed, same model, same numbers:\n{}",
+        d.render(false)
+    );
     assert!(!d.cells.is_empty());
 }
 
@@ -153,13 +161,17 @@ fn live_report_self_comparison_is_clean() {
 #[test]
 fn live_runs_match_committed_baselines() {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("baselines");
-    assert!(dir.is_dir(), "committed baselines missing at {}", dir.display());
+    assert!(
+        dir.is_dir(),
+        "committed baselines missing at {}",
+        dir.display()
+    );
     for s in &scenario::ALL {
-        let base = LoadedReport::from_path(&dir.join(format!("{}.json", s.name)))
-            .expect("baseline loads");
+        let base =
+            LoadedReport::from_path(&dir.join(format!("{}.json", s.name))).expect("baseline loads");
         let live = LoadedReport::from_bench(&(s.run)());
-        let d = diff(&base, &live, &Tolerance::pct(0.0))
-            .unwrap_or_else(|e| panic!("{}: {e}", s.name));
+        let d =
+            diff(&base, &live, &Tolerance::pct(0.0)).unwrap_or_else(|e| panic!("{}: {e}", s.name));
         assert_eq!(
             d.regressions(),
             0,

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 
-use nextgen_datacenter::ddss::alloc::FreeListAllocator;
 use nextgen_datacenter::coopcache::LruStore;
+use nextgen_datacenter::ddss::alloc::FreeListAllocator;
 use nextgen_datacenter::dlm::LockWord;
 use nextgen_datacenter::fabric::NodeId;
 use nextgen_datacenter::sockets::flow::{frame, Reassembler};

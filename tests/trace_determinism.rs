@@ -25,7 +25,10 @@ fn traced_webfarm_artifacts_are_byte_identical() {
     assert_eq!(ra.tps.to_bits(), rb.tps.to_bits());
     assert!(ta.events > 0, "trace captured nothing");
     assert_eq!(ta.trace_json, tb.trace_json, "Perfetto JSON diverged");
-    assert_eq!(ta.metrics_json, tb.metrics_json, "metrics snapshot diverged");
+    assert_eq!(
+        ta.metrics_json, tb.metrics_json,
+        "metrics snapshot diverged"
+    );
 }
 
 #[test]

@@ -82,7 +82,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmark `f` against `input` under `id`.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -91,7 +96,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmark `f` under `id` with no input.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
         run_one(&format!("{}/{id}", self.name), |b| f(b));
         self
     }
