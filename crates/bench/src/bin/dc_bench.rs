@@ -1,0 +1,105 @@
+//! `dc-bench` — scenario registry front-end.
+//!
+//! ```text
+//! dc-bench list
+//!     Print every registered scenario with its title.
+//!
+//! dc-bench wallclock [--runs N] [--scenario NAME]... [--out PATH] [--json]
+//!     Run each selected scenario (default: all 10) N times (default: 5),
+//!     measure host wall time and scheduler counters, and print the
+//!     throughput table. `--out PATH` writes the BenchReport JSON (the
+//!     BENCH_wallclock.json perf-trajectory artifact); `--json` prints it
+//!     to stdout instead of the table.
+//! ```
+
+use dc_bench::scenario::{self, Scenario};
+use dc_bench::wallclock;
+use dc_core::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for s in &scenario::ALL {
+                println!("{:24} {}", s.name, s.title);
+            }
+        }
+        Some("wallclock") => run_wallclock(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`; try `list` or `wallclock`");
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!("usage: dc-bench <list|wallclock> [flags]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_wallclock(args: &[String]) {
+    let mut runs: usize = 5;
+    let mut names: Vec<String> = Vec::new();
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--runs" => {
+                i += 1;
+                let v = args.get(i).unwrap_or_else(|| die("--runs requires N"));
+                runs = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("--runs: not a number: {v}")));
+                if runs == 0 {
+                    die("--runs must be at least 1");
+                }
+            }
+            "--scenario" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--scenario requires a name"));
+                names.push(v.clone());
+            }
+            "--out" => {
+                i += 1;
+                let v = args.get(i).unwrap_or_else(|| die("--out requires a path"));
+                out = Some(std::path::PathBuf::from(v));
+            }
+            "--json" => json = true,
+            other => die(&format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+
+    let selected: Vec<&Scenario> = if names.is_empty() {
+        scenario::ALL.iter().collect()
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                scenario::by_name(n)
+                    .unwrap_or_else(|| die(&format!("unknown scenario `{n}`; see `dc-bench list`")))
+            })
+            .collect()
+    };
+
+    let measured = wallclock::measure_all(&selected, runs);
+    let report = wallclock::wallclock_report(&measured, runs);
+    if let Some(path) = &out {
+        std::fs::write(path, report.to_json())
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    }
+    if json && out.is_none() {
+        println!("{}", report.to_json());
+    } else {
+        for t in report.tables() {
+            Table::from_report(t).print();
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("dc-bench: {msg}");
+    std::process::exit(2);
+}

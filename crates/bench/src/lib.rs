@@ -32,3 +32,4 @@ pub mod fig8a;
 pub mod fig8b;
 pub mod scenario;
 pub mod sweep;
+pub mod wallclock;

@@ -1,0 +1,196 @@
+//! Wall-clock throughput metering for the scenario registry.
+//!
+//! Every figure in this repo is a discrete-event simulation, so the engine's
+//! events-per-second of *host* time is the end-to-end throughput of the whole
+//! reproduction. This module runs each registered scenario N times, measures
+//! host wall time around each run, and reads the scheduler counters
+//! ([`dc_sim::thread_totals`]) as a delta — polls, ready-queue events, timers
+//! fired — to derive sim-events/sec.
+//!
+//! Two properties make the numbers trustworthy:
+//!
+//! * **Determinism self-check** — the counter deltas must be identical across
+//!   the N runs of a scenario (the workload is seeded and the engine is
+//!   deterministic); any divergence panics rather than reporting garbage.
+//! * **Median wall time** — the reported events/sec uses the median of N wall
+//!   times, so a single cold run or scheduler hiccup does not skew the
+//!   trajectory point.
+//!
+//! `dc-bench wallclock` wraps this into `BENCH_wallclock.json`, the perf
+//! trajectory artifact that CI uploads per PR.
+
+use std::time::Instant;
+
+use dc_fabric::FabricModel;
+use dc_sim::{thread_totals, SimCounters};
+use dc_trace::BenchReport;
+
+use crate::scenario::Scenario;
+
+/// One timed run of one scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct RunMeasurement {
+    /// Host wall time for the run, in nanoseconds.
+    pub wall_ns: u64,
+    /// Scheduler counter delta for the run.
+    pub counters: SimCounters,
+}
+
+/// All runs of one scenario.
+pub struct ScenarioMeasurement {
+    /// Registry name (`fig6_coopcache`, ...).
+    pub name: &'static str,
+    /// Per-run measurements, in run order.
+    pub runs: Vec<RunMeasurement>,
+}
+
+impl ScenarioMeasurement {
+    /// Median host wall time across runs, in nanoseconds.
+    pub fn median_wall_ns(&self) -> u64 {
+        let mut walls: Vec<u64> = self.runs.iter().map(|r| r.wall_ns).collect();
+        walls.sort_unstable();
+        walls[walls.len() / 2]
+    }
+
+    /// Fastest run, in nanoseconds.
+    pub fn best_wall_ns(&self) -> u64 {
+        self.runs.iter().map(|r| r.wall_ns).min().unwrap_or(0)
+    }
+
+    /// The (run-invariant) scheduler counters of one run.
+    pub fn counters(&self) -> SimCounters {
+        self.runs.first().map(|r| r.counters).unwrap_or_default()
+    }
+
+    /// Simulator events per second of host time, at the median wall time.
+    /// "Events" counts ready-queue wakes plus timers fired — the unit of
+    /// scheduler work the engine overhaul optimises.
+    pub fn events_per_sec(&self) -> f64 {
+        let c = self.counters();
+        let events = (c.events + c.timers_fired) as f64;
+        let wall_s = self.median_wall_ns() as f64 / 1e9;
+        if wall_s > 0.0 {
+            events / wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Run `scenario` `runs` times, timing each run and reading the scheduler
+/// counter delta around it. Panics if the counter deltas differ between runs
+/// (a determinism violation worth failing loudly for).
+pub fn measure(scenario: &Scenario, runs: usize) -> ScenarioMeasurement {
+    assert!(runs > 0, "need at least one run");
+    let mut out = Vec::with_capacity(runs);
+    for i in 0..runs {
+        let c0 = thread_totals();
+        let t0 = Instant::now();
+        let report = (scenario.run)();
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        let c1 = thread_totals();
+        std::hint::black_box(&report);
+        let counters = SimCounters {
+            polls: c1.polls - c0.polls,
+            events: c1.events - c0.events,
+            timers_fired: c1.timers_fired - c0.timers_fired,
+        };
+        if let Some(first) = out.first() {
+            let first: &RunMeasurement = first;
+            assert_eq!(
+                first.counters, counters,
+                "{}: scheduler counters diverged between run 0 and run {i} — \
+                 the scenario is not deterministic",
+                scenario.name
+            );
+        }
+        out.push(RunMeasurement { wall_ns, counters });
+    }
+    ScenarioMeasurement {
+        name: scenario.name,
+        runs: out,
+    }
+}
+
+/// Measure a list of scenarios back to back.
+pub fn measure_all(scenarios: &[&Scenario], runs: usize) -> Vec<ScenarioMeasurement> {
+    scenarios.iter().map(|s| measure(s, runs)).collect()
+}
+
+/// Assemble the `wallclock` [`BenchReport`]: one row per scenario, plus the
+/// aggregate scheduler counters as params (`sim.polls`, `sim.events`,
+/// `sim.timers_fired`) so the report meta carries the engine totals.
+pub fn wallclock_report(measured: &[ScenarioMeasurement], runs: usize) -> BenchReport {
+    let mut table = dc_core::Table::new(
+        "Wall-clock throughput by scenario",
+        &[
+            "scenario",
+            "runs",
+            "wall_ms_median",
+            "wall_ms_best",
+            "sim_events",
+            "events_per_sec",
+            "polls",
+            "timers_fired",
+        ],
+    );
+    let mut total = SimCounters::default();
+    for m in measured {
+        let c = m.counters();
+        total.polls += c.polls;
+        total.events += c.events;
+        total.timers_fired += c.timers_fired;
+        table.row(vec![
+            m.name.to_string(),
+            format!("{}", m.runs.len()),
+            format!("{:.3}", m.median_wall_ns() as f64 / 1e6),
+            format!("{:.3}", m.best_wall_ns() as f64 / 1e6),
+            format!("{}", c.events + c.timers_fired),
+            format!("{:.0}", m.events_per_sec()),
+            format!("{}", c.polls),
+            format!("{}", c.timers_fired),
+        ]);
+    }
+    let mut r = BenchReport::new("wallclock");
+    r.set_fingerprint(&FabricModel::calibrated_2007().fingerprint());
+    r.add_param("runs", runs as u64);
+    r.add_param("scenarios", measured.len() as u64);
+    r.add_param("sim.polls", total.polls);
+    r.add_param("sim.events", total.events);
+    r.add_param("sim.timers_fired", total.timers_fired);
+    r.add_table(table.to_report());
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+
+    #[test]
+    fn measuring_a_cheap_scenario_yields_consistent_counters() {
+        let s = scenario::by_name("fig5a_lock_shared").unwrap();
+        let m = measure(s, 2);
+        assert_eq!(m.runs.len(), 2);
+        let c = m.counters();
+        assert!(c.polls > 0, "scenario performed no polls");
+        assert!(c.timers_fired > 0, "scenario fired no timers");
+        assert!(c.events >= c.polls, "every poll is dequeued from ready");
+        assert!(m.median_wall_ns() > 0);
+        assert!(m.events_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn wallclock_report_is_schema_valid_with_counter_params() {
+        let s = scenario::by_name("fig5b_lock_exclusive").unwrap();
+        let measured = measure_all(&[s], 1);
+        let rep = wallclock_report(&measured, 1);
+        assert_eq!(rep.bench(), "wallclock");
+        let json = rep.to_json();
+        assert!(dc_trace::json::validate(&json).is_ok());
+        assert!(json.contains("\"sim.polls\""));
+        assert!(json.contains("\"sim.events\""));
+        assert!(json.contains("\"sim.timers_fired\""));
+        assert!(json.contains("fig5b_lock_exclusive"));
+    }
+}

@@ -241,7 +241,7 @@ impl CacheNode {
             index.write_u64(*victim as usize * 8, 0);
             let dir = self.inner.directory.clone();
             let (me, v) = (self.inner.node, *victim);
-            self.inner.cluster.sim().clone().spawn(async move {
+            self.inner.cluster.sim().spawn_detached(async move {
                 dir.clear(me, v, me).await;
             });
         }
@@ -260,7 +260,7 @@ impl CacheNode {
         // Publish in the shared directory (background).
         let dir = self.inner.directory.clone();
         let me = self.inner.node;
-        self.inner.cluster.sim().clone().spawn(async move {
+        self.inner.cluster.sim().spawn_detached(async move {
             dir.set(me, doc, me).await;
         });
         Some(offset)

@@ -213,12 +213,14 @@ impl CoopCache {
     /// backend fetch: count it and leave a marker on the proxy's track.
     fn note_degrade(&self, proxy: NodeId, doc: DocId) {
         self.inner.stale_fallbacks.inc();
-        self.inner.cluster.tracer().instant(
-            proxy.0,
-            Subsys::Coopcache,
-            "cache.degrade",
-            vec![("doc", u64::from(doc).into())],
-        );
+        if self.inner.cluster.tracer().is_enabled() {
+            self.inner.cluster.tracer().instant(
+                proxy.0,
+                Subsys::Coopcache,
+                "cache.degrade",
+                vec![("doc", u64::from(doc).into())],
+            );
+        }
     }
 
     /// Serve `doc` at `proxy`; returns the content and how it was obtained.

@@ -241,11 +241,14 @@ fn run_webfarm_inner(
         cache: cache.stats(),
         span_ns: span,
     };
-    let artifacts = trace.map(|_| TraceArtifacts {
-        trace_json: cluster.tracer().export_chrome_json(),
-        metrics_json: cluster.metrics().snapshot().to_json(),
-        events: cluster.tracer().len(),
-        dropped: cluster.tracer().dropped(),
+    let artifacts = trace.map(|_| {
+        cluster.sync_sim_metrics();
+        TraceArtifacts {
+            trace_json: cluster.tracer().export_chrome_json(),
+            metrics_json: cluster.metrics().snapshot().to_json(),
+            events: cluster.tracer().len(),
+            dropped: cluster.tracer().dropped(),
+        }
     });
     (result, artifacts)
 }

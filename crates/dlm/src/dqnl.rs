@@ -12,7 +12,6 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use bytes::Bytes;
 use dc_fabric::{Cluster, NodeId, RegionId, RemoteAddr, Transport};
 use dc_sim::sync::{oneshot, OneSender};
 use dc_svc::{Cost, Ctx, Dispatcher, Mode, Service, ServiceSpec, Wire};
@@ -137,20 +136,18 @@ impl DqnlDlm {
         let issue = self.inner.cfg.grant_issue_ns;
         let policy = self.inner.cfg.msg_retry;
         let port = self.agent_port(to);
-        self.inner.cluster.sim().clone().spawn(async move {
+        self.inner.cluster.sim().spawn_detached(async move {
             cluster.sim().sleep(issue).await;
             cluster
                 .send_reliable_with(
                     from,
                     to,
                     port,
-                    Bytes::from(
-                        DlmMsg::Grant {
-                            lock,
-                            exclusive: true,
-                        }
-                        .encode(),
-                    ),
+                    DlmMsg::Grant {
+                        lock,
+                        exclusive: true,
+                    }
+                    .encode_bytes(),
                     Transport::RdmaSend,
                     policy,
                 )
@@ -281,21 +278,19 @@ impl DqnlClient {
             let issue = self.dlm.inner.cfg.grant_issue_ns;
             let policy = self.dlm.inner.cfg.msg_retry;
             let from = self.node;
-            let req = Bytes::from(
-                DlmMsg::ExclReq {
-                    lock,
-                    from,
-                    shared_seen: 0,
-                }
-                .encode(),
-            );
+            let req = DlmMsg::ExclReq {
+                lock,
+                from,
+                shared_seen: 0,
+            }
+            .encode_bytes();
             cluster.tracer().flow_start(
                 req_flow_id(lock, from),
                 from.0,
                 Subsys::Dlm,
                 "lock.request",
             );
-            cluster.sim().clone().spawn(async move {
+            cluster.sim().spawn_detached(async move {
                 cl.sim().sleep(issue).await;
                 cl.send_reliable_with(from, pred, port, req, Transport::RdmaSend, policy)
                     .await
@@ -329,12 +324,14 @@ impl DqnlClient {
     /// Release `lock`.
     pub async fn unlock(&self, lock: LockId) {
         let cluster = self.dlm.inner.cluster.clone();
-        cluster.tracer().instant(
-            self.node.0,
-            Subsys::Dlm,
-            "lock.release",
-            vec![("lock", lock.into()), ("exclusive", 1u64.into())],
-        );
+        if cluster.tracer().is_enabled() {
+            cluster.tracer().instant(
+                self.node.0,
+                Subsys::Dlm,
+                "lock.release",
+                vec![("lock", lock.into()), ("exclusive", 1u64.into())],
+            );
+        }
         let agent = Rc::clone(&self.dlm.inner.agents.borrow()[&self.node]);
         {
             let mut locks = agent.locks.borrow_mut();

@@ -26,7 +26,6 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use bytes::Bytes;
 use dc_fabric::{Cluster, NodeId, RegionId, RemoteAddr, Transport};
 use dc_sim::sync::{oneshot, OneSender};
 use dc_svc::{Cost, Dispatcher, Mode, Service, ServiceSpec, Wire};
@@ -220,12 +219,12 @@ impl NcosedDlm {
                 _ => {}
             }
         }
-        self.inner.cluster.sim().clone().spawn(async move {
+        self.inner.cluster.sim().spawn_detached(async move {
             for (to, port, msg) in msgs {
                 cluster.sim().sleep(issue_ns).await;
                 let c2 = cluster.clone();
-                let data = Bytes::from(msg.encode());
-                cluster.sim().clone().spawn(async move {
+                let data = msg.encode_bytes();
+                cluster.sim().spawn_detached(async move {
                     // Grant authority is handed over exactly once; losing a
                     // protocol message would orphan a waiter forever, so ride
                     // the reliable transport and treat budget exhaustion as
@@ -640,15 +639,17 @@ impl NcosedClient {
                 .take()
                 .expect("unlock of a lock this node does not hold")
         };
-        cluster.tracer().instant(
-            self.node.0,
-            Subsys::Dlm,
-            "lock.release",
-            vec![
-                ("lock", lock.into()),
-                ("exclusive", u64::from(mode == LockMode::Exclusive).into()),
-            ],
-        );
+        if cluster.tracer().is_enabled() {
+            cluster.tracer().instant(
+                self.node.0,
+                Subsys::Dlm,
+                "lock.release",
+                vec![
+                    ("lock", lock.into()),
+                    ("exclusive", u64::from(mode == LockMode::Exclusive).into()),
+                ],
+            );
+        }
         match mode {
             LockMode::Shared => {
                 // Off-critical-path bookkeeping to the home agent.

@@ -10,7 +10,6 @@ use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
-use bytes::Bytes;
 use dc_fabric::{Cluster, NodeId, Transport};
 use dc_sim::sync::{oneshot, OneSender};
 use dc_svc::{Cost, Dispatcher, Mode, Service, ServiceSpec, Wire};
@@ -244,8 +243,8 @@ async fn issue_grants(inner: &Rc<Inner>, grants: Vec<(NodeId, LockId, bool)>) {
             .flow_start(grant_flow_id(lock, to), server.0, Subsys::Dlm, "lock.grant");
         let port = inner.agent_ports.borrow()[&to];
         let c2 = cluster.clone();
-        let data = Bytes::from(DlmMsg::Grant { lock, exclusive }.encode());
-        cluster.sim().clone().spawn(async move {
+        let data = DlmMsg::Grant { lock, exclusive }.encode_bytes();
+        cluster.sim().spawn_detached(async move {
             // A lost grant would orphan the waiter: reliable or bust.
             c2.send_reliable_with(server, to, port, data, Transport::RdmaSend, cfg.msg_retry)
                 .await
@@ -282,14 +281,12 @@ impl SrslClient {
                 self.node,
                 inner.server,
                 inner.server_port,
-                Bytes::from(
-                    DlmMsg::SrvLock {
-                        lock,
-                        from: self.node,
-                        exclusive: mode == LockMode::Exclusive,
-                    }
-                    .encode(),
-                ),
+                DlmMsg::SrvLock {
+                    lock,
+                    from: self.node,
+                    exclusive: mode == LockMode::Exclusive,
+                }
+                .encode_bytes(),
                 Transport::RdmaSend,
                 inner.cfg.msg_retry,
             )
@@ -315,25 +312,25 @@ impl SrslClient {
     /// Release `lock`.
     pub async fn unlock(&self, lock: LockId) {
         let inner = &self.dlm.inner;
-        inner.cluster.tracer().instant(
-            self.node.0,
-            Subsys::Dlm,
-            "lock.release",
-            vec![("lock", lock.into())],
-        );
+        if inner.cluster.tracer().is_enabled() {
+            inner.cluster.tracer().instant(
+                self.node.0,
+                Subsys::Dlm,
+                "lock.release",
+                vec![("lock", lock.into())],
+            );
+        }
         inner
             .cluster
             .send_reliable_with(
                 self.node,
                 inner.server,
                 inner.server_port,
-                Bytes::from(
-                    DlmMsg::SrvUnlock {
-                        lock,
-                        from: self.node,
-                    }
-                    .encode(),
-                ),
+                DlmMsg::SrvUnlock {
+                    lock,
+                    from: self.node,
+                }
+                .encode_bytes(),
                 Transport::RdmaSend,
                 inner.cfg.msg_retry,
             )

@@ -24,10 +24,10 @@
 //! remote fetches serializes them on its transmit link.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use bytes::Bytes;
+use dc_sim::fxhash::FxHashMap;
 use dc_sim::sync::{channel, Receiver, Semaphore, Sender};
 use dc_sim::SimHandle;
 use dc_trace::{Counter, Gauge, Registry, Subsys, Tracer};
@@ -104,7 +104,7 @@ pub struct VerbStats {
 struct NodeInner {
     regions: RefCell<Vec<RegionData>>,
     cpu: crate::cpu::CpuModel,
-    ports: RefCell<HashMap<u16, Sender<Message>>>,
+    ports: RefCell<FxHashMap<u16, Sender<Message>>>,
     /// Outbound link: serializes payload transmission from this node.
     link: Semaphore,
 }
@@ -206,7 +206,7 @@ impl Cluster {
         let node = Rc::new(NodeInner {
             regions: RefCell::new(vec![kstat]),
             cpu,
-            ports: RefCell::new(HashMap::new()),
+            ports: RefCell::new(FxHashMap::default()),
             link: Semaphore::new(1),
         });
         let mut nodes = self.inner.nodes.borrow_mut();
@@ -264,6 +264,22 @@ impl Cluster {
     /// into (`fabric.*`, `sockets.*`, `fault.*`, plus service-level names).
     pub fn metrics(&self) -> Rc<Registry> {
         Rc::clone(&self.inner.metrics)
+    }
+
+    /// Copy the executor's scheduler counters into the registry as
+    /// `sim.polls`, `sim.events`, and `sim.timers_fired`, so metric
+    /// snapshots carry the engine work that produced them. The counters
+    /// only ever grow, so this can be called before every snapshot.
+    pub fn sync_sim_metrics(&self) {
+        let c = self.inner.sim.counters();
+        for (name, v) in [
+            ("sim.polls", c.polls),
+            ("sim.events", c.events),
+            ("sim.timers_fired", c.timers_fired),
+        ] {
+            let ctr = self.inner.metrics.counter(name);
+            ctr.add(v.saturating_sub(ctr.get()));
+        }
     }
 
     /// Record one lane-level retransmission (called by the socket layer).
@@ -333,7 +349,7 @@ impl Cluster {
             let cpu = self.cpu(w.node);
             let sim = self.inner.sim.clone();
             let (start, dur) = (w.start, w.dur);
-            self.inner.sim.spawn(async move {
+            self.inner.sim.spawn_detached(async move {
                 sim.sleep_until(start).await;
                 cpu.execute(dur).await;
             });
@@ -499,8 +515,7 @@ impl Cluster {
         let target = self.node(addr.node);
         // Queue on the target's outbound link for the payload.
         let permit = target.link.acquire_permit().await;
-        let region = target.regions.borrow()[addr.region.0 as usize].clone();
-        let data = Bytes::from(region.read(addr.offset, len));
+        let data = target.regions.borrow()[addr.region.0 as usize].read_bytes(addr.offset, len);
         sim.sleep(inflate(m.ib_bytes_time(len), f)).await;
         drop(permit);
         sim.sleep(inflate(m.rdma_read_base_ns - m.rdma_read_base_ns / 2, f))
@@ -569,8 +584,7 @@ impl Cluster {
             return Err(FabricError::Unreachable(addr.node));
         }
         let target = self.node(addr.node);
-        let region = target.regions.borrow()[addr.region.0 as usize].clone();
-        region.write(addr.offset, data);
+        target.regions.borrow()[addr.region.0 as usize].write(addr.offset, data);
         sim.sleep(inflate(m.rdma_write_base_ns - m.rdma_write_base_ns / 2, f))
             .await;
         self.inner.stats.writes.inc();
@@ -633,8 +647,8 @@ impl Cluster {
             return Err(FabricError::Unreachable(addr.node));
         }
         let target = self.node(addr.node);
-        let region = target.regions.borrow()[addr.region.0 as usize].clone();
-        let old = region.cas_u64(addr.offset, expect, swap);
+        let old =
+            target.regions.borrow()[addr.region.0 as usize].cas_u64(addr.offset, expect, swap);
         sim.sleep(inflate(m.atomic_base_ns - m.atomic_base_ns / 2, f))
             .await;
         self.inner.stats.cas.inc();
@@ -695,8 +709,7 @@ impl Cluster {
             return Err(FabricError::Unreachable(addr.node));
         }
         let target = self.node(addr.node);
-        let region = target.regions.borrow()[addr.region.0 as usize].clone();
-        let old = region.faa_u64(addr.offset, add);
+        let old = target.regions.borrow()[addr.region.0 as usize].faa_u64(addr.offset, add);
         sim.sleep(inflate(m.atomic_base_ns - m.atomic_base_ns / 2, f))
             .await;
         self.inner.stats.faa.inc();
@@ -746,7 +759,12 @@ impl Cluster {
             p - 1024,
             self.inner.last_port_owner.borrow(),
         );
-        *self.inner.last_port_owner.borrow_mut() = format!("{label} for {node:?}");
+        {
+            use std::fmt::Write as _;
+            let mut owner = self.inner.last_port_owner.borrow_mut();
+            owner.clear();
+            let _ = write!(owner, "{label} for {node:?}");
+        }
         self.inner.next_port.set(p + 1);
         p
     }
@@ -798,6 +816,20 @@ impl Cluster {
         data: Bytes,
         transport: Transport,
     ) -> Result<(), FabricError> {
+        self.try_send_ref(from, to, port, &data, transport).await
+    }
+
+    /// Payload-sharing body of [`Cluster::try_send`]: the buffer is cloned
+    /// only at the delivery point, so retry loops re-post the same payload
+    /// across attempts without a per-attempt clone.
+    async fn try_send_ref(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        port: u16,
+        data: &Bytes,
+        transport: Transport,
+    ) -> Result<(), FabricError> {
         let m = &self.inner.model;
         let sim = self.inner.sim.clone();
         let len = data.len();
@@ -821,7 +853,7 @@ impl Cluster {
                 if self.fault_drop(from, to) {
                     return Err(FabricError::Dropped);
                 }
-                self.deliver(from, to, port, data);
+                self.deliver(from, to, port, data.clone());
                 if let Some(t0) = t0 {
                     self.inner.tracer.complete(
                         t0,
@@ -854,7 +886,7 @@ impl Cluster {
                 // Receiver-side stack processing competes with load.
                 let dst = self.node(to);
                 dst.cpu.execute(m.tcp_recv_cpu(len)).await;
-                self.deliver(from, to, port, data);
+                self.deliver(from, to, port, data.clone());
                 if let Some(t0) = t0 {
                     self.inner.tracer.complete(
                         t0,
@@ -902,7 +934,7 @@ impl Cluster {
     ) -> Result<(), FabricError> {
         assert!(policy.max_attempts >= 1, "need at least one attempt");
         for attempt in 0..policy.max_attempts {
-            match self.try_send(from, to, port, data.clone(), transport).await {
+            match self.try_send_ref(from, to, port, &data, transport).await {
                 Ok(()) => return Ok(()),
                 Err(e) if attempt + 1 >= policy.max_attempts => return Err(e),
                 Err(_) => {

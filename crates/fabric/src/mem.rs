@@ -8,6 +8,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use bytes::Bytes;
+
 /// Identifier of a registered memory region within a node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RegionId(pub u32);
@@ -95,11 +97,37 @@ impl RegionData {
         d[offset..end].to_vec()
     }
 
+    /// Snapshot `len` bytes at `offset` into a [`Bytes`] payload —
+    /// allocation-free for short reads (lock words, atomics results), one
+    /// copy either way. This is the verb-path variant of [`RegionData::read`].
+    pub fn read_bytes(&self, offset: usize, len: usize) -> Bytes {
+        let d = self.data.borrow();
+        let end = offset
+            .checked_add(len)
+            .expect("region read offset overflow");
+        assert!(
+            end <= d.len(),
+            "region read out of bounds: {}..{} > {}",
+            offset,
+            end,
+            d.len()
+        );
+        Bytes::copy_from_slice(&d[offset..end])
+    }
+
     /// Read a little-endian u64 at an 8-byte-aligned `offset`.
     pub fn read_u64(&self, offset: usize) -> u64 {
         assert_eq!(offset % 8, 0, "atomic access must be 8-byte aligned");
-        let b = self.read(offset, 8);
-        u64::from_le_bytes(b.try_into().unwrap())
+        let d = self.data.borrow();
+        let end = offset + 8;
+        assert!(
+            end <= d.len(),
+            "region read out of bounds: {}..{} > {}",
+            offset,
+            end,
+            d.len()
+        );
+        u64::from_le_bytes(d[offset..end].try_into().unwrap())
     }
 
     /// Write a little-endian u64 at an 8-byte-aligned `offset`.
@@ -151,6 +179,15 @@ mod tests {
     fn read_past_end_panics() {
         let r = RegionData::new(16);
         r.read(0, 17);
+    }
+
+    #[test]
+    fn read_bytes_matches_read() {
+        let r = RegionData::new(64);
+        r.write(8, b"abcdef");
+        assert_eq!(&r.read_bytes(8, 6)[..], &r.read(8, 6)[..]);
+        assert_eq!(r.read_bytes(0, 64).len(), 64); // beyond the inline cap
+        assert_eq!(&r.read_bytes(0, 64)[..], &r.read(0, 64)[..]);
     }
 
     #[test]

@@ -36,7 +36,7 @@ impl RpcClient {
         let pending: Rc<RefCell<HashMap<u64, dc_sim::sync::OneSender<Bytes>>>> = Rc::default();
         let pending2 = Rc::clone(&pending);
         let orphans = cluster.metrics().counter("rpc.orphan_responses");
-        cluster.sim().clone().spawn(async move {
+        cluster.sim().spawn_detached(async move {
             loop {
                 let msg = ep.recv().await;
                 let id = u64::from_le_bytes(msg.data[..RESP_HDR].try_into().unwrap());

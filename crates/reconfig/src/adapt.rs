@@ -90,6 +90,10 @@ struct Inner {
     last_move: RefCell<HashMap<NodeId, SimTime>>,
     moves: RefCell<Vec<MoveRecord>>,
     checks: Cell<u64>,
+    /// Reusable per-check buffers; fine-grained agents evaluate thousands of
+    /// times per run, and rebuilding these each check dominated its cost.
+    scratch_nodes: RefCell<Vec<Vec<NodeId>>>,
+    scratch_load: RefCell<Vec<f64>>,
 }
 
 /// The adaptation agent. Spawning starts its periodic loop.
@@ -120,10 +124,12 @@ impl Reconfigurator {
                 last_move: RefCell::new(HashMap::new()),
                 moves: RefCell::new(Vec::new()),
                 checks: Cell::new(0),
+                scratch_nodes: RefCell::new(Vec::new()),
+                scratch_load: RefCell::new(Vec::new()),
             }),
         };
         let rr = r.clone();
-        sim.clone().spawn(async move {
+        sim.clone().spawn_detached(async move {
             loop {
                 rr.check_once().await;
                 sim.sleep(rr.inner.cfg.check_period_ns).await;
@@ -146,15 +152,22 @@ impl Reconfigurator {
     pub async fn check_once(&self) {
         let inner = &self.inner;
         inner.checks.set(inner.checks.get() + 1);
-        // Gather weighted per-site load from the monitor.
-        let mut site_nodes: Vec<Vec<NodeId>> = vec![Vec::new(); inner.num_sites];
+        // Gather weighted per-site load from the monitor, into buffers reused
+        // across checks (a re-entrant check simply starts from empty ones).
+        let mut site_nodes = std::mem::take(&mut *inner.scratch_nodes.borrow_mut());
+        let mut site_load = std::mem::take(&mut *inner.scratch_load.borrow_mut());
+        for v in site_nodes.iter_mut() {
+            v.clear();
+        }
+        site_nodes.resize_with(inner.num_sites, Vec::new);
+        site_load.clear();
+        site_load.resize(inner.num_sites, 0.0);
         for &n in inner.map.nodes() {
             let a = inner.map.peek(n);
             if !a.in_transition {
                 site_nodes[a.site as usize].push(n);
             }
         }
-        let mut site_load = vec![0.0f64; inner.num_sites];
         for (site, nodes) in site_nodes.iter().enumerate() {
             if nodes.is_empty() {
                 continue;
@@ -167,44 +180,47 @@ impl Reconfigurator {
             site_load[site] =
                 total as f64 / nodes.len() as f64 / inner.cfg.priorities[site].max(1e-9);
         }
-        // Hottest and coldest sites.
-        let (hot, _) = match site_load
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        {
-            Some(x) => x,
-            None => return,
-        };
-        let (cold, _) = site_load
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap();
-        if hot == cold {
-            return;
-        }
-        let hot_load = site_load[hot];
-        let cold_load = site_load[cold].max(1e-9);
-        if hot_load < 0.5 || hot_load / cold_load <= self.inner.cfg.imbalance_ratio {
-            return;
-        }
-        // Donor must keep its QoS minimum.
-        if site_nodes[cold].len() <= inner.cfg.min_nodes {
-            return;
-        }
-        // Pick the donor node that moved least recently (history-aware).
         let now = inner.sim.now();
-        let candidate = site_nodes[cold]
-            .iter()
-            .copied()
-            .filter(|n| {
-                now.saturating_sub(inner.last_move.borrow().get(n).copied().unwrap_or(0))
-                    >= inner.cfg.hysteresis_ns
-                    || !inner.last_move.borrow().contains_key(n)
-            })
-            .min_by_key(|n| inner.last_move.borrow().get(n).copied().unwrap_or(0));
-        let Some(node) = candidate else { return };
+        let decision = (|| {
+            // Hottest and coldest sites.
+            let (hot, _) = site_load
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())?;
+            let (cold, _) = site_load
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap();
+            if hot == cold {
+                return None;
+            }
+            let hot_load = site_load[hot];
+            let cold_load = site_load[cold].max(1e-9);
+            if hot_load < 0.5 || hot_load / cold_load <= inner.cfg.imbalance_ratio {
+                return None;
+            }
+            // Donor must keep its QoS minimum.
+            if site_nodes[cold].len() <= inner.cfg.min_nodes {
+                return None;
+            }
+            // Pick the donor node that moved least recently (history-aware).
+            let node = site_nodes[cold]
+                .iter()
+                .copied()
+                .filter(|n| {
+                    now.saturating_sub(inner.last_move.borrow().get(n).copied().unwrap_or(0))
+                        >= inner.cfg.hysteresis_ns
+                        || !inner.last_move.borrow().contains_key(n)
+                })
+                .min_by_key(|n| inner.last_move.borrow().get(n).copied().unwrap_or(0))?;
+            Some((hot, cold, node))
+        })();
+        *inner.scratch_nodes.borrow_mut() = site_nodes;
+        *inner.scratch_load.borrow_mut() = site_load;
+        let Some((hot, cold, node)) = decision else {
+            return;
+        };
         if !inner
             .map
             .claim(inner.agent, node, cold as u32, hot as u32)

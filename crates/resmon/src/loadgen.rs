@@ -30,7 +30,7 @@ impl BurstLoad {
         let stop2 = Rc::clone(&stop);
         let cluster = cluster.clone();
         let sim = cluster.sim().clone();
-        sim.clone().spawn(async move {
+        sim.clone().spawn_detached(async move {
             let mut workers: Vec<Rc<Cell<bool>>> = Vec::new();
             'outer: loop {
                 for phase in schedule.phases().to_vec() {
@@ -47,7 +47,7 @@ impl BurstLoad {
                         workers.push(Rc::clone(&flag));
                         let cpu = cluster.cpu(node);
                         let worker_sim = sim.clone();
-                        sim.clone().spawn(async move {
+                        sim.clone().spawn_detached(async move {
                             cpu.thread_started();
                             while !flag.get() {
                                 cpu.execute(500_000).await; // 0.5 ms slices

@@ -218,7 +218,7 @@ impl Monitor {
             let monitor = self.clone();
             let sim = self.inner.cluster.sim().clone();
             let period = self.inner.cfg.period_ns;
-            sim.clone().spawn(async move {
+            sim.clone().spawn_detached(async move {
                 loop {
                     let view = monitor.rdma_read_stats(target).await;
                     *st.cached.borrow_mut() = view;
@@ -236,7 +236,7 @@ impl Monitor {
             let cluster = self.inner.cluster.clone();
             let cfg = self.inner.cfg;
             let sim = cluster.sim().clone();
-            sim.clone().spawn(async move {
+            sim.clone().spawn_detached(async move {
                 loop {
                     // Daemon wakes, reads /proc (CPU), pushes the sample.
                     cluster.cpu(target).execute(cfg.daemon_cpu_ns).await;

@@ -1,25 +1,30 @@
 //! Single-threaded, deterministic async executor over a virtual clock.
 //!
-//! The executor owns a slab of tasks, a FIFO ready queue, and a min-heap of
-//! timers keyed by `(deadline, sequence)`. The run loop drains the ready
-//! queue completely, then advances the clock to the earliest timer, wakes it,
-//! and repeats. Ties between timers fire in registration order, so a given
-//! program is fully deterministic.
+//! The executor owns a slab of tasks, a FIFO ready queue, and a hierarchical
+//! timer wheel ([`crate::wheel`]) keyed by `(deadline, sequence)`. The run
+//! loop drains the ready queue completely, then advances the clock to the
+//! earliest timer, wakes it, and repeats. Ties between timers fire in
+//! registration order, so a given program is fully deterministic.
+//!
+//! The hot path is allocation-free in steady state: each task slot caches
+//! its `Waker` (created once per slot, reused across polls and recycled
+//! spawns), the ready queue is a reused `VecDeque`, and timer entries live
+//! in the wheel's node arena, recycled through an intrusive free list.
 //!
 //! Tasks are `!Send` futures (`Rc`-based state sharing is the norm in this
-//! workspace); the waker path is nevertheless `Send + Sync` as the `Waker`
-//! contract requires, by pushing task ids through an `Arc<Mutex<VecDeque>>`.
+//! workspace), and the waker path is single-threaded too: wakers are built
+//! by hand over `Rc` state (see [`local_waker`]), so waking is a `RefCell`
+//! push with no atomics anywhere on the hot path.
 
 use std::cell::{Cell, RefCell};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::{Rc, Weak};
-use std::sync::{Arc, Mutex};
-use std::task::{Context, Poll, Wake, Waker};
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
 
 use crate::time::SimTime;
+use crate::wheel::TimerWheel;
 
 /// Identifier of a spawned task within one [`Sim`].
 pub type TaskId = usize;
@@ -29,68 +34,81 @@ type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
 /// FIFO wake queue shared between the executor and all task wakers.
 #[derive(Default)]
 struct ReadyQueue {
-    q: Mutex<VecDeque<TaskId>>,
+    q: RefCell<VecDeque<TaskId>>,
 }
 
 struct TaskWaker {
     id: TaskId,
-    ready: Arc<ReadyQueue>,
+    ready: Rc<ReadyQueue>,
 }
 
-impl Wake for TaskWaker {
-    fn wake(self: Arc<Self>) {
-        self.ready
-            .q
-            .lock()
-            .expect("ready queue poisoned")
-            .push_back(self.id);
-    }
-
-    fn wake_by_ref(self: &Arc<Self>) {
-        self.ready
-            .q
-            .lock()
-            .expect("ready queue poisoned")
-            .push_back(self.id);
+impl TaskWaker {
+    fn wake(&self) {
+        self.ready.q.borrow_mut().push_back(self.id);
     }
 }
 
-/// A timer waiting for the clock to reach `at`. `seq` breaks ties so that
-/// equal deadlines fire in registration order.
-struct TimerEntry {
-    at: SimTime,
-    seq: u64,
+/// Build a `Waker` over `Rc`-backed state.
+///
+/// `Waker` is nominally `Send + Sync`, but this executor is single-threaded
+/// by construction: `Sim` itself is `!Send` (its state is `Rc`-shared), every
+/// task is a `!Send` future polled on the owning thread, and nothing in this
+/// workspace moves a `Waker` off-thread. Under that invariant the usual
+/// `Arc<Mutex<_>>` waker is pure overhead — two atomic lock round-trips plus
+/// atomic refcounts per wake on the busiest path in the simulator — so the
+/// vtable below implements the `Waker` contract directly over `Rc`.
+///
+/// # Safety
+///
+/// Sound iff no `Waker` built here (nor any clone of one) is used from
+/// another thread. `Sim` being `!Send` pins the queue and all pollers to one
+/// thread; a task would have to smuggle its `Waker` through a channel to
+/// another OS thread to break this, which no simulation code does (tasks
+/// model datacenter nodes inside one deterministic, single-threaded run).
+fn local_waker(w: Rc<TaskWaker>) -> Waker {
+    unsafe fn clone_raw(p: *const ()) -> RawWaker {
+        unsafe { Rc::increment_strong_count(p as *const TaskWaker) };
+        RawWaker::new(p, &VTABLE)
+    }
+    unsafe fn wake_raw(p: *const ()) {
+        let w = unsafe { Rc::from_raw(p as *const TaskWaker) };
+        w.wake();
+    }
+    unsafe fn wake_by_ref_raw(p: *const ()) {
+        unsafe { &*(p as *const TaskWaker) }.wake();
+    }
+    unsafe fn drop_raw(p: *const ()) {
+        drop(unsafe { Rc::from_raw(p as *const TaskWaker) });
+    }
+    static VTABLE: RawWakerVTable =
+        RawWakerVTable::new(clone_raw, wake_raw, wake_by_ref_raw, drop_raw);
+    unsafe { Waker::from_raw(RawWaker::new(Rc::into_raw(w) as *const (), &VTABLE)) }
+}
+
+/// One slab slot: the task's future (taken out while polling) and its
+/// cached waker, created once when the slot is first used and reused across
+/// every poll and every recycled spawn of the same slot.
+struct TaskSlot {
+    fut: Option<BoxFuture>,
     waker: Waker,
-}
-
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for TimerEntry {}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 struct SimState {
     now: Cell<SimTime>,
-    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
-    tasks: RefCell<Vec<Option<BoxFuture>>>,
+    timers: RefCell<TimerWheel<Waker>>,
+    tasks: RefCell<Vec<TaskSlot>>,
     free: RefCell<Vec<TaskId>>,
-    ready: Arc<ReadyQueue>,
+    ready: Rc<ReadyQueue>,
     seq: Cell<u64>,
     /// Number of tasks spawned and not yet completed.
     live: Cell<usize>,
     /// Total polls performed; a debugging/fuel counter.
     polls: Cell<u64>,
+    /// Ready-queue wake events consumed by the run loop (includes spurious
+    /// wakes of already-completed tasks).
+    events: Cell<u64>,
+    /// Timer entries popped and fired by the run loop.
+    timers_fired: Cell<u64>,
 }
 
 impl SimState {
@@ -99,6 +117,57 @@ impl SimState {
         self.seq.set(s + 1);
         s
     }
+
+    fn counters(&self) -> SimCounters {
+        SimCounters {
+            polls: self.polls.get(),
+            events: self.events.get(),
+            timers_fired: self.timers_fired.get(),
+        }
+    }
+}
+
+impl Drop for SimState {
+    fn drop(&mut self) {
+        // Fold this executor's counters into the per-thread running totals so
+        // harnesses can meter scenarios that construct their `Sim` internally.
+        THREAD_TOTALS.with(|t| {
+            let mut c = t.get();
+            c.polls += self.polls.get();
+            c.events += self.events.get();
+            c.timers_fired += self.timers_fired.get();
+            t.set(c);
+        });
+    }
+}
+
+/// Cumulative scheduler counters for one [`Sim`], or — via [`thread_totals`] —
+/// for all executors retired on the current thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimCounters {
+    /// Task polls performed.
+    pub polls: u64,
+    /// Ready-queue wake events consumed by the run loop.
+    pub events: u64,
+    /// Timer entries popped and fired.
+    pub timers_fired: u64,
+}
+
+thread_local! {
+    static THREAD_TOTALS: Cell<SimCounters> = const {
+        Cell::new(SimCounters {
+            polls: 0,
+            events: 0,
+            timers_fired: 0,
+        })
+    };
+}
+
+/// Counters accumulated by every [`Sim`] *dropped* on this thread so far.
+/// Live executors are not included; drop (or finish with) the `Sim` before
+/// reading a delta around a workload.
+pub fn thread_totals() -> SimCounters {
+    THREAD_TOTALS.with(|t| t.get())
 }
 
 /// The simulation executor. Construct one per experiment; everything that
@@ -120,13 +189,15 @@ impl Sim {
         Sim {
             st: Rc::new(SimState {
                 now: Cell::new(0),
-                timers: RefCell::new(BinaryHeap::new()),
+                timers: RefCell::new(TimerWheel::new()),
                 tasks: RefCell::new(Vec::new()),
                 free: RefCell::new(Vec::new()),
-                ready: Arc::new(ReadyQueue::default()),
+                ready: Rc::new(ReadyQueue::default()),
                 seq: Cell::new(0),
                 live: Cell::new(0),
                 polls: Cell::new(0),
+                events: Cell::new(0),
+                timers_fired: Cell::new(0),
             }),
         }
     }
@@ -140,6 +211,7 @@ impl Sim {
     }
 
     /// Current virtual time.
+    #[inline]
     pub fn now(&self) -> SimTime {
         self.st.now.get()
     }
@@ -152,6 +224,21 @@ impl Sim {
     /// Total number of task polls performed so far.
     pub fn polls(&self) -> u64 {
         self.st.polls.get()
+    }
+
+    /// Total ready-queue wake events consumed by the run loop so far.
+    pub fn events_processed(&self) -> u64 {
+        self.st.events.get()
+    }
+
+    /// Total timer entries popped and fired so far.
+    pub fn timers_fired(&self) -> u64 {
+        self.st.timers_fired.get()
+    }
+
+    /// All scheduler counters as one snapshot.
+    pub fn counters(&self) -> SimCounters {
+        self.st.counters()
     }
 
     /// Spawn a task onto the executor; see [`SimHandle::spawn`].
@@ -200,13 +287,7 @@ impl Sim {
                 if jh.is_finished() {
                     return jh.try_take().expect("root output already taken");
                 }
-                let next = self
-                    .st
-                    .ready
-                    .q
-                    .lock()
-                    .expect("ready queue poisoned")
-                    .pop_front();
+                let next = self.st.ready.q.borrow_mut().pop_front();
                 match next {
                     Some(tid) => self.poll_task(tid),
                     None => break,
@@ -215,14 +296,16 @@ impl Sim {
             if jh.is_finished() {
                 return jh.try_take().expect("root output already taken");
             }
-            let fired = {
-                let mut timers = self.st.timers.borrow_mut();
-                timers.pop().map(|Reverse(e)| e)
-            };
+            let fired = self
+                .st
+                .timers
+                .borrow_mut()
+                .pop_next_at_or_before(SimTime::MAX);
             match fired {
                 Some(e) => {
+                    self.st.timers_fired.set(self.st.timers_fired.get() + 1);
                     self.st.now.set(e.at);
-                    e.waker.wake();
+                    e.value.wake();
                 }
                 None => {
                     panic!("simulation quiesced before the root future completed (deadlock?)")
@@ -235,31 +318,20 @@ impl Sim {
         loop {
             // Drain all runnable tasks at the current instant.
             loop {
-                let next = self
-                    .st
-                    .ready
-                    .q
-                    .lock()
-                    .expect("ready queue poisoned")
-                    .pop_front();
+                let next = self.st.ready.q.borrow_mut().pop_front();
                 match next {
                     Some(tid) => self.poll_task(tid),
                     None => break,
                 }
             }
-            // Advance to the earliest timer, if any.
-            let fired = {
-                let mut timers = self.st.timers.borrow_mut();
-                match timers.peek() {
-                    Some(Reverse(e)) if e.at <= deadline => timers.pop().map(|Reverse(e)| e),
-                    _ => None,
-                }
-            };
+            // Advance to the earliest timer at or before the deadline, if any.
+            let fired = self.st.timers.borrow_mut().pop_next_at_or_before(deadline);
             match fired {
                 Some(e) => {
                     debug_assert!(e.at >= self.st.now.get(), "timers never move backwards");
+                    self.st.timers_fired.set(self.st.timers_fired.get() + 1);
                     self.st.now.set(e.at);
-                    e.waker.wake();
+                    e.value.wake();
                 }
                 None => break,
             }
@@ -267,24 +339,25 @@ impl Sim {
     }
 
     fn poll_task(&self, tid: TaskId) {
+        // Every dequeue from the ready queue lands here, so this counts the
+        // wake events the run loop consumed (spurious ones included).
+        self.st.events.set(self.st.events.get() + 1);
         // Take the future out of its slot while polling so that re-entrant
-        // spawns and wakes never observe a borrowed slab.
+        // spawns and wakes never observe a borrowed slab. The slot's cached
+        // waker is cloned (a refcount bump, not an allocation) for the same
+        // reason.
         let fut = {
             let mut tasks = self.st.tasks.borrow_mut();
             match tasks.get_mut(tid) {
-                Some(slot) => slot.take(),
+                Some(slot) => slot.fut.take().map(|f| (f, slot.waker.clone())),
                 None => None,
             }
         };
-        let Some(mut fut) = fut else {
+        let Some((mut fut, waker)) = fut else {
             // Spurious wake of a completed (or currently-polling) task.
             return;
         };
         self.st.polls.set(self.st.polls.get() + 1);
-        let waker = Waker::from(Arc::new(TaskWaker {
-            id: tid,
-            ready: Arc::clone(&self.st.ready),
-        }));
         let mut cx = Context::from_waker(&waker);
         match fut.as_mut().poll(&mut cx) {
             Poll::Ready(()) => {
@@ -292,7 +365,7 @@ impl Sim {
                 self.st.live.set(self.st.live.get() - 1);
             }
             Poll::Pending => {
-                self.st.tasks.borrow_mut()[tid] = Some(fut);
+                self.st.tasks.borrow_mut()[tid].fut = Some(fut);
             }
         }
     }
@@ -309,35 +382,49 @@ where
         finished: false,
     }));
     let join2 = Rc::clone(&join);
-    let wrapped: BoxFuture = Box::pin(async move {
-        let out = fut.await;
-        let mut j = join2.borrow_mut();
-        j.result = Some(out);
-        j.finished = true;
-        if let Some(w) = j.waker.take() {
-            w.wake();
-        }
-    });
+    spawn_boxed_on(
+        st,
+        Box::pin(async move {
+            let out = fut.await;
+            let mut j = join2.borrow_mut();
+            j.result = Some(out);
+            j.finished = true;
+            if let Some(w) = j.waker.take() {
+                w.wake();
+            }
+        }),
+    );
+    JoinHandle { join }
+}
+
+/// Enqueue an already-boxed task with no join state. Scheduling is identical
+/// to [`spawn_on`] — same slot reuse, same ready-queue push — so swapping a
+/// discarded-handle `spawn` for this changes no event order, only the
+/// allocations (no `JoinState`, no second box around the future).
+fn spawn_boxed_on(st: &Rc<SimState>, fut: BoxFuture) {
     let tid = {
         let mut tasks = st.tasks.borrow_mut();
         match st.free.borrow_mut().pop() {
             Some(id) => {
-                tasks[id] = Some(wrapped);
+                // Recycled slot: the cached waker still names this id.
+                tasks[id].fut = Some(fut);
                 id
             }
             None => {
-                tasks.push(Some(wrapped));
-                tasks.len() - 1
+                let id = tasks.len();
+                tasks.push(TaskSlot {
+                    fut: Some(fut),
+                    waker: local_waker(Rc::new(TaskWaker {
+                        id,
+                        ready: Rc::clone(&st.ready),
+                    })),
+                });
+                id
             }
         }
     };
     st.live.set(st.live.get() + 1);
-    st.ready
-        .q
-        .lock()
-        .expect("ready queue poisoned")
-        .push_back(tid);
-    JoinHandle { join }
+    st.ready.q.borrow_mut().push_back(tid);
 }
 
 /// Cloneable accessor used inside tasks: clock reads, sleeping, spawning.
@@ -347,13 +434,20 @@ pub struct SimHandle {
 }
 
 impl SimHandle {
+    #[inline]
     fn state(&self) -> Rc<SimState> {
         self.st.upgrade().expect("Sim dropped while handle in use")
     }
 
     /// Current virtual time.
+    #[inline]
     pub fn now(&self) -> SimTime {
         self.state().now.get()
+    }
+
+    /// Scheduler counters of the owning executor; see [`Sim::counters`].
+    pub fn counters(&self) -> SimCounters {
+        self.state().counters()
     }
 
     /// Resolve after `dur` nanoseconds of virtual time.
@@ -400,6 +494,22 @@ impl SimHandle {
     {
         spawn_on(&self.state(), fut)
     }
+
+    /// Spawn a task whose completion nobody observes: no [`JoinHandle`], so
+    /// no join-state allocation. Scheduling is byte-for-byte identical to
+    /// [`SimHandle::spawn`] — use it on hot fire-and-forget paths.
+    pub fn spawn_detached<F>(&self, fut: F)
+    where
+        F: Future<Output = ()> + 'static,
+    {
+        spawn_boxed_on(&self.state(), Box::pin(fut));
+    }
+
+    /// [`SimHandle::spawn_detached`] for a future that is already boxed
+    /// (e.g. a dispatcher handler): enqueues it without re-boxing.
+    pub fn spawn_boxed(&self, fut: Pin<Box<dyn Future<Output = ()>>>) {
+        spawn_boxed_on(&self.state(), fut);
+    }
 }
 
 /// Future returned by [`SimHandle::sleep`].
@@ -419,11 +529,9 @@ impl Future for Sleep {
         }
         if !self.registered {
             let seq = st.next_seq();
-            st.timers.borrow_mut().push(Reverse(TimerEntry {
-                at: self.at,
-                seq,
-                waker: cx.waker().clone(),
-            }));
+            st.timers
+                .borrow_mut()
+                .insert(self.at, seq, cx.waker().clone());
             self.registered = true;
         }
         Poll::Pending

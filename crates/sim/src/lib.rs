@@ -31,9 +31,11 @@
 //! ```
 
 pub mod executor;
+pub mod fxhash;
 pub mod rng;
 pub mod sync;
 pub mod time;
+mod wheel;
 
-pub use executor::{Elapsed, JoinHandle, Sim, SimHandle, Timeout};
+pub use executor::{thread_totals, Elapsed, JoinHandle, Sim, SimCounters, SimHandle, Timeout};
 pub use time::{ms, ns, secs, us, SimTime};

@@ -51,6 +51,7 @@ pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
 impl<T> Sender<T> {
     /// Enqueue a message and wake the receiver. Fails if the receiver has
     /// been dropped.
+    #[inline]
     pub fn send(&self, v: T) -> Result<(), RecvError> {
         let mut i = self.inner.borrow_mut();
         if !i.receiver_alive {
@@ -64,6 +65,7 @@ impl<T> Sender<T> {
     }
 
     /// Number of queued, unreceived messages.
+    #[inline]
     pub fn queued(&self) -> usize {
         self.inner.borrow().q.len()
     }
@@ -93,11 +95,13 @@ impl<T> Drop for Sender<T> {
 impl<T> Receiver<T> {
     /// Await the next message; `None` once all senders are dropped and the
     /// queue is drained.
+    #[inline]
     pub fn recv(&mut self) -> Recv<'_, T> {
         Recv { rx: self }
     }
 
     /// Non-blocking receive.
+    #[inline]
     pub fn try_recv(&mut self) -> Option<T> {
         self.inner.borrow_mut().q.pop_front()
     }

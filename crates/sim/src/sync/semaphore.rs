@@ -46,6 +46,7 @@ impl Semaphore {
     }
 
     /// Acquire one permit, waiting FIFO behind earlier requesters.
+    #[inline]
     pub fn acquire(&self) -> Acquire {
         Acquire {
             sem: Rc::clone(&self.inner),
@@ -62,6 +63,7 @@ impl Semaphore {
     }
 
     /// Return one permit; hands it directly to the head waiter if any.
+    #[inline]
     pub fn release(&self) {
         release_inner(&self.inner);
     }

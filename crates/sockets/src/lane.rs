@@ -98,7 +98,7 @@ impl LaneSender {
     /// Send one message without waiting for delivery (flights overlap).
     pub fn send_bg(&self, data: Bytes) {
         let fut = self.send_tracked(data);
-        self.cluster.sim().clone().spawn(fut);
+        self.cluster.sim().spawn_detached(fut);
     }
 }
 

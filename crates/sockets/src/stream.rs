@@ -323,7 +323,7 @@ impl CreditTx {
         // Pump task: credits flow back from the receiver in batches.
         let c2 = Rc::clone(&credits);
         let n2 = notify.clone();
-        cluster.sim().spawn(async move {
+        cluster.sim().spawn_detached(async move {
             loop {
                 let msg = fb_ep.recv().await;
                 c2.set(c2.get() + decode_feedback(&msg.data) as usize);
@@ -384,7 +384,7 @@ impl CreditRx {
         let (tx_q, rx_q) = dc_sim::sync::channel();
         let cl = cluster.clone();
         let mut lane = LaneReceiver::new(cluster, ep);
-        cluster.sim().clone().spawn(async move {
+        cluster.sim().spawn_detached(async move {
             let mut pending = 0usize;
             loop {
                 let chunk = lane.recv().await;
@@ -400,7 +400,7 @@ impl CreditRx {
                     let n = pending as u64;
                     pending = 0;
                     let cl2 = cl.clone();
-                    cl.sim().clone().spawn(async move {
+                    cl.sim().spawn_detached(async move {
                         // Credit counts are cumulative, so ordering does not
                         // matter, but a *lost* return would strand the
                         // sender's credits forever: use the reliable path.
@@ -465,7 +465,7 @@ impl AzTx {
         let chunk = frame(data, usize::MAX / 2).remove(0);
         let delivered = self.lane.send_tracked(chunk);
         let window = self.window.clone();
-        self.cluster.sim().spawn(async move {
+        self.cluster.sim().spawn_detached(async move {
             delivered.await;
             // Transfer complete: buffer unprotected, window slot reusable.
             window.release();
@@ -522,7 +522,7 @@ impl PackTx {
         let notify = Notify::new();
         let s2 = Rc::clone(&space);
         let n2 = notify.clone();
-        cluster.sim().spawn(async move {
+        cluster.sim().spawn_detached(async move {
             loop {
                 let msg = fb_ep.recv().await;
                 s2.set(s2.get() + decode_feedback(&msg.data) as usize);
@@ -582,7 +582,7 @@ impl PackRx {
         let (tx_q, rx_q) = dc_sim::sync::channel();
         let cl = cluster.clone();
         let mut lane = LaneReceiver::new(cluster, ep);
-        cluster.sim().clone().spawn(async move {
+        cluster.sim().spawn_detached(async move {
             let mut freed = 0usize;
             loop {
                 let chunk = lane.recv().await;
@@ -592,7 +592,7 @@ impl PackRx {
                     let n = freed as u64;
                     freed = 0;
                     let cl2 = cl.clone();
-                    cl.sim().clone().spawn(async move {
+                    cl.sim().spawn_detached(async move {
                         // Ring-space returns are cumulative like credits;
                         // reliability matters, ordering does not.
                         cl2.send_reliable(

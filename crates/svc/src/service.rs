@@ -13,7 +13,9 @@
 //! order, so porting a daemon onto it is behavior-preserving down to the
 //! executor's timer ordering. Metrics updates are synchronous and free.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use dc_sim::fxhash::FxHashMap;
 use std::future::Future;
 use std::pin::Pin;
 
@@ -108,7 +110,7 @@ type Handler = Box<dyn Fn(Ctx, Message) -> Pin<Box<dyn Future<Output = ()>>>>;
 /// which also serves as the explicit catch-all when opcodes are present.
 #[derive(Default)]
 pub struct Dispatcher {
-    by_op: HashMap<u8, Handler>,
+    by_op: FxHashMap<u8, Handler>,
     fallback: Option<Handler>,
 }
 
@@ -181,10 +183,24 @@ impl Service {
             node: spec.node,
         };
         let metrics = cluster.metrics();
-        let requests = metrics.counter(&format!("svc.{}.requests", spec.name));
-        let shed = metrics.counter(&format!("svc.{}.shed", spec.name));
-        let depth_hwm = metrics.gauge(&format!("svc.{}.queue_depth_hwm", spec.name));
-        let busy = metrics.counter(&format!("svc.{}.busy_ns", spec.name));
+        // One name buffer for all four registrations; swapping the suffix in
+        // place keeps per-service spawn (hot in reconfiguration scenarios,
+        // which respawn services on every migration) down to one allocation.
+        let mut key = String::with_capacity("svc.".len() + spec.name.len() + 16);
+        key.push_str("svc.");
+        key.push_str(spec.name);
+        let base = key.len();
+        key.push_str(".requests");
+        let requests = metrics.counter(&key);
+        key.truncate(base);
+        key.push_str(".shed");
+        let shed = metrics.counter(&key);
+        key.truncate(base);
+        key.push_str(".queue_depth_hwm");
+        let depth_hwm = metrics.gauge(&key);
+        key.truncate(base);
+        key.push_str(".busy_ns");
+        let busy = metrics.counter(&key);
         let cluster = cluster.clone();
         let sim = cluster.sim().clone();
         let sim2 = sim.clone();
@@ -222,7 +238,9 @@ impl Service {
                         busy.add(sim.now() - start);
                     }
                     Mode::Concurrent => {
-                        sim.spawn(fut);
+                        // The handler future is already boxed; hand it to
+                        // the executor as-is (no join state, no re-boxing).
+                        sim.spawn_boxed(fut);
                     }
                 }
                 if let Some(t0) = t0 {

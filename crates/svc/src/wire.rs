@@ -8,7 +8,18 @@
 //! byte-time cost — so implementations must be stable: round-tripping is
 //! enforced by proptests in `tests/wire_roundtrip.rs` at the workspace root.
 
+use std::cell::RefCell;
+
+use bytes::Bytes;
 use dc_fabric::kstat::{KernelStats, KSTAT_REGION_LEN};
+
+thread_local! {
+    /// Reused encode buffer backing [`Wire::encode_bytes`]. Message encoding
+    /// sits on every protocol hot path; reusing one scratch `Vec` keeps the
+    /// common small-message case completely allocation-free (the resulting
+    /// `Bytes` stores short payloads inline).
+    static ENCODE_SCRATCH: RefCell<Vec<u8>> = RefCell::new(Vec::with_capacity(64));
+}
 
 /// A message that can be encoded to and decoded from raw bytes.
 pub trait Wire: Sized {
@@ -23,6 +34,18 @@ pub trait Wire: Sized {
         let mut out = Vec::new();
         self.encode_into(&mut out);
         out
+    }
+
+    /// Encode straight into a [`Bytes`] payload via a reused thread-local
+    /// scratch buffer: allocation-free for messages short enough to store
+    /// inline (every DLM/DDSS control message qualifies).
+    fn encode_bytes(&self) -> Bytes {
+        ENCODE_SCRATCH.with(|s| {
+            let mut v = s.borrow_mut();
+            v.clear();
+            self.encode_into(&mut v);
+            Bytes::copy_from_slice(&v)
+        })
     }
 }
 

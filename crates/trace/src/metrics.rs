@@ -138,38 +138,47 @@ impl Registry {
     /// Get or create the counter named `name`. Registering the same name
     /// twice returns the same underlying cell; registering it as a
     /// different kind panics (names are a flat namespace).
+    ///
+    /// A lookup hit allocates nothing, so a caller without a pre-registered
+    /// handle still pays only the map walk (prefer caching handles anyway).
     pub fn counter(&self, name: &str) -> Counter {
         let mut m = self.metrics.borrow_mut();
-        match m
-            .entry(name.to_string())
-            .or_insert_with(|| Metric::Counter(Counter::default()))
-        {
-            Metric::Counter(c) => c.clone(),
-            _ => panic!("metric {name:?} already registered with a different kind"),
+        match m.get(name) {
+            Some(Metric::Counter(c)) => c.clone(),
+            Some(_) => panic!("metric {name:?} already registered with a different kind"),
+            None => {
+                let c = Counter::default();
+                m.insert(name.to_string(), Metric::Counter(c.clone()));
+                c
+            }
         }
     }
 
     /// Get or create the gauge named `name`.
     pub fn gauge(&self, name: &str) -> Gauge {
         let mut m = self.metrics.borrow_mut();
-        match m
-            .entry(name.to_string())
-            .or_insert_with(|| Metric::Gauge(Gauge::default()))
-        {
-            Metric::Gauge(g) => g.clone(),
-            _ => panic!("metric {name:?} already registered with a different kind"),
+        match m.get(name) {
+            Some(Metric::Gauge(g)) => g.clone(),
+            Some(_) => panic!("metric {name:?} already registered with a different kind"),
+            None => {
+                let g = Gauge::default();
+                m.insert(name.to_string(), Metric::Gauge(g.clone()));
+                g
+            }
         }
     }
 
     /// Get or create the histogram named `name`.
     pub fn hist(&self, name: &str) -> HistHandle {
         let mut m = self.metrics.borrow_mut();
-        match m
-            .entry(name.to_string())
-            .or_insert_with(|| Metric::Hist(HistHandle(Rc::new(RefCell::new(LatencyHist::new())))))
-        {
-            Metric::Hist(h) => h.clone(),
-            _ => panic!("metric {name:?} already registered with a different kind"),
+        match m.get(name) {
+            Some(Metric::Hist(h)) => h.clone(),
+            Some(_) => panic!("metric {name:?} already registered with a different kind"),
+            None => {
+                let h = HistHandle(Rc::new(RefCell::new(LatencyHist::new())));
+                m.insert(name.to_string(), Metric::Hist(h.clone()));
+                h
+            }
         }
     }
 

@@ -53,6 +53,112 @@ fn traced_webfarm_under_faults_is_byte_identical() {
     assert_eq!(ta.metrics_json, tb.metrics_json);
 }
 
+/// FNV-1a 64-bit, the same construction the fabric calibration fingerprint
+/// uses; good enough to pin multi-megabyte trace artifacts in a one-line
+/// golden.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Pull a `"name":123` counter out of a metrics-snapshot JSON object.
+fn json_counter(metrics_json: &str, name: &str) -> u64 {
+    let key = format!("\"{name}\":");
+    let start = metrics_json
+        .find(&key)
+        .unwrap_or_else(|| panic!("{name} missing from metrics snapshot"))
+        + key.len();
+    metrics_json[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("counter is numeric")
+}
+
+/// The fixed workloads pinned by the engine-schedule golden: one clean run
+/// and one fault-injected run, both small enough to execute in milliseconds.
+fn golden_cases() -> Vec<(&'static str, WebFarmCfg)> {
+    vec![
+        (
+            "hybcc_clean",
+            WebFarmCfg {
+                scheme: CacheScheme::Hybcc,
+                proxies: 3,
+                app_nodes: 2,
+                num_docs: 96,
+                requests: 600,
+                seed: 0xDEC0DE,
+                ..WebFarmCfg::default()
+            },
+        ),
+        (
+            "bcc_faulted",
+            WebFarmCfg {
+                scheme: CacheScheme::Bcc,
+                requests: 500,
+                num_docs: 64,
+                seed: 7,
+                faults: Some((
+                    0xFA_017,
+                    FaultConfig {
+                        drop_prob: 0.05,
+                        ..FaultConfig::default()
+                    },
+                )),
+                ..WebFarmCfg::default()
+            },
+        ),
+    ]
+}
+
+/// The engine-schedule golden: trace/metrics artifact hashes plus raw
+/// scheduler counters for fixed seeds, captured on the pre-timer-wheel
+/// `BinaryHeap` engine and committed. The hierarchical-wheel engine must
+/// reproduce every byte — the poll/event/timer counts are a highly
+/// sensitive detector for any reordering or extra wake.
+///
+/// Regenerate (only for an intentional schedule change) with:
+/// `DC_BLESS_ENGINE_GOLDEN=1 cargo test --test trace_determinism`.
+#[test]
+fn engine_schedule_matches_committed_golden() {
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/engine_schedule.txt"
+    );
+    let mut lines = Vec::new();
+    for (label, cfg) in golden_cases() {
+        let (res, a) = run_webfarm_traced(&cfg, TraceMode::Full);
+        lines.push(format!(
+            "{label} tps_bits={:016x} trace_fnv={:016x} trace_events={} \
+             metrics_fnv={:016x} polls={} events={} timers_fired={}",
+            res.tps.to_bits(),
+            fnv1a(a.trace_json.as_bytes()),
+            a.events,
+            fnv1a(a.metrics_json.as_bytes()),
+            json_counter(&a.metrics_json, "sim.polls"),
+            json_counter(&a.metrics_json, "sim.events"),
+            json_counter(&a.metrics_json, "sim.timers_fired"),
+        ));
+    }
+    let actual = lines.join("\n") + "\n";
+    if std::env::var("DC_BLESS_ENGINE_GOLDEN").is_ok() {
+        std::fs::write(golden_path, &actual).expect("writing golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(golden_path)
+        .expect("missing tests/golden/engine_schedule.txt — bless it first");
+    assert_eq!(
+        actual, expected,
+        "engine schedule diverged from the committed golden: the executor \
+         no longer reproduces the pre-overhaul timer/wake order"
+    );
+}
+
 #[test]
 fn different_seed_changes_the_trace() {
     let base = WebFarmCfg {

@@ -19,14 +19,38 @@ pub struct Bytes {
     repr: Repr,
 }
 
+/// Payloads at or below this length are stored inline, with no heap
+/// allocation at all — sized so the whole enum stays 32 bytes: the tag plus
+/// 30 buffer bytes plus 1 length byte exactly matches the tag-plus-`Shared`
+/// payload (`Arc` + two `usize`s) after alignment. Protocol control messages
+/// (lock requests, grants, atomics results, monitor reports) all fit.
+const INLINE_CAP: usize = 30;
+
 #[derive(Clone)]
 enum Repr {
     Static(&'static [u8]),
+    Inline {
+        buf: [u8; INLINE_CAP],
+        len: u8,
+    },
     Shared {
         buf: Arc<Vec<u8>>,
         off: usize,
         len: usize,
     },
+}
+
+impl Repr {
+    #[inline]
+    fn inline(data: &[u8]) -> Repr {
+        debug_assert!(data.len() <= INLINE_CAP);
+        let mut buf = [0u8; INLINE_CAP];
+        buf[..data.len()].copy_from_slice(data);
+        Repr::Inline {
+            buf,
+            len: data.len() as u8,
+        }
+    }
 }
 
 impl Bytes {
@@ -44,20 +68,31 @@ impl Bytes {
         }
     }
 
-    /// Copy `data` into a new shared buffer.
+    /// Copy `data` into a new buffer: inline (no allocation) when it fits,
+    /// a shared heap buffer otherwise.
+    #[inline]
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        Bytes::from(data.to_vec())
+        if data.len() <= INLINE_CAP {
+            Bytes {
+                repr: Repr::inline(data),
+            }
+        } else {
+            Bytes::from(data.to_vec())
+        }
     }
 
     /// Length in bytes.
+    #[inline]
     pub fn len(&self) -> usize {
         match &self.repr {
             Repr::Static(s) => s.len(),
+            Repr::Inline { len, .. } => *len as usize,
             Repr::Shared { len, .. } => *len,
         }
     }
 
     /// Whether the buffer is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -85,6 +120,9 @@ impl Bytes {
             Repr::Static(s) => Bytes {
                 repr: Repr::Static(&s[start..end]),
             },
+            Repr::Inline { buf, .. } => Bytes {
+                repr: Repr::inline(&buf[start..end]),
+            },
             Repr::Shared { buf, off, .. } => Bytes {
                 repr: Repr::Shared {
                     buf: Arc::clone(buf),
@@ -108,9 +146,11 @@ impl Default for Bytes {
 }
 
 impl AsRef<[u8]> for Bytes {
+    #[inline]
     fn as_ref(&self) -> &[u8] {
         match &self.repr {
             Repr::Static(s) => s,
+            Repr::Inline { buf, len } => &buf[..*len as usize],
             Repr::Shared { buf, off, len } => &buf[*off..off + len],
         }
     }
@@ -119,6 +159,7 @@ impl AsRef<[u8]> for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
 
+    #[inline]
     fn deref(&self) -> &[u8] {
         self.as_ref()
     }
@@ -132,6 +173,11 @@ impl Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
+        if v.len() <= INLINE_CAP {
+            return Bytes {
+                repr: Repr::inline(&v),
+            };
+        }
         Bytes {
             repr: Repr::Shared {
                 off: 0,
@@ -245,5 +291,28 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn oob_slice_panics() {
         Bytes::from_static(b"xy").slice(0..3);
+    }
+
+    #[test]
+    fn inline_and_shared_behave_identically() {
+        let small = vec![7u8; INLINE_CAP]; // stored inline
+        let large = vec![7u8; INLINE_CAP + 1]; // heap-shared
+        let bs = Bytes::from(small.clone());
+        let bl = Bytes::from(large.clone());
+        assert_eq!(bs.len(), INLINE_CAP);
+        assert_eq!(bl.len(), INLINE_CAP + 1);
+        assert_eq!(&bs[..], &small[..]);
+        assert_eq!(&bl[..], &large[..]);
+        assert_eq!(bs.slice(3..10), Bytes::copy_from_slice(&small[3..10]));
+        assert_eq!(bl.slice(3..10), Bytes::copy_from_slice(&large[3..10]));
+        assert_eq!(bs.clone(), bs);
+        assert_eq!(Bytes::copy_from_slice(&[]).len(), 0);
+    }
+
+    #[test]
+    fn inline_variant_does_not_grow_the_enum() {
+        // INLINE_CAP is chosen to exactly fill the layout the `Shared`
+        // variant already forces; growing `Bytes` would bloat every message.
+        assert_eq!(std::mem::size_of::<Bytes>(), 32);
     }
 }
