@@ -5,7 +5,7 @@
 //!     Print every registered scenario with its title.
 //!
 //! dc-bench wallclock [--runs N] [--scenario NAME]... [--out PATH] [--json]
-//!     Run each selected scenario (default: all 10) N times (default: 5),
+//!     Run each selected scenario (default: all 11) N times (default: 5),
 //!     measure host wall time and scheduler counters, and print the
 //!     throughput table. `--out PATH` writes the BenchReport JSON (the
 //!     BENCH_wallclock.json perf-trajectory artifact); `--json` prints it

@@ -1,0 +1,7 @@
+//! Regenerates the lock-design shootout tables (six designs × three
+//! contention cells).
+
+fn main() {
+    let cli = dc_bench::cli::BenchCli::parse();
+    cli.emit_report(&dc_bench::scenario::ext_lock_shootout_report());
+}

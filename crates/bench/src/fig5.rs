@@ -16,7 +16,7 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use dc_dlm::{DlmConfig, DqnlDlm, LockMode, NcosedDlm, SrslDlm};
+use dc_dlm::{DesignKind, DlmConfig, LockClient, LockMode};
 use dc_fabric::{Cluster, FabricModel, NodeId};
 use dc_sim::time::{as_us, ms};
 use dc_sim::{Sim, SimTime};
@@ -36,67 +36,32 @@ impl LockScheme {
     /// All schemes, legend order.
     pub const ALL: [LockScheme; 3] = [LockScheme::Srsl, LockScheme::Dqnl, LockScheme::Ncosed];
 
+    /// The unified-design identity of this scheme (see `dc_dlm::design`).
+    pub fn design(self) -> DesignKind {
+        match self {
+            LockScheme::Srsl => DesignKind::Srsl,
+            LockScheme::Dqnl => DesignKind::Dqnl,
+            LockScheme::Ncosed => DesignKind::Ncosed,
+        }
+    }
+
     /// Legend label.
     pub fn label(self) -> &'static str {
-        match self {
-            LockScheme::Srsl => "SRSL",
-            LockScheme::Dqnl => "DQNL",
-            LockScheme::Ncosed => "N-CoSED",
-        }
+        self.design().label()
     }
 }
 
 /// Waiter counts swept (the paper plots 1–16).
 pub const WAITERS: [usize; 5] = [1, 2, 4, 8, 16];
 
-enum AnyClient {
-    N(dc_dlm::NcosedClient),
-    D(dc_dlm::DqnlClient),
-    S(dc_dlm::SrslClient),
-}
-
-impl AnyClient {
-    async fn lock(&self, lock: u32, mode: LockMode) {
-        match self {
-            AnyClient::N(c) => c.lock(lock, mode).await,
-            AnyClient::D(c) => c.lock(lock, mode).await,
-            AnyClient::S(c) => c.lock(lock, mode).await,
-        }
-    }
-
-    async fn unlock(&self, lock: u32) {
-        match self {
-            AnyClient::N(c) => c.unlock(lock).await,
-            AnyClient::D(c) => c.unlock(lock).await,
-            AnyClient::S(c) => c.unlock(lock).await,
-        }
-    }
-}
-
-fn make_clients(cluster: &Cluster, scheme: LockScheme, members: &[NodeId]) -> Vec<AnyClient> {
-    match scheme {
-        LockScheme::Ncosed => {
-            let dlm = NcosedDlm::new(cluster, DlmConfig::default(), NodeId(0), 1, members);
-            members
-                .iter()
-                .map(|&n| AnyClient::N(dlm.client(n)))
-                .collect()
-        }
-        LockScheme::Dqnl => {
-            let dlm = DqnlDlm::new(cluster, DlmConfig::default(), NodeId(0), 1, members);
-            members
-                .iter()
-                .map(|&n| AnyClient::D(dlm.client(n)))
-                .collect()
-        }
-        LockScheme::Srsl => {
-            let dlm = SrslDlm::new(cluster, DlmConfig::default(), NodeId(0), members);
-            members
-                .iter()
-                .map(|&n| AnyClient::S(dlm.client(n)))
-                .collect()
-        }
-    }
+fn make_clients(
+    cluster: &Cluster,
+    scheme: LockScheme,
+    members: &[NodeId],
+) -> Vec<Box<dyn LockClient>> {
+    scheme
+        .design()
+        .build(cluster, DlmConfig::default(), NodeId(0), 1, members)
 }
 
 /// Run one cascade: returns the time from the holder's release until the

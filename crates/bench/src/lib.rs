@@ -19,11 +19,13 @@
 //! | [`ext_flowcontrol`] | §6 packetized vs credit flow control |
 //! | [`ext_reconfig`] | §6 fine- vs coarse-grained adaptation |
 //! | [`ext_ablations`] | coherence verbs, cache capacity, cadence |
+//! | [`ext_shootout`] | lock-design shootout under Zipf contention |
 
 pub mod cli;
 pub mod ext_ablations;
 pub mod ext_flowcontrol;
 pub mod ext_reconfig;
+pub mod ext_shootout;
 pub mod fig3a;
 pub mod fig3b;
 pub mod fig5;

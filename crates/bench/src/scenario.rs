@@ -25,7 +25,7 @@ pub struct Scenario {
 }
 
 /// Every scenario, in figure order. One entry per `[[bin]]` target.
-pub const ALL: [Scenario; 10] = [
+pub const ALL: [Scenario; 11] = [
     Scenario {
         name: "fig3a_ddss_put",
         title: "Fig 3a — DDSS put() latency by coherence model",
@@ -75,6 +75,11 @@ pub const ALL: [Scenario; 10] = [
         name: "ext_ablations",
         title: "Ablations — coherence verbs, cache capacity, cadence",
         run: ext_ablations_report,
+    },
+    Scenario {
+        name: "ext_lock_shootout",
+        title: "Shootout — six lock designs under Zipf contention",
+        run: ext_lock_shootout_report,
     },
 ];
 
@@ -221,6 +226,23 @@ pub fn ext_ablations_report() -> BenchReport {
             crate::ext_ablations::capacity_table(&caps),
             crate::ext_ablations::granularity_table(&grans),
         ],
+    )
+}
+
+/// Lock-design shootout: six designs, three contention cells.
+pub fn ext_lock_shootout_report() -> BenchReport {
+    let tables: Vec<dc_core::Table> = crate::ext_shootout::CELLS
+        .into_iter()
+        .zip(crate::ext_shootout::run())
+        .map(|(cell, stats)| crate::ext_shootout::table(cell, &stats))
+        .collect();
+    report(
+        "ext_lock_shootout",
+        vec![
+            ("designs", (dc_dlm::DesignKind::ALL.len() as u64).into()),
+            ("cells", (crate::ext_shootout::CELLS.len() as u64).into()),
+        ],
+        &tables,
     )
 }
 

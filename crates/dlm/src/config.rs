@@ -18,6 +18,18 @@ pub struct DlmConfig {
     /// reliable transport under this policy; a message undeliverable past
     /// the budget is a fatal protocol failure (the lock would be orphaned).
     pub msg_retry: RetryPolicy,
+    /// CAS-spin design: pause between failed CAS attempts (plus a small
+    /// deterministic per-node jitter so spinners do not phase-lock).
+    pub spin_retry_ns: u64,
+    /// Lease design: initial backoff after a failed acquisition attempt;
+    /// doubles per consecutive failure up to [`DlmConfig::backoff_max_ns`].
+    pub backoff_base_ns: u64,
+    /// Lease design: exponential-backoff ceiling.
+    pub backoff_max_ns: u64,
+    /// Lease design: ownership duration granted per acquisition. Mutual
+    /// exclusion holds only for critical sections shorter than this bound
+    /// (see the `LockDesign` contract note in DESIGN.md).
+    pub lease_ns: u64,
 }
 
 impl Default for DlmConfig {
@@ -27,6 +39,12 @@ impl Default for DlmConfig {
             grant_issue_ns: 2_000,
             server_cpu_ns: 2_000,
             msg_retry: RetryPolicy::default(),
+            // One remote atomic is ~12.5us round trip; spinning much faster
+            // than that only burns fabric, much slower starves the spinner.
+            spin_retry_ns: 20_000,
+            backoff_base_ns: 15_000,
+            backoff_max_ns: 240_000,
+            lease_ns: 2_000_000,
         }
     }
 }
@@ -49,5 +67,10 @@ mod tests {
         let c = DlmConfig::default();
         assert!(c.agent_proc_ns < c.grant_issue_ns);
         assert!(c.server_cpu_ns > 0);
+        assert!(c.backoff_base_ns <= c.backoff_max_ns);
+        // A lease must comfortably outlast the spin/backoff cadence, or
+        // healthy holders would be stolen from mid-critical-section.
+        assert!(c.lease_ns > 4 * c.backoff_max_ns);
+        assert!(c.spin_retry_ns > 0);
     }
 }

@@ -1,0 +1,217 @@
+//! The unified `LockDesign` surface over all six lock managers.
+//!
+//! Every design in the crate — the paper's Figure-5 trio (SRSL, DQNL,
+//! N-CoSED) and the shootout additions (CAS spin, lease/backoff,
+//! MCS/ticket) — exposes the same client shape: `lock(lock, mode).await`
+//! then `unlock(lock).await`. [`LockClient`] erases the concrete type so
+//! scenarios can sweep designs from a config value, and [`DesignKind`] is
+//! that config value: a closed enum that knows how to construct a manager
+//! and hand out one client per member node.
+//!
+//! ## Trait contract
+//!
+//! * `lock` resolves only once the caller owns the lock; `unlock` must be
+//!   called by the same client before it locks the same id again. One
+//!   outstanding operation per `(client, lock)` at a time.
+//! * All designs guarantee mutual exclusion for exclusive holders, with one
+//!   bounded exception: the lease design's guarantee is conditional on
+//!   critical sections finishing within [`DlmConfig::lease_ns`] — a lapsed
+//!   holder can be displaced. Scenarios comparing designs must keep hold
+//!   times under that bound (see DESIGN.md).
+//! * `mode` is honored by N-CoSED and SRSL; the other four designs have no
+//!   shared mode and treat every request as exclusive.
+
+use std::future::Future;
+use std::pin::Pin;
+
+use dc_fabric::{Cluster, NodeId};
+
+use crate::cas_spin::{CasSpinClient, CasSpinDlm};
+use crate::config::{DlmConfig, LockMode};
+use crate::dqnl::{DqnlClient, DqnlDlm};
+use crate::lease::{LeaseClient, LeaseDlm};
+use crate::mcs::{McsClient, McsDlm};
+use crate::msg::LockId;
+use crate::ncosed::{NcosedClient, NcosedDlm};
+use crate::srsl::{SrslClient, SrslDlm};
+
+/// A boxed future tied to the client borrow (the sim is single-threaded;
+/// nothing here is `Send`).
+pub type LockFut<'a> = Pin<Box<dyn Future<Output = ()> + 'a>>;
+
+/// Design-erased per-node lock client.
+pub trait LockClient {
+    /// The node this client issues requests from.
+    fn node(&self) -> NodeId;
+
+    /// Acquire `lock` in `mode`; resolves once granted.
+    fn lock<'a>(&'a self, lock: LockId, mode: LockMode) -> LockFut<'a>;
+
+    /// Release `lock`.
+    fn unlock<'a>(&'a self, lock: LockId) -> LockFut<'a>;
+}
+
+macro_rules! impl_lock_client {
+    ($client:ty, $node:expr) => {
+        impl LockClient for $client {
+            fn node(&self) -> NodeId {
+                $node(self)
+            }
+
+            fn lock<'a>(&'a self, lock: LockId, mode: LockMode) -> LockFut<'a> {
+                Box::pin(<$client>::lock(self, lock, mode))
+            }
+
+            fn unlock<'a>(&'a self, lock: LockId) -> LockFut<'a> {
+                Box::pin(<$client>::unlock(self, lock))
+            }
+        }
+    };
+}
+
+impl_lock_client!(SrslClient, SrslClient::node_id);
+impl_lock_client!(DqnlClient, DqnlClient::node_id);
+impl_lock_client!(NcosedClient, NcosedClient::node);
+impl_lock_client!(CasSpinClient, CasSpinClient::node_id);
+impl_lock_client!(LeaseClient, LeaseClient::node_id);
+impl_lock_client!(McsClient, McsClient::node_id);
+
+/// The closed set of lock designs, shootout legend order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignKind {
+    /// Send/receive server locking (two-sided baseline).
+    Srsl,
+    /// Distributed-queue non-shared locking (one-sided CAS queue).
+    Dqnl,
+    /// N-CoSED, the paper's shared+exclusive one-sided design.
+    Ncosed,
+    /// Pure remote-CAS spin lock with bounded retry pause.
+    CasSpin,
+    /// Time-bounded lease ownership with seeded exponential backoff.
+    Lease,
+    /// MCS-style FIFO ticket queue from remote fetch-and-add.
+    McsTicket,
+}
+
+impl DesignKind {
+    /// Every design, shootout legend order.
+    pub const ALL: [DesignKind; 6] = [
+        DesignKind::Srsl,
+        DesignKind::Dqnl,
+        DesignKind::Ncosed,
+        DesignKind::CasSpin,
+        DesignKind::Lease,
+        DesignKind::McsTicket,
+    ];
+
+    /// Legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DesignKind::Srsl => "SRSL",
+            DesignKind::Dqnl => "DQNL",
+            DesignKind::Ncosed => "N-CoSED",
+            DesignKind::CasSpin => "CAS-Spin",
+            DesignKind::Lease => "Lease",
+            DesignKind::McsTicket => "MCS-FAA",
+        }
+    }
+
+    /// Look a design up by its [`DesignKind::label`].
+    pub fn by_label(label: &str) -> Option<DesignKind> {
+        DesignKind::ALL.into_iter().find(|d| d.label() == label)
+    }
+
+    /// Construct the manager on `home` and return one client per entry of
+    /// `members`, in `members` order. SRSL manages its lock table
+    /// server-side and ignores `num_locks`.
+    pub fn build(
+        self,
+        cluster: &Cluster,
+        cfg: DlmConfig,
+        home: NodeId,
+        num_locks: u32,
+        members: &[NodeId],
+    ) -> Vec<Box<dyn LockClient>> {
+        fn clients<C: LockClient + 'static>(
+            members: &[NodeId],
+            f: impl Fn(NodeId) -> C,
+        ) -> Vec<Box<dyn LockClient>> {
+            members
+                .iter()
+                .map(|&n| Box::new(f(n)) as Box<dyn LockClient>)
+                .collect()
+        }
+        match self {
+            DesignKind::Srsl => {
+                let dlm = SrslDlm::new(cluster, cfg, home, members);
+                clients(members, move |n| dlm.client(n))
+            }
+            DesignKind::Dqnl => {
+                let dlm = DqnlDlm::new(cluster, cfg, home, num_locks, members);
+                clients(members, move |n| dlm.client(n))
+            }
+            DesignKind::Ncosed => {
+                let dlm = NcosedDlm::new(cluster, cfg, home, num_locks, members);
+                clients(members, move |n| dlm.client(n))
+            }
+            DesignKind::CasSpin => {
+                let dlm = CasSpinDlm::new(cluster, cfg, home, num_locks, members);
+                clients(members, move |n| dlm.client(n))
+            }
+            DesignKind::Lease => {
+                let dlm = LeaseDlm::new(cluster, cfg, home, num_locks, members);
+                clients(members, move |n| dlm.client(n))
+            }
+            DesignKind::McsTicket => {
+                let dlm = McsDlm::new(cluster, cfg, home, num_locks, members);
+                clients(members, move |n| dlm.client(n))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_fabric::FabricModel;
+    use dc_sim::time::us;
+    use dc_sim::Sim;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    #[test]
+    fn labels_are_unique_and_resolvable() {
+        for d in DesignKind::ALL {
+            assert_eq!(DesignKind::by_label(d.label()), Some(d));
+        }
+        assert_eq!(DesignKind::by_label("nope"), None);
+    }
+
+    #[test]
+    fn every_design_locks_and_unlocks_through_the_trait() {
+        for design in DesignKind::ALL {
+            let sim = Sim::new();
+            let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 4);
+            let members: Vec<NodeId> = (0..4).map(NodeId).collect();
+            let clients = design.build(&cluster, DlmConfig::default(), NodeId(0), 4, &members);
+            assert_eq!(clients.len(), 4, "{design:?}");
+            for (i, c) in clients.iter().enumerate() {
+                assert_eq!(c.node(), NodeId(i as u32), "{design:?}");
+            }
+            let done: Rc<Cell<u32>> = Rc::default();
+            let h = sim.handle();
+            for c in clients.into_iter().skip(1) {
+                let done = Rc::clone(&done);
+                let hh = h.clone();
+                sim.spawn(async move {
+                    c.lock(1, LockMode::Exclusive).await;
+                    hh.sleep(us(20)).await;
+                    c.unlock(1).await;
+                    done.set(done.get() + 1);
+                });
+            }
+            sim.run();
+            assert_eq!(done.get(), 3, "{design:?} client stuck");
+        }
+    }
+}

@@ -245,6 +245,11 @@ pub struct DqnlClient {
 }
 
 impl DqnlClient {
+    /// The node this client operates from.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
     /// Acquire `lock`. The `mode` is accepted for interface parity but DQNL
     /// treats every request as exclusive.
     pub async fn lock(&self, lock: LockId, mode: LockMode) {

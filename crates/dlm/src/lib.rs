@@ -4,7 +4,8 @@
 //! CCGrid'07 paper): high-performance distributed locking using
 //! network-based remote atomic operations.
 //!
-//! Three schemes, matching the evaluation of Figure 5:
+//! Six designs behind one [`LockClient`] surface (pick via [`DesignKind`]).
+//! The Figure-5 trio:
 //!
 //! * [`NcosedDlm`] — **N-CoSED**, the paper's contribution: one-sided
 //!   CAS/FAA locking for both shared and exclusive modes over the 64-bit
@@ -16,6 +17,17 @@
 //! * [`SrslDlm`] — **SRSL**, traditional send/receive server locking: every
 //!   operation is a message to a server process whose CPU is on the
 //!   critical path.
+//!
+//! And the `ext_lock_shootout` contenders, built over the same one-sided
+//! verbs:
+//!
+//! * [`CasSpinDlm`] — pure remote-CAS spin lock with bounded retry pause:
+//!   cheapest possible uncontended path, no fairness bound at all.
+//! * [`LeaseDlm`] — time-bounded lease ownership with seeded exponential
+//!   backoff and expired-lease stealing (mutual exclusion conditional on
+//!   hold time < lease; see DESIGN.md).
+//! * [`McsDlm`] — MCS-style FIFO ticket queue from remote fetch-and-add
+//!   over a shared [`word::TicketWord`].
 //!
 //! ```
 //! use dc_sim::Sim;
@@ -34,16 +46,24 @@
 //! });
 //! ```
 
+pub mod cas_spin;
 pub mod config;
+pub mod design;
 pub mod dqnl;
+pub mod lease;
+pub mod mcs;
 pub mod msg;
 pub mod ncosed;
 pub mod srsl;
 pub mod word;
 
+pub use cas_spin::{CasSpinClient, CasSpinDlm};
 pub use config::{DlmConfig, LockMode};
+pub use design::{DesignKind, LockClient};
 pub use dqnl::{DqnlClient, DqnlDlm};
+pub use lease::{LeaseClient, LeaseDlm};
+pub use mcs::{McsClient, McsDlm};
 pub use msg::LockId;
 pub use ncosed::{NcosedClient, NcosedDlm};
 pub use srsl::{SrslClient, SrslDlm};
-pub use word::LockWord;
+pub use word::{LeaseWord, LockWord, TicketWord};

@@ -84,6 +84,37 @@ pub enum DlmMsg {
         /// Releasing node.
         from: NodeId,
     },
+    /// MCS/ticket: register `from` as the holder-in-waiting of `ticket`
+    /// with the home agent (sent after a FAA dispensed a not-yet-served
+    /// ticket).
+    TicketWait {
+        /// Lock concerned.
+        lock: LockId,
+        /// Ticket the requester drew from the dispenser word.
+        ticket: u32,
+        /// Requesting node, to be granted when `ticket` comes up.
+        from: NodeId,
+    },
+    /// MCS/ticket: release handoff — the releaser's FAA advanced the
+    /// serving counter to `serving`; the home agent forwards the grant to
+    /// whichever node registered that ticket.
+    TicketServe {
+        /// Lock concerned.
+        lock: LockId,
+        /// Ticket now being served.
+        serving: u32,
+    },
+    /// Lease: off-critical-path notice that `from` stole an expired lease
+    /// from `stolen_from` (home-agent bookkeeping only; carries no grant
+    /// authority).
+    LeaseSteal {
+        /// Lock concerned.
+        lock: LockId,
+        /// The thief (new owner).
+        from: NodeId,
+        /// The lapsed owner it displaced.
+        stolen_from: NodeId,
+    },
 }
 
 /// Message tags — the opcode bytes the service dispatchers route on.
@@ -94,6 +125,9 @@ pub(crate) const T_SH_RELEASE: u8 = 4;
 pub(crate) const T_WAIT_SHARED: u8 = 5;
 pub(crate) const T_SRV_LOCK: u8 = 6;
 pub(crate) const T_SRV_UNLOCK: u8 = 7;
+pub(crate) const T_TICKET_WAIT: u8 = 8;
+pub(crate) const T_TICKET_SERVE: u8 = 9;
+pub(crate) const T_LEASE_STEAL: u8 = 10;
 
 impl DlmMsg {
     /// Decode, panicking on malformed bytes — protocol agents receive only
@@ -139,6 +173,19 @@ impl Wire for DlmMsg {
             DlmMsg::SrvUnlock { lock, from } => {
                 w.u8(T_SRV_UNLOCK).u32(lock).u32(from.0);
             }
+            DlmMsg::TicketWait { lock, ticket, from } => {
+                w.u8(T_TICKET_WAIT).u32(lock).u32(ticket).u32(from.0);
+            }
+            DlmMsg::TicketServe { lock, serving } => {
+                w.u8(T_TICKET_SERVE).u32(lock).u32(serving);
+            }
+            DlmMsg::LeaseSteal {
+                lock,
+                from,
+                stolen_from,
+            } => {
+                w.u8(T_LEASE_STEAL).u32(lock).u32(from.0).u32(stolen_from.0);
+            }
         }
     }
 
@@ -174,6 +221,20 @@ impl Wire for DlmMsg {
             T_SRV_UNLOCK => DlmMsg::SrvUnlock {
                 lock,
                 from: NodeId(r.u32()?),
+            },
+            T_TICKET_WAIT => DlmMsg::TicketWait {
+                lock,
+                ticket: r.u32()?,
+                from: NodeId(r.u32()?),
+            },
+            T_TICKET_SERVE => DlmMsg::TicketServe {
+                lock,
+                serving: r.u32()?,
+            },
+            T_LEASE_STEAL => DlmMsg::LeaseSteal {
+                lock,
+                from: NodeId(r.u32()?),
+                stolen_from: NodeId(r.u32()?),
             },
             _ => return None,
         };
@@ -219,6 +280,20 @@ mod tests {
             DlmMsg::SrvUnlock {
                 lock: 7,
                 from: NodeId(2),
+            },
+            DlmMsg::TicketWait {
+                lock: 3,
+                ticket: 42,
+                from: NodeId(8),
+            },
+            DlmMsg::TicketServe {
+                lock: 3,
+                serving: 43,
+            },
+            DlmMsg::LeaseSteal {
+                lock: 11,
+                from: NodeId(4),
+                stolen_from: NodeId(6),
             },
         ];
         for m in msgs {

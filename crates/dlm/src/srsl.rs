@@ -260,6 +260,11 @@ pub struct SrslClient {
 }
 
 impl SrslClient {
+    /// The node this client operates from.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
     /// Acquire `lock` in `mode` through the server.
     pub async fn lock(&self, lock: LockId, mode: LockMode) {
         let inner = &self.dlm.inner;

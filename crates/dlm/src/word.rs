@@ -63,6 +63,95 @@ impl LockWord {
 /// half; never carries into the tail field until 2^32 outstanding requests).
 pub const SHARED_FAA_DELTA: u64 = 1;
 
+/// The MCS-style ticket word: a fetch-and-add dispenser in the low half and
+/// a now-serving counter in the high half, packed into the same one-sided
+/// 64-bit window the N-CoSED family uses.
+///
+/// Acquire is one FAA of [`TICKET_TAKE_DELTA`]: the returned `next` is the
+/// caller's ticket, and if it equals the returned `serving` the lock was
+/// free. Release is one FAA of [`TICKET_SERVE_DELTA`]. Both counters wrap at
+/// 2^32 — far beyond any simulated run — and neither FAA can carry into the
+/// other half below that bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TicketWord {
+    /// Ticket currently being served (its holder owns the lock).
+    pub serving: u32,
+    /// Next ticket to dispense.
+    pub next: u32,
+}
+
+impl TicketWord {
+    /// The initial word: serving 0, next ticket 0 (lock free).
+    pub const FREE: u64 = 0;
+
+    /// Decode a raw 64-bit word.
+    pub fn decode(raw: u64) -> TicketWord {
+        TicketWord {
+            serving: (raw >> 32) as u32,
+            next: raw as u32,
+        }
+    }
+
+    /// Encode back to the raw representation.
+    pub fn encode(self) -> u64 {
+        ((self.serving as u64) << 32) | self.next as u64
+    }
+}
+
+/// FAA delta dispensing one ticket (+1 to the low `next` half).
+pub const TICKET_TAKE_DELTA: u64 = 1;
+
+/// FAA delta advancing the now-serving counter (+1 to the high half).
+pub const TICKET_SERVE_DELTA: u64 = 1 << 32;
+
+/// The lease word: current owner in the high half (node-id + 1; 0 = free)
+/// and the lease expiry instant, in microseconds of sim time, in the low
+/// half.
+///
+/// Acquire and steal are both single CAS operations on the whole word, so
+/// ownership and deadline change atomically. The 32-bit expiry wraps after
+/// ~71 simulated minutes — orders of magnitude past any scenario horizon —
+/// and the encoding asserts rather than silently aliasing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseWord {
+    /// Current owner, if any.
+    pub owner: Option<NodeId>,
+    /// Sim-time instant (µs) at which the ownership lapses.
+    pub expiry_us: u32,
+}
+
+impl LeaseWord {
+    /// The free word: no owner, no deadline.
+    pub const FREE: u64 = 0;
+
+    /// Decode a raw 64-bit word.
+    pub fn decode(raw: u64) -> LeaseWord {
+        let owner_raw = (raw >> 32) as u32;
+        LeaseWord {
+            owner: if owner_raw == 0 {
+                None
+            } else {
+                Some(NodeId(owner_raw - 1))
+            },
+            expiry_us: raw as u32,
+        }
+    }
+
+    /// Encode back to the raw representation.
+    pub fn encode(self) -> u64 {
+        let owner_raw = match self.owner {
+            None => 0u32,
+            Some(n) => n.0 + 1,
+        };
+        ((owner_raw as u64) << 32) | self.expiry_us as u64
+    }
+
+    /// Whether the lease has lapsed at sim instant `now_us`.
+    pub fn expired(self, now_us: u64) -> bool {
+        self.owner.is_some() && now_us > self.expiry_us as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,5 +206,60 @@ mod tests {
         let w = LockWord::decode(LockWord::with_excl_tail(NodeId(9)));
         assert_eq!(w.tail, Some(NodeId(9)));
         assert_eq!(w.shared, 0);
+    }
+
+    #[test]
+    fn ticket_word_round_trips_and_faa_deltas_are_disjoint() {
+        for serving in [0u32, 1, 77, u32::MAX - 1] {
+            for next in [0u32, 1, 2_000_000, u32::MAX - 1] {
+                let w = TicketWord { serving, next };
+                assert_eq!(TicketWord::decode(w.encode()), w);
+            }
+        }
+        let base = TicketWord {
+            serving: 3,
+            next: 9,
+        }
+        .encode();
+        let took = TicketWord::decode(base.wrapping_add(TICKET_TAKE_DELTA));
+        assert_eq!(
+            took,
+            TicketWord {
+                serving: 3,
+                next: 10
+            }
+        );
+        let served = TicketWord::decode(base.wrapping_add(TICKET_SERVE_DELTA));
+        assert_eq!(
+            served,
+            TicketWord {
+                serving: 4,
+                next: 9
+            }
+        );
+    }
+
+    #[test]
+    fn free_ticket_word_grants_immediately() {
+        let w = TicketWord::decode(TicketWord::FREE);
+        assert_eq!(w.serving, w.next, "free word must self-grant");
+    }
+
+    #[test]
+    fn lease_word_round_trips_and_expires() {
+        for owner in [None, Some(NodeId(0)), Some(NodeId(511))] {
+            for expiry_us in [0u32, 1, 5_000_000] {
+                let w = LeaseWord { owner, expiry_us };
+                assert_eq!(LeaseWord::decode(w.encode()), w);
+            }
+        }
+        let w = LeaseWord {
+            owner: Some(NodeId(2)),
+            expiry_us: 100,
+        };
+        assert!(!w.expired(100), "expiry instant itself is still owned");
+        assert!(w.expired(101));
+        let free = LeaseWord::decode(LeaseWord::FREE);
+        assert!(!free.expired(u64::MAX), "a free word never 'expires'");
     }
 }

@@ -730,6 +730,101 @@ pub fn claims_for(bench: &str) -> Vec<Claim> {
                 note: "Ablation: socket monitoring CPU cost scales with cadence",
             },
         ],
+        // Shootout tables: one per contention cell (0 = cold 4-client
+        // uniform, 1 = 8 clients zipf 0.9, 2 = hot 16 clients zipf 1.2);
+        // rows in DesignKind::ALL legend order — 0 SRSL, 1 DQNL,
+        // 2 N-CoSED, 3 CAS-Spin, 4 Lease, 5 MCS-FAA.
+        "ext_lock_shootout" => vec![
+            Claim::RatioAtMost {
+                num: col(2, "fairness CV").rows(5, 6),
+                den: col(2, "fairness CV").rows(3, 4),
+                at: At::All,
+                max: 0.5,
+                note: "Shootout: FIFO ticket queue dominates CAS spin on fairness when hot",
+            },
+            Claim::RatioAtMost {
+                num: col(1, "fairness CV").rows(5, 6),
+                den: col(1, "fairness CV").rows(3, 4),
+                at: At::All,
+                max: 0.6,
+                note: "Shootout: ticket-queue fairness dominance already shows at mid skew",
+            },
+            Claim::RatioAtMost {
+                num: col(2, "max wait (us)").rows(5, 6),
+                den: col(2, "max wait (us)").rows(3, 4),
+                at: At::All,
+                max: 0.6,
+                note: "Shootout: FIFO bounds starvation — worst wait well under the spinner's",
+            },
+            Claim::RatioAtMost {
+                num: col(2, "p99 wait (us)").rows(5, 6),
+                den: col(2, "p99 wait (us)").rows(3, 4),
+                at: At::All,
+                max: 0.9,
+                note: "Shootout: ticket queue beats the spinner's p99 under hot keys",
+            },
+            Claim::RatioAtMost {
+                num: col(2, "max wait (us)").rows(5, 6),
+                den: col(2, "p99 wait (us)").rows(5, 6),
+                at: At::All,
+                max: 1.5,
+                note: "Shootout: the ticket queue's tail is tight (max ~ p99)",
+            },
+            Claim::RatioAtLeast {
+                num: col(2, "max wait (us)").rows(3, 4),
+                den: col(2, "p99 wait (us)").rows(3, 4),
+                at: At::All,
+                min: 1.6,
+                note: "Shootout: the spinner's tail keeps growing past p99 (no bound)",
+            },
+            Claim::RatioAtLeast {
+                num: col(0, "locks/s").rows(3, 4),
+                den: col(0, "locks/s").rows(2, 3),
+                at: At::All,
+                min: 1.15,
+                note: "Shootout: uncontended CAS spin out-runs the full N-CoSED machinery",
+            },
+            Claim::RatioAtLeast {
+                num: col(0, "locks/s").rows(3, 4),
+                den: col(0, "locks/s").rows(0, 1),
+                at: At::All,
+                min: 0.95,
+                note: "Shootout: cold-cell spin throughput is within noise of the best design",
+            },
+            Claim::RatioAtMost {
+                num: col(0, "p99 wait (us)").rows(3, 4),
+                den: col(0, "p99 wait (us)").rows(4, 5),
+                at: At::All,
+                max: 0.85,
+                note: "Shootout: cold spin p99 beats the lease's backoff-laden path",
+            },
+            Claim::RatioAtLeast {
+                num: col(2, "p99 wait (us)").rows(3, 4),
+                den: col(0, "p99 wait (us)").rows(3, 4),
+                at: At::All,
+                min: 8.0,
+                note: "Shootout: spin p99 degrades super-linearly from cold to hot",
+            },
+            Claim::RatioAtLeast {
+                num: col(2, "locks/s").rows(1, 2),
+                den: col(2, "locks/s").rows(0, 1),
+                at: At::All,
+                min: 1.3,
+                note: "Shootout: one-sided queues keep a throughput lead over the SRSL server",
+            },
+            Claim::RatioAtLeast {
+                num: col(2, "max wait (us)").rows(4, 5),
+                den: col(2, "max wait (us)").rows(3, 4),
+                at: At::All,
+                min: 1.5,
+                note: "Shootout: lease backoff has the worst starvation tail of all designs",
+            },
+            Claim::PointwiseLess {
+                lo: col(2, "p99 wait (us)").rows(2, 3),
+                hi: col(2, "p99 wait (us)").rows(3, 4),
+                note: "Shootout: N-CoSED's queued grants beat spinning even against hot keys",
+            },
+        ],
         _ => vec![],
     }
 }

@@ -229,6 +229,65 @@ proptest! {
     }
 }
 
+/// The lock-design shootout soaked under a seeded drops+latency fault
+/// plan: every design still makes progress, identical (cell, fault seed)
+/// pairs reproduce bit-identically, and the plan leaves a visible mark on
+/// at least the message-carrying designs. Crash and stall windows are
+/// excluded — one-sided atomics cannot ride out a crashed home (see
+/// `dc_bench::ext_shootout::run_cell`).
+#[test]
+fn lock_shootout_soak_under_drops_is_survivable_and_reproducible() {
+    use dc_bench::ext_shootout::{run_cell, CELLS, HORIZON_NS};
+    use nextgen_datacenter::dlm::DesignKind;
+
+    let cell = CELLS[1];
+    let nodes = cell.clients + 1;
+    let cfg = FaultConfig {
+        horizon_ns: HORIZON_NS,
+        max_crashes_per_node: 0,
+        max_stalls_per_node: 0,
+        drop_prob: 0.08,
+        latency_min_ns: ms(2),
+        latency_max_ns: ms(8),
+        immune_nodes: Vec::new(),
+        ..FaultConfig::default()
+    };
+    let mk = || FaultPlan::generate(0x50AC, &cfg, nodes);
+    assert!(
+        !mk().latency_windows().is_empty(),
+        "plan has no latency window"
+    );
+    for design in DesignKind::ALL {
+        let a = run_cell(design, cell, Some(mk()));
+        let b = run_cell(design, cell, Some(mk()));
+        assert!(a.acquires > 0, "{design:?} made no progress under faults");
+        assert_eq!(a.acquires, b.acquires, "{design:?} diverged");
+        assert_eq!(
+            a.p99_wait_us.to_bits(),
+            b.p99_wait_us.to_bits(),
+            "{design:?} diverged"
+        );
+        assert_eq!(
+            a.fairness_cv.to_bits(),
+            b.fairness_cv.to_bits(),
+            "{design:?} diverged"
+        );
+        assert_eq!(
+            a.max_wait_us.to_bits(),
+            b.max_wait_us.to_bits(),
+            "{design:?} diverged"
+        );
+    }
+
+    // The plan is not a no-op: a message-carrying design feels it.
+    let clean = run_cell(DesignKind::McsTicket, cell, None);
+    let faulted = run_cell(DesignKind::McsTicket, cell, Some(mk()));
+    assert_ne!(
+        clean.acquires, faulted.acquires,
+        "the fault plan had no observable effect on MCS-FAA"
+    );
+}
+
 /// A pinned schedule that demonstrably injects all three headline fault
 /// classes — node crashes, message drops, latency inflation (plus CPU
 /// stalls) — survives with every invariant intact, and reproduces

@@ -86,6 +86,11 @@ fn ext_ablations_claims() {
 }
 
 #[test]
+fn ext_lock_shootout_claims() {
+    assert_claims_hold("ext_lock_shootout");
+}
+
+#[test]
 fn every_registered_scenario_has_claims() {
     for s in &scenario::ALL {
         assert!(
@@ -223,6 +228,54 @@ fn fault_seeded_claims_hold_when_enabled() {
             "seed {seed}: faulted RDMA-Sync {:.0} should still beat Socket-Sync {:.0}",
             rdma.tps,
             socket.tps
+        );
+    }
+}
+
+/// Fault-seeded shootout dominance, opt-in via `DC_CLAIMS_FAULTS=1`.
+/// Message drops and latency storms shift every absolute number, but the
+/// hot-cell ordering the claims gate on must survive: the FIFO ticket
+/// queue stays fairer and better-bounded than the CAS spinner. The plan
+/// carries no crash or stall windows — one-sided atomics cannot ride out
+/// a crashed home (see `dc_bench::ext_shootout::run_cell`).
+#[test]
+fn fault_seeded_lock_shootout_dominance_holds() {
+    if std::env::var("DC_CLAIMS_FAULTS").ok().as_deref() != Some("1") {
+        return; // opt-in: default tier-1 stays fault-free
+    }
+    use dc_bench::ext_shootout::{run_cell, CELLS, HORIZON_NS};
+    use dc_dlm::DesignKind;
+
+    let cfg = dc_fabric::FaultConfig {
+        horizon_ns: HORIZON_NS,
+        max_crashes_per_node: 0,
+        max_stalls_per_node: 0,
+        drop_prob: 0.05,
+        latency_windows: 2,
+        latency_min_ns: dc_sim::time::ms(2),
+        latency_max_ns: dc_sim::time::ms(6),
+        ..Default::default()
+    };
+    let hot = CELLS[2];
+    for seed in [7u64, 8, 9] {
+        let nodes = hot.clients + 1;
+        let mk = |design| {
+            let plan = dc_fabric::FaultPlan::generate(seed, &cfg, nodes);
+            run_cell(design, hot, Some(plan))
+        };
+        let cas = mk(DesignKind::CasSpin);
+        let mcs = mk(DesignKind::McsTicket);
+        assert!(
+            mcs.fairness_cv < cas.fairness_cv,
+            "seed {seed}: faulted MCS-FAA fairness CV {:.3} should beat CAS-Spin {:.3}",
+            mcs.fairness_cv,
+            cas.fairness_cv
+        );
+        assert!(
+            mcs.max_wait_us < cas.max_wait_us,
+            "seed {seed}: faulted MCS-FAA max wait {:.1}us should beat CAS-Spin {:.1}us",
+            mcs.max_wait_us,
+            cas.max_wait_us
         );
     }
 }

@@ -9,8 +9,8 @@ use std::rc::Rc;
 use proptest::prelude::*;
 
 use nextgen_datacenter::ddss::{Coherence, Ddss, DdssConfig};
-use nextgen_datacenter::dlm::{DlmConfig, LockMode, NcosedDlm};
-use nextgen_datacenter::fabric::{Cluster, FabricModel, NodeId};
+use nextgen_datacenter::dlm::{DesignKind, DlmConfig, LockMode, NcosedDlm};
+use nextgen_datacenter::fabric::{Cluster, FabricModel, FaultConfig, FaultPlan, NodeId};
 use nextgen_datacenter::sim::time::{ms, us};
 use nextgen_datacenter::sim::Sim;
 
@@ -182,9 +182,90 @@ proptest! {
 }
 
 proptest! {
-    // These properties drive whole sub-simulations per case, so they run
-    // fewer cases than the protocol invariants above.
-    #![proptest_config(ProptestConfig::with_cases(8))]
+    // Every case drives one whole cluster per lock design, so few cases.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The `LockClient` trait contract, checked for every design at once:
+    /// exclusive holders never overlap, and every request drains — under
+    /// randomized arrivals and hold times, optionally with seeded message
+    /// drops and latency storms. Hold times stay far below the lease
+    /// bound, so the lease design's conditional mutual exclusion is
+    /// unconditional here (DESIGN.md). Crash and stall windows are
+    /// excluded by construction: one-sided atomics cannot ride out a
+    /// crashed home.
+    #[test]
+    fn every_lock_design_is_safe_and_drains(
+        ops in prop::collection::vec(lock_op(7), 2..7),
+        faulted in any::<bool>(),
+        fault_seed in any::<u64>(),
+    ) {
+        // One outstanding request per (node, lock) — the trait contract.
+        let mut seen = std::collections::HashSet::new();
+        let ops: Vec<LockOp> = ops
+            .into_iter()
+            .filter(|op| seen.insert(op.node))
+            .collect();
+        for design in DesignKind::ALL {
+            let sim = Sim::new();
+            let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 7);
+            if faulted {
+                let cfg = FaultConfig {
+                    horizon_ns: ms(60),
+                    max_crashes_per_node: 0,
+                    max_stalls_per_node: 0,
+                    drop_prob: 0.05,
+                    latency_windows: 2,
+                    latency_min_ns: ms(2),
+                    latency_max_ns: ms(8),
+                    ..Default::default()
+                };
+                cluster.install_faults(FaultPlan::generate(fault_seed, &cfg, 7));
+            }
+            let members: Vec<NodeId> = (0..7).map(NodeId).collect();
+            let mut clients: Vec<_> = design
+                .build(&cluster, DlmConfig::default(), NodeId(0), 4, &members)
+                .into_iter()
+                .map(Some)
+                .collect();
+            let in_cs: Rc<Cell<i64>> = Rc::default();
+            let violations: Rc<Cell<u32>> = Rc::default();
+            let granted: Rc<Cell<usize>> = Rc::default();
+            for op in &ops {
+                let client = clients[op.node as usize].take().expect("one op per node");
+                let in_cs = Rc::clone(&in_cs);
+                let violations = Rc::clone(&violations);
+                let granted = Rc::clone(&granted);
+                let h = sim.handle();
+                let op = *op;
+                sim.spawn(async move {
+                    h.sleep(us(op.arrive_us)).await;
+                    // Exclusive only: CAS-Spin, Lease, and MCS-FAA treat
+                    // every request as exclusive, so a shared overlap
+                    // would read as a false violation.
+                    client.lock(0, LockMode::Exclusive).await;
+                    if in_cs.get() > 0 {
+                        violations.set(violations.get() + 1);
+                    }
+                    in_cs.set(in_cs.get() + 1);
+                    h.sleep(us(op.hold_us)).await;
+                    in_cs.set(in_cs.get() - 1);
+                    client.unlock(0).await;
+                    granted.set(granted.get() + 1);
+                });
+            }
+            let reached = sim.run_until(ms(400));
+            prop_assert_eq!(reached, ms(400), "{:?} stalled the sim", design);
+            prop_assert_eq!(
+                violations.get(), 0,
+                "{:?}: mutual exclusion violated (faulted={})", design, faulted
+            );
+            prop_assert_eq!(
+                granted.get(), ops.len(),
+                "{:?}: a request was never granted (faulted={})", design, faulted
+            );
+            prop_assert_eq!(in_cs.get(), 0, "{:?}", design);
+        }
+    }
 
     /// Fig 8a generalized: synchronous RDMA sampling dominates both
     /// asynchronous schemes on monitoring accuracy, not just at the

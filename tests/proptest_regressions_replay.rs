@@ -1,0 +1,118 @@
+//! Replays committed `*.proptest-regressions` seeds.
+//!
+//! The vendored offline `proptest` is a strategy/runner stub: it neither
+//! writes nor reads `.proptest-regressions` files, so seeds committed by
+//! upstream proptest would be silently ignored — a regression file could
+//! rot into a lie. This suite closes that gap in two parts:
+//!
+//! 1. every committed regression file under `tests/` must have a replay
+//!    registered here (adding a file without a replay fails the build);
+//! 2. each registered replay re-runs the shrunk case against the same
+//!    property body as the originating proptest, with the concrete values
+//!    recorded in the file.
+//!
+//! When a future proptest failure is worth pinning, append its shrunk
+//! values to the matching `.proptest-regressions` file (the upstream `cc`
+//! line format, values in the trailing comment) and add a replay function
+//! below.
+
+use nextgen_datacenter::workloads::Zipf;
+
+/// Replays registered by regression-file stem. Extend this table when a
+/// new `tests/<stem>.proptest-regressions` file is committed.
+const REPLAYS: &[(&str, fn())] = &[("prop_primitives", replay_prop_primitives)];
+
+/// `prop_primitives.proptest-regressions`:
+/// `cc aad4d31e… # shrinks to n = 4, alpha = 0.1, seed = 11472798134791117982`
+///
+/// The shrunk edge of `zipf_is_well_formed`: a tiny table at the flattest
+/// supported skew, where the head-share bound has the least slack. The
+/// body mirrors the proptest property exactly.
+fn replay_prop_primitives() {
+    let (n, alpha, seed) = (4usize, 0.1f64, 11472798134791117982u64);
+    let z = Zipf::new(n, alpha);
+    let mut rng = nextgen_datacenter::sim::rng::seeded_rng(seed);
+    let mut head = 0usize;
+    let mut total = 0usize;
+    for _ in 0..500 {
+        let r = z.sample(&mut rng);
+        assert!(r < n);
+        total += 1;
+        if r < n.div_ceil(2) {
+            head += 1;
+        }
+    }
+    assert!(head as f64 >= 0.44 * total as f64, "head {head} of {total}");
+    let sum: f64 = (0..n).map(|i| z.pmf(i)).sum();
+    assert!((sum - 1.0).abs() < 1e-9);
+}
+
+/// Every committed regression file has a registered replay, and every
+/// registered replay still has its file (no dangling entries either way).
+#[test]
+fn every_regression_file_has_a_registered_replay() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests");
+    let mut stems: Vec<String> = std::fs::read_dir(&dir)
+        .expect("tests/ readable")
+        .filter_map(|e| {
+            let name = e.expect("dir entry").file_name();
+            let name = name.to_string_lossy().into_owned();
+            name.strip_suffix(".proptest-regressions")
+                .map(str::to_owned)
+        })
+        .collect();
+    stems.sort_unstable();
+    assert!(
+        !stems.is_empty(),
+        "no .proptest-regressions files found — if they were deliberately \
+         removed, retire this suite with them"
+    );
+    for stem in &stems {
+        assert!(
+            REPLAYS.iter().any(|(s, _)| s == stem),
+            "tests/{stem}.proptest-regressions has no registered replay: \
+             the vendored proptest ignores the file, so without one its \
+             seeds are dead weight. Add a replay to REPLAYS."
+        );
+    }
+    for (stem, _) in REPLAYS {
+        assert!(
+            stems.iter().any(|s| s == stem),
+            "replay '{stem}' has no tests/{stem}.proptest-regressions file"
+        );
+    }
+}
+
+/// Each regression file's `cc` lines are well-formed (non-empty, carry the
+/// shrunk-values comment the replays transcribe), so a hand-edit that
+/// breaks the format is caught.
+#[test]
+fn regression_files_are_well_formed() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests");
+    for (stem, _) in REPLAYS {
+        let path = dir.join(format!("{stem}.proptest-regressions"));
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let cases: Vec<&str> = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .collect();
+        assert!(!cases.is_empty(), "{stem}: no regression cases recorded");
+        for case in cases {
+            assert!(
+                case.starts_with("cc ") && case.contains("# shrinks to"),
+                "{stem}: malformed regression line: {case:?}"
+            );
+        }
+    }
+}
+
+/// Run every registered replay.
+#[test]
+fn committed_regression_seeds_still_pass() {
+    for (stem, replay) in REPLAYS {
+        eprintln!("replaying {stem}.proptest-regressions");
+        replay();
+    }
+}

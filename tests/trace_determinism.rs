@@ -53,6 +53,50 @@ fn traced_webfarm_under_faults_is_byte_identical() {
     assert_eq!(ta.metrics_json, tb.metrics_json);
 }
 
+/// The lock-design shootout, same bar as the webfarm: tracing changes no
+/// stat, and the exported artifacts are byte-identical across runs —
+/// clean and under a seeded drops+latency fault plan (no crash windows:
+/// one-sided atomics cannot ride out a crashed home).
+#[test]
+fn traced_lock_shootout_is_byte_identical_and_observationally_free() {
+    use dc_bench::ext_shootout::{run_cell, run_cell_traced, CELLS, HORIZON_NS};
+    use nextgen_datacenter::dlm::DesignKind;
+    use nextgen_datacenter::fabric::FaultPlan;
+
+    let cell = CELLS[1];
+    let design = DesignKind::McsTicket;
+    let (sa, ta) = run_cell_traced(design, cell, None, TraceMode::Full);
+    let (sb, tb) = run_cell_traced(design, cell, None, TraceMode::Full);
+    assert!(ta.events > 0, "trace captured nothing");
+    assert_eq!(ta.trace_json, tb.trace_json, "Perfetto JSON diverged");
+    assert_eq!(ta.metrics_json, tb.metrics_json, "metrics diverged");
+    assert_eq!(sa.acquires, sb.acquires);
+
+    // Observationally free: the traced stats equal an untraced run's.
+    let plain = run_cell(design, cell, None);
+    assert_eq!(sa.acquires, plain.acquires);
+    assert_eq!(sa.p99_wait_us.to_bits(), plain.p99_wait_us.to_bits());
+    assert_eq!(sa.max_wait_us.to_bits(), plain.max_wait_us.to_bits());
+
+    let fault_cfg = FaultConfig {
+        horizon_ns: HORIZON_NS,
+        max_crashes_per_node: 0,
+        max_stalls_per_node: 0,
+        drop_prob: 0.05,
+        ..FaultConfig::default()
+    };
+    let nodes = cell.clients + 1;
+    let mk = || FaultPlan::generate(0xFA_017, &fault_cfg, nodes);
+    let (_, fa) = run_cell_traced(design, cell, Some(mk()), TraceMode::Full);
+    let (_, fb) = run_cell_traced(design, cell, Some(mk()), TraceMode::Full);
+    assert_eq!(fa.trace_json, fb.trace_json, "faulted trace diverged");
+    assert_eq!(fa.metrics_json, fb.metrics_json, "faulted metrics diverged");
+    assert_ne!(
+        ta.trace_json, fa.trace_json,
+        "the fault plan left no mark on the trace"
+    );
+}
+
 /// FNV-1a 64-bit, the same construction the fabric calibration fingerprint
 /// uses; good enough to pin multi-megabyte trace artifacts in a one-line
 /// golden.

@@ -39,7 +39,7 @@ fn coherence() -> impl Strategy<Value = Coherence> {
 
 fn dlm_msg() -> impl Strategy<Value = DlmMsg> {
     (
-        0u8..7,
+        0u8..10,
         any::<u32>(),
         any::<u32>(),
         any::<u32>(),
@@ -70,9 +70,23 @@ fn dlm_msg() -> impl Strategy<Value = DlmMsg> {
                 from: NodeId(node),
                 exclusive: flag,
             },
-            _ => DlmMsg::SrvUnlock {
+            6 => DlmMsg::SrvUnlock {
                 lock,
                 from: NodeId(node),
+            },
+            7 => DlmMsg::TicketWait {
+                lock,
+                ticket: count,
+                from: NodeId(node),
+            },
+            8 => DlmMsg::TicketServe {
+                lock,
+                serving: count,
+            },
+            _ => DlmMsg::LeaseSteal {
+                lock,
+                from: NodeId(node),
+                stolen_from: NodeId(count),
             },
         })
 }
