@@ -156,12 +156,25 @@ fn run_cell_inner(
         let zipf = Rc::clone(&zipf);
         let waits = Rc::clone(&waits);
         let hh = h.clone();
+        let tracer = cluster.tracer().clone();
         sim.spawn(async move {
             loop {
                 hh.sleep(rng.gen_range(0..THINK_MAX_NS)).await;
                 let lock = zipf.sample(&mut rng) as u32;
                 let t0 = hh.now();
+                // Sampled-request root span for critical-path attribution:
+                // one acquisition, issue to grant.
+                let tr = tracer.begin();
                 client.lock(lock, LockMode::Exclusive).await;
+                if let Some(tr) = tr {
+                    tracer.complete(
+                        tr,
+                        i as u32,
+                        dc_trace::Subsys::App,
+                        "request",
+                        vec![("stage", "request".into()), ("lock", lock.into())],
+                    );
+                }
                 let wait = hh.now() - t0;
                 {
                     let mut w = waits.borrow_mut();
@@ -206,11 +219,15 @@ fn run_cell_inner(
         fairness_cv: var.sqrt() / mean,
         max_wait_us: as_us(*all.last().unwrap()),
     };
-    let artifacts = trace.map(|_| dc_core::TraceArtifacts {
-        trace_json: cluster.tracer().export_chrome_json(),
-        metrics_json: cluster.metrics().snapshot().to_json(),
-        events: cluster.tracer().events().len(),
-        dropped: cluster.tracer().dropped(),
+    let artifacts = trace.map(|_| {
+        cluster.sync_sim_metrics();
+        dc_core::TraceArtifacts {
+            trace_json: cluster.tracer().export_chrome_json(),
+            metrics_json: cluster.metrics().snapshot().to_json(),
+            events: cluster.tracer().events().len(),
+            dropped: cluster.tracer().dropped(),
+            raw_events: cluster.tracer().events(),
+        }
     });
     (stats, artifacts)
 }

@@ -67,10 +67,36 @@ fn make_clients(
 /// Run one cascade: returns the time from the holder's release until the
 /// last of `waiters` waiters (requesting `mode`) has been granted, in ns.
 pub fn cascade_ns(scheme: LockScheme, waiters: usize, mode: LockMode) -> u64 {
+    cascade_inner(scheme, waiters, mode, None).0
+}
+
+/// [`cascade_ns`] with the cluster tracer enabled: also returns the retained
+/// trace events for offline analysis (flame folding, latency attribution).
+/// Tracing is recording-only, so the measured cascade time is identical to
+/// the untraced run's.
+pub fn cascade_traced(
+    scheme: LockScheme,
+    waiters: usize,
+    mode: LockMode,
+    tmode: dc_trace::TraceMode,
+) -> (u64, Vec<dc_trace::Event>) {
+    let (ns, events) = cascade_inner(scheme, waiters, mode, Some(tmode));
+    (ns, events.expect("traced run returns events"))
+}
+
+fn cascade_inner(
+    scheme: LockScheme,
+    waiters: usize,
+    mode: LockMode,
+    trace: Option<dc_trace::TraceMode>,
+) -> (u64, Option<Vec<dc_trace::Event>>) {
     let sim = Sim::new();
     // Node 0: home/server; node 1: holder; nodes 2..: waiters.
     let nodes = 2 + waiters;
     let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), nodes);
+    if let Some(tmode) = trace {
+        cluster.tracer().enable(tmode);
+    }
     let members: Vec<NodeId> = (0..nodes as u32).map(NodeId).collect();
     let mut clients = make_clients(&cluster, scheme, &members);
     // Index clients by node id; remove from the back to keep indices valid.
@@ -96,10 +122,24 @@ pub fn cascade_ns(scheme: LockScheme, waiters: usize, mode: LockMode) -> u64 {
     for (i, w) in waiter_clients.into_iter().enumerate() {
         let gt = Rc::clone(&grant_times);
         let hh = h.clone();
+        // Clients were popped from the back of the by-node vector.
+        let node = (nodes - 1 - i) as u32;
+        let tracer = cluster.tracer().clone();
         sim.spawn(async move {
             // Stagger request arrivals to fix the queue order.
             hh.sleep(ms(1) + (i as u64) * 50_000).await;
+            // Sampled-request root span: issue to grant, one per waiter.
+            let tr = tracer.begin();
             w.lock(0, mode).await;
+            if let Some(tr) = tr {
+                tracer.complete(
+                    tr,
+                    node,
+                    dc_trace::Subsys::App,
+                    "request",
+                    vec![("stage", "request".into())],
+                );
+            }
             gt.borrow_mut().push(hh.now());
             // Waiters release immediately (the cascade measurement of the
             // paper: time for the queue to drain through the grant path).
@@ -107,9 +147,12 @@ pub fn cascade_ns(scheme: LockScheme, waiters: usize, mode: LockMode) -> u64 {
         });
     }
     sim.run();
-    let times = grant_times.borrow();
-    assert_eq!(times.len(), waiters, "not all waiters were granted");
-    times.iter().max().unwrap() - release_at.get()
+    let cascade = {
+        let times = grant_times.borrow();
+        assert_eq!(times.len(), waiters, "not all waiters were granted");
+        times.iter().max().unwrap() - release_at.get()
+    };
+    (cascade, trace.map(|_| cluster.tracer().events()))
 }
 
 /// One scheme's cascade series over [`WAITERS`], µs.

@@ -32,6 +32,8 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig8a;
 pub mod fig8b;
+pub mod flame;
 pub mod scenario;
 pub mod sweep;
+pub mod top;
 pub mod wallclock;

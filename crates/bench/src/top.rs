@@ -1,0 +1,215 @@
+//! `dc-bench top` — live metrics dashboard over a running simulation.
+//!
+//! Drives the Figure-6 web farm on a worker thread via
+//! [`dc_core::run_webfarm_observed`]; every poll interval of *virtual* time
+//! the worker syncs sim counters and ships a full [`MetricsSnapshot`] over
+//! a channel to the render thread, which draws counters, gauges, and
+//! histogram sparklines in-terminal (ANSI clear + redraw). `--once`
+//! suppresses the live redraws and prints a single final frame — the
+//! headless mode CI exercises.
+//!
+//! Only the snapshot crosses threads: the simulation itself is single
+//! threaded and `Rc`-based, so it stays on the worker.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use dc_coopcache::CacheScheme;
+use dc_core::WebFarmCfg;
+use dc_trace::{MetricValue, MetricsSnapshot};
+
+/// Dashboard configuration.
+#[derive(Debug, Clone)]
+pub struct TopCfg {
+    /// Workload seed.
+    pub seed: u64,
+    /// Snapshot poll interval in virtual µs.
+    pub interval_us: u64,
+    /// Headless mode: render only the final frame.
+    pub once: bool,
+    /// Total requests the driven farm issues (trims test/CI runtime).
+    pub requests: usize,
+}
+
+impl Default for TopCfg {
+    fn default() -> Self {
+        TopCfg {
+            seed: 42,
+            interval_us: 2_000,
+            once: false,
+            requests: 4_000,
+        }
+    }
+}
+
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+const SPARK_W: usize = 24;
+
+/// Render the last [`SPARK_W`] values as a unicode sparkline, scaled to the
+/// window maximum.
+pub fn sparkline(values: &[u64]) -> String {
+    let recent = &values[values.len().saturating_sub(SPARK_W)..];
+    let max = recent.iter().copied().max().unwrap_or(0).max(1);
+    recent
+        .iter()
+        .map(|&v| SPARK[((v as u128 * 7) / max as u128) as usize])
+        .collect()
+}
+
+fn us(ns: u64) -> String {
+    format!("{}.{}us", ns / 1_000, (ns % 1_000) / 100)
+}
+
+/// Render one frame: counters, gauges, then histograms with a p99
+/// sparkline over `history` (per-metric p99 series, poll order).
+pub fn render(snap: &MetricsSnapshot, history: &BTreeMap<String, Vec<u64>>, polls: u64) -> String {
+    let mut counters = String::new();
+    let mut gauges = String::new();
+    let mut hists = String::new();
+    for (name, v) in &snap.values {
+        match v {
+            MetricValue::Counter(c) => {
+                counters.push_str(&format!("  {name:<44} {c:>12}\n"));
+            }
+            MetricValue::Gauge(g) => {
+                gauges.push_str(&format!("  {name:<44} {g:>12}\n"));
+            }
+            MetricValue::Hist(h) => {
+                let spark = history.get(name).map(|s| sparkline(s)).unwrap_or_default();
+                hists.push_str(&format!(
+                    "  {name:<34} {:>8}  p50 {:>10}  p99 {:>10}  max {:>10}  {spark}\n",
+                    h.count,
+                    us(h.p50_ns),
+                    us(h.p99_ns),
+                    us(h.max_ns),
+                ));
+            }
+        }
+    }
+    let mut out = format!(
+        "dc-bench top — poll {polls} — {} metrics\n",
+        snap.values.len()
+    );
+    if !counters.is_empty() {
+        out.push_str("\ncounters\n");
+        out.push_str(&counters);
+    }
+    if !gauges.is_empty() {
+        out.push_str("\ngauges\n");
+        out.push_str(&gauges);
+    }
+    if !hists.is_empty() {
+        out.push_str("\nhistograms                                 count                                            p99 trend\n");
+        out.push_str(&hists);
+    }
+    out
+}
+
+/// Run the dashboard to completion. Returns the number of frames rendered
+/// (always ≥ 1: the final frame is unconditional).
+pub fn run(cfg: TopCfg) -> usize {
+    let (tx, rx) = mpsc::channel::<MetricsSnapshot>();
+    let interval_ns = cfg.interval_us.max(1) * 1_000;
+    let wf = WebFarmCfg {
+        seed: cfg.seed,
+        scheme: CacheScheme::Bcc,
+        requests: cfg.requests,
+        ..WebFarmCfg::default()
+    };
+    let worker = std::thread::spawn(move || {
+        dc_core::run_webfarm_observed(&wf, interval_ns, move |s| {
+            // The render side may have exited; a dead channel is fine.
+            let _ = tx.send(s);
+        })
+    });
+
+    let mut history: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    let mut last: Option<MetricsSnapshot> = None;
+    let mut polls = 0u64;
+    let mut frames = 0usize;
+    let mut last_render = Instant::now() - Duration::from_secs(1);
+    loop {
+        match rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(snap) => {
+                polls += 1;
+                for (name, v) in &snap.values {
+                    if let MetricValue::Hist(h) = v {
+                        history.entry(name.clone()).or_default().push(h.p99_ns);
+                    }
+                }
+                last = Some(snap);
+                if !cfg.once && last_render.elapsed() >= Duration::from_millis(100) {
+                    if let Some(s) = &last {
+                        print!("\x1b[2J\x1b[H{}", render(s, &history, polls));
+                        frames += 1;
+                        last_render = Instant::now();
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    let result = worker.join().expect("webfarm worker panicked");
+    if let Some(s) = &last {
+        // Final frame without the ANSI clear, so `--once` output (and the
+        // tail of a live session) is pipe- and CI-friendly.
+        println!("{}", render(s, &history, polls));
+        frames += 1;
+    }
+    println!(
+        "run complete: tps={:.0} mean={} p99={} span={}ms polls={polls}",
+        result.tps,
+        us(result.mean_latency_ns),
+        us(result.p99_latency_ns),
+        result.span_ns / 1_000_000,
+    );
+    frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales_to_window_max() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[5]), "█");
+        let s = sparkline(&[0, 50, 100]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+        // Window: only the last SPARK_W values are drawn.
+        let long: Vec<u64> = (0..100).collect();
+        assert_eq!(sparkline(&long).chars().count(), SPARK_W);
+    }
+
+    #[test]
+    fn render_sections_cover_all_metric_kinds() {
+        let r = dc_trace::Registry::new();
+        r.counter("a.count").add(7);
+        r.gauge("b.depth").set(3);
+        r.hist("c.wait_ns").record(1_500);
+        let snap = r.snapshot();
+        let mut history = BTreeMap::new();
+        history.insert("c.wait_ns".to_string(), vec![1_500, 1_500]);
+        let s = render(&snap, &history, 9);
+        assert!(s.contains("poll 9"));
+        assert!(s.contains("a.count"));
+        assert!(s.contains("b.depth"));
+        assert!(s.contains("c.wait_ns"));
+        assert!(s.contains("1.5us"));
+        assert!(s.contains('█'));
+    }
+
+    #[test]
+    fn headless_once_renders_exactly_one_frame() {
+        let frames = run(TopCfg {
+            once: true,
+            requests: 300,
+            interval_us: 5_000,
+            ..TopCfg::default()
+        });
+        assert_eq!(frames, 1);
+    }
+}

@@ -37,4 +37,7 @@ pub use hosting::{run_hosting, HostingCfg, HostingResult};
 pub use metrics::{tps, LatencyHist};
 pub use table::Table;
 pub use topology::{DataCenter, Roles};
-pub use webfarm::{run_webfarm, run_webfarm_traced, TraceArtifacts, WebFarmCfg, WebFarmResult};
+pub use webfarm::{
+    run_webfarm, run_webfarm_observed, run_webfarm_traced, TraceArtifacts, WebFarmCfg,
+    WebFarmResult,
+};

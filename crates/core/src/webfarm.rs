@@ -17,7 +17,7 @@ use dc_sim::rng::component_rng;
 use dc_sim::{Sim, SimTime};
 use dc_workloads::{FileSet, Zipf};
 
-use dc_trace::TraceMode;
+use dc_trace::{MetricsSnapshot, Subsys, TraceMode};
 
 use crate::metrics::{tps, LatencyHist};
 
@@ -104,11 +104,14 @@ pub struct TraceArtifacts {
     pub events: usize,
     /// Events discarded by ring eviction or sampling.
     pub dropped: u64,
+    /// The retained events themselves, for offline analysis (flamegraph
+    /// folding, critical-path attribution) without re-parsing the JSON.
+    pub raw_events: Vec<dc_trace::Event>,
 }
 
 /// Run one configuration to completion and report.
 pub fn run_webfarm(cfg: &WebFarmCfg) -> WebFarmResult {
-    run_webfarm_inner(cfg, None).0
+    run_webfarm_inner(cfg, None, None).0
 }
 
 /// [`run_webfarm`] with the cluster tracer enabled in `mode`. Tracing never
@@ -116,13 +119,31 @@ pub fn run_webfarm(cfg: &WebFarmCfg) -> WebFarmResult {
 /// untraced run of the same config, and two traced runs of the same config
 /// export byte-identical artifacts.
 pub fn run_webfarm_traced(cfg: &WebFarmCfg, mode: TraceMode) -> (WebFarmResult, TraceArtifacts) {
-    let (result, artifacts) = run_webfarm_inner(cfg, Some(mode));
+    let (result, artifacts) = run_webfarm_inner(cfg, Some(mode), None);
     (result, artifacts.expect("traced run returns artifacts"))
 }
+
+/// [`run_webfarm`] with a periodic metrics observer: every `interval_ns` of
+/// virtual time, sim-side counters are synced into the registry and a full
+/// [`MetricsSnapshot`] is handed to `on_snapshot` (plus one final snapshot
+/// after the run drains). This powers `dc-bench top`. Unlike tracing, the
+/// observer schedules real timers, so observed runs are deterministic per
+/// config but not schedule-identical to unobserved ones — never use this on
+/// a golden-baseline path.
+pub fn run_webfarm_observed(
+    cfg: &WebFarmCfg,
+    interval_ns: SimTime,
+    on_snapshot: impl FnMut(MetricsSnapshot) + 'static,
+) -> WebFarmResult {
+    run_webfarm_inner(cfg, None, Some((interval_ns, Box::new(on_snapshot)))).0
+}
+
+type Observer = (SimTime, Box<dyn FnMut(MetricsSnapshot)>);
 
 fn run_webfarm_inner(
     cfg: &WebFarmCfg,
     trace: Option<TraceMode>,
+    observer: Option<Observer>,
 ) -> (WebFarmResult, Option<TraceArtifacts>) {
     assert!(cfg.proxies >= 1);
     let sim = Sim::new();
@@ -160,6 +181,24 @@ fn run_webfarm_inner(
         cache_cfg,
         backend_node,
     );
+
+    // Periodic metrics poller for observed runs. Spawned after all services
+    // so the steady-state spawn order of the farm itself is unchanged.
+    let observer_cb = observer.map(|(interval, cb)| {
+        let cb = Rc::new(RefCell::new(cb));
+        let poller_cb = Rc::clone(&cb);
+        let poller_cluster = cluster.clone();
+        let h = sim.handle();
+        sim.handle().spawn_detached(async move {
+            loop {
+                h.sleep(interval.max(1)).await;
+                poller_cluster.sync_sim_metrics();
+                let snap = poller_cluster.metrics().snapshot();
+                (poller_cb.borrow_mut())(snap);
+            }
+        });
+        cb
+    });
 
     let zipf = Rc::new(Zipf::new(cfg.num_docs, cfg.zipf_alpha));
     let warmup = ((cfg.requests as f64 * cfg.warmup_fraction) as usize).min(cfg.requests);
@@ -204,16 +243,60 @@ fn run_webfarm_inner(
                     }
                     let doc = zipf.sample(&mut rng) as u32;
                     let t0 = sim_h.now();
+                    // Root span of the whole client transaction; its
+                    // `stage: request` arg marks it for critical-path
+                    // attribution. All begin/complete pairs below are
+                    // recording-only, so the schedule is untouched.
+                    let tr = cluster.tracer().begin();
                     // Request parsing / connection handling at the proxy.
+                    let tp = cluster.tracer().begin();
                     cluster.cpu(proxy).execute(handling).await;
+                    if let Some(tp) = tp {
+                        cluster.tracer().complete(
+                            tp,
+                            proxy.0,
+                            Subsys::App,
+                            "client.parse",
+                            vec![("stage", "cpu".into())],
+                        );
+                    }
                     let (data, _outcome) = cache.serve(proxy, doc).await;
                     debug_assert_eq!(data.len(), doc_size);
                     // Response transmission to the (external) client.
+                    let tc = cluster.tracer().begin();
                     cluster
                         .cpu(proxy)
                         .execute(model.tcp_send_cpu(data.len()))
                         .await;
+                    if let Some(tc) = tc {
+                        cluster.tracer().complete(
+                            tc,
+                            proxy.0,
+                            Subsys::App,
+                            "client.send_cpu",
+                            vec![("stage", "cpu".into())],
+                        );
+                    }
+                    let tw = cluster.tracer().begin();
                     sim_h.sleep(model.tcp_bytes_time(data.len())).await;
+                    if let Some(tw) = tw {
+                        cluster.tracer().complete(
+                            tw,
+                            proxy.0,
+                            Subsys::App,
+                            "client.send_wire",
+                            vec![("stage", "wire".into())],
+                        );
+                    }
+                    if let Some(tr) = tr {
+                        cluster.tracer().complete(
+                            tr,
+                            proxy.0,
+                            Subsys::App,
+                            "request",
+                            vec![("stage", "request".into()), ("doc", doc.into())],
+                        );
+                    }
                     if in_measurement {
                         completed.set(completed.get() + 1);
                         hist.borrow_mut().record(sim_h.now() - t0);
@@ -232,6 +315,12 @@ fn run_webfarm_inner(
             c.await;
         }
     });
+    if let Some(cb) = observer_cb {
+        // One final snapshot so short runs (or `--once`) always observe the
+        // end state even if no poll interval elapsed.
+        cluster.sync_sim_metrics();
+        (cb.borrow_mut())(cluster.metrics().snapshot());
+    }
     let span = last_done.get().saturating_sub(measure_start.get());
     let h = hist.borrow();
     let result = WebFarmResult {
@@ -248,6 +337,7 @@ fn run_webfarm_inner(
             metrics_json: cluster.metrics().snapshot().to_json(),
             events: cluster.tracer().len(),
             dropped: cluster.tracer().dropped(),
+            raw_events: cluster.tracer().events(),
         }
     });
     (result, artifacts)

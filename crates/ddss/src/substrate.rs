@@ -679,9 +679,14 @@ mod tests {
             .filter(|e| e.subsys == dc_trace::Subsys::Ddss)
             .map(|e| e.name)
             .collect();
-        // The remote allocation shows up as one uniform service-runtime span
-        // at the home daemon, then the data-plane ops record their own spans.
-        assert_eq!(names, vec!["ddss.home", "ddss.put", "ddss.get", "ddss.get"]);
+        // The remote allocation shows up at the home daemon as the service
+        // runtime's cpu-stage cost span nested inside the uniform handler
+        // span (inner completes first), then the data-plane ops record their
+        // own spans.
+        assert_eq!(
+            names,
+            vec!["svc.cost", "ddss.home", "ddss.put", "ddss.get", "ddss.get"]
+        );
     }
 
     #[test]

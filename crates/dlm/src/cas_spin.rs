@@ -120,7 +120,17 @@ impl CasSpinClient {
             // spinners from phase-locking into a fixed retry order.
             let base = self.dlm.inner.cfg.spin_retry_ns;
             let jitter = splitmix64(((self.node.0 as u64) << 32) ^ attempts) % (base / 2).max(1);
+            let tb = cluster.tracer().begin();
             cluster.sim().sleep(base + jitter).await;
+            if let Some(tb) = tb {
+                cluster.tracer().complete(
+                    tb,
+                    self.node.0,
+                    Subsys::Dlm,
+                    "lock.backoff",
+                    vec![("stage", "retry".into()), ("attempt", attempts.into())],
+                );
+            }
         }
         assert!(
             self.held.borrow_mut().insert(lock, true).is_none(),

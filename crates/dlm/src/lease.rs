@@ -191,7 +191,17 @@ impl LeaseClient {
             let jitter =
                 splitmix64(((self.node.0 as u64) << 40) ^ (u64::from(lock) << 20) ^ attempts)
                     % cfg.backoff_base_ns.max(1);
+            let tb = cluster.tracer().begin();
             cluster.sim().sleep(ceiling + jitter).await;
+            if let Some(tb) = tb {
+                cluster.tracer().complete(
+                    tb,
+                    self.node.0,
+                    Subsys::Dlm,
+                    "lock.backoff",
+                    vec![("stage", "retry".into()), ("attempt", attempts.into())],
+                );
+            }
         }
         self.dlm.inner.acquires.inc();
         self.dlm

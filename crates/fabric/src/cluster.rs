@@ -29,7 +29,7 @@ use std::rc::Rc;
 use bytes::Bytes;
 use dc_sim::fxhash::FxHashMap;
 use dc_sim::sync::{channel, Receiver, Semaphore, Sender};
-use dc_sim::SimHandle;
+use dc_sim::{SimHandle, SimTime};
 use dc_trace::{Counter, Gauge, Registry, Subsys, Tracer};
 
 use crate::faults::{inflate, FabricError, FaultPlan, FaultStats, RetryPolicy};
@@ -67,6 +67,10 @@ pub struct Message {
     pub port: u16,
     /// Payload.
     pub data: Bytes,
+    /// Virtual time the message entered the receiver's mailbox. Consumers
+    /// (the dc-svc pump) subtract this from their dequeue time to measure
+    /// queue wait; pure data, never consulted by the fabric itself.
+    pub arrived_ns: SimTime,
 }
 
 /// Per-cluster verb counters, for ablations and sanity checks.
@@ -177,6 +181,9 @@ impl Cluster {
     /// node's region 0 is its kernel-statistics block.
     pub fn new(sim: SimHandle, model: FabricModel, nodes: usize) -> Cluster {
         let metrics = Rc::new(Registry::new());
+        // Register the fault counters up front so faultless runs snapshot
+        // them as explicit zeros (absent ≠ zero in cross-run diffs).
+        FaultPlan::preregister_counters(&metrics);
         let tracer = Tracer::new(sim.clone());
         let cluster = Cluster {
             inner: Rc::new(ClusterInner {
@@ -425,6 +432,25 @@ impl Cluster {
         }
     }
 
+    /// Sleep out a budgeted-retry backoff, stamped as a `retry`-stage span
+    /// on the issuing node so the critical-path analyzer can attribute
+    /// retry/backoff time. Recording is tracer-gated and span-only (no
+    /// extra tasks or timers beyond the sleep the retry loop already did),
+    /// so traced and untraced runs schedule identically.
+    async fn backoff_traced(&self, from: NodeId, ns: u64) {
+        let t0 = self.inner.tracer.begin();
+        self.inner.sim.sleep(ns).await;
+        if let Some(t0) = t0 {
+            self.inner.tracer.complete(
+                t0,
+                from.0,
+                Subsys::Fabric,
+                "verb.backoff",
+                vec![("stage", "retry".into())],
+            );
+        }
+    }
+
     fn node(&self, id: NodeId) -> Rc<NodeInner> {
         Rc::clone(
             self.inner
@@ -481,7 +507,7 @@ impl Cluster {
                 Ok(data) => return data,
                 Err(_) if attempt + 1 < p.max_attempts => {
                     self.note_retry();
-                    self.inner.sim.sleep(p.backoff_after(attempt)).await;
+                    self.backoff_traced(from, p.backoff_after(attempt)).await;
                 }
                 Err(e) => panic!("rdma_read at {addr:?}: {e} (retry budget exhausted)"),
             }
@@ -532,6 +558,7 @@ impl Cluster {
                     ("bytes", len.into()),
                     ("target", addr.node.0.into()),
                     ("remote_cpu_ns", 0u64.into()),
+                    ("stage", "wire".into()),
                 ],
             );
         }
@@ -550,7 +577,7 @@ impl Cluster {
                 Ok(()) => return,
                 Err(_) if attempt + 1 < p.max_attempts => {
                     self.note_retry();
-                    self.inner.sim.sleep(p.backoff_after(attempt)).await;
+                    self.backoff_traced(from, p.backoff_after(attempt)).await;
                 }
                 Err(e) => panic!("rdma_write at {addr:?}: {e} (retry budget exhausted)"),
             }
@@ -599,6 +626,7 @@ impl Cluster {
                     ("bytes", data.len().into()),
                     ("target", addr.node.0.into()),
                     ("remote_cpu_ns", 0u64.into()),
+                    ("stage", "wire".into()),
                 ],
             );
         }
@@ -617,7 +645,7 @@ impl Cluster {
                 Ok(old) => return old,
                 Err(_) if attempt + 1 < p.max_attempts => {
                     self.note_retry();
-                    self.inner.sim.sleep(p.backoff_after(attempt)).await;
+                    self.backoff_traced(from, p.backoff_after(attempt)).await;
                 }
                 Err(e) => panic!("atomic_cas at {addr:?}: {e} (retry budget exhausted)"),
             }
@@ -662,6 +690,7 @@ impl Cluster {
                     ("target", addr.node.0.into()),
                     ("swapped", u64::from(old == expect).into()),
                     ("remote_cpu_ns", 0u64.into()),
+                    ("stage", "wire".into()),
                 ],
             );
         }
@@ -680,7 +709,7 @@ impl Cluster {
                 Ok(old) => return old,
                 Err(_) if attempt + 1 < p.max_attempts => {
                     self.note_retry();
-                    self.inner.sim.sleep(p.backoff_after(attempt)).await;
+                    self.backoff_traced(from, p.backoff_after(attempt)).await;
                 }
                 Err(e) => panic!("atomic_faa at {addr:?}: {e} (retry budget exhausted)"),
             }
@@ -722,6 +751,7 @@ impl Cluster {
                 vec![
                     ("target", addr.node.0.into()),
                     ("remote_cpu_ns", 0u64.into()),
+                    ("stage", "wire".into()),
                 ],
             );
         }
@@ -864,6 +894,7 @@ impl Cluster {
                             ("bytes", len.into()),
                             ("target", to.0.into()),
                             ("remote_cpu_ns", 0u64.into()),
+                            ("stage", "wire".into()),
                         ],
                     );
                 }
@@ -897,6 +928,7 @@ impl Cluster {
                             ("bytes", len.into()),
                             ("target", to.0.into()),
                             ("remote_cpu_ns", m.tcp_recv_cpu(len).into()),
+                            ("stage", "wire".into()),
                         ],
                     );
                 }
@@ -939,7 +971,8 @@ impl Cluster {
                 Err(e) if attempt + 1 >= policy.max_attempts => return Err(e),
                 Err(_) => {
                     self.note_retry();
-                    self.inner.sim.sleep(policy.backoff_after(attempt)).await;
+                    self.backoff_traced(from, policy.backoff_after(attempt))
+                        .await;
                 }
             }
         }
@@ -956,6 +989,7 @@ impl Cluster {
                 src: from,
                 port,
                 data,
+                arrived_ns: self.inner.sim.now(),
             });
             self.inner.stats.delivered.inc();
         }

@@ -336,6 +336,17 @@ impl FaultPlan {
         }
     }
 
+    /// Register the `fault.*` counters without binding them to any plan.
+    /// `Cluster::new` calls this so clean (faultless) runs export the keys
+    /// as explicit zeros — otherwise a metrics diff between a clean and a
+    /// faulted run can't tell "no faults exercised" from "fault counters
+    /// not wired", because absence and zero look the same.
+    pub fn preregister_counters(registry: &dc_trace::Registry) {
+        registry.counter("fault.dropped_msgs");
+        registry.counter("fault.unreachable_ops");
+        registry.counter("fault.retries");
+    }
+
     /// Bind `fault.*` counters from `registry` so every exercised fault is
     /// visible through the unified metrics as well as [`FaultPlan::stats`].
     /// Called by `Cluster::install_faults`; past exercise (from a plan used

@@ -372,6 +372,39 @@ mod tests {
     }
 
     #[test]
+    fn v2_reports_with_latency_breakdown_load_and_diff_clean() {
+        // The loader reads schema/bench/fingerprint/tables and ignores keys
+        // it doesn't know — so reports that grew the v2 `latency_breakdown`
+        // section diff cleanly against pre-profiler baselines.
+        use dc_trace::critical::analyze;
+        use dc_trace::{ArgVal, Event, Ph, Subsys};
+        let evs = vec![Event {
+            ts: 0,
+            node: 0,
+            subsys: Subsys::App,
+            name: "request",
+            ph: Ph::Complete { dur_ns: 10 },
+            args: vec![("stage", ArgVal::S("request".into()))],
+        }];
+        let mut rep = BenchReport::new("demo");
+        rep.set_fingerprint("fm1-1234");
+        rep.add_table(ReportTable {
+            title: "t".into(),
+            headers: vec!["scheme".into(), "x".into()],
+            rows: vec![vec!["A".into(), "10.0".into()]],
+        });
+        rep.set_latency_breakdown(analyze(&evs));
+        let json = rep.to_json();
+        assert!(json.contains("latency_breakdown"));
+        let with: LoadedReport = json.parse().unwrap();
+        assert_eq!(with.version, 2);
+        assert_eq!(with.tables.len(), 1);
+        let without = sample(Some("fm1-1234"), "10.0");
+        let d = diff(&without, &with, &Tolerance::pct(0.0)).unwrap();
+        assert_eq!(d.regressions(), 0, "breakdown section must be inert");
+    }
+
+    #[test]
     fn self_comparison_is_clean_at_zero_tolerance() {
         let r = sample(Some("fm1-1"), "10.0");
         let d = diff(&r, &r, &Tolerance::pct(0.0)).unwrap();

@@ -87,7 +87,19 @@ impl LaneSender {
                         if let Some(p) = cluster.faults() {
                             p.note_retry();
                         }
+                        // Retry-stage span around the backoff so lane
+                        // retransmissions show up in latency attribution.
+                        let tb = cluster.tracer().begin();
                         cluster.sim().sleep(policy.backoff_after(attempt)).await;
+                        if let Some(tb) = tb {
+                            cluster.tracer().complete(
+                                tb,
+                                from.0,
+                                dc_trace::Subsys::Sockets,
+                                "lane.backoff",
+                                vec![("stage", "retry".into()), ("seq", seq.into())],
+                            );
+                        }
                     }
                 }
             }

@@ -15,6 +15,26 @@ use bytes::Bytes;
 use dc_fabric::rpc::{RpcClient, DEFAULT_TIMEOUT_NS};
 use dc_fabric::{Cluster, NodeId, Transport};
 use dc_sim::SimTime;
+use dc_trace::Subsys;
+
+/// Tracer-gated retry-stage span around a between-attempts backoff sleep.
+/// With tracing off this is exactly `sleep(ns)` — no extra awaits.
+async fn backoff_traced(cluster: &Cluster, node: NodeId, ns: SimTime, attempt: u32) {
+    let t0 = cluster.tracer().begin();
+    cluster.sim().sleep(ns).await;
+    if let Some(t0) = t0 {
+        cluster.tracer().complete(
+            t0,
+            node.0,
+            Subsys::App,
+            "call.backoff",
+            vec![
+                ("stage", "retry".into()),
+                ("attempt", (attempt as u64).into()),
+            ],
+        );
+    }
+}
 
 /// How a control call waits and retries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,7 +90,7 @@ pub async fn call_legacy(
 ) -> Option<Bytes> {
     for attempt in 0..policy.attempts.max(1) {
         if attempt > 0 && policy.backoff_ns > 0 {
-            cluster.sim().sleep(policy.backoff_ns).await;
+            backoff_traced(cluster, from, policy.backoff_ns, attempt).await;
         }
         let reply_port = cluster.alloc_port_for(from, "svc.reply");
         let mut ep = cluster.bind(from, reply_port);
@@ -126,7 +146,13 @@ impl SvcClient {
     pub async fn call(&self, to: NodeId, port: u16, payload: &[u8], transport: Transport) -> Bytes {
         for attempt in 0..self.policy.attempts.max(1) {
             if attempt > 0 && self.policy.backoff_ns > 0 {
-                self.rpc.cluster().sim().sleep(self.policy.backoff_ns).await;
+                backoff_traced(
+                    self.rpc.cluster(),
+                    self.node(),
+                    self.policy.backoff_ns,
+                    attempt,
+                )
+                .await;
             }
             if let Some(resp) = self
                 .rpc

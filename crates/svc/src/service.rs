@@ -201,6 +201,11 @@ impl Service {
         key.truncate(base);
         key.push_str(".busy_ns");
         let busy = metrics.counter(&key);
+        key.truncate(base);
+        key.push_str(".queue_wait_ns");
+        // Streaming (constant-memory) backing: queue waits are recorded per
+        // request on the hot path and no golden table pins their quantiles.
+        let queue_wait = metrics.hist_streaming(&key);
         let cluster = cluster.clone();
         let sim = cluster.sim().clone();
         let sim2 = sim.clone();
@@ -223,10 +228,39 @@ impl Service {
                     }
                 }
                 depth_hwm.set_max((fifo.len() + ep.queued()) as i64);
+                // Queue wait: mailbox/FIFO residency from fabric delivery to
+                // this dequeue. Recorded unconditionally (metrics are always
+                // on); the span is tracer-gated and uses the explicit-bounds
+                // form, so tracing stays schedule-neutral.
+                let wait = sim.now().saturating_sub(msg.arrived_ns);
+                queue_wait.record(wait);
+                if wait > 0 {
+                    cluster.tracer().complete_at(
+                        msg.arrived_ns,
+                        wait,
+                        spec.node.0,
+                        spec.subsys,
+                        "svc.queue",
+                        vec![("stage", "queue".into()), ("svc", spec.name.into())],
+                    );
+                }
+                let tc = match spec.cost {
+                    Cost::None => None,
+                    _ => cluster.tracer().begin(),
+                };
                 match spec.cost {
                     Cost::None => {}
                     Cost::Cpu(ns) => cluster.cpu(spec.node).execute(ns).await,
                     Cost::Sleep(ns) => sim.sleep(ns).await,
+                }
+                if let Some(tc) = tc {
+                    cluster.tracer().complete(
+                        tc,
+                        spec.node.0,
+                        spec.subsys,
+                        "svc.cost",
+                        vec![("stage", "cpu".into()), ("svc", spec.name.into())],
+                    );
                 }
                 requests.inc();
                 let t0 = cluster.tracer().begin();
@@ -244,9 +278,13 @@ impl Service {
                     }
                 }
                 if let Some(t0) = t0 {
-                    cluster
-                        .tracer()
-                        .complete(t0, spec.node.0, spec.subsys, spec.name, Vec::new());
+                    cluster.tracer().complete(
+                        t0,
+                        spec.node.0,
+                        spec.subsys,
+                        spec.name,
+                        vec![("stage", "handler".into()), ("queue_ns", wait.into())],
+                    );
                 }
             }
         });

@@ -21,15 +21,21 @@
 //! vendored `serde` is an offline marker stub; [`json::validate`] is the
 //! strict parser the tests and CI artifact job use to check every export.
 
+pub mod critical;
 pub mod event;
+pub mod flame;
 pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod tracer;
 
+pub use critical::{
+    LatencyBreakdown, RequestBreakdown, StageAgg, STAGES, STAGE_KEY, STAGE_REQUEST,
+};
 pub use event::{ArgVal, Event, Ph, Subsys, TraceMode};
-pub use hist::{tps, HistSummary, LatencyHist};
+pub use flame::{fold_collapsed, fold_into, render_collapsed};
+pub use hist::{tps, HistSummary, LatencyHist, StreamHist};
 pub use json::JsonValue;
 pub use metrics::{Counter, Gauge, HistHandle, MetricValue, MetricsSnapshot, Registry};
 pub use report::{

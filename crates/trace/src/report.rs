@@ -13,6 +13,7 @@
 //!   "tables": [
 //!     {"title": "...", "headers": ["col", ...], "rows": [["cell", ...], ...]}
 //!   ],
+//!   "latency_breakdown": {"requests": 9, "total_ns": 123, "stages": [...]},
 //!   "metrics": {"fabric.verbs.read": 1234, ...}
 //! }
 //! ```
@@ -23,14 +24,18 @@
 //! baseline is *detected* rather than silently compared. `params` records
 //! the experiment configuration, `tables` carries the same data the binary
 //! prints (cells pre-rendered as strings so formatting is identical between
-//! modes), and `metrics` is an optional flat snapshot (see
-//! [`MetricsSnapshot`]). Fields appear in the order above; params, tables,
-//! and metric keys keep insertion order, so a report built the same way is
-//! byte-identical.
+//! modes), `latency_breakdown` is an optional per-stage critical-path
+//! attribution ([`LatencyBreakdown`], produced by `dc-bench flame`), and
+//! `metrics` is an optional flat snapshot (see [`MetricsSnapshot`]). Fields
+//! appear in the order above; params, tables, and metric keys keep
+//! insertion order, so a report built the same way is byte-identical.
+//! Readers must ignore keys they don't know — the regression loader does,
+//! which is how v2 grew `latency_breakdown` without a version bump.
 //!
 //! `v1` is the same document without the `fingerprint` field; readers
 //! ([`schema_version`], the `dc-regress` loader) accept both.
 
+use crate::critical::LatencyBreakdown;
 use crate::event::ArgVal;
 use crate::json::JsonWriter;
 use crate::metrics::MetricsSnapshot;
@@ -72,6 +77,7 @@ pub struct BenchReport {
     fingerprint: Option<String>,
     params: Vec<(String, ArgVal)>,
     tables: Vec<ReportTable>,
+    latency_breakdown: Option<LatencyBreakdown>,
     metrics: Option<MetricsSnapshot>,
 }
 
@@ -109,6 +115,13 @@ impl BenchReport {
         self
     }
 
+    /// Attach a critical-path latency breakdown (at most one; later calls
+    /// replace it).
+    pub fn set_latency_breakdown(&mut self, breakdown: LatencyBreakdown) -> &mut Self {
+        self.latency_breakdown = Some(breakdown);
+        self
+    }
+
     /// The bench name.
     pub fn bench(&self) -> &str {
         &self.bench
@@ -132,6 +145,11 @@ impl BenchReport {
     /// The attached metrics snapshot, if any.
     pub fn metrics(&self) -> Option<&MetricsSnapshot> {
         self.metrics.as_ref()
+    }
+
+    /// The attached latency breakdown, if any.
+    pub fn latency_breakdown(&self) -> Option<&LatencyBreakdown> {
+        self.latency_breakdown.as_ref()
     }
 
     /// Render the report as a `dc-bench-report/v2` JSON document.
@@ -175,6 +193,9 @@ impl BenchReport {
             w.end_object();
         }
         w.end_array();
+        if let Some(b) = &self.latency_breakdown {
+            w.key("latency_breakdown").raw(&b.to_json());
+        }
         if let Some(m) = &self.metrics {
             w.key("metrics").raw(&m.to_json());
         }
@@ -238,6 +259,32 @@ mod tests {
             r#"{"schema":"dc-bench-report/v2","bench":"fig5a_lock_shared","fingerprint":"fm1-0011223344556677","params""#
         ));
         assert_eq!(rep.fingerprint(), Some("fm1-0011223344556677"));
+    }
+
+    #[test]
+    fn latency_breakdown_is_emitted_between_tables_and_metrics() {
+        use crate::critical::analyze;
+        use crate::event::{ArgVal, Event, Ph, Subsys};
+        let r = Registry::new();
+        r.counter("fabric.verbs.read").add(1);
+        let evs = vec![Event {
+            ts: 0,
+            node: 0,
+            subsys: Subsys::App,
+            name: "request",
+            ph: Ph::Complete { dur_ns: 10 },
+            args: vec![("stage", ArgVal::S("request".into()))],
+        }];
+        let mut rep = BenchReport::new("demo");
+        rep.set_latency_breakdown(analyze(&evs));
+        rep.set_metrics(r.snapshot());
+        let s = rep.to_json();
+        assert!(validate(&s).is_ok(), "{s}");
+        assert!(s.contains(r#""tables":[],"latency_breakdown":{"requests":1,"total_ns":10"#));
+        let bd = s.find("latency_breakdown").unwrap();
+        let m = s.find("\"metrics\"").unwrap();
+        assert!(bd < m, "breakdown must precede metrics: {s}");
+        assert_eq!(rep.latency_breakdown().unwrap().requests, 1);
     }
 
     #[test]

@@ -218,3 +218,71 @@ proptest! {
         prop_assert_eq!(sim.now(), *sorted.last().unwrap());
     }
 }
+
+proptest! {
+    /// [`StreamHist`] quantiles are within one bucket width of the exact
+    /// nearest-rank answer over the raw samples, for any sample set and any
+    /// quantile; count/min/max/mean stay exact.
+    #[test]
+    fn stream_hist_quantile_error_is_bounded(
+        samples in prop::collection::vec(0u64..=1_000_000_000_000, 1..400),
+        q_bp in 0u32..=10_000,
+    ) {
+        use nextgen_datacenter::trace::StreamHist;
+        let q = q_bp as f64 / 10_000.0;
+        let mut h = StreamHist::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let approx = h.quantile_ns(q);
+        prop_assert!(
+            approx.abs_diff(exact) <= StreamHist::bucket_width(exact),
+            "q={q}: approx {approx} vs exact {exact} (width {})",
+            StreamHist::bucket_width(exact)
+        );
+        prop_assert_eq!(h.count(), sorted.len() as u64);
+        prop_assert_eq!(h.min_ns(), sorted[0]);
+        prop_assert_eq!(h.max_ns(), *sorted.last().unwrap());
+        let mean = sorted.iter().map(|&v| v as u128).sum::<u128>() / sorted.len() as u128;
+        prop_assert_eq!(h.mean_ns(), mean as u64);
+    }
+
+    /// Merging shard histograms is associative, commutative, and lossless:
+    /// any merge tree over any split equals recording every sample into one
+    /// histogram directly.
+    #[test]
+    fn stream_hist_merge_is_associative_and_lossless(
+        a in prop::collection::vec(0u64..=1_000_000_000_000, 0..150),
+        b in prop::collection::vec(0u64..=1_000_000_000_000, 0..150),
+        c in prop::collection::vec(0u64..=1_000_000_000_000, 0..150),
+    ) {
+        use nextgen_datacenter::trace::StreamHist;
+        let mk = |v: &[u64]| {
+            let mut h = StreamHist::new();
+            for &x in v {
+                h.record(x);
+            }
+            h
+        };
+        // ((a ∪ b) ∪ c)
+        let mut ab_c = mk(&a);
+        ab_c.merge(&mk(&b));
+        ab_c.merge(&mk(&c));
+        // (a ∪ (b ∪ c)) — and b∪c merged the other way round for
+        // commutativity.
+        let mut cb = mk(&c);
+        cb.merge(&mk(&b));
+        let mut a_cb = mk(&a);
+        a_cb.merge(&cb);
+        // Everything recorded directly.
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let direct = mk(&all);
+        prop_assert_eq!(ab_c.summary(), a_cb.summary());
+        prop_assert_eq!(ab_c.summary(), direct.summary());
+        prop_assert_eq!(ab_c.nonzero_buckets(), direct.nonzero_buckets());
+    }
+}

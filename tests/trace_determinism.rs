@@ -203,6 +203,60 @@ fn engine_schedule_matches_committed_golden() {
     );
 }
 
+/// `dc-bench flame` output is a pure function of (scenario, seed): the
+/// collapsed stacks and the latency-breakdown report reproduce
+/// byte-for-byte, and every sampled request's stage attribution is an
+/// exact partition of its end-to-end time.
+#[test]
+fn flame_profile_is_byte_identical_per_seed() {
+    use dc_bench::flame;
+    let a = flame::profile("fig5a", 42);
+    let b = flame::profile("fig5a_lock_shared", 42);
+    assert!(a.events > 0, "profile traced nothing");
+    assert!(!a.collapsed.is_empty());
+    assert_eq!(a.collapsed, b.collapsed, "collapsed stacks diverged");
+    assert_eq!(
+        flame::report(&a).to_json(),
+        flame::report(&b).to_json(),
+        "breakdown report diverged"
+    );
+    for r in &a.requests {
+        assert_eq!(
+            r.stage_ns.iter().sum::<u64>(),
+            r.total_ns,
+            "stage attribution is not an exact partition"
+        );
+    }
+}
+
+/// The same bar for a traced webfarm: critical-path analysis over the raw
+/// events finds the sampled request spans and partitions each exactly.
+#[test]
+fn webfarm_latency_breakdown_partitions_every_request() {
+    use nextgen_datacenter::trace::critical;
+    let cfg = WebFarmCfg {
+        scheme: CacheScheme::Bcc,
+        requests: 400,
+        num_docs: 64,
+        seed: 11,
+        ..WebFarmCfg::default()
+    };
+    let (_, art) = run_webfarm_traced(&cfg, TraceMode::Full);
+    let reqs = critical::analyze_requests(&art.raw_events);
+    assert!(
+        reqs.len() >= 400,
+        "expected a request span per issued request, got {}",
+        reqs.len()
+    );
+    for r in &reqs {
+        assert_eq!(r.stage_ns.iter().sum::<u64>(), r.total_ns);
+    }
+    let agg = critical::aggregate(&reqs);
+    assert_eq!(agg.requests, reqs.len() as u64);
+    let stage_total: u64 = agg.stages.iter().map(|s| s.total_ns).sum();
+    assert_eq!(agg.total_ns, stage_total);
+}
+
 #[test]
 fn different_seed_changes_the_trace() {
     let base = WebFarmCfg {
