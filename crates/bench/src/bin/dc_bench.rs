@@ -5,11 +5,12 @@
 //!     Print every registered scenario with its title.
 //!
 //! dc-bench wallclock [--runs N] [--scenario NAME]... [--out PATH] [--json]
-//!     Run each selected scenario (default: all 11) N times (default: 5),
-//!     measure host wall time and scheduler counters, and print the
-//!     throughput table. `--out PATH` writes the BenchReport JSON (the
-//!     BENCH_wallclock.json perf-trajectory artifact); `--json` prints it
-//!     to stdout instead of the table.
+//!     Run each selected scenario (default: all 12 registered plus the
+//!     wallclock-only extras such as ext_webfarm_scale_full) N times
+//!     (default: 5), measure host wall time and scheduler counters, and
+//!     print the throughput table. `--out PATH` writes the BenchReport
+//!     JSON (the BENCH_wallclock.json perf-trajectory artifact); `--json`
+//!     prints it to stdout instead of the table.
 //!
 //! dc-bench flame --scenario NAME [--seed N] [--out PATH] [--report PATH]
 //!     Trace a scenario and fold its span tree into collapsed-stack
@@ -34,7 +35,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("list") => {
-            for s in &scenario::ALL {
+            for s in scenario::ALL
+                .iter()
+                .chain(scenario::WALLCLOCK_EXTRAS.iter())
+            {
                 println!("{:24} {}", s.name, s.title);
             }
         }
@@ -196,12 +200,16 @@ fn run_wallclock(args: &[String]) {
     }
 
     let selected: Vec<&Scenario> = if names.is_empty() {
-        scenario::ALL.iter().collect()
+        scenario::ALL
+            .iter()
+            .chain(scenario::WALLCLOCK_EXTRAS.iter())
+            .collect()
     } else {
         names
             .iter()
             .map(|n| {
                 scenario::by_name(n)
+                    .or_else(|| scenario::WALLCLOCK_EXTRAS.iter().find(|s| s.name == *n))
                     .unwrap_or_else(|| die(&format!("unknown scenario `{n}`; see `dc-bench list`")))
             })
             .collect()

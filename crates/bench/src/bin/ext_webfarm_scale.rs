@@ -1,0 +1,7 @@
+//! Regenerates the at-scale open-loop webfarm sweep (gated 60k-client
+//! configuration; see `dc-bench wallclock` for the 10^6-client point).
+
+fn main() {
+    let cli = dc_bench::cli::BenchCli::parse();
+    cli.emit_report(&dc_bench::scenario::ext_webfarm_scale_report());
+}

@@ -20,12 +20,14 @@
 //! | [`ext_reconfig`] | §6 fine- vs coarse-grained adaptation |
 //! | [`ext_ablations`] | coherence verbs, cache capacity, cadence |
 //! | [`ext_shootout`] | lock-design shootout under Zipf contention |
+//! | [`ext_webfarm`] | at-scale open-loop webfarm across the saturation knee |
 
 pub mod cli;
 pub mod ext_ablations;
 pub mod ext_flowcontrol;
 pub mod ext_reconfig;
 pub mod ext_shootout;
+pub mod ext_webfarm;
 pub mod fig3a;
 pub mod fig3b;
 pub mod fig5;

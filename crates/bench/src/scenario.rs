@@ -25,7 +25,7 @@ pub struct Scenario {
 }
 
 /// Every scenario, in figure order. One entry per `[[bin]]` target.
-pub const ALL: [Scenario; 11] = [
+pub const ALL: [Scenario; 12] = [
     Scenario {
         name: "fig3a_ddss_put",
         title: "Fig 3a — DDSS put() latency by coherence model",
@@ -81,7 +81,21 @@ pub const ALL: [Scenario; 11] = [
         title: "Shootout — six lock designs under Zipf contention",
         run: ext_lock_shootout_report,
     },
+    Scenario {
+        name: "ext_webfarm_scale",
+        title: "At scale — open-loop webfarm load sweep across the knee",
+        run: ext_webfarm_scale_report,
+    },
 ];
+
+/// Wallclock-only scenarios: too heavy for the regression gate, but
+/// measured by `dc-bench wallclock` as engine-scaling trajectory points.
+/// Not in [`ALL`], so claims and baselines never run them.
+pub const WALLCLOCK_EXTRAS: [Scenario; 1] = [Scenario {
+    name: "ext_webfarm_scale_full",
+    title: "At scale — 10^6 open-loop clients, wallclock trajectory point",
+    run: ext_webfarm_scale_full_report,
+}];
 
 /// Look a scenario up by bench name.
 pub fn by_name(name: &str) -> Option<&'static Scenario> {
@@ -246,6 +260,59 @@ pub fn ext_lock_shootout_report() -> BenchReport {
     )
 }
 
+/// At-scale webfarm: the gated sweep over the 60k-client configuration,
+/// with the knee point's exact stage partition as the latency breakdown.
+pub fn ext_webfarm_scale_report() -> BenchReport {
+    webfarm_scale_report_over(
+        "ext_webfarm_scale",
+        &crate::ext_webfarm::gate_cfg(),
+        &crate::ext_webfarm::cells(),
+    )
+}
+
+/// At-scale webfarm, flagship size: 10^6 clients over 450 nodes, three
+/// knee-straddling points (>10^7 sim events). Wallclock-only (see
+/// [`WALLCLOCK_EXTRAS`]).
+pub fn ext_webfarm_scale_full_report() -> BenchReport {
+    let sweep: Vec<crate::ext_webfarm::SweepCell> = crate::ext_webfarm::cells()
+        .into_iter()
+        .filter(|c| c.arrival == "poisson" && c.load_x >= 0.6 && c.load_x <= 1.2)
+        .collect();
+    webfarm_scale_report_over(
+        "ext_webfarm_scale_full",
+        &crate::ext_webfarm::full_cfg(),
+        &sweep,
+    )
+}
+
+fn webfarm_scale_report_over(
+    bench: &str,
+    base: &dc_core::ScaleFarmCfg,
+    sweep: &[crate::ext_webfarm::SweepCell],
+) -> BenchReport {
+    let points = crate::ext_webfarm::run_sweep(base, sweep);
+    let mut r = report(
+        bench,
+        vec![
+            ("clients", (base.clients as u64).into()),
+            ("proxies", (base.proxies as u64).into()),
+            ("app_nodes", (base.app_nodes as u64).into()),
+            ("saturation_rps", base.saturation_rps().round().into()),
+        ],
+        &[
+            crate::ext_webfarm::sweep_table(&points),
+            crate::ext_webfarm::accounting_table(&points),
+        ],
+    );
+    if let Some((_, knee)) = points
+        .iter()
+        .find(|(c, _)| c.arrival == "poisson" && c.load_x == 0.9)
+    {
+        r.set_latency_breakdown(knee.breakdown.clone());
+    }
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +327,13 @@ mod tests {
             assert!(by_name(s.name).is_some());
         }
         assert!(by_name("fig9_imaginary").is_none());
+        for s in &WALLCLOCK_EXTRAS {
+            assert!(
+                by_name(s.name).is_none(),
+                "wallclock extra {} must not shadow a registered scenario",
+                s.name
+            );
+        }
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!   cooperative caching scheme → backend.
 //! * [`hosting::run_hosting`] — Figure 8b: a load balancer routing two
 //!   hosted services across back-ends using a monitoring scheme.
+//! * [`webfarm_scale::run_webfarm_scale`] — the at-scale extension: up to
+//!   10^6 open-loop clients (slab state, not tasks) driving hundreds of
+//!   proxy/app nodes across the saturation knee.
 //!
 //! Plus [`topology::DataCenter`] for canonical cluster construction,
 //! [`metrics`] for latency/TPS accounting, and [`table`] for the
@@ -32,6 +35,7 @@ pub mod metrics;
 pub mod table;
 pub mod topology;
 pub mod webfarm;
+pub mod webfarm_scale;
 
 pub use hosting::{run_hosting, HostingCfg, HostingResult};
 pub use metrics::{tps, LatencyHist};
@@ -41,3 +45,4 @@ pub use webfarm::{
     run_webfarm, run_webfarm_observed, run_webfarm_traced, TraceArtifacts, WebFarmCfg,
     WebFarmResult,
 };
+pub use webfarm_scale::{run_webfarm_scale, ScaleFarmCfg, ScalePoint};

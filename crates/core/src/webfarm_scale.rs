@@ -1,0 +1,728 @@
+//! At-scale open-loop web farm: the `ext_webfarm_scale` engine.
+//!
+//! The closed-loop farm in [`crate::webfarm`] spawns one task per client,
+//! which is the right shape for the paper's handful of Figure 6 clients but
+//! tops out far below the ROADMAP's "traffic from millions of users".
+//! This module drives the same proxy → coopcache → DDSS → backend pipeline
+//! from the other side of the telescope:
+//!
+//! * **Clients are state, not tasks.** Each of the (up to 10^6) clients is
+//!   one ~48-byte seeded [`ArrivalProcess`]; a per-proxy driver task merges
+//!   its clients' streams through the allocation-free [`MergedArrivals`]
+//!   k-way heap and injects requests open-loop. Offered load never slows
+//!   down because the farm is slow — which is exactly what makes overload
+//!   collapse observable (closed-loop generators self-throttle and hide it).
+//! * **Nodes are slab indices, not actors.** Proxy queues, worker pools,
+//!   and the two cache tiers live in flat arrays indexed by node id. Service
+//!   times come from [`FabricModel::calibrated_2007`] so the cost of a peer
+//!   fetch or a directory lookup matches what the message-passing engines
+//!   charge wire-for-wire.
+//! * **Exact accounting.** Every measured request's latency is partitioned
+//!   into the [`STAGES`] taxonomy (queue wait, cpu, wire, remote backend,
+//!   retry) with integer arithmetic — stage sums equal the end-to-end total
+//!   — and recorded into per-stage [`StreamHist`]s, so a
+//!   [`LatencyBreakdown`] falls out without tracing overhead.
+//!
+//! Request lifecycle: arrival → admission (shed if the proxy is down or its
+//! bounded queue is full while all workers are busy) → parse CPU → cache
+//! lookup (proxy-local hit, app-tier peer hit via one RDMA read, or miss:
+//! DDSS directory read + backend station guarded by a semaphore) → response
+//! send CPU + TCP wire. The measured window `[warmup, horizon)` obeys the
+//! conservation law checked by [`ScalePoint::conservation_gap`]:
+//! `issued == completed + shed + in-flight-at-cutoff`, with in-flight
+//! re-counted by an independent scan of queues and workers at the cutoff.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use dc_fabric::faults::inflate;
+use dc_fabric::{FabricModel, FaultConfig, FaultPlan, NodeId};
+use dc_sim::rng::{derive_seed, splitmix64};
+use dc_sim::sync::{Notify, Semaphore};
+use dc_sim::{Sim, SimTime};
+use dc_trace::{LatencyBreakdown, StageAgg, StreamHist, STAGES};
+use dc_workloads::{ArrivalKind, ArrivalProcess, MergedArrivals, Zipf};
+
+/// Configuration for one at-scale run (one offered-load point).
+#[derive(Debug, Clone)]
+pub struct ScaleFarmCfg {
+    /// Front-end proxy nodes (NodeId 1..=proxies; each has a worker pool
+    /// and a direct-mapped local document cache).
+    pub proxies: usize,
+    /// Application-tier nodes contributing slots to the shared cooperative
+    /// cache tier.
+    pub app_nodes: usize,
+    /// Open-loop client population; each client is one seeded arrival
+    /// stream, partitioned contiguously across proxies.
+    pub clients: usize,
+    /// Document corpus size.
+    pub num_docs: usize,
+    /// Document size in bytes (drives wire + copy costs).
+    pub doc_size: usize,
+    /// Direct-mapped cache slots per node (local tier per proxy, and per
+    /// app node in the shared tier).
+    pub cache_docs_per_node: usize,
+    /// Zipf exponent of document popularity.
+    pub zipf_alpha: f64,
+    /// Interarrival process each client runs.
+    pub arrival: ArrivalKind,
+    /// Open-loop streams per proxy: 0 (the default) gives every client its
+    /// own stream. A small positive value models edge aggregation instead:
+    /// each stream is a gateway/PoP link carrying many clients' traffic, so
+    /// a bursty phase flip modulates a whole gateway at once (flash-crowd
+    /// shape). Without aggregation the superposition of 10^4–10^6
+    /// independent MMPP phases is statistically Poisson and burstiness
+    /// washes out of the aggregate.
+    pub gateways_per_proxy: usize,
+    /// Aggregate offered load across the whole population, requests/s.
+    pub offered_rps: f64,
+    /// Worker tasks per proxy (in-flight requests a proxy can hold).
+    pub proxy_workers: usize,
+    /// Bounded admission queue per proxy; arrivals beyond
+    /// `proxy_workers + queue_cap` in-station are shed.
+    pub queue_cap: usize,
+    /// Concurrent request slots at the shared backend/origin station.
+    pub backend_workers: usize,
+    /// Backend origin service CPU+IO per miss, ns (before SAN transfer).
+    pub backend_ns: u64,
+    /// Proxy parse/connection-handling CPU per request, ns.
+    pub handling_ns: u64,
+    /// Virtual run length, ns.
+    pub horizon_ns: u64,
+    /// Measurement starts here; earlier requests warm caches and queues.
+    pub warmup_ns: u64,
+    /// Master seed; all client streams and fault draws derive from it.
+    pub seed: u64,
+    /// Optional seeded fault plan `(fault_seed, config)`. The backend
+    /// station (NodeId 0) is always immune so the farm degrades instead of
+    /// halting.
+    pub faults: Option<(u64, FaultConfig)>,
+}
+
+impl Default for ScaleFarmCfg {
+    fn default() -> Self {
+        ScaleFarmCfg {
+            proxies: 8,
+            app_nodes: 4,
+            clients: 2_000,
+            num_docs: 8_192,
+            doc_size: 16 * 1024,
+            cache_docs_per_node: 256,
+            zipf_alpha: 0.9,
+            arrival: ArrivalKind::Poisson,
+            gateways_per_proxy: 0,
+            offered_rps: 2_000.0,
+            proxy_workers: 4,
+            queue_cap: 8,
+            backend_workers: 2,
+            backend_ns: 300_000,
+            handling_ns: 20_000,
+            horizon_ns: 2_000_000_000,
+            warmup_ns: 500_000_000,
+            seed: 42,
+            faults: None,
+        }
+    }
+}
+
+impl ScaleFarmCfg {
+    /// Analytic saturation estimate, requests/s: the binding constraint of
+    /// the proxy worker pools and the backend miss station, using the Zipf
+    /// head mass reachable by each cache tier (discounted for direct-mapped
+    /// conflict evictions). The load sweep expresses offered load as a
+    /// multiple of this estimate; the claims pin where the measured knee
+    /// actually lands.
+    pub fn saturation_rps(&self) -> f64 {
+        let m = FabricModel::calibrated_2007();
+        let z = Zipf::new(self.num_docs, self.zipf_alpha);
+        // Direct-mapped tiers hold at most `slots` docs but conflict-evict
+        // within the head; 0.75 discounts the analytic residency mass.
+        let local_slots = self.cache_docs_per_node.min(self.num_docs);
+        let tier_slots = (self.app_nodes * self.cache_docs_per_node).min(self.num_docs);
+        let h_local = 0.75 * z.cdf(local_slots - 1);
+        let h_tier = 0.75 * z.cdf(tier_slots - 1);
+        let h_peer = (h_tier - h_local).max(0.0);
+        let miss = (1.0 - h_local - h_peer).max(0.01);
+        let c = ScaleCosts::new(&m, self);
+        let t_busy_ns = (c.parse + c.send_cpu + c.resp_wire) as f64
+            + h_peer * c.peer_fetch as f64
+            + miss * (c.dir_read + c.backend) as f64;
+        let proxy_cap = (self.proxies * self.proxy_workers) as f64 / (t_busy_ns / 1e9);
+        let backend_cap = self.backend_workers as f64 / (miss * c.backend as f64 / 1e9);
+        proxy_cap.min(backend_cap)
+    }
+}
+
+/// Pre-derived per-request service costs, ns (uninflated).
+struct ScaleCosts {
+    /// Proxy HTTP parse + connection handling (cpu stage).
+    parse: u64,
+    /// DDSS directory lookup: one one-sided RDMA read (wire stage).
+    dir_read: u64,
+    /// Cooperative-cache peer fetch: RDMA read + document transfer (wire).
+    peer_fetch: u64,
+    /// Backend origin service + SAN transfer + completion send (remote).
+    backend: u64,
+    /// Response copy cost on the proxy CPU (cpu stage).
+    send_cpu: u64,
+    /// Response bytes on the client-facing TCP wire (wire stage).
+    resp_wire: u64,
+    /// Timed-out peer fetch reissue penalty (retry stage).
+    retry: u64,
+}
+
+impl ScaleCosts {
+    fn new(m: &FabricModel, cfg: &ScaleFarmCfg) -> ScaleCosts {
+        ScaleCosts {
+            parse: cfg.handling_ns,
+            dir_read: m.rdma_read_base_ns,
+            peer_fetch: m.rdma_read_base_ns + m.ib_bytes_time(cfg.doc_size),
+            backend: cfg.backend_ns + m.ib_bytes_time(cfg.doc_size) + m.rdma_send_base_ns,
+            send_cpu: m.tcp_send_cpu(cfg.doc_size),
+            resp_wire: m.tcp_bytes_time(cfg.doc_size),
+            retry: 2 * m.rdma_read_base_ns,
+        }
+    }
+}
+
+/// One admitted request sitting in a proxy queue.
+#[derive(Clone, Copy)]
+struct Req {
+    doc: u32,
+    arrive: SimTime,
+    measured: bool,
+}
+
+/// Stage indices into [`STAGES`] (`["wire","queue","handler","cpu","retry",
+/// "remote","other"]`).
+const ST_WIRE: usize = 0;
+const ST_QUEUE: usize = 1;
+const ST_CPU: usize = 3;
+const ST_RETRY: usize = 4;
+const ST_REMOTE: usize = 5;
+
+/// Shared mutable run state: flat arrays indexed by proxy, plus the global
+/// measured-window counters. Everything here is `Cell`/`RefCell` over plain
+/// memory — no per-client allocation after setup.
+struct FarmState {
+    queues: Vec<RefCell<VecDeque<Req>>>,
+    wakeups: Vec<Notify>,
+    busy: Vec<Cell<u32>>,
+    backend: Semaphore,
+    /// Proxy-local direct-mapped caches, `proxies * k` slots.
+    local_cache: RefCell<Vec<u32>>,
+    /// Shared app-tier direct-mapped cache, `app_nodes * k` slots.
+    tier_cache: RefCell<Vec<u32>>,
+    // Measured-window counters.
+    issued: Cell<u64>,
+    shed_down: Cell<u64>,
+    shed_queue: Cell<u64>,
+    completed: Cell<u64>,
+    in_service_measured: Cell<u64>,
+    hit_local: Cell<u64>,
+    hit_peer: Cell<u64>,
+    misses: Cell<u64>,
+    retries: Cell<u64>,
+    total_latency_ns: Cell<u64>,
+    // Whole-run gauges.
+    backend_busy_ns: Cell<u64>,
+    qdepth_hwm: Cell<u64>,
+    lat_hist: RefCell<StreamHist>,
+    stage_hist: RefCell<Vec<StreamHist>>,
+    stage_total: RefCell<Vec<u64>>,
+}
+
+/// Cache-lookup outcome for one request.
+#[derive(Clone, Copy, PartialEq)]
+enum Outcome {
+    Local,
+    Peer,
+    Miss,
+}
+
+impl FarmState {
+    /// Direct-mapped lookup: proxy-local tier first, then the shared app
+    /// tier. Misses install the document in both tiers (the backend reply
+    /// populates the app tier and the proxy keeps a local copy); peer hits
+    /// promote into the local tier. O(1), allocation-free, deterministic.
+    fn lookup(&self, proxy: usize, doc: u32, k: usize) -> Outcome {
+        let mut local = self.local_cache.borrow_mut();
+        let slot = proxy * k + (doc as usize % k);
+        if local[slot] == doc {
+            return Outcome::Local;
+        }
+        let mut tier = self.tier_cache.borrow_mut();
+        let tslot = doc as usize % tier.len();
+        if tier[tslot] == doc {
+            local[slot] = doc;
+            return Outcome::Peer;
+        }
+        tier[tslot] = doc;
+        local[slot] = doc;
+        Outcome::Miss
+    }
+}
+
+/// Result of one offered-load point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalePoint {
+    /// Offered load this point ran at, requests/s.
+    pub offered_rps: f64,
+    /// Requests issued inside the measured window.
+    pub issued: u64,
+    /// Completions of measured requests.
+    pub completed: u64,
+    /// Measured requests shed at admission (down proxy + full queue).
+    pub shed: u64,
+    /// Shed because the target proxy was crashed.
+    pub shed_down: u64,
+    /// Shed because the admission queue was full with every worker busy.
+    pub shed_queue: u64,
+    /// Measured requests still queued or in service at the horizon,
+    /// re-counted by an independent scan at cutoff.
+    pub inflight: u64,
+    /// `issued - completed - shed - inflight`; zero iff the run conserved
+    /// every request.
+    pub conservation_gap: i64,
+    /// Completed measured requests per second of measured window.
+    pub goodput_rps: f64,
+    /// Shed fraction of issued, percent.
+    pub shed_pct: f64,
+    /// Latency quantiles over completed measured requests, µs.
+    pub p50_us: f64,
+    /// 99th percentile, µs.
+    pub p99_us: f64,
+    /// 99.9th percentile, µs.
+    pub p999_us: f64,
+    /// Mean latency, µs.
+    pub mean_us: f64,
+    /// Proxy-local cache hits (measured).
+    pub hit_local: u64,
+    /// App-tier peer hits (measured).
+    pub hit_peer: u64,
+    /// Backend misses (measured).
+    pub misses: u64,
+    /// Peer-fetch retries after seeded drops (measured).
+    pub retries: u64,
+    /// High-water mark of any proxy admission queue (whole run).
+    pub qdepth_hwm: u64,
+    /// Backend station utilisation over the whole run, percent.
+    pub backend_busy_pct: f64,
+    /// Exact stage partition of completed measured requests.
+    pub breakdown: LatencyBreakdown,
+}
+
+impl ScalePoint {
+    /// Hit rate over measured completions+misses, percent.
+    pub fn hit_pct(&self) -> f64 {
+        let total = self.hit_local + self.hit_peer + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.hit_local + self.hit_peer) as f64 * 100.0 / total as f64
+    }
+}
+
+/// Uniform `[0, 1)` from a stepped splitmix64 counter — the document
+/// sampler's compact per-proxy RNG (same construction as the arrival
+/// processes; `StdRng` state would dwarf the request itself).
+#[inline]
+fn step_u01(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    (splitmix64(*state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Run one offered-load point to its horizon and collect the results.
+pub fn run_webfarm_scale(cfg: &ScaleFarmCfg) -> ScalePoint {
+    assert!(cfg.proxies > 0 && cfg.app_nodes > 0 && cfg.clients >= cfg.proxies);
+    assert!(
+        cfg.warmup_ns < cfg.horizon_ns,
+        "warmup must precede horizon"
+    );
+    assert!(cfg.proxy_workers > 0 && cfg.backend_workers > 0);
+
+    let sim = Sim::new();
+    let model = FabricModel::calibrated_2007();
+    let costs = Rc::new(ScaleCosts::new(&model, cfg));
+    let zipf = Zipf::new(cfg.num_docs, cfg.zipf_alpha);
+    let total_nodes = 1 + cfg.proxies + cfg.app_nodes;
+    let plan = cfg.faults.as_ref().map(|(fseed, fcfg)| {
+        let mut fcfg = fcfg.clone();
+        // The origin/backend station must survive: a dead backend turns an
+        // overload experiment into an outage experiment.
+        if !fcfg.immune_nodes.contains(&NodeId(0)) {
+            fcfg.immune_nodes.push(NodeId(0));
+        }
+        Rc::new(FaultPlan::generate(*fseed, &fcfg, total_nodes))
+    });
+
+    let k = cfg.cache_docs_per_node;
+    const EMPTY: u32 = u32::MAX;
+    let st = Rc::new(FarmState {
+        queues: (0..cfg.proxies)
+            .map(|_| RefCell::new(VecDeque::with_capacity(cfg.queue_cap + 1)))
+            .collect(),
+        wakeups: (0..cfg.proxies).map(|_| Notify::new()).collect(),
+        busy: (0..cfg.proxies).map(|_| Cell::new(0)).collect(),
+        backend: Semaphore::new(cfg.backend_workers),
+        local_cache: RefCell::new(vec![EMPTY; cfg.proxies * k]),
+        tier_cache: RefCell::new(vec![EMPTY; cfg.app_nodes * k]),
+        issued: Cell::new(0),
+        shed_down: Cell::new(0),
+        shed_queue: Cell::new(0),
+        completed: Cell::new(0),
+        in_service_measured: Cell::new(0),
+        hit_local: Cell::new(0),
+        hit_peer: Cell::new(0),
+        misses: Cell::new(0),
+        retries: Cell::new(0),
+        total_latency_ns: Cell::new(0),
+        backend_busy_ns: Cell::new(0),
+        qdepth_hwm: Cell::new(0),
+        lat_hist: RefCell::new(StreamHist::new()),
+        stage_hist: RefCell::new((0..STAGES.len()).map(|_| StreamHist::new()).collect()),
+        stage_total: RefCell::new(vec![0u64; STAGES.len()]),
+    });
+
+    // --- workers -----------------------------------------------------------
+    for p in 0..cfg.proxies {
+        for _ in 0..cfg.proxy_workers {
+            let h = sim.handle();
+            let st = st.clone();
+            let costs = costs.clone();
+            let plan = plan.clone();
+            sim.handle().spawn_detached(async move {
+                loop {
+                    let req = st.queues[p].borrow_mut().pop_front();
+                    let Some(req) = req else {
+                        st.wakeups[p].notified().await;
+                        continue;
+                    };
+                    st.busy[p].set(st.busy[p].get() + 1);
+                    if req.measured {
+                        st.in_service_measured.set(st.in_service_measured.get() + 1);
+                    }
+                    let queue_ns = h.now() - req.arrive;
+                    let factor = plan
+                        .as_ref()
+                        .map(|pl| pl.latency_factor_milli(h.now()))
+                        .unwrap_or(1000);
+
+                    let outcome = st.lookup(p, req.doc, k);
+                    let mut cpu_ns = inflate(costs.parse, factor);
+                    let mut wire_ns = 0u64;
+                    let mut retry_ns = 0u64;
+                    let mut is_miss = false;
+                    match outcome {
+                        Outcome::Local => {}
+                        Outcome::Peer => {
+                            wire_ns += inflate(costs.peer_fetch, factor);
+                            if plan.as_ref().is_some_and(|pl| pl.should_drop()) {
+                                // Timed-out one-sided read: reissue once.
+                                retry_ns += inflate(costs.retry, factor);
+                                if req.measured {
+                                    st.retries.set(st.retries.get() + 1);
+                                }
+                            }
+                        }
+                        Outcome::Miss => {
+                            is_miss = true;
+                            wire_ns += inflate(costs.dir_read, factor);
+                        }
+                    }
+                    cpu_ns += inflate(costs.send_cpu, factor);
+                    // Everything before the backend is one merged sleep: the
+                    // partition stays exact and the hit path costs one timer.
+                    h.sleep(cpu_ns + wire_ns + retry_ns).await;
+
+                    let mut remote_ns = 0u64;
+                    if is_miss {
+                        let t0 = h.now();
+                        st.backend.acquire().await;
+                        let service = inflate(costs.backend, factor);
+                        h.sleep(service).await;
+                        st.backend.release();
+                        st.backend_busy_ns.set(st.backend_busy_ns.get() + service);
+                        remote_ns = h.now() - t0;
+                    }
+                    let resp_wire = inflate(costs.resp_wire, factor);
+                    h.sleep(resp_wire).await;
+                    wire_ns += resp_wire;
+
+                    if req.measured {
+                        let latency = h.now() - req.arrive;
+                        debug_assert_eq!(
+                            latency,
+                            queue_ns + cpu_ns + wire_ns + retry_ns + remote_ns,
+                            "stage partition must sum to end-to-end latency"
+                        );
+                        st.lat_hist.borrow_mut().record(latency);
+                        st.total_latency_ns.set(st.total_latency_ns.get() + latency);
+                        {
+                            let mut sh = st.stage_hist.borrow_mut();
+                            let mut tot = st.stage_total.borrow_mut();
+                            for (idx, v) in [
+                                (ST_WIRE, wire_ns),
+                                (ST_QUEUE, queue_ns),
+                                (ST_CPU, cpu_ns),
+                                (ST_RETRY, retry_ns),
+                                (ST_REMOTE, remote_ns),
+                            ] {
+                                sh[idx].record(v);
+                                tot[idx] += v;
+                            }
+                        }
+                        match outcome {
+                            Outcome::Local => st.hit_local.set(st.hit_local.get() + 1),
+                            Outcome::Peer => st.hit_peer.set(st.hit_peer.get() + 1),
+                            Outcome::Miss => st.misses.set(st.misses.get() + 1),
+                        }
+                        st.completed.set(st.completed.get() + 1);
+                        st.in_service_measured.set(st.in_service_measured.get() - 1);
+                    }
+                    st.busy[p].set(st.busy[p].get() - 1);
+                }
+            });
+        }
+    }
+
+    // --- drivers -----------------------------------------------------------
+    // Clients (or gateway links, under edge aggregation) are split
+    // contiguously across proxies; each driver owns its streams' merged
+    // arrival heap and injects open-loop.
+    let total_streams = if cfg.gateways_per_proxy > 0 {
+        cfg.gateways_per_proxy * cfg.proxies
+    } else {
+        cfg.clients
+    };
+    let base = total_streams / cfg.proxies;
+    let extra = total_streams % cfg.proxies;
+    let per_stream_rps = cfg.offered_rps / total_streams as f64;
+    let mut next_gid = 0u64;
+    for p in 0..cfg.proxies {
+        let n_streams = base + usize::from(p < extra);
+        let streams: Vec<ArrivalProcess> = (0..n_streams)
+            .map(|i| {
+                let s = derive_seed(cfg.seed, next_gid + i as u64);
+                match cfg.arrival {
+                    ArrivalKind::Poisson => ArrivalProcess::poisson(s, per_stream_rps),
+                    ArrivalKind::Bursty(b) => ArrivalProcess::bursty(s, per_stream_rps, b),
+                }
+            })
+            .collect();
+        next_gid += n_streams as u64;
+        let mut arrivals = MergedArrivals::new(streams);
+        let mut doc_rng = derive_seed(cfg.seed ^ 0xd0c5_a11e, p as u64);
+        let h = sim.handle();
+        let st = st.clone();
+        let zipf = zipf.clone();
+        let plan = plan.clone();
+        let (warmup, horizon) = (cfg.warmup_ns, cfg.horizon_ns);
+        let (workers, qcap) = (cfg.proxy_workers as u32, cfg.queue_cap);
+        sim.handle().spawn_detached(async move {
+            loop {
+                let (t, _client) = arrivals.next();
+                if t >= horizon {
+                    break;
+                }
+                h.sleep_until(t).await;
+                let measured = t >= warmup;
+                if measured {
+                    st.issued.set(st.issued.get() + 1);
+                }
+                if plan
+                    .as_ref()
+                    .is_some_and(|pl| pl.is_down(NodeId(1 + p as u32), t))
+                {
+                    if measured {
+                        st.shed_down.set(st.shed_down.get() + 1);
+                    }
+                    continue;
+                }
+                let doc = zipf.sample_u(step_u01(&mut doc_rng)) as u32;
+                let mut q = st.queues[p].borrow_mut();
+                if st.busy[p].get() >= workers && q.len() >= qcap {
+                    if measured {
+                        st.shed_queue.set(st.shed_queue.get() + 1);
+                    }
+                    continue;
+                }
+                q.push_back(Req {
+                    doc,
+                    arrive: t,
+                    measured,
+                });
+                let depth = q.len() as u64;
+                if depth > st.qdepth_hwm.get() {
+                    st.qdepth_hwm.set(depth);
+                }
+                drop(q);
+                st.wakeups[p].notify_one();
+            }
+        });
+    }
+
+    let reached = sim.run_until(cfg.horizon_ns);
+    assert_eq!(reached, cfg.horizon_ns, "run must reach the horizon");
+
+    // --- conservation scan at cutoff --------------------------------------
+    // Count measured requests still in the station by walking the queues and
+    // the in-service gauge; the gap against the admission-side counters is
+    // the structural claim.
+    let queued: u64 = st
+        .queues
+        .iter()
+        .map(|q| q.borrow().iter().filter(|r| r.measured).count() as u64)
+        .sum();
+    let inflight = queued + st.in_service_measured.get();
+    let issued = st.issued.get();
+    let completed = st.completed.get();
+    let shed = st.shed_down.get() + st.shed_queue.get();
+    let gap = issued as i64 - completed as i64 - shed as i64 - inflight as i64;
+
+    let span_s = (cfg.horizon_ns - cfg.warmup_ns) as f64 / 1e9;
+    let lat = st.lat_hist.borrow();
+    let to_us = |ns: u64| ns as f64 / 1_000.0;
+    let stage_hist = st.stage_hist.borrow();
+    let stage_total = st.stage_total.borrow();
+    let total_latency = st.total_latency_ns.get();
+    let stages = STAGES
+        .iter()
+        .enumerate()
+        .map(|(i, stage)| StageAgg {
+            stage,
+            total_ns: stage_total[i],
+            share_pct: if total_latency == 0 {
+                0.0
+            } else {
+                stage_total[i] as f64 * 100.0 / total_latency as f64
+            },
+            p50_ns: stage_hist[i].quantile_ns(0.50),
+            p99_ns: stage_hist[i].quantile_ns(0.99),
+            max_ns: stage_hist[i].max_ns(),
+        })
+        .collect();
+
+    ScalePoint {
+        offered_rps: cfg.offered_rps,
+        issued,
+        completed,
+        shed,
+        shed_down: st.shed_down.get(),
+        shed_queue: st.shed_queue.get(),
+        inflight,
+        conservation_gap: gap,
+        goodput_rps: completed as f64 / span_s,
+        shed_pct: if issued == 0 {
+            0.0
+        } else {
+            shed as f64 * 100.0 / issued as f64
+        },
+        p50_us: to_us(lat.quantile_ns(0.50)),
+        p99_us: to_us(lat.quantile_ns(0.99)),
+        p999_us: to_us(lat.quantile_ns(0.999)),
+        mean_us: if completed == 0 {
+            0.0
+        } else {
+            total_latency as f64 / completed as f64 / 1_000.0
+        },
+        hit_local: st.hit_local.get(),
+        hit_peer: st.hit_peer.get(),
+        misses: st.misses.get(),
+        retries: st.retries.get(),
+        qdepth_hwm: st.qdepth_hwm.get(),
+        backend_busy_pct: st.backend_busy_ns.get() as f64 * 100.0
+            / (cfg.backend_workers as u64 * cfg.horizon_ns) as f64,
+        breakdown: LatencyBreakdown {
+            requests: completed,
+            total_ns: total_latency,
+            stages,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(offered_rps: f64) -> ScaleFarmCfg {
+        ScaleFarmCfg {
+            clients: 400,
+            offered_rps,
+            horizon_ns: 1_000_000_000,
+            warmup_ns: 250_000_000,
+            ..ScaleFarmCfg::default()
+        }
+    }
+
+    #[test]
+    fn conservation_holds_at_light_load() {
+        let p = run_webfarm_scale(&tiny(1_000.0));
+        assert!(p.issued > 100, "issued {}", p.issued);
+        assert_eq!(p.conservation_gap, 0, "{p:?}");
+        assert_eq!(p.shed, 0, "no shedding below saturation: {p:?}");
+        assert!(p.goodput_rps > 900.0, "goodput {}", p.goodput_rps);
+    }
+
+    #[test]
+    fn conservation_holds_under_overload_with_shedding() {
+        let sat = tiny(0.0).saturation_rps();
+        let p = run_webfarm_scale(&tiny(2.0 * sat));
+        assert_eq!(p.conservation_gap, 0, "{p:?}");
+        assert!(p.shed_queue > 0, "2x saturation must shed: {p:?}");
+        assert!(
+            p.goodput_rps < 1.2 * sat,
+            "goodput {} cannot exceed saturation {}",
+            p.goodput_rps,
+            sat
+        );
+    }
+
+    #[test]
+    fn overload_explodes_the_tail_not_the_median_floor() {
+        let sat = tiny(0.0).saturation_rps();
+        let light = run_webfarm_scale(&tiny(0.3 * sat));
+        let heavy = run_webfarm_scale(&tiny(1.5 * sat));
+        assert!(
+            heavy.p999_us > 5.0 * light.p999_us,
+            "light p999 {} vs heavy p999 {}",
+            light.p999_us,
+            heavy.p999_us
+        );
+        assert!(heavy.qdepth_hwm >= light.qdepth_hwm);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let a = run_webfarm_scale(&tiny(3_000.0));
+        let b = run_webfarm_scale(&tiny(3_000.0));
+        assert_eq!(a, b);
+        let c = run_webfarm_scale(&ScaleFarmCfg {
+            seed: 43,
+            ..tiny(3_000.0)
+        });
+        assert_ne!(a, c, "different seed must perturb the run");
+    }
+
+    #[test]
+    fn conservation_holds_under_faults() {
+        let cfg = ScaleFarmCfg {
+            faults: Some((7, FaultConfig::default())),
+            ..tiny(4_000.0)
+        };
+        let p = run_webfarm_scale(&cfg);
+        assert_eq!(p.conservation_gap, 0, "{p:?}");
+        let q = run_webfarm_scale(&cfg);
+        assert_eq!(p, q, "faulted runs must stay deterministic");
+    }
+
+    #[test]
+    fn stage_partition_sums_to_total() {
+        let p = run_webfarm_scale(&tiny(2_000.0));
+        let sum: u64 = p.breakdown.stages.iter().map(|s| s.total_ns).sum();
+        assert_eq!(sum, p.breakdown.total_ns);
+        assert_eq!(p.breakdown.requests, p.completed);
+        assert!(p.breakdown.total_ns > 0);
+    }
+}

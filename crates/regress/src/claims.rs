@@ -825,6 +825,103 @@ pub fn claims_for(bench: &str) -> Vec<Claim> {
                 note: "Shootout: N-CoSED's queued grants beat spinning even against hot keys",
             },
         ],
+        // At-scale open-loop webfarm. Table 0 is the load sweep (rows 0-4
+        // Poisson at 0.3/0.6/0.9/1.2/1.5x saturation, rows 5-7 bursty at
+        // 0.3/0.9/1.2x), table 1 the request accounting over the same rows.
+        "ext_webfarm_scale" => vec![
+            Claim::Monotone {
+                s: col(0, "goodput rps").rows(0, 3),
+                non_decreasing: true,
+                tol: 0.0,
+                note: "At scale: goodput tracks offered load up to the saturation knee",
+            },
+            Claim::RatioAtLeast {
+                num: col(0, "goodput rps").rows(4, 5),
+                den: col(0, "goodput rps").rows(2, 3),
+                at: At::All,
+                min: 0.95,
+                note: "At scale: goodput loss past the knee is bounded — 1.5x offered keeps >=95% of knee goodput",
+            },
+            Claim::Monotone {
+                s: col(0, "shed %").rows(0, 5),
+                non_decreasing: true,
+                tol: 0.0,
+                note: "At scale: shed rate rises monotonically along the Poisson sweep",
+            },
+            Claim::ValueBand {
+                s: col(0, "shed %").rows(0, 2),
+                at: At::All,
+                min: 0.0,
+                max: 0.0,
+                note: "At scale: below the knee the open-loop farm sheds nothing",
+            },
+            Claim::ValueBand {
+                s: col(0, "shed %").rows(4, 5),
+                at: At::All,
+                min: 30.0,
+                max: 60.0,
+                note: "At scale: at 1.5x saturation roughly the excess offered load is shed",
+            },
+            Claim::RatioAtLeast {
+                num: col(0, "p999 us").rows(3, 4),
+                den: col(0, "p999 us").rows(0, 1),
+                at: At::All,
+                min: 50.0,
+                note: "At scale: p999 explodes across the knee (>=50x light-load p999 at 1.2x)",
+            },
+            Claim::RatioAtLeast {
+                num: col(0, "p99 us").rows(1, 2),
+                den: col(0, "p50 us").rows(1, 2),
+                at: At::All,
+                min: 5.0,
+                note: "At scale: approaching the knee the tail spreads long before the median moves",
+            },
+            Claim::RatioAtMost {
+                num: col(0, "p999 us").rows(0, 1),
+                den: col(0, "p50 us").rows(0, 1),
+                at: At::All,
+                max: 4.0,
+                note: "At scale: at light load the latency distribution is tight (p999 ~ p50)",
+            },
+            Claim::ValueBand {
+                s: col(0, "backend %").rows(2, 5),
+                at: At::All,
+                min: 99.0,
+                max: 100.5,
+                note: "At scale: from the knee on, the backend station is the saturated resource",
+            },
+            Claim::RatioAtLeast {
+                num: col(0, "p99 us").rows(5, 6),
+                den: col(0, "p99 us").rows(0, 1),
+                at: At::All,
+                min: 0.8,
+                note: "At scale: hundreds of independent bursty sources superpose to Poisson (Palm-Khintchine) — same p99 at 0.3x",
+            },
+            Claim::RatioAtMost {
+                num: col(0, "p99 us").rows(5, 6),
+                den: col(0, "p99 us").rows(0, 1),
+                at: At::All,
+                max: 1.25,
+                note: "At scale: burstiness does not fatten the aggregate light-load tail beyond 25%",
+            },
+            Claim::ValueBand {
+                s: col(1, "gap").rows(0, 8),
+                at: At::All,
+                min: 0.0,
+                max: 0.0,
+                note: "At scale: conservation — issued == completed + shed + in-flight in every cell",
+            },
+            Claim::PointwiseLeq {
+                lo: col(1, "completed").rows(0, 8),
+                hi: col(1, "issued").rows(0, 8),
+                note: "At scale: completions never exceed issues inside the measured window",
+            },
+            Claim::PointwiseLeq {
+                lo: col(0, "p99 us").rows(0, 8),
+                hi: col(0, "p999 us").rows(0, 8),
+                note: "At scale: quantiles are ordered in every cell (p99 <= p999)",
+            },
+        ],
         _ => vec![],
     }
 }

@@ -13,13 +13,18 @@
 //!   (Figure 3b's 1K–100K record sweep).
 //! * [`burst::BurstSchedule`] — bursty thread-load patterns for the
 //!   monitoring accuracy experiment (Figure 8a).
+//! * [`arrival::ArrivalProcess`] — seeded open-loop interarrival streams
+//!   (Poisson and bursty MMPP-2) plus the allocation-free k-way
+//!   [`arrival::MergedArrivals`] merge driving the at-scale web farm.
 
+pub mod arrival;
 pub mod burst;
 pub mod fileset;
 pub mod rubis;
 pub mod storm;
 pub mod zipf;
 
+pub use arrival::{ArrivalKind, ArrivalProcess, BurstyCfg, MergedArrivals};
 pub use burst::{BurstPhase, BurstSchedule};
 pub use fileset::FileSet;
 pub use rubis::{RubisMix, RubisOp};

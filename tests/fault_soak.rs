@@ -324,3 +324,50 @@ fn soak_with_all_fault_classes_is_survivable_and_reproducible() {
     let c = soak_run(wseed, fseed + 1, drop);
     assert_ne!(a.end_ns, c.end_ns, "fault seed had no effect");
 }
+
+/// At-scale open-loop webfarm soak: a scaled-down `ext_webfarm_scale`
+/// configuration driven past saturation under the full default fault menu
+/// (crashes, drops, latency storms, stalls). The farm must keep serving,
+/// conserve every issued request, reproduce bit-identically per seed, and
+/// the plan must not be a no-op.
+#[test]
+fn webfarm_scale_soak_under_faults_conserves_and_reproduces() {
+    use nextgen_datacenter::core::{run_webfarm_scale, ScaleFarmCfg};
+
+    let base = ScaleFarmCfg {
+        proxies: 16,
+        app_nodes: 8,
+        clients: 3_000,
+        backend_workers: 1,
+        horizon_ns: 900_000_000,
+        warmup_ns: 200_000_000,
+        ..dc_bench::ext_webfarm::gate_cfg()
+    };
+    let sat = base.saturation_rps();
+    let cfg = ScaleFarmCfg {
+        offered_rps: 1.3 * sat,
+        faults: Some((0x50A_D01, FaultConfig::default())),
+        ..base.clone()
+    };
+
+    let a = run_webfarm_scale(&cfg);
+    let b = run_webfarm_scale(&cfg);
+    assert_eq!(a, b, "faulted at-scale run diverged across replays");
+    assert_eq!(a.conservation_gap, 0, "conservation violated: {a:?}");
+    assert!(a.completed > 0, "farm made no progress under faults");
+    assert!(
+        a.shed_queue > 0,
+        "an overloaded farm must shed at admission: {a:?}"
+    );
+
+    // The plan is not a no-op: the clean run differs.
+    let clean = run_webfarm_scale(&ScaleFarmCfg {
+        faults: None,
+        ..cfg.clone()
+    });
+    assert_ne!(
+        clean.completed, a.completed,
+        "the fault plan had no observable effect"
+    );
+    assert_eq!(clean.conservation_gap, 0);
+}

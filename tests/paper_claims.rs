@@ -91,6 +91,11 @@ fn ext_lock_shootout_claims() {
 }
 
 #[test]
+fn ext_webfarm_scale_claims() {
+    assert_claims_hold("ext_webfarm_scale");
+}
+
+#[test]
 fn every_registered_scenario_has_claims() {
     for s in &scenario::ALL {
         assert!(
@@ -229,6 +234,48 @@ fn fault_seeded_claims_hold_when_enabled() {
             rdma.tps,
             socket.tps
         );
+    }
+}
+
+/// Fault-seeded at-scale webfarm invariants, opt-in via
+/// `DC_CLAIMS_FAULTS=1`. Crashes, drops, and latency storms move every
+/// quantile, but the structural story must survive: every issued request
+/// is still accounted for (conservation), runs stay bit-deterministic per
+/// seed, goodput can never exceed what was admitted, and an overloaded
+/// farm still sheds rather than queueing without bound.
+#[test]
+fn fault_seeded_webfarm_scale_conservation_holds() {
+    if std::env::var("DC_CLAIMS_FAULTS").ok().as_deref() != Some("1") {
+        return; // opt-in: default tier-1 stays fault-free
+    }
+    let base = dc_bench::ext_webfarm::gate_cfg();
+    let sat = base.saturation_rps();
+    for seed in [7u64, 8, 9] {
+        let cfg = dc_core::ScaleFarmCfg {
+            // A quarter-size population at 1.2x saturation keeps the
+            // three-seed loop fast while still straddling the knee.
+            clients: base.clients / 4,
+            offered_rps: 1.2 * sat,
+            faults: Some((seed, dc_fabric::FaultConfig::default())),
+            ..base.clone()
+        };
+        let p = dc_core::run_webfarm_scale(&cfg);
+        assert_eq!(
+            p.conservation_gap, 0,
+            "seed {seed}: conservation violated under faults: {p:?}"
+        );
+        assert!(
+            p.shed > 0,
+            "seed {seed}: an overloaded faulted farm must shed"
+        );
+        assert!(
+            p.goodput_rps <= p.offered_rps,
+            "seed {seed}: goodput {} above offered {}",
+            p.goodput_rps,
+            p.offered_rps
+        );
+        let q = dc_core::run_webfarm_scale(&cfg);
+        assert_eq!(p, q, "seed {seed}: faulted run must be deterministic");
     }
 }
 

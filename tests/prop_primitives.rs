@@ -286,3 +286,121 @@ proptest! {
         prop_assert_eq!(ab_c.nonzero_buckets(), direct.nonzero_buckets());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Open-loop Poisson arrivals: the empirical mean interarrival matches
+    /// 1/λ and the interarrival CV is ≈1 (the exponential signature), for
+    /// any seed and a wide band of rates.
+    #[test]
+    fn arrival_poisson_mean_and_cv_match_the_rate(
+        seed in any::<u64>(),
+        rate in 50.0f64..5_000.0,
+    ) {
+        use nextgen_datacenter::workloads::ArrivalProcess;
+        let mut p = ArrivalProcess::poisson(seed, rate);
+        let n = 5_000usize;
+        let mut prev = 0u64;
+        let mut gaps = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t = p.next_ns();
+            prop_assert!(t >= prev, "arrivals must be non-decreasing");
+            gaps.push((t - prev) as f64);
+            prev = t;
+        }
+        let mean = gaps.iter().sum::<f64>() / n as f64;
+        let expect = 1e9 / rate;
+        let dev = (mean - expect).abs() / expect;
+        prop_assert!(dev < 0.10, "mean {mean:.0}ns vs 1/λ {expect:.0}ns ({dev:.3})");
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / n as f64;
+        let cv = var.sqrt() / mean;
+        prop_assert!((cv - 1.0).abs() < 0.10, "Poisson CV {cv:.3} should be ~1");
+    }
+
+    /// Bursty (MMPP-2) arrivals keep the configured long-run rate but are
+    /// overdispersed: interarrival CV strictly above the Poisson value.
+    #[test]
+    fn arrival_bursty_preserves_rate_but_is_overdispersed(seed in any::<u64>()) {
+        use nextgen_datacenter::workloads::{ArrivalProcess, BurstyCfg};
+        let rate = 1_000.0;
+        let mut b = ArrivalProcess::bursty(seed, rate, BurstyCfg::default());
+        // Gaps are phase-correlated, so the rate estimator converges like
+        // sqrt(phase cycles), not sqrt(draws): 60k draws ≈ 300 cycles.
+        let n = 60_000usize;
+        let mut prev = 0u64;
+        let mut gaps = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t = b.next_ns();
+            prop_assert!(t >= prev);
+            gaps.push((t - prev) as f64);
+            prev = t;
+        }
+        let mean = gaps.iter().sum::<f64>() / n as f64;
+        let expect = 1e9 / rate;
+        let dev = (mean - expect).abs() / expect;
+        prop_assert!(dev < 0.25, "long-run mean {mean:.0}ns vs {expect:.0}ns ({dev:.3})");
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / n as f64;
+        let cv = var.sqrt() / mean;
+        prop_assert!(cv > 1.15, "bursty CV {cv:.3} must exceed Poisson's 1.0");
+    }
+
+    /// Same seed ⇒ byte-identical stream; different seed ⇒ divergence.
+    /// Holds for both processes — the determinism contract every
+    /// reproducible scenario rides on.
+    #[test]
+    fn arrival_streams_are_byte_identical_per_seed(
+        seed in any::<u64>(),
+        bursty in any::<bool>(),
+    ) {
+        use nextgen_datacenter::workloads::{ArrivalProcess, BurstyCfg};
+        let mk = |s: u64| if bursty {
+            ArrivalProcess::bursty(s, 800.0, BurstyCfg::default())
+        } else {
+            ArrivalProcess::poisson(s, 800.0)
+        };
+        let (mut a, mut b, mut c) = (mk(seed), mk(seed), mk(seed.wrapping_add(1)));
+        let mut diverged = false;
+        for _ in 0..500 {
+            let (x, y) = (a.next_ns(), b.next_ns());
+            prop_assert_eq!(x, y, "same seed must replay identically");
+            diverged |= c.next_ns() != x;
+        }
+        prop_assert!(diverged, "different seeds must diverge within 500 draws");
+    }
+
+    /// Merging per-client streams preserves the global rate (superposition
+    /// of Poisson streams is Poisson at the summed rate) and emits a
+    /// time-ordered sequence drawing from every stream.
+    #[test]
+    fn arrival_merge_preserves_global_rate_and_order(
+        seed in any::<u64>(),
+        n_streams in 4usize..40,
+    ) {
+        use nextgen_datacenter::workloads::{ArrivalProcess, MergedArrivals};
+        let per_rate = 200.0;
+        let streams: Vec<ArrivalProcess> = (0..n_streams)
+            .map(|i| ArrivalProcess::poisson(seed.wrapping_add(i as u64 * 7919), per_rate))
+            .collect();
+        let mut m = MergedArrivals::new(streams);
+        let horizon = 5_000_000_000u64; // 5 s
+        let mut count = 0u64;
+        let mut prev = 0u64;
+        let mut seen = vec![false; n_streams];
+        loop {
+            let (t, idx) = m.next();
+            if t >= horizon {
+                break;
+            }
+            prop_assert!(t >= prev, "merge must be time-ordered");
+            prop_assert!((idx as usize) < n_streams);
+            seen[idx as usize] = true;
+            prev = t;
+            count += 1;
+        }
+        let expect = per_rate * n_streams as f64 * 5.0;
+        let dev = (count as f64 - expect).abs() / expect;
+        prop_assert!(dev < 0.15, "merged {count} events vs expected {expect:.0} ({dev:.3})");
+        prop_assert!(seen.iter().all(|&s| s), "every stream must surface in the merge");
+    }
+}

@@ -272,3 +272,65 @@ fn different_seed_changes_the_trace() {
     let (_, tb) = run_webfarm_traced(&other, TraceMode::Full);
     assert_ne!(ta.trace_json, tb.trace_json, "seed had no effect on trace");
 }
+
+/// The at-scale open-loop webfarm, scaled down to tier-1 size: the full
+/// report surface (both rendered tables and the exact stage partition)
+/// must be byte-identical across runs of the same seed — clean and under
+/// a seeded fault plan — and a different seed must move it.
+#[test]
+fn webfarm_scale_report_is_byte_identical_per_seed() {
+    use dc_bench::ext_webfarm::{accounting_table, cells, run_sweep, sweep_table};
+    use nextgen_datacenter::core::ScaleFarmCfg;
+
+    let scaled = ScaleFarmCfg {
+        proxies: 16,
+        app_nodes: 8,
+        clients: 3_000,
+        backend_workers: 1,
+        horizon_ns: 600_000_000,
+        warmup_ns: 200_000_000,
+        ..dc_bench::ext_webfarm::gate_cfg()
+    };
+    let sweep = cells();
+    let render = |cfg: &ScaleFarmCfg| {
+        let points = run_sweep(cfg, &sweep);
+        let text = format!(
+            "{}{}",
+            sweep_table(&points).render(),
+            accounting_table(&points).render()
+        );
+        (text, points)
+    };
+
+    let (ta, pa) = render(&scaled);
+    let (tb, pb) = render(&scaled);
+    assert_eq!(ta, tb, "same seed must render byte-identical tables");
+    for ((_, a), (_, b)) in pa.iter().zip(&pb) {
+        assert_eq!(a, b, "full point state (incl. breakdown) must replay");
+    }
+
+    let (tc, _) = render(&ScaleFarmCfg {
+        seed: 43,
+        ..scaled.clone()
+    });
+    assert_ne!(ta, tc, "a different seed must perturb the tables");
+
+    // Under a seeded fault plan the same bar holds.
+    let faulted = ScaleFarmCfg {
+        faults: Some((
+            0xFA_5CA1E,
+            FaultConfig {
+                drop_prob: 0.05,
+                ..FaultConfig::default()
+            },
+        )),
+        ..scaled.clone()
+    };
+    let (fa, fpa) = render(&faulted);
+    let (fb, _) = render(&faulted);
+    assert_eq!(fa, fb, "faulted runs must render byte-identical tables");
+    assert_ne!(fa, ta, "the fault plan must have an observable effect");
+    for (_, p) in &fpa {
+        assert_eq!(p.conservation_gap, 0, "conservation under faults: {p:?}");
+    }
+}
