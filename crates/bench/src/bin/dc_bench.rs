@@ -4,13 +4,18 @@
 //! dc-bench list
 //!     Print every registered scenario with its title.
 //!
-//! dc-bench wallclock [--runs N] [--scenario NAME]... [--out PATH] [--json]
+//! dc-bench wallclock [--runs N] [--threads LIST] [--scenario NAME]...
+//!                    [--out PATH] [--json]
 //!     Run each selected scenario (default: all 12 registered plus the
 //!     wallclock-only extras such as ext_webfarm_scale_full) N times
 //!     (default: 5), measure host wall time and scheduler counters, and
-//!     print the throughput table. `--out PATH` writes the BenchReport
-//!     JSON (the BENCH_wallclock.json perf-trajectory artifact); `--json`
-//!     prints it to stdout instead of the table.
+//!     print the throughput table. `--threads LIST` (e.g. `1,2,4`) re-runs
+//!     each *sharded* scenario once per listed engine shard count — the
+//!     reports are bit-identical across the list; only wall time changes —
+//!     and emits one table row per (scenario, threads) pair. Unsharded
+//!     scenarios always run single-shard. `--out PATH` writes the
+//!     BenchReport JSON (the BENCH_wallclock.json perf-trajectory
+//!     artifact); `--json` prints it to stdout instead of the table.
 //!
 //! dc-bench flame --scenario NAME [--seed N] [--out PATH] [--report PATH]
 //!     Trace a scenario and fold its span tree into collapsed-stack
@@ -165,12 +170,34 @@ fn run_top(args: &[String]) {
 
 fn run_wallclock(args: &[String]) {
     let mut runs: usize = 5;
+    let mut threads: Vec<usize> = vec![1];
     let mut names: Vec<String> = Vec::new();
     let mut out: Option<std::path::PathBuf> = None;
     let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--threads requires a list like 1,2,4"));
+                threads = v
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .unwrap_or_else(|| {
+                                die(&format!("--threads: not a positive number: {t}"))
+                            })
+                    })
+                    .collect();
+                if threads.is_empty() {
+                    die("--threads requires at least one count");
+                }
+            }
             "--runs" => {
                 i += 1;
                 let v = args.get(i).unwrap_or_else(|| die("--runs requires N"));
@@ -215,7 +242,7 @@ fn run_wallclock(args: &[String]) {
             .collect()
     };
 
-    let measured = wallclock::measure_all(&selected, runs);
+    let measured = wallclock::measure_matrix(&selected, runs, &threads);
     let report = wallclock::wallclock_report(&measured, runs);
     if let Some(path) = &out {
         std::fs::write(path, report.to_json())

@@ -88,6 +88,7 @@ pub fn gate_cfg() -> ScaleFarmCfg {
         warmup_ns: 500_000_000,
         seed: 42,
         faults: None,
+        shards: None,
     }
 }
 

@@ -22,6 +22,12 @@ pub struct Scenario {
     pub title: &'static str,
     /// Run the full experiment and return its report.
     pub run: fn() -> BenchReport,
+    /// Whether the scenario runs on the sharded engine and honours the
+    /// shard-count knob ([`dc_core::set_shards_override`] /
+    /// `DC_SIM_SHARDS`). Output is bit-identical at every shard count;
+    /// only wall-clock changes, so `dc-bench wallclock --threads` varies
+    /// the knob for exactly these scenarios.
+    pub sharded: bool,
 }
 
 /// Every scenario, in figure order. One entry per `[[bin]]` target.
@@ -30,61 +36,73 @@ pub const ALL: [Scenario; 12] = [
         name: "fig3a_ddss_put",
         title: "Fig 3a — DDSS put() latency by coherence model",
         run: fig3a_report,
+        sharded: false,
     },
     Scenario {
         name: "fig3b_storm",
         title: "Fig 3b — distributed STORM, sockets vs DDSS",
         run: fig3b_report,
+        sharded: false,
     },
     Scenario {
         name: "fig5a_lock_shared",
         title: "Fig 5a — shared-lock cascading latency",
         run: fig5a_report,
+        sharded: false,
     },
     Scenario {
         name: "fig5b_lock_exclusive",
         title: "Fig 5b — exclusive-lock cascading latency",
         run: fig5b_report,
+        sharded: false,
     },
     Scenario {
         name: "fig6_coopcache",
         title: "Fig 6 — cooperative-cache TPS, 2 and 8 proxies",
         run: fig6_report,
+        sharded: false,
     },
     Scenario {
         name: "fig8a_monitor_accuracy",
         title: "Fig 8a — monitoring accuracy under bursty load",
         run: fig8a_report,
+        sharded: false,
     },
     Scenario {
         name: "fig8b_monitor_throughput",
         title: "Fig 8b — hosted throughput by monitoring scheme",
         run: fig8b_report,
+        sharded: false,
     },
     Scenario {
         name: "ext_flowcontrol_bw",
         title: "§6 ext — packetized vs credit flow-control bandwidth",
         run: ext_flowcontrol_report,
+        sharded: false,
     },
     Scenario {
         name: "ext_fine_reconfig",
         title: "§6 ext — fine- vs coarse-grained reconfiguration",
         run: ext_fine_reconfig_report,
+        sharded: false,
     },
     Scenario {
         name: "ext_ablations",
         title: "Ablations — coherence verbs, cache capacity, cadence",
         run: ext_ablations_report,
+        sharded: false,
     },
     Scenario {
         name: "ext_lock_shootout",
         title: "Shootout — six lock designs under Zipf contention",
         run: ext_lock_shootout_report,
+        sharded: false,
     },
     Scenario {
         name: "ext_webfarm_scale",
         title: "At scale — open-loop webfarm load sweep across the knee",
         run: ext_webfarm_scale_report,
+        sharded: true,
     },
 ];
 
@@ -95,6 +113,7 @@ pub const WALLCLOCK_EXTRAS: [Scenario; 1] = [Scenario {
     name: "ext_webfarm_scale_full",
     title: "At scale — 10^6 open-loop clients, wallclock trajectory point",
     run: ext_webfarm_scale_full_report,
+    sharded: true,
 }];
 
 /// Look a scenario up by bench name.

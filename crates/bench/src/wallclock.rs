@@ -36,10 +36,12 @@ pub struct RunMeasurement {
     pub counters: SimCounters,
 }
 
-/// All runs of one scenario.
+/// All runs of one scenario at one engine shard count.
 pub struct ScenarioMeasurement {
     /// Registry name (`fig6_coopcache`, ...).
     pub name: &'static str,
+    /// Engine shard count the runs used (1 for unsharded scenarios).
+    pub threads: usize,
     /// Per-run measurements, in run order.
     pub runs: Vec<RunMeasurement>,
 }
@@ -81,7 +83,23 @@ impl ScenarioMeasurement {
 /// counter delta around it. Panics if the counter deltas differ between runs
 /// (a determinism violation worth failing loudly for).
 pub fn measure(scenario: &Scenario, runs: usize) -> ScenarioMeasurement {
+    measure_at(scenario, runs, 1)
+}
+
+/// [`measure`] with the engine pinned at `threads` shards. For sharded
+/// scenarios the reports are bit-identical at every shard count — the
+/// engine's determinism contract — so only wall time and barrier counts
+/// vary between `threads` settings. Asking for `threads > 1` on an
+/// unsharded scenario is a caller bug.
+pub fn measure_at(scenario: &Scenario, runs: usize, threads: usize) -> ScenarioMeasurement {
     assert!(runs > 0, "need at least one run");
+    assert!(threads > 0, "need at least one shard");
+    assert!(
+        threads == 1 || scenario.sharded,
+        "{} does not run on the sharded engine",
+        scenario.name
+    );
+    dc_core::set_shards_override(Some(threads));
     let mut out = Vec::with_capacity(runs);
     for i in 0..runs {
         let c0 = thread_totals();
@@ -94,6 +112,7 @@ pub fn measure(scenario: &Scenario, runs: usize) -> ScenarioMeasurement {
             polls: c1.polls - c0.polls,
             events: c1.events - c0.events,
             timers_fired: c1.timers_fired - c0.timers_fired,
+            barrier_waits: c1.barrier_waits - c0.barrier_waits,
         };
         if let Some(first) = out.first() {
             let first: &RunMeasurement = first;
@@ -106,25 +125,49 @@ pub fn measure(scenario: &Scenario, runs: usize) -> ScenarioMeasurement {
         }
         out.push(RunMeasurement { wall_ns, counters });
     }
+    dc_core::set_shards_override(None);
     ScenarioMeasurement {
         name: scenario.name,
+        threads,
         runs: out,
     }
 }
 
-/// Measure a list of scenarios back to back.
+/// Measure a list of scenarios back to back (single-shard engine).
 pub fn measure_all(scenarios: &[&Scenario], runs: usize) -> Vec<ScenarioMeasurement> {
     scenarios.iter().map(|s| measure(s, runs)).collect()
 }
 
-/// Assemble the `wallclock` [`BenchReport`]: one row per scenario, plus the
-/// aggregate scheduler counters as params (`sim.polls`, `sim.events`,
-/// `sim.timers_fired`) so the report meta carries the engine totals.
+/// Measure a list of scenarios at each of the given shard counts: sharded
+/// scenarios get one row per entry in `threads`; unsharded scenarios are
+/// measured once, single-shard, regardless of the list.
+pub fn measure_matrix(
+    scenarios: &[&Scenario],
+    runs: usize,
+    threads: &[usize],
+) -> Vec<ScenarioMeasurement> {
+    let mut out = Vec::new();
+    for s in scenarios {
+        let counts: &[usize] = if s.sharded { threads } else { &[1] };
+        for &t in counts {
+            out.push(measure_at(s, runs, t));
+        }
+    }
+    out
+}
+
+/// Assemble the `wallclock` [`BenchReport`]: one row per (scenario,
+/// threads) measurement, plus the aggregate scheduler counters as params
+/// (`sim.polls`, `sim.events`, `sim.timers_fired`, `sim.barrier_waits`)
+/// so the report meta carries the engine totals. `host_cores` records how
+/// much hardware parallelism the rows had available — a `threads=4` row
+/// on a single-core host measures sync overhead, not speedup.
 pub fn wallclock_report(measured: &[ScenarioMeasurement], runs: usize) -> BenchReport {
     let mut table = dc_core::Table::new(
         "Wall-clock throughput by scenario",
         &[
             "scenario",
+            "threads",
             "runs",
             "wall_ms_median",
             "wall_ms_best",
@@ -132,6 +175,7 @@ pub fn wallclock_report(measured: &[ScenarioMeasurement], runs: usize) -> BenchR
             "events_per_sec",
             "polls",
             "timers_fired",
+            "barrier_waits",
         ],
     );
     let mut total = SimCounters::default();
@@ -140,8 +184,10 @@ pub fn wallclock_report(measured: &[ScenarioMeasurement], runs: usize) -> BenchR
         total.polls += c.polls;
         total.events += c.events;
         total.timers_fired += c.timers_fired;
+        total.barrier_waits += c.barrier_waits;
         table.row(vec![
             m.name.to_string(),
+            format!("{}", m.threads),
             format!("{}", m.runs.len()),
             format!("{:.3}", m.median_wall_ns() as f64 / 1e6),
             format!("{:.3}", m.best_wall_ns() as f64 / 1e6),
@@ -149,15 +195,21 @@ pub fn wallclock_report(measured: &[ScenarioMeasurement], runs: usize) -> BenchR
             format!("{:.0}", m.events_per_sec()),
             format!("{}", c.polls),
             format!("{}", c.timers_fired),
+            format!("{}", c.barrier_waits),
         ]);
     }
     let mut r = BenchReport::new("wallclock");
     r.set_fingerprint(&FabricModel::calibrated_2007().fingerprint());
     r.add_param("runs", runs as u64);
     r.add_param("scenarios", measured.len() as u64);
+    r.add_param(
+        "host_cores",
+        std::thread::available_parallelism().map_or(1, |n| n.get()) as u64,
+    );
     r.add_param("sim.polls", total.polls);
     r.add_param("sim.events", total.events);
     r.add_param("sim.timers_fired", total.timers_fired);
+    r.add_param("sim.barrier_waits", total.barrier_waits);
     r.add_table(table.to_report());
     r
 }
@@ -172,7 +224,9 @@ mod tests {
         let s = scenario::by_name("fig5a_lock_shared").unwrap();
         let m = measure(s, 2);
         assert_eq!(m.runs.len(), 2);
+        assert_eq!(m.threads, 1);
         let c = m.counters();
+        assert_eq!(c.barrier_waits, 0, "unsharded scenario crossed a barrier");
         assert!(c.polls > 0, "scenario performed no polls");
         assert!(c.timers_fired > 0, "scenario fired no timers");
         assert!(c.events >= c.polls, "every poll is dequeued from ready");
@@ -191,6 +245,25 @@ mod tests {
         assert!(json.contains("\"sim.polls\""));
         assert!(json.contains("\"sim.events\""));
         assert!(json.contains("\"sim.timers_fired\""));
+        assert!(json.contains("\"sim.barrier_waits\""));
+        assert!(json.contains("\"host_cores\""));
+        assert!(json.contains("threads"));
         assert!(json.contains("fig5b_lock_exclusive"));
+    }
+
+    #[test]
+    fn matrix_gives_unsharded_scenarios_one_single_shard_row() {
+        let s = scenario::by_name("fig5a_lock_shared").unwrap();
+        assert!(!s.sharded);
+        let measured = measure_matrix(&[s], 1, &[1, 2, 4]);
+        assert_eq!(measured.len(), 1, "unsharded scenario must not fan out");
+        assert_eq!(measured[0].threads, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not run on the sharded engine")]
+    fn multi_shard_measurement_of_an_unsharded_scenario_panics() {
+        let s = scenario::by_name("fig5a_lock_shared").unwrap();
+        let _ = measure_at(s, 1, 2);
     }
 }

@@ -45,4 +45,7 @@ pub use webfarm::{
     run_webfarm, run_webfarm_observed, run_webfarm_traced, TraceArtifacts, WebFarmCfg,
     WebFarmResult,
 };
-pub use webfarm_scale::{run_webfarm_scale, ScaleFarmCfg, ScalePoint};
+pub use webfarm_scale::{
+    resolved_shards, run_webfarm_scale, run_webfarm_scale_stats, set_shards_override, ScaleFarmCfg,
+    ScalePoint,
+};

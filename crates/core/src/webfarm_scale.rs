@@ -22,24 +22,38 @@
 //!   retry) with integer arithmetic — stage sums equal the end-to-end total
 //!   — and recorded into per-stage [`StreamHist`]s, so a
 //!   [`LatencyBreakdown`] falls out without tracing overhead.
+//! * **Shardable by construction.** The farm runs on the conservative
+//!   sharded driver ([`dc_sim::shard`]): proxies are partitioned
+//!   round-robin over N shards, the shared app-tier cache is partitioned
+//!   by slot, and the backend station lives on shard 0. Every interaction
+//!   that crosses an ownership boundary is a time-stamped message (cache
+//!   probe, peer-hit reply, backend forward, completion) whose virtual
+//!   delay is the same fabric cost the request would pay anyway, so the
+//!   lookahead window is wide (tens of µs) and the result is **bit-
+//!   identical at every shard count** — `(ts, src_key, seq)` merge keys
+//!   use stable entity ids (proxy id, tier slot, station), never shard
+//!   indices. The shard count comes from [`ScaleFarmCfg::shards`], the
+//!   process-wide override, or `DC_SIM_SHARDS` (see [`resolved_shards`]).
 //!
 //! Request lifecycle: arrival → admission (shed if the proxy is down or its
 //! bounded queue is full while all workers are busy) → parse CPU → cache
 //! lookup (proxy-local hit, app-tier peer hit via one RDMA read, or miss:
-//! DDSS directory read + backend station guarded by a semaphore) → response
-//! send CPU + TCP wire. The measured window `[warmup, horizon)` obeys the
-//! conservation law checked by [`ScalePoint::conservation_gap`]:
+//! DDSS directory read + backend station with a fixed server pool) →
+//! response send CPU + TCP wire. The measured window `[warmup, horizon)`
+//! obeys the conservation law checked by [`ScalePoint::conservation_gap`]:
 //! `issued == completed + shed + in-flight-at-cutoff`, with in-flight
 //! re-counted by an independent scan of queues and workers at the cutoff.
 
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use dc_fabric::faults::inflate;
 use dc_fabric::{FabricModel, FaultConfig, FaultPlan, NodeId};
 use dc_sim::rng::{derive_seed, splitmix64};
-use dc_sim::sync::{Notify, Semaphore};
+use dc_sim::shard::{run_sharded, ShardCfg, ShardNet, ShardRun, ShardStats};
+use dc_sim::sync::Notify;
 use dc_sim::{Sim, SimTime};
 use dc_trace::{LatencyBreakdown, StageAgg, StreamHist, STAGES};
 use dc_workloads::{ArrivalKind, ArrivalProcess, MergedArrivals, Zipf};
@@ -98,6 +112,11 @@ pub struct ScaleFarmCfg {
     /// station (NodeId 0) is always immune so the farm degrades instead of
     /// halting.
     pub faults: Option<(u64, FaultConfig)>,
+    /// Worker shards for the parallel driver. `None` defers to the
+    /// process-wide override and then the `DC_SIM_SHARDS` environment
+    /// knob; see [`resolved_shards`]. Results are bit-identical at every
+    /// shard count, so this only trades wall-clock for threads.
+    pub shards: Option<usize>,
 }
 
 impl Default for ScaleFarmCfg {
@@ -122,8 +141,40 @@ impl Default for ScaleFarmCfg {
             warmup_ns: 500_000_000,
             seed: 42,
             faults: None,
+            shards: None,
         }
     }
+}
+
+/// Process-wide shard-count override (0 = unset). Sits between an explicit
+/// `cfg.shards` and the `DC_SIM_SHARDS` environment variable so harnesses
+/// like `dc-bench wallclock --threads N` can set the knob for scenarios
+/// they invoke by function pointer.
+static SHARDS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Set (or with `None` clear) the process-wide shard-count override.
+pub fn set_shards_override(n: Option<usize>) {
+    SHARDS_OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The shard count a run of `cfg` will use: `cfg.shards`, else the
+/// process-wide override ([`set_shards_override`]), else `DC_SIM_SHARDS`,
+/// else 1 — clamped to `[1, proxies]` (a shard with no proxies would only
+/// spin the barrier).
+pub fn resolved_shards(cfg: &ScaleFarmCfg) -> usize {
+    let n = cfg
+        .shards
+        .or(match SHARDS_OVERRIDE.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(n),
+        })
+        .or_else(|| {
+            std::env::var("DC_SIM_SHARDS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+        })
+        .unwrap_or(1);
+    n.clamp(1, cfg.proxies.max(1))
 }
 
 impl ScaleFarmCfg {
@@ -160,6 +211,9 @@ struct ScaleCosts {
     parse: u64,
     /// DDSS directory lookup: one one-sided RDMA read (wire stage).
     dir_read: u64,
+    /// Document transfer from the owning app node over the SAN (wire
+    /// stage); `dir_read + peer_bytes` is the classic peer-fetch cost.
+    peer_bytes: u64,
     /// Cooperative-cache peer fetch: RDMA read + document transfer (wire).
     peer_fetch: u64,
     /// Backend origin service + SAN transfer + completion send (remote).
@@ -177,12 +231,26 @@ impl ScaleCosts {
         ScaleCosts {
             parse: cfg.handling_ns,
             dir_read: m.rdma_read_base_ns,
+            peer_bytes: m.ib_bytes_time(cfg.doc_size),
             peer_fetch: m.rdma_read_base_ns + m.ib_bytes_time(cfg.doc_size),
             backend: cfg.backend_ns + m.ib_bytes_time(cfg.doc_size) + m.rdma_send_base_ns,
             send_cpu: m.tcp_send_cpu(cfg.doc_size),
             resp_wire: m.tcp_bytes_time(cfg.doc_size),
             retry: 2 * m.rdma_read_base_ns,
         }
+    }
+
+    /// Conservative lookahead: the floor over every cross-shard message
+    /// delay this scenario can send (probe, peer-hit reply, backend
+    /// forward, completion). Fault inflation only lengthens delays
+    /// (factors are ≥ 1.0 by construction), so the uninflated floor is
+    /// safe. The sharded driver hard-asserts every send against it.
+    fn lookahead_ns(&self) -> u64 {
+        (self.parse + self.dir_read)
+            .min(self.peer_bytes)
+            .min(self.send_cpu)
+            .min(self.backend + self.resp_wire)
+            .max(1)
     }
 }
 
@@ -202,18 +270,77 @@ const ST_CPU: usize = 3;
 const ST_RETRY: usize = 4;
 const ST_REMOTE: usize = 5;
 
-/// Shared mutable run state: flat arrays indexed by proxy, plus the global
-/// measured-window counters. Everything here is `Cell`/`RefCell` over plain
-/// memory — no per-client allocation after setup.
-struct FarmState {
+const EMPTY: u32 = u32::MAX;
+
+/// Cross-shard traffic. Delays are the same fabric costs the request pays
+/// in its latency partition, so sharding never changes any timestamp.
+#[derive(Clone, Copy)]
+enum NetMsg {
+    /// Worker → tier-slot owner: look `doc` up in the shared app tier.
+    /// Arrives `parse + dir_read` after dequeue.
+    Probe { worker: u32, doc: u32, factor: u64 },
+    /// Tier owner → worker: the slot held the doc (peer hit). Arrives
+    /// `peer_bytes` after the probe.
+    TierHit { worker: u32 },
+    /// Tier owner → backend station: miss; fetch from origin. Arrives
+    /// `send_cpu` after the probe.
+    BackendReq { worker: u32, factor: u64 },
+    /// Station → worker: origin fetch done. Arrives `service + resp_wire`
+    /// after the station granted a server slot.
+    Done {
+        worker: u32,
+        wait_ns: u64,
+        service_ns: u64,
+    },
+}
+
+/// What a worker learns when its probe resolves.
+#[derive(Clone, Copy)]
+enum Reply {
+    Peer,
+    Done { wait_ns: u64, service_ns: u64 },
+}
+
+/// One forwarded miss waiting for a backend server slot.
+#[derive(Clone, Copy)]
+struct StationJob {
+    /// Arrival time at the station (the `BackendReq` delivery timestamp).
+    ts: SimTime,
+    worker: u32,
+    factor: u64,
+}
+
+/// Cache-lookup outcome for one request.
+#[derive(Clone, Copy, PartialEq)]
+enum Outcome {
+    Local,
+    Peer,
+    Miss,
+}
+
+/// Per-shard mutable run state. Arrays are sized for the whole farm but
+/// each shard only ever touches the entities it hosts: proxies with
+/// `p % shards == shard`, tier slots with `slot % shards == shard`, and —
+/// on shard 0 only — the backend station. Everything is `Cell`/`RefCell`
+/// over plain memory; no per-client allocation after setup.
+struct ShardFarm {
     queues: Vec<RefCell<VecDeque<Req>>>,
     wakeups: Vec<Notify>,
     busy: Vec<Cell<u32>>,
-    backend: Semaphore,
     /// Proxy-local direct-mapped caches, `proxies * k` slots.
     local_cache: RefCell<Vec<u32>>,
-    /// Shared app-tier direct-mapped cache, `app_nodes * k` slots.
+    /// Shared app-tier direct-mapped cache, `app_nodes * k` slots,
+    /// partitioned by `slot % shards`.
     tier_cache: RefCell<Vec<u32>>,
+    /// One in-flight probe reply slot per worker (`proxy * workers + w`).
+    reply_slot: Vec<Cell<Option<Reply>>>,
+    reply_wake: Vec<Notify>,
+    /// Per-proxy drop-draw counters for the deterministic per-stream
+    /// fault draws ([`FaultPlan::stream_should_drop`]).
+    probe_draws: Vec<Cell<u64>>,
+    /// Backend station queue + wakeup (shard 0 only).
+    station_q: RefCell<VecDeque<StationJob>>,
+    station_wake: Notify,
     // Measured-window counters.
     issued: Cell<u64>,
     shed_down: Cell<u64>,
@@ -233,35 +360,64 @@ struct FarmState {
     stage_total: RefCell<Vec<u64>>,
 }
 
-/// Cache-lookup outcome for one request.
-#[derive(Clone, Copy, PartialEq)]
-enum Outcome {
-    Local,
-    Peer,
-    Miss,
+impl ShardFarm {
+    fn new(cfg: &ScaleFarmCfg) -> ShardFarm {
+        let k = cfg.cache_docs_per_node;
+        ShardFarm {
+            queues: (0..cfg.proxies)
+                .map(|_| RefCell::new(VecDeque::with_capacity(cfg.queue_cap + 1)))
+                .collect(),
+            wakeups: (0..cfg.proxies).map(|_| Notify::new()).collect(),
+            busy: (0..cfg.proxies).map(|_| Cell::new(0)).collect(),
+            local_cache: RefCell::new(vec![EMPTY; cfg.proxies * k]),
+            tier_cache: RefCell::new(vec![EMPTY; cfg.app_nodes * k]),
+            reply_slot: (0..cfg.proxies * cfg.proxy_workers)
+                .map(|_| Cell::new(None))
+                .collect(),
+            reply_wake: (0..cfg.proxies * cfg.proxy_workers)
+                .map(|_| Notify::new())
+                .collect(),
+            probe_draws: (0..cfg.proxies).map(|_| Cell::new(0)).collect(),
+            station_q: RefCell::new(VecDeque::new()),
+            station_wake: Notify::new(),
+            issued: Cell::new(0),
+            shed_down: Cell::new(0),
+            shed_queue: Cell::new(0),
+            completed: Cell::new(0),
+            in_service_measured: Cell::new(0),
+            hit_local: Cell::new(0),
+            hit_peer: Cell::new(0),
+            misses: Cell::new(0),
+            retries: Cell::new(0),
+            total_latency_ns: Cell::new(0),
+            backend_busy_ns: Cell::new(0),
+            qdepth_hwm: Cell::new(0),
+            lat_hist: RefCell::new(StreamHist::new()),
+            stage_hist: RefCell::new((0..STAGES.len()).map(|_| StreamHist::new()).collect()),
+            stage_total: RefCell::new(vec![0u64; STAGES.len()]),
+        }
+    }
 }
 
-impl FarmState {
-    /// Direct-mapped lookup: proxy-local tier first, then the shared app
-    /// tier. Misses install the document in both tiers (the backend reply
-    /// populates the app tier and the proxy keeps a local copy); peer hits
-    /// promote into the local tier. O(1), allocation-free, deterministic.
-    fn lookup(&self, proxy: usize, doc: u32, k: usize) -> Outcome {
-        let mut local = self.local_cache.borrow_mut();
-        let slot = proxy * k + (doc as usize % k);
-        if local[slot] == doc {
-            return Outcome::Local;
-        }
-        let mut tier = self.tier_cache.borrow_mut();
-        let tslot = doc as usize % tier.len();
-        if tier[tslot] == doc {
-            local[slot] = doc;
-            return Outcome::Peer;
-        }
-        tier[tslot] = doc;
-        local[slot] = doc;
-        Outcome::Miss
-    }
+/// One shard's contribution to the run result: plain sums, maxima, and
+/// mergeable histograms, so N-shard totals equal the 1-shard totals
+/// exactly (every field is commutative under merge).
+struct ShardTally {
+    issued: u64,
+    shed_down: u64,
+    shed_queue: u64,
+    completed: u64,
+    inflight: u64,
+    hit_local: u64,
+    hit_peer: u64,
+    misses: u64,
+    retries: u64,
+    total_latency_ns: u64,
+    backend_busy_ns: u64,
+    qdepth_hwm: u64,
+    lat_hist: StreamHist,
+    stage_hist: Vec<StreamHist>,
+    stage_total: Vec<u64>,
 }
 
 /// Result of one offered-load point.
@@ -335,18 +491,210 @@ fn step_u01(state: &mut u64) -> f64 {
 
 /// Run one offered-load point to its horizon and collect the results.
 pub fn run_webfarm_scale(cfg: &ScaleFarmCfg) -> ScalePoint {
+    run_webfarm_scale_stats(cfg).0
+}
+
+/// [`run_webfarm_scale`] plus the sharded driver's engine statistics
+/// (shard count, barrier crossings, cross-shard sends). The `ScalePoint`
+/// is bit-identical at every shard count; the stats are not (that is what
+/// they measure), which is why they ride outside the point.
+pub fn run_webfarm_scale_stats(cfg: &ScaleFarmCfg) -> (ScalePoint, ShardStats) {
     assert!(cfg.proxies > 0 && cfg.app_nodes > 0 && cfg.clients >= cfg.proxies);
     assert!(
         cfg.warmup_ns < cfg.horizon_ns,
         "warmup must precede horizon"
     );
     assert!(cfg.proxy_workers > 0 && cfg.backend_workers > 0);
+    assert!(cfg.doc_size > 0, "zero-byte documents have no wire cost");
 
-    let sim = Sim::new();
+    let shards = resolved_shards(cfg);
     let model = FabricModel::calibrated_2007();
-    let costs = Rc::new(ScaleCosts::new(&model, cfg));
+    let costs = ScaleCosts::new(&model, cfg);
     let zipf = Zipf::new(cfg.num_docs, cfg.zipf_alpha);
     let total_nodes = 1 + cfg.proxies + cfg.app_nodes;
+    let k = cfg.cache_docs_per_node;
+    let tier_len = cfg.app_nodes * k;
+    let proxies = cfg.proxies;
+
+    // Stable merge keys: proxies 0..P, tier slots P..P+T, station P+T.
+    let station_key = (proxies + tier_len) as u32;
+    let shard_cfg = ShardCfg {
+        shards,
+        lookahead_ns: costs.lookahead_ns(),
+        horizon_ns: cfg.horizon_ns,
+        src_keys: proxies + tier_len + 1,
+    };
+
+    // Open-loop stream layout (global, shard-independent): streams are
+    // split contiguously across proxies exactly as the single-threaded
+    // farm always did.
+    let total_streams = if cfg.gateways_per_proxy > 0 {
+        cfg.gateways_per_proxy * cfg.proxies
+    } else {
+        cfg.clients
+    };
+    let stream_base = total_streams / cfg.proxies;
+    let stream_extra = total_streams % cfg.proxies;
+    let per_stream_rps = cfg.offered_rps / total_streams as f64;
+
+    let (tallies, stats) = run_sharded::<NetMsg, ShardTally, _>(&shard_cfg, |shard, sim, net| {
+        build_farm_shard(BuildCtx {
+            shard,
+            shards,
+            sim,
+            net,
+            cfg,
+            costs: &costs,
+            zipf: &zipf,
+            total_nodes,
+            k,
+            tier_len,
+            station_key,
+            stream_base,
+            stream_extra,
+            per_stream_rps,
+        })
+    });
+
+    // --- merge shard tallies (all commutative) -----------------------------
+    let mut issued = 0u64;
+    let mut shed_down = 0u64;
+    let mut shed_queue = 0u64;
+    let mut completed = 0u64;
+    let mut inflight = 0u64;
+    let mut hit_local = 0u64;
+    let mut hit_peer = 0u64;
+    let mut misses = 0u64;
+    let mut retries = 0u64;
+    let mut total_latency = 0u64;
+    let mut backend_busy_ns = 0u64;
+    let mut qdepth_hwm = 0u64;
+    let mut lat = StreamHist::new();
+    let mut stage_hist: Vec<StreamHist> = (0..STAGES.len()).map(|_| StreamHist::new()).collect();
+    let mut stage_total = vec![0u64; STAGES.len()];
+    for t in &tallies {
+        issued += t.issued;
+        shed_down += t.shed_down;
+        shed_queue += t.shed_queue;
+        completed += t.completed;
+        inflight += t.inflight;
+        hit_local += t.hit_local;
+        hit_peer += t.hit_peer;
+        misses += t.misses;
+        retries += t.retries;
+        total_latency += t.total_latency_ns;
+        backend_busy_ns += t.backend_busy_ns;
+        qdepth_hwm = qdepth_hwm.max(t.qdepth_hwm);
+        lat.merge(&t.lat_hist);
+        for (i, h) in t.stage_hist.iter().enumerate() {
+            stage_hist[i].merge(h);
+        }
+        for (i, v) in t.stage_total.iter().enumerate() {
+            stage_total[i] += v;
+        }
+    }
+    let shed = shed_down + shed_queue;
+    let gap = issued as i64 - completed as i64 - shed as i64 - inflight as i64;
+
+    let span_s = (cfg.horizon_ns - cfg.warmup_ns) as f64 / 1e9;
+    let to_us = |ns: u64| ns as f64 / 1_000.0;
+    let stages = STAGES
+        .iter()
+        .enumerate()
+        .map(|(i, stage)| StageAgg {
+            stage,
+            total_ns: stage_total[i],
+            share_pct: if total_latency == 0 {
+                0.0
+            } else {
+                stage_total[i] as f64 * 100.0 / total_latency as f64
+            },
+            p50_ns: stage_hist[i].quantile_ns(0.50),
+            p99_ns: stage_hist[i].quantile_ns(0.99),
+            max_ns: stage_hist[i].max_ns(),
+        })
+        .collect();
+
+    let point = ScalePoint {
+        offered_rps: cfg.offered_rps,
+        issued,
+        completed,
+        shed,
+        shed_down,
+        shed_queue,
+        inflight,
+        conservation_gap: gap,
+        goodput_rps: completed as f64 / span_s,
+        shed_pct: if issued == 0 {
+            0.0
+        } else {
+            shed as f64 * 100.0 / issued as f64
+        },
+        p50_us: to_us(lat.quantile_ns(0.50)),
+        p99_us: to_us(lat.quantile_ns(0.99)),
+        p999_us: to_us(lat.quantile_ns(0.999)),
+        mean_us: if completed == 0 {
+            0.0
+        } else {
+            total_latency as f64 / completed as f64 / 1_000.0
+        },
+        hit_local,
+        hit_peer,
+        misses,
+        retries,
+        qdepth_hwm,
+        backend_busy_pct: backend_busy_ns as f64 * 100.0
+            / (cfg.backend_workers as u64 * cfg.horizon_ns) as f64,
+        breakdown: LatencyBreakdown {
+            requests: completed,
+            total_ns: total_latency,
+            stages,
+        },
+    };
+    (point, stats)
+}
+
+/// Everything one shard's builder needs, by reference.
+struct BuildCtx<'a> {
+    shard: usize,
+    shards: usize,
+    sim: &'a Sim,
+    net: &'a ShardNet<NetMsg>,
+    cfg: &'a ScaleFarmCfg,
+    costs: &'a ScaleCosts,
+    zipf: &'a Zipf,
+    total_nodes: usize,
+    k: usize,
+    tier_len: usize,
+    station_key: u32,
+    stream_base: usize,
+    stream_extra: usize,
+    per_stream_rps: f64,
+}
+
+fn build_farm_shard(ctx: BuildCtx<'_>) -> ShardRun<NetMsg, ShardTally> {
+    let BuildCtx {
+        shard,
+        shards,
+        sim,
+        net,
+        cfg,
+        costs,
+        zipf,
+        total_nodes,
+        k,
+        tier_len,
+        station_key,
+        stream_base,
+        stream_extra,
+        per_stream_rps,
+    } = ctx;
+    let proxies = cfg.proxies;
+    let workers = cfg.proxy_workers;
+
+    // Each shard derives its own (identical) fault plan; all reads used
+    // here are pure functions of (seed, node, time) or of explicit
+    // per-stream draw counters, so shards agree without sharing state.
     let plan = cfg.faults.as_ref().map(|(fseed, fcfg)| {
         let mut fcfg = fcfg.clone();
         // The origin/backend station must survive: a dead backend turns an
@@ -357,41 +705,28 @@ pub fn run_webfarm_scale(cfg: &ScaleFarmCfg) -> ScalePoint {
         Rc::new(FaultPlan::generate(*fseed, &fcfg, total_nodes))
     });
 
-    let k = cfg.cache_docs_per_node;
-    const EMPTY: u32 = u32::MAX;
-    let st = Rc::new(FarmState {
-        queues: (0..cfg.proxies)
-            .map(|_| RefCell::new(VecDeque::with_capacity(cfg.queue_cap + 1)))
-            .collect(),
-        wakeups: (0..cfg.proxies).map(|_| Notify::new()).collect(),
-        busy: (0..cfg.proxies).map(|_| Cell::new(0)).collect(),
-        backend: Semaphore::new(cfg.backend_workers),
-        local_cache: RefCell::new(vec![EMPTY; cfg.proxies * k]),
-        tier_cache: RefCell::new(vec![EMPTY; cfg.app_nodes * k]),
-        issued: Cell::new(0),
-        shed_down: Cell::new(0),
-        shed_queue: Cell::new(0),
-        completed: Cell::new(0),
-        in_service_measured: Cell::new(0),
-        hit_local: Cell::new(0),
-        hit_peer: Cell::new(0),
-        misses: Cell::new(0),
-        retries: Cell::new(0),
-        total_latency_ns: Cell::new(0),
-        backend_busy_ns: Cell::new(0),
-        qdepth_hwm: Cell::new(0),
-        lat_hist: RefCell::new(StreamHist::new()),
-        stage_hist: RefCell::new((0..STAGES.len()).map(|_| StreamHist::new()).collect()),
-        stage_total: RefCell::new(vec![0u64; STAGES.len()]),
-    });
+    let st = Rc::new(ShardFarm::new(cfg));
 
-    // --- workers -----------------------------------------------------------
-    for p in 0..cfg.proxies {
-        for _ in 0..cfg.proxy_workers {
+    // Per-request cost constants, copied for capture.
+    let c_parse = costs.parse;
+    let c_dir_read = costs.dir_read;
+    let c_peer_bytes = costs.peer_bytes;
+    let c_backend = costs.backend;
+    let c_send_cpu = costs.send_cpu;
+    let c_resp_wire = costs.resp_wire;
+    let c_retry = costs.retry;
+
+    // --- workers (own proxies only) ----------------------------------------
+    for p in 0..proxies {
+        if p % shards != shard {
+            continue;
+        }
+        for w in 0..workers {
             let h = sim.handle();
             let st = st.clone();
-            let costs = costs.clone();
+            let net = net.clone();
             let plan = plan.clone();
+            let wid = (p * workers + w) as u32;
             sim.handle().spawn_detached(async move {
                 loop {
                     let req = st.queues[p].borrow_mut().pop_front();
@@ -408,47 +743,86 @@ pub fn run_webfarm_scale(cfg: &ScaleFarmCfg) -> ScalePoint {
                         .as_ref()
                         .map(|pl| pl.latency_factor_milli(h.now()))
                         .unwrap_or(1000);
+                    let parse = inflate(c_parse, factor);
+                    let send_cpu = inflate(c_send_cpu, factor);
+                    let resp_wire = inflate(c_resp_wire, factor);
 
-                    let outcome = st.lookup(p, req.doc, k);
-                    let mut cpu_ns = inflate(costs.parse, factor);
-                    let mut wire_ns = 0u64;
-                    let mut retry_ns = 0u64;
-                    let mut is_miss = false;
-                    match outcome {
-                        Outcome::Local => {}
-                        Outcome::Peer => {
-                            wire_ns += inflate(costs.peer_fetch, factor);
-                            if plan.as_ref().is_some_and(|pl| pl.should_drop()) {
-                                // Timed-out one-sided read: reissue once.
-                                retry_ns += inflate(costs.retry, factor);
-                                if req.measured {
-                                    st.retries.set(st.retries.get() + 1);
+                    let slot = p * k + (req.doc as usize % k);
+                    let is_local = st.local_cache.borrow()[slot] == req.doc;
+                    let (outcome, cpu_ns, wire_ns, retry_ns, remote_ns);
+                    if is_local {
+                        // Hit path costs two timers and no messages.
+                        h.sleep(parse + send_cpu).await;
+                        h.sleep(resp_wire).await;
+                        outcome = Outcome::Local;
+                        cpu_ns = parse + send_cpu;
+                        wire_ns = resp_wire;
+                        retry_ns = 0;
+                        remote_ns = 0;
+                    } else {
+                        // Install locally at dequeue (the reply will carry
+                        // the bytes; a racing request for the same doc on
+                        // this proxy can already count on them).
+                        st.local_cache.borrow_mut()[slot] = req.doc;
+                        let dir_read = inflate(c_dir_read, factor);
+                        // One deterministic drop draw per probe, applied
+                        // only if the probe resolves to a peer fetch.
+                        let draw = {
+                            let c = &st.probe_draws[p];
+                            let n = c.get();
+                            c.set(n + 1);
+                            n
+                        };
+                        let dropped = plan
+                            .as_ref()
+                            .is_some_and(|pl| pl.stream_should_drop(p as u64, draw));
+                        let tslot = req.doc as usize % tier_len;
+                        net.send(
+                            tslot % shards,
+                            p as u32,
+                            h.now() + parse + dir_read,
+                            NetMsg::Probe {
+                                worker: wid,
+                                doc: req.doc,
+                                factor,
+                            },
+                        );
+                        st.reply_wake[wid as usize].notified().await;
+                        let reply = st.reply_slot[wid as usize]
+                            .take()
+                            .expect("worker woken without a reply");
+                        match reply {
+                            Reply::Peer => {
+                                let mut r_ns = 0u64;
+                                if dropped {
+                                    // Timed-out one-sided read: reissue once.
+                                    r_ns = inflate(c_retry, factor);
+                                    if req.measured {
+                                        st.retries.set(st.retries.get() + 1);
+                                    }
                                 }
+                                h.sleep(r_ns + send_cpu + resp_wire).await;
+                                outcome = Outcome::Peer;
+                                cpu_ns = parse + send_cpu;
+                                wire_ns = dir_read + inflate(c_peer_bytes, factor) + resp_wire;
+                                retry_ns = r_ns;
+                                remote_ns = 0;
+                            }
+                            Reply::Done {
+                                wait_ns,
+                                service_ns,
+                            } => {
+                                // The completion message already paid
+                                // send_cpu (forward) and resp_wire (reply),
+                                // so the request ends at delivery time.
+                                outcome = Outcome::Miss;
+                                cpu_ns = parse + send_cpu;
+                                wire_ns = dir_read + resp_wire;
+                                retry_ns = 0;
+                                remote_ns = wait_ns + service_ns;
                             }
                         }
-                        Outcome::Miss => {
-                            is_miss = true;
-                            wire_ns += inflate(costs.dir_read, factor);
-                        }
                     }
-                    cpu_ns += inflate(costs.send_cpu, factor);
-                    // Everything before the backend is one merged sleep: the
-                    // partition stays exact and the hit path costs one timer.
-                    h.sleep(cpu_ns + wire_ns + retry_ns).await;
-
-                    let mut remote_ns = 0u64;
-                    if is_miss {
-                        let t0 = h.now();
-                        st.backend.acquire().await;
-                        let service = inflate(costs.backend, factor);
-                        h.sleep(service).await;
-                        st.backend.release();
-                        st.backend_busy_ns.set(st.backend_busy_ns.get() + service);
-                        remote_ns = h.now() - t0;
-                    }
-                    let resp_wire = inflate(costs.resp_wire, factor);
-                    h.sleep(resp_wire).await;
-                    wire_ns += resp_wire;
 
                     if req.measured {
                         let latency = h.now() - req.arrive;
@@ -487,31 +861,62 @@ pub fn run_webfarm_scale(cfg: &ScaleFarmCfg) -> ScalePoint {
         }
     }
 
-    // --- drivers -----------------------------------------------------------
+    // --- backend station servers (shard 0 only) ----------------------------
+    if shard == 0 {
+        for _ in 0..cfg.backend_workers {
+            let h = sim.handle();
+            let st = st.clone();
+            let net = net.clone();
+            sim.handle().spawn_detached(async move {
+                loop {
+                    let job = st.station_q.borrow_mut().pop_front();
+                    let Some(job) = job else {
+                        st.station_wake.notified().await;
+                        continue;
+                    };
+                    let wait_ns = h.now() - job.ts;
+                    let service = inflate(c_backend, job.factor);
+                    st.backend_busy_ns
+                        .set(st.backend_busy_ns.get() + service);
+                    let resp_wire = inflate(c_resp_wire, job.factor);
+                    let dst_proxy = job.worker as usize / workers;
+                    net.send(
+                        dst_proxy % shards,
+                        station_key,
+                        h.now() + service + resp_wire,
+                        NetMsg::Done {
+                            worker: job.worker,
+                            wait_ns,
+                            service_ns: service,
+                        },
+                    );
+                    // The server is occupied for the service time; the
+                    // response wire leg happens after release.
+                    h.sleep(service).await;
+                }
+            });
+        }
+    }
+
+    // --- drivers (own proxies only) ----------------------------------------
     // Clients (or gateway links, under edge aggregation) are split
     // contiguously across proxies; each driver owns its streams' merged
     // arrival heap and injects open-loop.
-    let total_streams = if cfg.gateways_per_proxy > 0 {
-        cfg.gateways_per_proxy * cfg.proxies
-    } else {
-        cfg.clients
-    };
-    let base = total_streams / cfg.proxies;
-    let extra = total_streams % cfg.proxies;
-    let per_stream_rps = cfg.offered_rps / total_streams as f64;
-    let mut next_gid = 0u64;
-    for p in 0..cfg.proxies {
-        let n_streams = base + usize::from(p < extra);
+    for p in 0..proxies {
+        if p % shards != shard {
+            continue;
+        }
+        let n_streams = stream_base + usize::from(p < stream_extra);
+        let start_gid = (p * stream_base + p.min(stream_extra)) as u64;
         let streams: Vec<ArrivalProcess> = (0..n_streams)
             .map(|i| {
-                let s = derive_seed(cfg.seed, next_gid + i as u64);
+                let s = derive_seed(cfg.seed, start_gid + i as u64);
                 match cfg.arrival {
                     ArrivalKind::Poisson => ArrivalProcess::poisson(s, per_stream_rps),
                     ArrivalKind::Bursty(b) => ArrivalProcess::bursty(s, per_stream_rps, b),
                 }
             })
             .collect();
-        next_gid += n_streams as u64;
         let mut arrivals = MergedArrivals::new(streams);
         let mut doc_rng = derive_seed(cfg.seed ^ 0xd0c5_a11e, p as u64);
         let h = sim.handle();
@@ -519,7 +924,7 @@ pub fn run_webfarm_scale(cfg: &ScaleFarmCfg) -> ScalePoint {
         let zipf = zipf.clone();
         let plan = plan.clone();
         let (warmup, horizon) = (cfg.warmup_ns, cfg.horizon_ns);
-        let (workers, qcap) = (cfg.proxy_workers as u32, cfg.queue_cap);
+        let (max_busy, qcap) = (cfg.proxy_workers as u32, cfg.queue_cap);
         sim.handle().spawn_detached(async move {
             loop {
                 let (t, _client) = arrivals.next();
@@ -542,7 +947,7 @@ pub fn run_webfarm_scale(cfg: &ScaleFarmCfg) -> ScalePoint {
                 }
                 let doc = zipf.sample_u(step_u01(&mut doc_rng)) as u32;
                 let mut q = st.queues[p].borrow_mut();
-                if st.busy[p].get() >= workers && q.len() >= qcap {
+                if st.busy[p].get() >= max_busy && q.len() >= qcap {
                     if measured {
                         st.shed_queue.set(st.shed_queue.get() + 1);
                     }
@@ -563,83 +968,98 @@ pub fn run_webfarm_scale(cfg: &ScaleFarmCfg) -> ScalePoint {
         });
     }
 
-    let reached = sim.run_until(cfg.horizon_ns);
-    assert_eq!(reached, cfg.horizon_ns, "run must reach the horizon");
-
-    // --- conservation scan at cutoff --------------------------------------
-    // Count measured requests still in the station by walking the queues and
-    // the in-service gauge; the gap against the admission-side counters is
-    // the structural claim.
-    let queued: u64 = st
-        .queues
-        .iter()
-        .map(|q| q.borrow().iter().filter(|r| r.measured).count() as u64)
-        .sum();
-    let inflight = queued + st.in_service_measured.get();
-    let issued = st.issued.get();
-    let completed = st.completed.get();
-    let shed = st.shed_down.get() + st.shed_queue.get();
-    let gap = issued as i64 - completed as i64 - shed as i64 - inflight as i64;
-
-    let span_s = (cfg.horizon_ns - cfg.warmup_ns) as f64 / 1e9;
-    let lat = st.lat_hist.borrow();
-    let to_us = |ns: u64| ns as f64 / 1_000.0;
-    let stage_hist = st.stage_hist.borrow();
-    let stage_total = st.stage_total.borrow();
-    let total_latency = st.total_latency_ns.get();
-    let stages = STAGES
-        .iter()
-        .enumerate()
-        .map(|(i, stage)| StageAgg {
-            stage,
-            total_ns: stage_total[i],
-            share_pct: if total_latency == 0 {
-                0.0
-            } else {
-                stage_total[i] as f64 * 100.0 / total_latency as f64
-            },
-            p50_ns: stage_hist[i].quantile_ns(0.50),
-            p99_ns: stage_hist[i].quantile_ns(0.99),
-            max_ns: stage_hist[i].max_ns(),
+    // --- delivery: runs with the clock parked at each event's timestamp,
+    // in canonical (ts, src_key, seq) order ---------------------------------
+    let dispatch = {
+        let st = st.clone();
+        let net = net.clone();
+        Box::new(move |ts: SimTime, msg: NetMsg| match msg {
+            NetMsg::Probe {
+                worker,
+                doc,
+                factor,
+            } => {
+                let tslot = doc as usize % tier_len;
+                let mut tier = st.tier_cache.borrow_mut();
+                let dst_proxy = worker as usize / workers;
+                if tier[tslot] == doc {
+                    net.send(
+                        dst_proxy % shards,
+                        proxies as u32 + tslot as u32,
+                        ts + inflate(c_peer_bytes, factor),
+                        NetMsg::TierHit { worker },
+                    );
+                } else {
+                    // Install on miss: the backend reply will populate
+                    // this tier slot; racing probes for the same doc see
+                    // a peer hit, exactly like the single-threaded farm.
+                    tier[tslot] = doc;
+                    net.send(
+                        0,
+                        proxies as u32 + tslot as u32,
+                        ts + inflate(c_send_cpu, factor),
+                        NetMsg::BackendReq { worker, factor },
+                    );
+                }
+            }
+            NetMsg::TierHit { worker } => {
+                st.reply_slot[worker as usize].set(Some(Reply::Peer));
+                st.reply_wake[worker as usize].notify_one();
+            }
+            NetMsg::BackendReq { worker, factor } => {
+                st.station_q.borrow_mut().push_back(StationJob {
+                    ts,
+                    worker,
+                    factor,
+                });
+                st.station_wake.notify_one();
+            }
+            NetMsg::Done {
+                worker,
+                wait_ns,
+                service_ns,
+            } => {
+                st.reply_slot[worker as usize].set(Some(Reply::Done {
+                    wait_ns,
+                    service_ns,
+                }));
+                st.reply_wake[worker as usize].notify_one();
+            }
         })
-        .collect();
+    };
 
-    ScalePoint {
-        offered_rps: cfg.offered_rps,
-        issued,
-        completed,
-        shed,
-        shed_down: st.shed_down.get(),
-        shed_queue: st.shed_queue.get(),
-        inflight,
-        conservation_gap: gap,
-        goodput_rps: completed as f64 / span_s,
-        shed_pct: if issued == 0 {
-            0.0
-        } else {
-            shed as f64 * 100.0 / issued as f64
-        },
-        p50_us: to_us(lat.quantile_ns(0.50)),
-        p99_us: to_us(lat.quantile_ns(0.99)),
-        p999_us: to_us(lat.quantile_ns(0.999)),
-        mean_us: if completed == 0 {
-            0.0
-        } else {
-            total_latency as f64 / completed as f64 / 1_000.0
-        },
-        hit_local: st.hit_local.get(),
-        hit_peer: st.hit_peer.get(),
-        misses: st.misses.get(),
-        retries: st.retries.get(),
-        qdepth_hwm: st.qdepth_hwm.get(),
-        backend_busy_pct: st.backend_busy_ns.get() as f64 * 100.0
-            / (cfg.backend_workers as u64 * cfg.horizon_ns) as f64,
-        breakdown: LatencyBreakdown {
-            requests: completed,
-            total_ns: total_latency,
-            stages,
-        },
-    }
+    // --- finish: conservation scan + tally snapshot ------------------------
+    let finish = {
+        let st = st.clone();
+        let own = (0..proxies).filter(move |p| p % shards == shard);
+        Box::new(move || {
+            // Count measured requests still in the station by walking the
+            // shard's queues and its in-service gauge; the gap against the
+            // admission-side counters is the structural claim.
+            let queued: u64 = own
+                .map(|p| st.queues[p].borrow().iter().filter(|r| r.measured).count() as u64)
+                .sum();
+            ShardTally {
+                issued: st.issued.get(),
+                shed_down: st.shed_down.get(),
+                shed_queue: st.shed_queue.get(),
+                completed: st.completed.get(),
+                inflight: queued + st.in_service_measured.get(),
+                hit_local: st.hit_local.get(),
+                hit_peer: st.hit_peer.get(),
+                misses: st.misses.get(),
+                retries: st.retries.get(),
+                total_latency_ns: st.total_latency_ns.get(),
+                backend_busy_ns: st.backend_busy_ns.get(),
+                qdepth_hwm: st.qdepth_hwm.get(),
+                lat_hist: st.lat_hist.borrow().clone(),
+                stage_hist: st.stage_hist.borrow().clone(),
+                stage_total: st.stage_total.borrow().clone(),
+            }
+        })
+    };
+
+    ShardRun { dispatch, finish }
 }
 
 #[cfg(test)]
@@ -703,6 +1123,68 @@ mod tests {
             ..tiny(3_000.0)
         });
         assert_ne!(a, c, "different seed must perturb the run");
+    }
+
+    #[test]
+    fn sharded_runs_are_bit_identical_to_single_threaded() {
+        let base = run_webfarm_scale(&ScaleFarmCfg {
+            shards: Some(1),
+            ..tiny(3_000.0)
+        });
+        for shards in [2usize, 3, 4] {
+            let (p, stats) = run_webfarm_scale_stats(&ScaleFarmCfg {
+                shards: Some(shards),
+                ..tiny(3_000.0)
+            });
+            assert_eq!(stats.shards, shards);
+            assert!(stats.barrier_waits > 0, "{shards} shards never synced");
+            assert!(stats.cross_sends > 0, "{shards} shards never talked");
+            assert_eq!(base, p, "{shards} shards diverged from 1");
+        }
+    }
+
+    #[test]
+    fn sharded_runs_are_bit_identical_under_faults() {
+        let cfg = |shards: usize| ScaleFarmCfg {
+            faults: Some((
+                7,
+                FaultConfig {
+                    drop_prob: 0.05,
+                    ..FaultConfig::default()
+                },
+            )),
+            shards: Some(shards),
+            ..tiny(4_000.0)
+        };
+        let base = run_webfarm_scale(&cfg(1));
+        assert_eq!(base.conservation_gap, 0, "{base:?}");
+        for shards in [2usize, 4] {
+            assert_eq!(base, run_webfarm_scale(&cfg(shards)), "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn shard_resolution_prefers_cfg_then_override_then_env() {
+        let cfg = tiny(1_000.0);
+        // No cfg value, no override: env or 1. (The env var is not set in
+        // the test harness for this binary.)
+        set_shards_override(None);
+        let explicit = ScaleFarmCfg {
+            shards: Some(3),
+            ..cfg.clone()
+        };
+        assert_eq!(resolved_shards(&explicit), 3);
+        set_shards_override(Some(2));
+        assert_eq!(resolved_shards(&explicit), 3, "cfg wins over override");
+        assert_eq!(resolved_shards(&cfg), 2, "override fills in for None");
+        set_shards_override(None);
+        // Clamped to the proxy count.
+        let few = ScaleFarmCfg {
+            shards: Some(64),
+            proxies: 4,
+            ..cfg.clone()
+        };
+        assert_eq!(resolved_shards(&few), 4);
     }
 
     #[test]

@@ -274,19 +274,25 @@ impl Cluster {
     }
 
     /// Copy the executor's scheduler counters into the registry as
-    /// `sim.polls`, `sim.events`, and `sim.timers_fired`, so metric
-    /// snapshots carry the engine work that produced them. The counters
-    /// only ever grow, so this can be called before every snapshot.
+    /// `sim.polls`, `sim.events`, `sim.timers_fired`, and
+    /// `sim.barrier_waits`, plus a `sim.shards` gauge, so metric snapshots
+    /// carry the engine work (and engine shape) that produced them. A
+    /// cluster runs inside one shard's executor, so `sim.shards` reads 1
+    /// and `sim.barrier_waits` stays 0 unless the enclosing scenario runs
+    /// on the sharded driver and folds its totals in. The counters only
+    /// ever grow, so this can be called before every snapshot.
     pub fn sync_sim_metrics(&self) {
         let c = self.inner.sim.counters();
         for (name, v) in [
             ("sim.polls", c.polls),
             ("sim.events", c.events),
             ("sim.timers_fired", c.timers_fired),
+            ("sim.barrier_waits", c.barrier_waits),
         ] {
             let ctr = self.inner.metrics.counter(name);
             ctr.add(v.saturating_sub(ctr.get()));
         }
+        self.inner.metrics.gauge("sim.shards").set(1);
     }
 
     /// Record one lane-level retransmission (called by the socket layer).

@@ -403,6 +403,29 @@ impl FaultPlan {
         dropped
     }
 
+    /// Pure per-stream drop draw: decides draw number `n` of logical
+    /// stream `stream` without touching the shared message counter.
+    ///
+    /// [`Self::should_drop`] consumes one *global* counter, so the drop
+    /// sequence depends on the global interleaving of callers — fine on a
+    /// single thread, but a sharded run would make the sequence a function
+    /// of shard count. Callers that partition work across shards keep one
+    /// monotonically increasing draw counter per stream (e.g. per proxy)
+    /// and call this instead: the outcome is a pure function of
+    /// `(seed, stream, n)`, so it is identical at every shard count. The
+    /// drop *probability* per draw matches `should_drop` exactly.
+    pub fn stream_should_drop(&self, stream: u64, n: u64) -> bool {
+        let c = splitmix64(stream.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(n));
+        let dropped = splitmix64(self.drop_salt ^ c) < self.drop_threshold;
+        if dropped {
+            self.dropped_msgs.set(self.dropped_msgs.get() + 1);
+            if let Some(m) = &*self.mirror.borrow() {
+                m.dropped_msgs.inc();
+            }
+        }
+        dropped
+    }
+
     /// Record an operation that failed on a crashed node.
     pub fn note_unreachable(&self) {
         self.unreachable_ops.set(self.unreachable_ops.get() + 1);

@@ -113,7 +113,29 @@ impl FabricModel {
         mix(self.tcp_recv_cpu_per_kb_ns);
         mix(self.cpu.cores as u64);
         mix(self.cpu.quantum_ns);
+        // Derived lookahead bound: folding it in means any future change
+        // to how the bound is computed — not just to the base constants —
+        // re-fingerprints the model, so sharded and single-threaded
+        // baselines can never be diffed across differing lookahead rules.
+        mix(self.min_link_latency_ns());
         format!("fm1-{h:016x}")
+    }
+
+    /// The minimum one-way virtual latency any fabric message can have:
+    /// the floor over every base (per-message) latency constant. This is
+    /// the conservative-lookahead bound for the sharded sim driver
+    /// (`dc_sim::shard`) — no cross-node send can arrive sooner than this,
+    /// so shards may safely advance in windows of this width. Scenarios
+    /// whose message set has a higher floor (e.g. every hop also pays a
+    /// transfer or CPU cost) may widen the window, never narrow it below
+    /// their own minimum delay.
+    #[inline]
+    pub fn min_link_latency_ns(&self) -> u64 {
+        self.rdma_read_base_ns
+            .min(self.rdma_write_base_ns)
+            .min(self.atomic_base_ns)
+            .min(self.rdma_send_base_ns)
+            .min(self.tcp_base_ns)
     }
 
     /// Time to move `len` payload bytes across the SAN at IB bandwidth.
@@ -290,6 +312,28 @@ mod tests {
                 "perturbation {i} collided with an earlier fingerprint"
             );
         }
+    }
+
+    #[test]
+    fn min_link_latency_is_the_floor_of_every_base_latency() {
+        let m = FabricModel::calibrated_2007();
+        // The cheapest per-message primitive in the 2007 calibration is
+        // the one-sided RDMA write.
+        assert_eq!(m.min_link_latency_ns(), m.rdma_write_base_ns);
+        for v in [
+            m.rdma_read_base_ns,
+            m.rdma_write_base_ns,
+            m.atomic_base_ns,
+            m.rdma_send_base_ns,
+            m.tcp_base_ns,
+        ] {
+            assert!(m.min_link_latency_ns() <= v);
+        }
+        assert!(m.min_link_latency_ns() > 0, "lookahead must be positive");
+        // The TCP-cluster profile has a different floor, and the
+        // fingerprint already separates the two profiles.
+        let t = FabricModel::tcp_cluster_2007();
+        assert_eq!(t.min_link_latency_ns(), t.rdma_send_base_ns.min(t.tcp_base_ns));
     }
 
     #[test]

@@ -123,6 +123,7 @@ impl SimState {
             polls: self.polls.get(),
             events: self.events.get(),
             timers_fired: self.timers_fired.get(),
+            barrier_waits: 0,
         }
     }
 }
@@ -151,6 +152,10 @@ pub struct SimCounters {
     pub events: u64,
     /// Timer entries popped and fired.
     pub timers_fired: u64,
+    /// Epoch-barrier crossings performed by the sharded driver
+    /// ([`crate::shard`]); always 0 for a single `Sim` and for 1-shard
+    /// runs.
+    pub barrier_waits: u64,
 }
 
 thread_local! {
@@ -159,6 +164,7 @@ thread_local! {
             polls: 0,
             events: 0,
             timers_fired: 0,
+            barrier_waits: 0,
         })
     };
 }
@@ -168,6 +174,21 @@ thread_local! {
 /// reading a delta around a workload.
 pub fn thread_totals() -> SimCounters {
     THREAD_TOTALS.with(|t| t.get())
+}
+
+/// Fold `c` into this thread's [`thread_totals`]. The sharded driver uses
+/// this to credit worker-shard executors (dropped on threads that no
+/// longer exist) to the thread that owns the run, so wallclock metering
+/// sees the whole fleet's work.
+pub fn add_thread_totals(c: SimCounters) {
+    THREAD_TOTALS.with(|t| {
+        let mut cur = t.get();
+        cur.polls += c.polls;
+        cur.events += c.events;
+        cur.timers_fired += c.timers_fired;
+        cur.barrier_waits += c.barrier_waits;
+        t.set(cur);
+    });
 }
 
 /// The simulation executor. Construct one per experiment; everything that

@@ -33,9 +33,13 @@
 pub mod executor;
 pub mod fxhash;
 pub mod rng;
+pub mod shard;
 pub mod sync;
 pub mod time;
 mod wheel;
 
-pub use executor::{thread_totals, Elapsed, JoinHandle, Sim, SimCounters, SimHandle, Timeout};
+pub use executor::{
+    add_thread_totals, thread_totals, Elapsed, JoinHandle, Sim, SimCounters, SimHandle, Timeout,
+};
+pub use shard::{run_sharded, ShardCfg, ShardNet, ShardRun, ShardStats, Stamped};
 pub use time::{ms, ns, secs, us, SimTime};

@@ -334,3 +334,84 @@ fn webfarm_scale_report_is_byte_identical_per_seed() {
         assert_eq!(p.conservation_gap, 0, "conservation under faults: {p:?}");
     }
 }
+
+/// The sharded-engine contract at the report surface: the full rendered
+/// `ext_webfarm_scale` report (tables + every point, including the stage
+/// partition) is byte-identical at 1, 2, and 4 shards — clean and under a
+/// seeded fault plan. Shard count trades wall-clock for threads and must
+/// never leak into any artifact.
+#[test]
+fn webfarm_scale_report_is_byte_identical_across_shard_counts() {
+    use dc_bench::ext_webfarm::{accounting_table, cells, run_sweep, sweep_table};
+    use nextgen_datacenter::core::ScaleFarmCfg;
+
+    let scaled = ScaleFarmCfg {
+        proxies: 16,
+        app_nodes: 8,
+        clients: 3_000,
+        backend_workers: 1,
+        horizon_ns: 600_000_000,
+        warmup_ns: 200_000_000,
+        ..dc_bench::ext_webfarm::gate_cfg()
+    };
+    let faulted = ScaleFarmCfg {
+        faults: Some((
+            0xFA_5CA1E,
+            FaultConfig {
+                drop_prob: 0.05,
+                ..FaultConfig::default()
+            },
+        )),
+        ..scaled.clone()
+    };
+    let sweep: Vec<_> = cells()
+        .into_iter()
+        .filter(|c| c.load_x == 0.9 || c.load_x == 0.3)
+        .collect();
+    let render = |cfg: &ScaleFarmCfg, shards: usize| {
+        let cfg = ScaleFarmCfg {
+            shards: Some(shards),
+            ..cfg.clone()
+        };
+        let points = run_sweep(&cfg, &sweep);
+        let text = format!(
+            "{}{}",
+            sweep_table(&points).render(),
+            accounting_table(&points).render()
+        );
+        (text, points)
+    };
+
+    for cfg in [&scaled, &faulted] {
+        let label = if cfg.faults.is_some() { "faulted" } else { "clean" };
+        let (t1, p1) = render(cfg, 1);
+        for shards in [2usize, 4] {
+            let (tn, pn) = render(cfg, shards);
+            assert_eq!(
+                t1, tn,
+                "{label}: {shards}-shard tables diverged from single-shard"
+            );
+            for ((_, a), (_, b)) in p1.iter().zip(&pn) {
+                assert_eq!(a, b, "{label}: {shards}-shard point state diverged");
+            }
+        }
+    }
+}
+
+/// Single-thread ≡ N-thread at the BenchReport layer for a cheap
+/// registered scenario: `fig5a_lock_shared` does not run on the sharded
+/// engine, so its report must be byte-identical no matter what the
+/// process-wide shard override says — the knob must not leak into
+/// unsharded scenarios.
+#[test]
+fn fig5a_report_ignores_the_shard_override() {
+    use nextgen_datacenter::core::set_shards_override;
+
+    let base = dc_bench::scenario::fig5a_report().to_json();
+    for shards in [2usize, 4] {
+        set_shards_override(Some(shards));
+        let json = dc_bench::scenario::fig5a_report().to_json();
+        set_shards_override(None);
+        assert_eq!(base, json, "shard override {shards} leaked into fig5a");
+    }
+}

@@ -35,6 +35,15 @@ pub mod strategy {
             Map { inner: self, f }
         }
 
+        /// Generate an intermediate value, then generate from the strategy
+        /// `f` derives from it (dependent generation).
+        fn prop_flat_map<O: Strategy, F: Fn(Self::Value) -> O>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
         /// Type-erase this strategy.
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
@@ -54,6 +63,19 @@ pub mod strategy {
         type Value = O;
         fn generate(&self, rng: &mut TestRng) -> O {
             (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
+        type Value = O::Value;
+        fn generate(&self, rng: &mut TestRng) -> O::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
         }
     }
 
