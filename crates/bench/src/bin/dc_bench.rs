@@ -5,8 +5,8 @@
 //!     Print every registered scenario with its title.
 //!
 //! dc-bench wallclock [--runs N] [--threads LIST] [--scenario NAME]...
-//!                    [--out PATH] [--json]
-//!     Run each selected scenario (default: all 12 registered plus the
+//!                    [--out PATH] [--json] [--diff OLD.json]
+//!     Run each selected scenario (default: all 13 registered plus the
 //!     wallclock-only extras such as ext_webfarm_scale_full) N times
 //!     (default: 5), measure host wall time and scheduler counters, and
 //!     print the throughput table. `--threads LIST` (e.g. `1,2,4`) re-runs
@@ -16,6 +16,10 @@
 //!     scenarios always run single-shard. `--out PATH` writes the
 //!     BenchReport JSON (the BENCH_wallclock.json perf-trajectory
 //!     artifact); `--json` prints it to stdout instead of the table.
+//!     `--diff OLD.json` additionally compares the fresh measurements
+//!     against a previously written BENCH_wallclock.json, printing
+//!     per-(scenario, threads) events/sec deltas; comparisons across
+//!     calibration fingerprints are refused.
 //!
 //! dc-bench flame --scenario NAME [--seed N] [--out PATH] [--report PATH]
 //!     Trace a scenario and fold its span tree into collapsed-stack
@@ -173,6 +177,7 @@ fn run_wallclock(args: &[String]) {
     let mut threads: Vec<usize> = vec![1];
     let mut names: Vec<String> = Vec::new();
     let mut out: Option<std::path::PathBuf> = None;
+    let mut diff: Option<std::path::PathBuf> = None;
     let mut json = false;
     let mut i = 0;
     while i < args.len() {
@@ -220,6 +225,13 @@ fn run_wallclock(args: &[String]) {
                 let v = args.get(i).unwrap_or_else(|| die("--out requires a path"));
                 out = Some(std::path::PathBuf::from(v));
             }
+            "--diff" => {
+                i += 1;
+                let v = args.get(i).unwrap_or_else(|| {
+                    die("--diff requires a path to an old BENCH_wallclock.json")
+                });
+                diff = Some(std::path::PathBuf::from(v));
+            }
             "--json" => json = true,
             other => die(&format!("unknown flag `{other}`")),
         }
@@ -254,6 +266,13 @@ fn run_wallclock(args: &[String]) {
         for t in report.tables() {
             Table::from_report(t).print();
         }
+    }
+    if let Some(path) = &diff {
+        let old = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("reading {}: {e}", path.display())));
+        let table = wallclock::diff_against(&old, &measured)
+            .unwrap_or_else(|e| die(&format!("--diff {}: {e}", path.display())));
+        table.print();
     }
 }
 

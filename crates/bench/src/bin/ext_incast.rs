@@ -1,0 +1,7 @@
+//! Regenerates the incast fan-in sweep comparing the eRPC lane against
+//! per-session SDP and AZ-SDP streams.
+
+fn main() {
+    let cli = dc_bench::cli::BenchCli::parse();
+    cli.emit_report(&dc_bench::scenario::ext_incast_report());
+}

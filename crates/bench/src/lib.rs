@@ -21,10 +21,12 @@
 //! | [`ext_ablations`] | coherence verbs, cache capacity, cadence |
 //! | [`ext_shootout`] | lock-design shootout under Zipf contention |
 //! | [`ext_webfarm`] | at-scale open-loop webfarm across the saturation knee |
+//! | [`ext_incast`] | incast fan-in sweep, eRPC vs SDP vs AZ-SDP lanes |
 
 pub mod cli;
 pub mod ext_ablations;
 pub mod ext_flowcontrol;
+pub mod ext_incast;
 pub mod ext_reconfig;
 pub mod ext_shootout;
 pub mod ext_webfarm;

@@ -31,7 +31,7 @@ pub struct Scenario {
 }
 
 /// Every scenario, in figure order. One entry per `[[bin]]` target.
-pub const ALL: [Scenario; 12] = [
+pub const ALL: [Scenario; 13] = [
     Scenario {
         name: "fig3a_ddss_put",
         title: "Fig 3a — DDSS put() latency by coherence model",
@@ -103,6 +103,12 @@ pub const ALL: [Scenario; 12] = [
         title: "At scale — open-loop webfarm load sweep across the knee",
         run: ext_webfarm_scale_report,
         sharded: true,
+    },
+    Scenario {
+        name: "ext_incast",
+        title: "Incast — fan-in sweep, eRPC vs SDP vs AZ-SDP lanes",
+        run: ext_incast_report,
+        sharded: false,
     },
 ];
 
@@ -301,6 +307,33 @@ pub fn ext_webfarm_scale_full_report() -> BenchReport {
         "ext_webfarm_scale_full",
         &crate::ext_webfarm::full_cfg(),
         &sweep,
+    )
+}
+
+/// Incast extension: fan-in sweep over the three RPC lanes.
+pub fn ext_incast_report() -> BenchReport {
+    ext_incast_report_with(0.0)
+}
+
+/// Incast sweep with a seeded uniform drop rate — the determinism tests
+/// compare reports built under faults; the registered scenario runs clean.
+pub fn ext_incast_report_with(drop_rate: f64) -> BenchReport {
+    let points = crate::ext_incast::run(drop_rate);
+    report(
+        "ext_incast",
+        vec![
+            (
+                "lanes",
+                (crate::ext_incast::IncastLane::ALL.len() as u64).into(),
+            ),
+            ("fanins", (crate::ext_incast::FANINS.len() as u64).into()),
+            (
+                "max_sessions",
+                (*crate::ext_incast::FANINS.last().unwrap() as u64).into(),
+            ),
+            ("resp_bytes", (crate::ext_incast::RESP_BYTES as u64).into()),
+        ],
+        &[crate::ext_incast::table(&points)],
     )
 }
 

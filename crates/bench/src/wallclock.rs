@@ -214,6 +214,143 @@ pub fn wallclock_report(measured: &[ScenarioMeasurement], runs: usize) -> BenchR
     r
 }
 
+/// Diff a fresh set of measurements against a previously written
+/// `BENCH_wallclock.json`, producing a per-scenario events/sec delta table.
+///
+/// Rows are keyed by `(scenario, threads)`. Rows present on only one side
+/// are reported as `new` / `gone` instead of a delta. Comparing across
+/// calibration fingerprints is refused outright: a recalibrated fabric
+/// model changes the event population itself, so an events/sec delta
+/// would attribute model drift to the engine.
+pub fn diff_against(
+    old_json: &str,
+    measured: &[ScenarioMeasurement],
+) -> Result<dc_core::Table, String> {
+    use dc_trace::json::{parse, JsonValue};
+
+    let doc = parse(old_json).map_err(|(off, msg)| format!("invalid JSON at byte {off}: {msg}"))?;
+    let bench = doc
+        .get("bench")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing \"bench\" field")?;
+    if bench != "wallclock" {
+        return Err(format!("not a wallclock report (bench = {bench:?})"));
+    }
+    let ours = FabricModel::calibrated_2007().fingerprint();
+    let theirs = doc
+        .get("fingerprint")
+        .and_then(JsonValue::as_str)
+        .ok_or("old report carries no calibration fingerprint")?;
+    if theirs != ours {
+        return Err(format!(
+            "fingerprint mismatch: old report was measured against {theirs}, this build \
+             is {ours} — recalibration changes the event population, refusing to diff"
+        ));
+    }
+
+    let tables = doc
+        .get("tables")
+        .and_then(JsonValue::as_arr)
+        .ok_or("missing \"tables\" array")?;
+    let table = tables.first().ok_or("old report has no tables")?;
+    let headers: Vec<&str> = table
+        .get("headers")
+        .and_then(JsonValue::as_arr)
+        .ok_or("table missing headers")?
+        .iter()
+        .filter_map(JsonValue::as_str)
+        .collect();
+    let col = |name: &str| -> Result<usize, String> {
+        headers
+            .iter()
+            .position(|h| *h == name)
+            .ok_or_else(|| format!("old report lacks a {name:?} column"))
+    };
+    let (c_name, c_threads, c_eps) = (col("scenario")?, col("threads")?, col("events_per_sec")?);
+
+    // (scenario, threads) -> old events/sec, in file order.
+    let mut old: Vec<(String, usize, f64)> = Vec::new();
+    for (i, row) in table
+        .get("rows")
+        .and_then(JsonValue::as_arr)
+        .ok_or("table missing rows")?
+        .iter()
+        .enumerate()
+    {
+        let cells: Vec<&str> = row
+            .as_arr()
+            .ok_or_else(|| format!("row {i} is not an array"))?
+            .iter()
+            .filter_map(JsonValue::as_str)
+            .collect();
+        let get = |c: usize| cells.get(c).copied().ok_or(format!("row {i} too short"));
+        let threads: usize = get(c_threads)?
+            .parse()
+            .map_err(|_| format!("row {i}: bad threads cell"))?;
+        let eps: f64 = get(c_eps)?
+            .parse()
+            .map_err(|_| format!("row {i}: bad events_per_sec cell"))?;
+        old.push((get(c_name)?.to_string(), threads, eps));
+    }
+
+    let mut t = dc_core::Table::new(
+        "Wall-clock throughput vs baseline",
+        &[
+            "scenario",
+            "threads",
+            "old_events_per_sec",
+            "new_events_per_sec",
+            "delta_pct",
+        ],
+    );
+    let mut seen = vec![false; old.len()];
+    for m in measured {
+        let hit = old
+            .iter()
+            .position(|(n, t, _)| n == m.name && *t == m.threads);
+        let new_eps = m.events_per_sec();
+        match hit {
+            Some(i) => {
+                seen[i] = true;
+                let old_eps = old[i].2;
+                let delta = if old_eps > 0.0 {
+                    (new_eps - old_eps) / old_eps * 100.0
+                } else {
+                    0.0
+                };
+                t.row(vec![
+                    m.name.to_string(),
+                    format!("{}", m.threads),
+                    format!("{old_eps:.0}"),
+                    format!("{new_eps:.0}"),
+                    format!("{delta:+.1}"),
+                ]);
+            }
+            None => {
+                t.row(vec![
+                    m.name.to_string(),
+                    format!("{}", m.threads),
+                    "(new)".to_string(),
+                    format!("{new_eps:.0}"),
+                    "-".to_string(),
+                ]);
+            }
+        }
+    }
+    for (i, (name, threads, eps)) in old.iter().enumerate() {
+        if !seen[i] {
+            t.row(vec![
+                name.clone(),
+                format!("{threads}"),
+                format!("{eps:.0}"),
+                "(gone)".to_string(),
+                "-".to_string(),
+            ]);
+        }
+    }
+    Ok(t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,5 +402,50 @@ mod tests {
     fn multi_shard_measurement_of_an_unsharded_scenario_panics() {
         let s = scenario::by_name("fig5a_lock_shared").unwrap();
         let _ = measure_at(s, 1, 2);
+    }
+
+    #[test]
+    fn diff_refuses_cross_fingerprint_comparisons() {
+        let old = r#"{"schema":"dc-bench-report/v2","bench":"wallclock",
+            "fingerprint":"fm1-recalibrated","params":{},
+            "tables":[{"title":"t","headers":["scenario","threads","events_per_sec"],
+            "rows":[["fig5a_lock_shared","1","1000"]]}]}"#;
+        let err = diff_against(old, &[]).unwrap_err();
+        assert!(err.contains("fingerprint mismatch"), "{err}");
+        assert!(err.contains("refusing to diff"), "{err}");
+    }
+
+    #[test]
+    fn diff_reports_deltas_new_rows_and_gone_rows() {
+        let a = scenario::by_name("fig5a_lock_shared").unwrap();
+        let b = scenario::by_name("fig5b_lock_exclusive").unwrap();
+        let measured = measure_all(&[a, b], 1);
+        // Halve one row's events/sec, keep a retired row, and leave fig5b
+        // out of the old report so every diff arm (delta, new, gone) runs.
+        let m = &measured[0];
+        let half = m.events_per_sec() / 2.0;
+        let old = format!(
+            r#"{{"schema":"dc-bench-report/v2","bench":"wallclock",
+            "fingerprint":"{fp}","params":{{}},
+            "tables":[{{"title":"t","headers":["scenario","threads","events_per_sec"],
+            "rows":[["fig5a_lock_shared","1","{half:.0}"],
+                    ["fig_retired","1","123"]]}}]}}"#,
+            fp = FabricModel::calibrated_2007().fingerprint(),
+        );
+        let t = diff_against(&old, &measured).unwrap().to_report();
+        assert_eq!(t.rows.len(), 3);
+        let matched = &t.rows[0];
+        assert_eq!(matched[0], "fig5a_lock_shared");
+        let delta: f64 = matched[4].parse().unwrap();
+        assert!(
+            (delta - 100.0).abs() < 2.0,
+            "doubling events/sec should read as ~+100%, got {delta}"
+        );
+        let fresh = &t.rows[1];
+        assert_eq!(fresh[0], "fig5b_lock_exclusive");
+        assert_eq!(fresh[2], "(new)");
+        let gone = &t.rows[2];
+        assert_eq!(gone[0], "fig_retired");
+        assert_eq!(gone[3], "(gone)");
     }
 }

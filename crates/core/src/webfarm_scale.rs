@@ -876,8 +876,7 @@ fn build_farm_shard(ctx: BuildCtx<'_>) -> ShardRun<NetMsg, ShardTally> {
                     };
                     let wait_ns = h.now() - job.ts;
                     let service = inflate(c_backend, job.factor);
-                    st.backend_busy_ns
-                        .set(st.backend_busy_ns.get() + service);
+                    st.backend_busy_ns.set(st.backend_busy_ns.get() + service);
                     let resp_wire = inflate(c_resp_wire, job.factor);
                     let dst_proxy = job.worker as usize / workers;
                     net.send(
@@ -1007,11 +1006,9 @@ fn build_farm_shard(ctx: BuildCtx<'_>) -> ShardRun<NetMsg, ShardTally> {
                 st.reply_wake[worker as usize].notify_one();
             }
             NetMsg::BackendReq { worker, factor } => {
-                st.station_q.borrow_mut().push_back(StationJob {
-                    ts,
-                    worker,
-                    factor,
-                });
+                st.station_q
+                    .borrow_mut()
+                    .push_back(StationJob { ts, worker, factor });
                 st.station_wake.notify_one();
             }
             NetMsg::Done {

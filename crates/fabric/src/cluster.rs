@@ -67,6 +67,15 @@ pub struct Message {
     pub port: u16,
     /// Payload.
     pub data: Bytes,
+    /// Immediate data riding the completion (the RDMA write-with-immediate
+    /// analogue): protocol headers travel here so the payload `Bytes` can
+    /// pass through untouched. Plain sends carry 0.
+    pub imm: u64,
+    /// Congestion-experienced mark: set when the sender's outbound link
+    /// queue was at or above the cluster's ECN threshold when this message
+    /// started transmitting (see [`Cluster::set_ecn_threshold`]). Always
+    /// `false` until a threshold is installed.
+    pub ecn: bool,
     /// Virtual time the message entered the receiver's mailbox. Consumers
     /// (the dc-svc pump) subtract this from their dequeue time to measure
     /// queue wait; pure data, never consulted by the fabric itself.
@@ -129,6 +138,18 @@ struct ClusterInner {
     /// Installed fault schedule, if any. `None` means the fabric is
     /// perfectly reliable and every `try_*` verb is infallible in practice.
     faults: RefCell<Option<Rc<FaultPlan>>>,
+    /// ECN marking threshold: a message is marked congestion-experienced
+    /// when its sender's outbound link has at least this many transmissions
+    /// queued ahead of it. `None` (the default) disables marking entirely,
+    /// so pre-existing workloads are byte-identical.
+    ecn_threshold: Cell<Option<usize>>,
+    /// Messages delivered with the ECN mark set (`fabric.ecn.marks`).
+    ecn_marks: Counter,
+    /// Live transport queue pairs (`fabric.qp.active`): multiplexed lanes
+    /// such as dc-sockets' eRPC count their bound QP endpoints here, so a
+    /// scenario can prove its connection count scales with nodes, not with
+    /// logical sessions.
+    qp_active: Gauge,
     tracer: Tracer,
     metrics: Rc<Registry>,
 }
@@ -195,6 +216,9 @@ impl Cluster {
                 last_port_owner: RefCell::new(String::from("none")),
                 ports_bound: metrics.gauge("fabric.ports.bound"),
                 faults: RefCell::new(None),
+                ecn_threshold: Cell::new(None),
+                ecn_marks: metrics.counter("fabric.ecn.marks"),
+                qp_active: metrics.gauge("fabric.qp.active"),
                 tracer,
                 metrics,
             }),
@@ -866,6 +890,26 @@ impl Cluster {
         data: &Bytes,
         transport: Transport,
     ) -> Result<(), FabricError> {
+        self.try_send_imm_ref(from, to, port, data, 0, transport)
+            .await
+    }
+
+    /// [`Cluster::try_send`] carrying immediate data: `imm` rides the
+    /// completion next to the payload, so protocol headers need no prepend
+    /// copy and the caller's `Bytes` reaches the receiver's mailbox as the
+    /// same refcounted buffer. The delivered [`Message`] also carries the
+    /// ECN mark sampled from the sender's link queue (see
+    /// [`Cluster::set_ecn_threshold`]). This is the zero-copy hot path of
+    /// the dc-sockets eRPC lane.
+    pub async fn try_send_imm_ref(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        port: u16,
+        data: &Bytes,
+        imm: u64,
+        transport: Transport,
+    ) -> Result<(), FabricError> {
         let m = &self.inner.model;
         let sim = self.inner.sim.clone();
         let len = data.len();
@@ -878,6 +922,9 @@ impl Cluster {
             Transport::RdmaSend => {
                 sim.sleep(inflate(m.post_overhead_ns, f)).await;
                 let src = self.node(from);
+                // Sample congestion before queueing for the link: the queue
+                // ahead of this message is what the mark is about.
+                let ecn = self.ecn_sample(&src);
                 let permit = src.link.acquire_permit().await;
                 sim.sleep(inflate(m.ib_bytes_time(len), f)).await;
                 drop(permit);
@@ -889,7 +936,7 @@ impl Cluster {
                 if self.fault_drop(from, to) {
                     return Err(FabricError::Dropped);
                 }
-                self.deliver(from, to, port, data.clone());
+                self.deliver(from, to, port, data.clone(), imm, ecn);
                 if let Some(t0) = t0 {
                     self.inner.tracer.complete(
                         t0,
@@ -909,6 +956,7 @@ impl Cluster {
                 // Sender-side stack processing (copy into kernel buffers).
                 let src = self.node(from);
                 src.cpu.execute(m.tcp_send_cpu(len)).await;
+                let ecn = self.ecn_sample(&src);
                 let permit = src.link.acquire_permit().await;
                 sim.sleep(inflate(m.tcp_bytes_time(len), f)).await;
                 drop(permit);
@@ -923,7 +971,7 @@ impl Cluster {
                 // Receiver-side stack processing competes with load.
                 let dst = self.node(to);
                 dst.cpu.execute(m.tcp_recv_cpu(len)).await;
-                self.deliver(from, to, port, data.clone());
+                self.deliver(from, to, port, data.clone(), imm, ecn);
                 if let Some(t0) = t0 {
                     self.inner.tracer.complete(
                         t0,
@@ -985,7 +1033,7 @@ impl Cluster {
         unreachable!()
     }
 
-    fn deliver(&self, from: NodeId, to: NodeId, port: u16, data: Bytes) {
+    fn deliver(&self, from: NodeId, to: NodeId, port: u16, data: Bytes, imm: u64, ecn: bool) {
         let n = self.node(to);
         let ports = n.ports.borrow();
         if let Some(tx) = ports.get(&port) {
@@ -995,10 +1043,50 @@ impl Cluster {
                 src: from,
                 port,
                 data,
+                imm,
+                ecn,
                 arrived_ns: self.inner.sim.now(),
             });
             self.inner.stats.delivered.inc();
+            if ecn {
+                self.inner.ecn_marks.inc();
+            }
         }
+    }
+
+    /// Whether a message entering `src`'s outbound link right now would be
+    /// ECN-marked: at least `threshold` transmissions are already queued.
+    fn ecn_sample(&self, src: &NodeInner) -> bool {
+        self.inner
+            .ecn_threshold
+            .get()
+            .is_some_and(|t| src.link.waiting() >= t)
+    }
+
+    /// Install (or clear) the ECN marking threshold, in queued-transmission
+    /// units. This is a workload knob, deliberately *not* part of
+    /// [`FabricModel`]: the calibration fingerprint covers the 2007 cost
+    /// constants, and marking changes no timing — it only annotates
+    /// delivered messages.
+    pub fn set_ecn_threshold(&self, threshold: Option<usize>) {
+        self.inner.ecn_threshold.set(threshold);
+    }
+
+    /// ECN-marked deliveries so far (`fabric.ecn.marks`).
+    pub fn ecn_marks(&self) -> u64 {
+        self.inner.ecn_marks.get()
+    }
+
+    /// Record a transport queue pair coming up (+1) or down (−1) on the
+    /// `fabric.qp.active` gauge. Multiplexed lanes call this per bound QP
+    /// endpoint so session-to-QP fan-in is observable.
+    pub fn note_qp(&self, delta: i64) {
+        self.inner.qp_active.add(delta);
+    }
+
+    /// Live transport queue pairs (`fabric.qp.active`).
+    pub fn qp_active(&self) -> i64 {
+        self.inner.qp_active.get()
     }
 }
 

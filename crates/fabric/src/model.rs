@@ -333,7 +333,10 @@ mod tests {
         // The TCP-cluster profile has a different floor, and the
         // fingerprint already separates the two profiles.
         let t = FabricModel::tcp_cluster_2007();
-        assert_eq!(t.min_link_latency_ns(), t.rdma_send_base_ns.min(t.tcp_base_ns));
+        assert_eq!(
+            t.min_link_latency_ns(),
+            t.rdma_send_base_ns.min(t.tcp_base_ns)
+        );
     }
 
     #[test]

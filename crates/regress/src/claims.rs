@@ -922,6 +922,95 @@ pub fn claims_for(bench: &str) -> Vec<Claim> {
                 note: "At scale: quantiles are ordered in every cell (p99 <= p999)",
             },
         ],
+        // Incast fan-in sweep. One lane-major table: rows 0-3 eRPC, 4-7
+        // SDP, 8-11 AZ-SDP, each block over fan-ins 64/256/1024/2048.
+        "ext_incast" => vec![
+            Claim::RatioAtLeast {
+                num: col(0, "goodput rps").rows(0, 4),
+                den: col(0, "goodput rps").rows(4, 8),
+                at: At::All,
+                min: 1.3,
+                note: "Incast: the zero-copy eRPC lane beats buffered SDP at every fan-in",
+            },
+            Claim::RatioAtLeast {
+                num: col(0, "goodput rps").rows(0, 4),
+                den: col(0, "goodput rps").rows(4, 8),
+                at: At::Last,
+                min: 1.5,
+                note: "Incast: past the knee SDP is server-copy CPU-bound — eRPC keeps >=1.5x goodput",
+            },
+            Claim::RatioAtLeast {
+                num: col(0, "goodput rps").rows(0, 4),
+                den: col(0, "goodput rps").rows(8, 12),
+                at: At::All,
+                min: 0.97,
+                note: "Incast: eRPC matches zero-copy AZ-SDP goodput (both egress-link-bound)",
+            },
+            Claim::ValueBand {
+                s: col(0, "goodput rps").rows(0, 4),
+                at: At::All,
+                min: 95_000.0,
+                max: 115_000.0,
+                note: "Incast: eRPC goodput pins to the server egress link (~9.1us per 8KB response)",
+            },
+            Claim::ValueBand {
+                s: col(0, "qps").rows(0, 4),
+                at: At::All,
+                min: 30.0,
+                max: 40.0,
+                note: "Incast: eRPC QP count is fixed by mux configuration, independent of fan-in",
+            },
+            Claim::RatioAtMost {
+                num: col(0, "qps").rows(0, 4),
+                den: col(0, "fanin").rows(0, 4),
+                at: At::Last,
+                max: 0.02,
+                note: "Incast: at 2048 sessions the eRPC lane pins <2% of a QP per session",
+            },
+            Claim::RatioAtLeast {
+                num: col(0, "qps").rows(4, 8),
+                den: col(0, "qps").rows(0, 4),
+                at: At::Last,
+                min: 50.0,
+                note: "Incast: per-session streams pin >=50x the QPs of the multiplexed lane",
+            },
+            Claim::Monotone {
+                s: col(0, "cc marks").rows(0, 4),
+                non_decreasing: true,
+                tol: 0.0,
+                note: "Incast: ECN mark volume grows with fan-in pressure on the egress queue",
+            },
+            Claim::ValueBand {
+                s: col(0, "cc marks").rows(3, 4),
+                at: At::All,
+                min: 1.0,
+                max: 1e12,
+                note: "Incast: at maximum fan-in the congestion controller is demonstrably engaged",
+            },
+            Claim::ValueBand {
+                s: col(0, "retx").rows(0, 12),
+                at: At::All,
+                min: 0.0,
+                max: 0.0,
+                note: "Incast: the clean run completes with zero retransmissions on every lane",
+            },
+            Claim::PointwiseLeq {
+                lo: col(0, "p99 us").rows(0, 12),
+                hi: col(0, "p999 us").rows(0, 12),
+                note: "Incast: quantiles are ordered in every cell (p99 <= p999)",
+            },
+            Claim::Monotone {
+                s: col(0, "p999 us").rows(0, 4),
+                non_decreasing: true,
+                tol: 0.0,
+                note: "Incast: eRPC tail latency grows with fan-in (closed-loop queueing)",
+            },
+            Claim::PointwiseLess {
+                lo: col(0, "p50 us").rows(0, 4),
+                hi: col(0, "p50 us").rows(4, 8),
+                note: "Incast: SDP's server-side response copy inflates the median at every fan-in",
+            },
+        ],
         _ => vec![],
     }
 }

@@ -293,6 +293,17 @@ impl Sim {
         self.st.now.get()
     }
 
+    /// A lower bound on the earliest pending timer deadline, without firing
+    /// or disturbing it (the wheel's origin does not move). `None` when no
+    /// timers are scheduled. The bound is within one wheel-slot width of the
+    /// true deadline, which is all the sharded engine needs: together with
+    /// its mailbox minima it yields a time provably at-or-before the next
+    /// activity, letting jointly idle conservative windows fast-forward
+    /// without ever skipping real work.
+    pub fn next_timer_at(&self) -> Option<SimTime> {
+        self.st.timers.borrow().next_at_bound()
+    }
+
     /// Spawn `fut`, run the simulation until it completes, and return its
     /// output. Other tasks (including infinite periodic loops) keep the
     /// simulation alive only as long as needed: the run stops as soon as the

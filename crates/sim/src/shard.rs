@@ -36,6 +36,25 @@
 //! into the local heap — with identical delivery semantics — so a 1-shard
 //! run does not allocate or synchronize at all in steady state.
 //!
+//! # Idle fast-forward
+//!
+//! Fixed windows are wasteful when the model goes quiet: an open-loop farm
+//! with sparse arrivals can cross the barrier millions of times with
+//! nothing to do. At each window boundary every shard publishes its
+//! *next-activity time* — the minimum of its earliest pending timer, its
+//! earliest undelivered event, and the earliest event it just flushed to a
+//! sibling — into a parity-double-buffered atomic slot. After the (single,
+//! unchanged) barrier, every shard reads all slots; if the global minimum
+//! clears the *next* window entirely (`>= end + lookahead`), all shards
+//! jump their window start straight to it. The global minimum is a
+//! property of the model's event set, not of the partition, so every shard
+//! count — including the barrier-free 1-shard path, which computes the
+//! same minimum locally — takes identical jumps and the bit-determinism
+//! contract is untouched. Skipped windows contain no timers or ready
+//! tasks by construction, so the scheduler counters (`polls`, `events`,
+//! `timers_fired`) are also unchanged; only `barrier_waits` (and
+//! wall-clock) shrink.
+//!
 //! Events due at or after `horizon_ns` are never delivered (the run ends
 //! first); models that need exact accounting at the cutoff should count
 //! in-flight work on the sending side, as the webfarm's conservation scan
@@ -46,7 +65,7 @@ use std::cmp::Ordering as CmpOrdering;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 
 use crate::executor::{add_thread_totals, Sim, SimCounters, SimHandle};
@@ -277,41 +296,53 @@ where
     let n = cfg.shards.max(1);
     assert!(cfg.lookahead_ns > 0, "lookahead must be positive");
     let barrier = SpinBarrier::new(n);
+    // Next-activity slots for the idle fast-forward, one per shard per
+    // window parity: a shard writes slot `(w % 2) * n + shard` before the
+    // window-`w` barrier and everyone reads the same parity after it, so a
+    // sibling racing ahead into window `w + 1` scribbles only on the other
+    // half.
+    let ff_slots: Vec<AtomicU64> = (0..2 * n).map(|_| AtomicU64::new(0)).collect();
 
     // chans[src][dst]: one SPSC lane per ordered pair. Batches are one Vec
     // per (src, dst, window), so channel traffic is O(windows), not
     // O(messages).
-    let mut txs: Vec<Vec<Option<Sender<Vec<Stamped<M>>>>>> = (0..n).map(|_| Vec::new()).collect();
-    let mut rxs: Vec<Vec<Receiver<Vec<Stamped<M>>>>> = (0..n).map(|_| Vec::new()).collect();
-    for src in 0..n {
-        for dst in 0..n {
-            if src == dst {
-                txs[src].push(None);
-            } else {
-                let (tx, rx) = std::sync::mpsc::channel();
-                txs[src].push(Some(tx));
-                rxs[dst].push(rx);
-            }
-        }
-    }
+    let mut rxs: Vec<Vec<BatchRx<M>>> = (0..n).map(|_| Vec::new()).collect();
+    let mut txs: Vec<Vec<Option<BatchTx<M>>>> = (0..n)
+        .map(|src| {
+            (0..n)
+                .map(|dst| {
+                    if src == dst {
+                        None
+                    } else {
+                        let (tx, rx) = std::sync::mpsc::channel();
+                        rxs[dst].push(rx);
+                        Some(tx)
+                    }
+                })
+                .collect()
+        })
+        .collect();
 
     let mut results: Vec<Option<ShardOut<R>>> = std::thread::scope(|scope| {
         let barrier = &barrier;
         let build = &build;
+        let ff_slots = &ff_slots;
         let mut handles = Vec::with_capacity(n.saturating_sub(1));
         // Peel shard 0's channel ends out before moving the rest.
         let txs0 = txs.remove(0);
         let rxs0 = rxs.remove(0);
         for (i, (tx, rx)) in txs.into_iter().zip(rxs).enumerate() {
             let shard = i + 1;
-            handles.push(scope.spawn(move || drive_shard(shard, cfg, barrier, build, tx, rx)));
+            handles.push(
+                scope.spawn(move || drive_shard(shard, cfg, barrier, ff_slots, build, tx, rx)),
+            );
         }
-        let out0 = drive_shard(0, cfg, barrier, build, txs0, rxs0);
+        let out0 = drive_shard(0, cfg, barrier, ff_slots, build, txs0, rxs0);
         let mut outs = vec![out0];
         for h in handles {
             outs.push(h.join().expect("shard thread panicked"));
         }
-        outs.into_iter().map(|o| Some(o)).collect()
+        outs.into_iter().map(Some).collect()
     });
 
     let mut stats = ShardStats {
@@ -344,14 +375,44 @@ where
 }
 
 type ShardOut<R> = (R, SimCounters, u64, u64);
+/// Sending half of one (src, dst) lane: one batch of stamped events per
+/// window.
+type BatchTx<M> = Sender<Vec<Stamped<M>>>;
+/// Receiving half of one (src, dst) lane.
+type BatchRx<M> = Receiver<Vec<Stamped<M>>>;
+
+/// The earliest future work this shard knows about: its next local timer
+/// or its earliest undelivered event. `SimTime::MAX` when fully idle.
+fn next_activity<M>(sim: &Sim, net: &ShardNet<M>) -> SimTime {
+    let timer = sim.next_timer_at().unwrap_or(SimTime::MAX);
+    let event = net
+        .inner
+        .pending
+        .borrow()
+        .peek()
+        .map_or(SimTime::MAX, |Reverse(ev)| ev.ts);
+    timer.min(event)
+}
+
+/// Where the next window starts: `end` normally, or a fast-forward jump to
+/// `next_at` when the whole window `[end, end + L)` is provably empty.
+/// `next_at` must bound every timer and every in-flight event of the run.
+fn next_window_start(cfg: &ShardCfg, end: SimTime, next_at: SimTime) -> SimTime {
+    if next_at >= end.saturating_add(cfg.lookahead_ns) {
+        next_at.min(cfg.horizon_ns)
+    } else {
+        end
+    }
+}
 
 fn drive_shard<M, R, F>(
     shard: usize,
     cfg: &ShardCfg,
     barrier: &SpinBarrier,
+    ff_slots: &[AtomicU64],
     build: &F,
-    txs: Vec<Option<Sender<Vec<Stamped<M>>>>>,
-    rxs: Vec<Receiver<Vec<Stamped<M>>>>,
+    txs: Vec<Option<BatchTx<M>>>,
+    rxs: Vec<BatchRx<M>>,
 ) -> ShardOut<R>
 where
     M: Send + 'static,
@@ -401,9 +462,7 @@ where
                 let ev = {
                     let mut pending = net.inner.pending.borrow_mut();
                     match pending.peek() {
-                        Some(Reverse(ev)) if ev.ts == ts => {
-                            pending.pop().map(|Reverse(ev)| ev)
-                        }
+                        Some(Reverse(ev)) if ev.ts == ts => pending.pop().map(|Reverse(ev)| ev),
                         _ => None,
                     }
                 };
@@ -415,16 +474,29 @@ where
         }
         sim.run_until(end);
         if n > 1 {
+            let mut flushed_min = SimTime::MAX;
             for (dst, tx) in txs.iter().enumerate() {
                 let Some(tx) = tx else { continue };
                 let batch = std::mem::take(&mut *net.inner.outbox[dst].borrow_mut());
                 if !batch.is_empty() {
+                    for ev in &batch {
+                        flushed_min = flushed_min.min(ev.ts);
+                    }
                     // Receiver outlives the window loop; a send can only
                     // fail if a sibling shard panicked, which propagates
                     // via the scope join anyway.
                     let _ = tx.send(batch);
                 }
             }
+            // Publish this shard's next-activity time before the barrier.
+            // Events just flushed to siblings are counted *here by the
+            // sender*: the receiver only sees them after the barrier, but
+            // the global minimum must bound them the moment it is read.
+            let parity = (barrier_waits % 2) as usize;
+            ff_slots[parity * n + shard].store(
+                next_activity(&sim, &net).min(flushed_min),
+                Ordering::Release,
+            );
             barrier.wait(&mut local_sense);
             barrier_waits += 1;
             let mut pending = net.inner.pending.borrow_mut();
@@ -435,8 +507,17 @@ where
                     }
                 }
             }
+            drop(pending);
+            let mut global_min = SimTime::MAX;
+            for slot in &ff_slots[parity * n..parity * n + n] {
+                global_min = global_min.min(slot.load(Ordering::Acquire));
+            }
+            start = next_window_start(cfg, end, global_min);
+        } else {
+            // The barrier-free path takes the same jumps: with one shard
+            // the local next-activity time *is* the global minimum.
+            start = next_window_start(cfg, end, next_activity(&sim, &net));
         }
-        start = end;
     }
 
     let r = finish();
@@ -504,6 +585,64 @@ mod tests {
         let mut all: Log = logs.into_iter().flatten().collect();
         all.sort_unstable();
         all
+    }
+
+    /// A sparse model: two entities ping-pong one message with a 500µs
+    /// virtual gap between hops — 500 empty lookahead windows per hop.
+    fn sparse_run(shards: usize) -> (Vec<(SimTime, u32, u64)>, ShardStats) {
+        let cfg = ShardCfg {
+            shards,
+            lookahead_ns: 1_000,
+            horizon_ns: 10_000_000,
+            src_keys: 2,
+        };
+        const GAP: SimTime = 500_000;
+        type Log = Vec<(SimTime, u32, u64)>;
+        let (logs, stats) = run_sharded::<(u32, u64), Log, _>(&cfg, |shard, _sim, net| {
+            let log: Rc<RefCell<Log>> = Rc::new(RefCell::new(Vec::new()));
+            if 0 % net.shards() == shard {
+                net.send(1 % net.shards(), 0, GAP, (1, 1u64));
+            }
+            let net2 = net.clone();
+            let log2 = log.clone();
+            ShardRun {
+                dispatch: Box::new(move |ts, (dst_key, hops)| {
+                    log2.borrow_mut().push((ts, dst_key, hops));
+                    let next = 1 - dst_key;
+                    net2.send(
+                        next as usize % net2.shards(),
+                        dst_key,
+                        ts + GAP,
+                        (next, hops + 1),
+                    );
+                }),
+                finish: Box::new(move || log.borrow().clone()),
+            }
+        });
+        let mut all: Log = logs.into_iter().flatten().collect();
+        all.sort_unstable();
+        (all, stats)
+    }
+
+    #[test]
+    fn idle_windows_are_fast_forwarded_without_changing_results() {
+        let (one, stats1) = sparse_run(1);
+        assert_eq!(one.len(), 19, "one hop per 500us gap until the horizon");
+        for shards in [2, 4] {
+            let (log, stats) = sparse_run(shards);
+            assert_eq!(one, log, "{shards} shards");
+            assert_eq!(
+                stats.counters.timers_fired, stats1.counters.timers_fired,
+                "{shards} shards: fast-forward must not invent or drop timers"
+            );
+            // 10^7 ns / 10^3 ns lookahead = 10^4 fixed windows; the jumps
+            // must collapse that to roughly one window per active hop.
+            assert!(
+                stats.barrier_waits < 100 * shards as u64,
+                "{shards} shards: {} barrier waits — idle windows not skipped",
+                stats.barrier_waits
+            );
+        }
     }
 
     #[test]

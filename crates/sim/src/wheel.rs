@@ -361,6 +361,61 @@ impl<T> TimerWheel<T> {
         }
     }
 
+    /// A lower bound on the earliest pending deadline, or `None` when the
+    /// wheel is empty. Strictly read-only — no cascade, no origin motion —
+    /// so it is safe at any point between pops (a pop-based peek would
+    /// advance `base` and corrupt later inserts behind it).
+    ///
+    /// The bound is exact for the origin slot, the same-instant batch, and
+    /// the overflow heap; for other occupied slots it is the slot's window
+    /// start, i.e. within one slot width below the true minimum. That is
+    /// what the sharded engine's idle fast-forward needs: a time provably
+    /// at-or-before the next timer, cheap to compute every window.
+    pub fn next_at_bound(&self) -> Option<u64> {
+        let mut m = u64::MAX;
+        if let Some(front) = self.pending.front() {
+            m = m.min(front.at);
+        }
+        if let Some(Reverse(e)) = self.overflow.peek() {
+            m = m.min(e.at);
+        }
+        if !self.heads.is_empty() {
+            for lvl in 0..LEVELS {
+                let occ = self.occ[lvl];
+                if occ == 0 {
+                    continue;
+                }
+                let shift = BITS * lvl as u32;
+                let width = 1u64 << shift;
+                let period = width << BITS;
+                let cur = ((self.base >> shift) as usize) & (SLOTS - 1);
+                let rest = occ & !(1u64 << cur);
+                if rest != 0 {
+                    let d = rest.rotate_right(cur as u32).trailing_zeros() as usize;
+                    let slot = (cur + d) & (SLOTS - 1);
+                    let mut w = (self.base & !(period - 1)) + slot as u64 * width;
+                    if w + width <= self.base {
+                        w += period;
+                    }
+                    m = m.min(w);
+                }
+                if occ & (1u64 << cur) != 0 {
+                    let mut i = self.heads[lvl * SLOTS + cur];
+                    while i != NIL {
+                        let node = &self.arena[i as usize];
+                        m = m.min(node.at);
+                        i = node.next;
+                    }
+                }
+            }
+        }
+        if m == u64::MAX {
+            None
+        } else {
+            Some(m)
+        }
+    }
+
     /// The earliest pending deadline `<= limit`, without popping.
     #[cfg(test)]
     fn peek_next_at(&mut self, limit: u64) -> Option<u64> {

@@ -32,12 +32,7 @@ fn topologies() -> impl Strategy<Value = Topology> {
         let delays = prop::collection::vec(lookahead..4 * lookahead, entities);
         let strides = prop::collection::vec(0usize..entities, entities);
         let seeds = prop::collection::vec(
-            (
-                0..entities,
-                lookahead..20 * lookahead,
-                0..entities,
-                0u8..12,
-            ),
+            (0..entities, lookahead..20 * lookahead, 0..entities, 0u8..12),
             1..16,
         );
         (delays, strides, seeds).prop_map(move |(delay, stride, seeds)| Topology {
@@ -51,19 +46,21 @@ fn topologies() -> impl Strategy<Value = Topology> {
     })
 }
 
-/// Run `topo` at `shards` shards and return each entity's delivery log:
-/// the exact sequence of (timestamp, remaining hops) it observed.
-fn relay_logs(topo: &Topology, shards: usize) -> Vec<Vec<(u64, u8)>> {
+/// One entity's delivery log: the exact sequence of (timestamp,
+/// remaining hops) it observed.
+type DeliveryLog = Vec<Vec<(u64, u8)>>;
+
+/// Run `topo` at `shards` shards and return each entity's delivery log.
+fn relay_logs(topo: &Topology, shards: usize) -> DeliveryLog {
     let cfg = ShardCfg {
         shards,
         lookahead_ns: topo.lookahead,
         horizon_ns: topo.horizon,
         src_keys: topo.entities,
     };
-    let (outs, _stats) = run_sharded::<(usize, u8), Vec<Vec<(u64, u8)>>, _>(
-        &cfg,
-        |shard, _sim, net| {
-            let logs: Rc<RefCell<Vec<Vec<(u64, u8)>>>> =
+    let (outs, _stats) =
+        run_sharded::<(usize, u8), DeliveryLog, _>(&cfg, |shard, _sim, net| {
+            let logs: Rc<RefCell<DeliveryLog>> =
                 Rc::new(RefCell::new(vec![Vec::new(); topo.entities]));
             let n = shards;
             // Seed messages leave from their source entity's host shard so
@@ -82,12 +79,7 @@ fn relay_logs(topo: &Topology, shards: usize) -> Vec<Vec<(u64, u8)>> {
                     logs.borrow_mut()[dst].push((ts, hops));
                     if hops > 0 {
                         let next = (dst + topo.stride[dst]) % topo.entities;
-                        net.send(
-                            next % n,
-                            dst as u32,
-                            ts + topo.delay[dst],
-                            (next, hops - 1),
-                        );
+                        net.send(next % n, dst as u32, ts + topo.delay[dst], (next, hops - 1));
                     }
                 })
             };
@@ -96,8 +88,7 @@ fn relay_logs(topo: &Topology, shards: usize) -> Vec<Vec<(u64, u8)>> {
                 Box::new(move || logs.borrow().clone())
             };
             ShardRun { dispatch, finish }
-        },
-    );
+        });
     // Each entity's log lives on exactly one shard; merge by element-wise
     // union (non-owners logged nothing for it).
     let mut merged = vec![Vec::new(); topo.entities];

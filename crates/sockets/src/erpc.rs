@@ -1,0 +1,1049 @@
+//! eRPC-style general-purpose RPC lane: zero-copy, congestion-controlled,
+//! session-multiplexed.
+//!
+//! "Datacenter RPCs can be General and Fast" argues one well-engineered
+//! transport can serve every service; RDMAvisor adds that connection state
+//! must not grow with logical session count. This module reproduces both
+//! ideas on the simulated fabric:
+//!
+//! * **Zero-copy.** The RPC header travels as fabric immediate data
+//!   ([`Message::imm`]), so the caller's payload `Bytes` reaches the
+//!   server handler — and the handler's response reaches the caller — as
+//!   the same refcounted buffer. No payload byte is copied anywhere on the
+//!   path (contrast [`dc_fabric::rpc::RpcClient`], which frames each
+//!   request into a fresh `Vec`).
+//! * **Congestion control.** Each session runs a seeded, deterministic
+//!   Timely/DCQCN-flavoured rate machine ([`CongestionState`]): additive
+//!   increase on low-RTT acks, multiplicative decrease on ECN marks
+//!   ([`Message::ecn`], echoed by the server as an ECE bit) or high RTT
+//!   gradient, clamped to `[floor, link]`. Requests are paced to the
+//!   session rate; a per-session credit window ([`Credits`]) bounds
+//!   outstanding requests.
+//! * **Session multiplexing.** An [`ErpcMux`] binds a handful of local
+//!   "queue pair" ports and maps any number of logical sessions onto them
+//!   (`session id mod QPs`); the server side does the same. The
+//!   `fabric.qp.active` gauge counts bound QP endpoints, so a thousand
+//!   sessions show up as O(nodes) QPs, not O(sessions).
+//!
+//! Loss recovery is client-driven: a per-mux sweeper retransmits requests
+//! older than the RTO (counted in `sockets.retransmits` and `erpc.retx`,
+//! with a `stage=retry` span per resend), and the server dedups via a
+//! per-session reply cache that re-sends the cached response for an
+//! already-answered sequence number — so handlers run exactly once.
+
+use std::cell::{Cell, RefCell};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+use bytes::Bytes;
+use dc_fabric::{Cluster, NodeId, Transport};
+use dc_sim::fxhash::FxHashMap;
+use dc_sim::sync::Notify;
+use dc_sim::SimTime;
+use dc_svc::bind_raw;
+use dc_trace::{Counter, Gauge, Subsys};
+
+// ---------------------------------------------------------------------------
+// Wire format: the whole header rides the 64-bit immediate.
+// ---------------------------------------------------------------------------
+
+/// Message kind: request.
+pub const KIND_REQ: u8 = 1;
+/// Message kind: response.
+pub const KIND_RESP: u8 = 2;
+
+/// Sequence numbers are 21 bits — 2M outstanding-or-completed requests per
+/// session before wrap, far beyond any scenario's per-session volume.
+pub const SEQ_MASK: u32 = (1 << 21) - 1;
+
+/// Decoded immediate-data header. Layout (LSB-first):
+/// `[port:16][seq:21][session:16][op:8][ece:1][kind:2]`.
+///
+/// `port` is the client's reply QP port on requests (the server learns it
+/// from every request, so the protocol needs no connection handshake) and
+/// zero on responses. `ece` echoes the request's ECN mark back to the
+/// client on responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImmHeader {
+    /// [`KIND_REQ`] or [`KIND_RESP`] (2 bits on the wire).
+    pub kind: u8,
+    /// ECN-echo: the request this response answers was marked.
+    pub ece: bool,
+    /// Application opcode.
+    pub op: u8,
+    /// Mux-local session id.
+    pub session: u16,
+    /// Per-session sequence number (21 bits).
+    pub seq: u32,
+    /// Reply QP port (requests only).
+    pub port: u16,
+}
+
+/// Pack a header into the immediate word.
+pub fn encode_imm(h: ImmHeader) -> u64 {
+    debug_assert!(h.kind < 4, "kind field is 2 bits");
+    debug_assert!(h.seq <= SEQ_MASK, "seq field is 21 bits");
+    (h.port as u64)
+        | ((h.seq as u64) << 16)
+        | ((h.session as u64) << 37)
+        | ((h.op as u64) << 53)
+        | ((u64::from(h.ece)) << 61)
+        | ((h.kind as u64) << 62)
+}
+
+/// Unpack the immediate word.
+pub fn decode_imm(imm: u64) -> ImmHeader {
+    ImmHeader {
+        port: (imm & 0xFFFF) as u16,
+        seq: ((imm >> 16) & SEQ_MASK as u64) as u32,
+        session: ((imm >> 37) & 0xFFFF) as u16,
+        op: ((imm >> 53) & 0xFF) as u8,
+        ece: (imm >> 61) & 1 == 1,
+        kind: ((imm >> 62) & 0b11) as u8,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Credit accounting: a pure state machine (proptested in
+// tests/prop_primitives.rs).
+// ---------------------------------------------------------------------------
+
+/// Per-session request credits: `cap` preposted completion slots, one
+/// consumed per outstanding request. Never negative and never above `cap`
+/// by construction — `try_take` refuses at zero, `release` asserts at cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Credits {
+    avail: u32,
+    cap: u32,
+}
+
+impl Credits {
+    /// A full window of `cap` credits (`cap >= 1`).
+    pub fn new(cap: u32) -> Credits {
+        assert!(cap >= 1, "a session needs at least one credit");
+        Credits { avail: cap, cap }
+    }
+
+    /// Consume one credit; `false` when none are available.
+    pub fn try_take(&mut self) -> bool {
+        if self.avail == 0 {
+            return false;
+        }
+        self.avail -= 1;
+        true
+    }
+
+    /// Return one credit. Panics on over-release — that is a protocol bug
+    /// (a response acked twice), not a recoverable condition.
+    pub fn release(&mut self) {
+        assert!(self.avail < self.cap, "credit over-release past window cap");
+        self.avail += 1;
+    }
+
+    /// Credits currently available.
+    pub fn available(&self) -> u32 {
+        self.avail
+    }
+
+    /// The window cap.
+    pub fn cap(&self) -> u32 {
+        self.cap
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Congestion control: seeded deterministic AIMD over RTT + ECN signals.
+// ---------------------------------------------------------------------------
+
+/// Tunables of the per-session rate machine. Integer arithmetic throughout
+/// so the trajectory is exactly reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CcConfig {
+    /// Rate never decreases below this (keeps every session live).
+    pub floor_bps: u64,
+    /// Rate never increases above this (the link's line rate).
+    pub link_bps: u64,
+    /// Additive increase per low-RTT ack.
+    pub additive_bps: u64,
+    /// Multiplicative-decrease numerator: on a mark or high RTT the rate
+    /// becomes `rate * md_num / md_den`.
+    pub md_num: u64,
+    /// Multiplicative-decrease denominator.
+    pub md_den: u64,
+    /// Acks with RTT at or below this are "uncongested" and earn additive
+    /// increase (Timely's T_low).
+    pub rtt_low_ns: u64,
+    /// Acks with RTT at or above this decrease the rate even without an
+    /// ECN mark (Timely's T_high / positive-gradient branch). Between the
+    /// two thresholds the rate holds.
+    pub rtt_high_ns: u64,
+}
+
+impl Default for CcConfig {
+    /// Matched to the calibrated 2007 fabric: 900 B/µs IB link = 7.2 Gb/s.
+    fn default() -> CcConfig {
+        CcConfig {
+            floor_bps: 50_000_000,
+            link_bps: 7_200_000_000,
+            additive_bps: 60_000_000,
+            md_num: 4,
+            md_den: 5,
+            rtt_low_ns: 60_000,
+            rtt_high_ns: 400_000,
+        }
+    }
+}
+
+/// SplitMix64 — a tiny seeded generator so session start rates are jittered
+/// deterministically without pulling a dependency into the hot path.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One session's congestion state. Pure (no clock, no I/O): callers feed it
+/// ack RTTs and marks, it answers with the paced rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CongestionState {
+    cfg: CcConfig,
+    rate_bps: u64,
+}
+
+impl CongestionState {
+    /// Start a session at a seeded rate in the lower quarter of the range:
+    /// low enough that an incast of fresh sessions does not instantly
+    /// overrun the bottleneck, jittered so symmetric sessions do not move
+    /// in lockstep.
+    pub fn new(cfg: CcConfig, seed: u64) -> CongestionState {
+        assert!(cfg.floor_bps >= 1, "rate floor must be positive");
+        assert!(cfg.link_bps >= cfg.floor_bps, "link below floor");
+        assert!(cfg.md_num < cfg.md_den, "decrease must decrease");
+        assert!(cfg.md_den > 0, "md_den must be positive");
+        let span = (cfg.link_bps - cfg.floor_bps) / 4;
+        let jitter = if span == 0 {
+            0
+        } else {
+            splitmix64(seed) % (span + 1)
+        };
+        CongestionState {
+            cfg,
+            rate_bps: cfg.floor_bps + jitter,
+        }
+    }
+
+    /// Feed one ack's RTT: additive increase below `rtt_low_ns`, hold in
+    /// the middle band, multiplicative decrease at or above `rtt_high_ns`.
+    pub fn on_ack(&mut self, rtt_ns: u64) {
+        if rtt_ns >= self.cfg.rtt_high_ns {
+            self.decrease();
+        } else if rtt_ns <= self.cfg.rtt_low_ns {
+            self.increase();
+        }
+    }
+
+    /// Feed one congestion mark (ECN on the response, ECE echo, or an RTO):
+    /// multiplicative decrease.
+    pub fn on_mark(&mut self) {
+        self.decrease();
+    }
+
+    fn increase(&mut self) {
+        self.rate_bps = (self.rate_bps + self.cfg.additive_bps).min(self.cfg.link_bps);
+    }
+
+    fn decrease(&mut self) {
+        self.rate_bps = (self.rate_bps / self.cfg.md_den * self.cfg.md_num).max(self.cfg.floor_bps);
+    }
+
+    /// The current paced rate.
+    pub fn rate_bps(&self) -> u64 {
+        self.rate_bps
+    }
+
+    /// Pacing gap for a `bytes`-long request at the current rate.
+    pub fn gap_ns(&self, bytes: usize) -> u64 {
+        ((bytes as u64) * 8).saturating_mul(1_000_000_000) / self.rate_bps.max(1)
+    }
+
+    /// The config this state was built with.
+    pub fn cfg(&self) -> &CcConfig {
+        &self.cfg
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime configuration.
+// ---------------------------------------------------------------------------
+
+/// Shape of one eRPC mux (client side) and its sessions.
+#[derive(Debug, Clone, Copy)]
+pub struct ErpcCfg {
+    /// Local QP ports the mux binds; sessions map onto them round-robin.
+    pub client_qps: usize,
+    /// Per-session outstanding-request window (credits and reply-cache
+    /// depth share this value, so the server can always dedup anything the
+    /// client can still retransmit).
+    pub window: u32,
+    /// Retransmit a request once it has been outstanding this long.
+    pub rto_ns: SimTime,
+    /// Retransmits per request before declaring the peer unreachable.
+    pub max_retx: u32,
+    /// Congestion-control tunables shared by this mux's sessions.
+    pub cc: CcConfig,
+}
+
+impl Default for ErpcCfg {
+    fn default() -> ErpcCfg {
+        ErpcCfg {
+            client_qps: 4,
+            window: 2,
+            rto_ns: 2_000_000,
+            max_retx: 12,
+            cc: CcConfig::default(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server.
+// ---------------------------------------------------------------------------
+
+struct SrvSession {
+    reply_port: u16,
+    /// Reply cache, one slot per window position: `(seq, response)`. A
+    /// request whose slot already holds its seq is a retransmit of an
+    /// answered request — re-send the cached response, do not re-run the
+    /// handler.
+    cache: Box<[Option<(u32, Bytes)>]>,
+}
+
+/// Server half: `qps` bound QP ports, each with a pump that decodes
+/// requests, dedups them against the per-session reply cache, runs the
+/// handler exactly once per fresh sequence number, and answers with the
+/// handler's `Bytes` untouched (ECE bit set when the request arrived
+/// marked).
+pub struct ErpcServer {
+    ports: Vec<u16>,
+}
+
+impl ErpcServer {
+    /// Spawn the server on `node`. `cpu_ns` of node CPU is charged per
+    /// fresh request before the handler runs (the application's service
+    /// time); the handler itself is a pure function of `(op, payload)`.
+    pub fn spawn(
+        cluster: &Cluster,
+        node: NodeId,
+        qps: usize,
+        window: u32,
+        cpu_ns: SimTime,
+        handler: Rc<dyn Fn(u8, Bytes) -> Bytes>,
+    ) -> ErpcServer {
+        assert!(qps >= 1, "server needs at least one QP");
+        assert!(window >= 1, "window must be at least 1");
+        let mut ports = Vec::with_capacity(qps);
+        for _ in 0..qps {
+            let port = cluster.alloc_port_for(node, "erpc.srv.qp");
+            let mut ep = bind_raw(cluster, node, port);
+            cluster.note_qp(1);
+            ports.push(port);
+            let cluster = cluster.clone();
+            let handler = handler.clone();
+            let cpu = cluster.cpu(node);
+            cluster.clone().sim().spawn_detached(async move {
+                let mut sessions: FxHashMap<(u32, u16), SrvSession> = FxHashMap::default();
+                loop {
+                    let msg = ep.recv().await;
+                    let h = decode_imm(msg.imm);
+                    if h.kind != KIND_REQ {
+                        continue;
+                    }
+                    let sess =
+                        sessions
+                            .entry((msg.src.0, h.session))
+                            .or_insert_with(|| SrvSession {
+                                reply_port: h.port,
+                                cache: vec![None; window as usize].into_boxed_slice(),
+                            });
+                    sess.reply_port = h.port;
+                    let slot = (h.seq % window) as usize;
+                    let resp = match &sess.cache[slot] {
+                        Some((seq, cached)) if *seq == h.seq => cached.clone(),
+                        Some((seq, _)) if *seq > h.seq => continue, // stale dup
+                        _ => {
+                            cpu.execute(cpu_ns).await;
+                            let resp = handler(h.op, msg.data);
+                            sess.cache[slot] = Some((h.seq, resp.clone()));
+                            resp
+                        }
+                    };
+                    let reply_port = sess.reply_port;
+                    let imm = encode_imm(ImmHeader {
+                        kind: KIND_RESP,
+                        ece: msg.ecn,
+                        op: h.op,
+                        session: h.session,
+                        seq: h.seq,
+                        port: 0,
+                    });
+                    // Losses are the client sweeper's problem: a dropped
+                    // response triggers a request retransmit, which the
+                    // reply cache answers from here.
+                    let _ = cluster
+                        .try_send_imm_ref(
+                            node,
+                            msg.src,
+                            reply_port,
+                            &resp,
+                            imm,
+                            Transport::RdmaSend,
+                        )
+                        .await;
+                }
+            });
+        }
+        ErpcServer { ports }
+    }
+
+    /// The server's QP ports; clients spread their sessions across these.
+    pub fn ports(&self) -> &[u16] {
+        &self.ports
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client: mux, sessions, sweeper.
+// ---------------------------------------------------------------------------
+
+struct Slot {
+    busy: Cell<bool>,
+    seq: Cell<u32>,
+    op: Cell<u8>,
+    sent_ns: Cell<SimTime>,
+    retx: Cell<u32>,
+    req: RefCell<Option<Bytes>>,
+    resp: RefCell<Option<Bytes>>,
+    waker: RefCell<Option<Waker>>,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            busy: Cell::new(false),
+            seq: Cell::new(0),
+            op: Cell::new(0),
+            sent_ns: Cell::new(0),
+            retx: Cell::new(0),
+            req: RefCell::new(None),
+            resp: RefCell::new(None),
+            waker: RefCell::new(None),
+        }
+    }
+}
+
+struct SessionInner {
+    id: u16,
+    server: NodeId,
+    server_port: u16,
+    reply_port: u16,
+    next_seq: Cell<u32>,
+    credits: RefCell<Credits>,
+    credit_waiters: Notify,
+    cc: RefCell<CongestionState>,
+    next_tx_ns: Cell<SimTime>,
+    slots: Box<[Slot]>,
+    marks: Cell<u64>,
+    retx: Cell<u64>,
+    acks: Cell<u64>,
+}
+
+struct MuxInner {
+    cluster: Cluster,
+    node: NodeId,
+    cfg: ErpcCfg,
+    qp_ports: Box<[u16]>,
+    sessions: RefCell<Vec<Rc<SessionInner>>>,
+    /// `erpc.credits`: available credits summed over all sessions.
+    m_credits: Gauge,
+    /// `erpc.rate_bps`: allowed send rate summed over all sessions.
+    m_rate: Gauge,
+    /// `erpc.marks`: congestion signals consumed (ECN, ECE, RTO).
+    m_marks: Counter,
+    /// `erpc.retx`: request retransmissions.
+    m_retx: Counter,
+}
+
+impl MuxInner {
+    /// Apply one congestion signal or ack to a session, keeping the
+    /// aggregate rate gauge in sync.
+    fn feed_cc(&self, s: &SessionInner, rtt_ns: Option<SimTime>, mark: bool) {
+        let mut cc = s.cc.borrow_mut();
+        let old = cc.rate_bps();
+        if mark {
+            cc.on_mark();
+            s.marks.set(s.marks.get() + 1);
+            self.m_marks.inc();
+        } else if let Some(rtt) = rtt_ns {
+            cc.on_ack(rtt);
+        }
+        let new = cc.rate_bps();
+        self.m_rate.add(new as i64 - old as i64);
+    }
+}
+
+/// Client-side multiplexer: a few bound QP ports on one node carrying any
+/// number of logical sessions. Clone freely.
+#[derive(Clone)]
+pub struct ErpcMux {
+    inner: Rc<MuxInner>,
+}
+
+impl ErpcMux {
+    /// Bind `cfg.client_qps` local QP ports on `node`, spawn their response
+    /// pumps and the shared retransmit sweeper.
+    pub fn new(cluster: &Cluster, node: NodeId, cfg: ErpcCfg) -> ErpcMux {
+        assert!(cfg.client_qps >= 1, "mux needs at least one QP");
+        assert!(cfg.window >= 1, "window must be at least 1");
+        let reg = cluster.metrics();
+        let inner = Rc::new(MuxInner {
+            cluster: cluster.clone(),
+            node,
+            cfg,
+            qp_ports: (0..cfg.client_qps)
+                .map(|_| cluster.alloc_port_for(node, "erpc.cli.qp"))
+                .collect(),
+            sessions: RefCell::new(Vec::new()),
+            m_credits: reg.gauge("erpc.credits"),
+            m_rate: reg.gauge("erpc.rate_bps"),
+            m_marks: reg.counter("erpc.marks"),
+            m_retx: reg.counter("erpc.retx"),
+        });
+        for &port in inner.qp_ports.iter() {
+            let mut ep = bind_raw(cluster, node, port);
+            cluster.note_qp(1);
+            let inner = inner.clone();
+            cluster.sim().spawn_detached(async move {
+                loop {
+                    let msg = ep.recv().await;
+                    let h = decode_imm(msg.imm);
+                    if h.kind != KIND_RESP {
+                        continue;
+                    }
+                    let s = {
+                        let sessions = inner.sessions.borrow();
+                        match sessions.get(h.session as usize) {
+                            Some(s) => s.clone(),
+                            None => continue,
+                        }
+                    };
+                    let slot = &s.slots[(h.seq % inner.cfg.window) as usize];
+                    if !slot.busy.get() || slot.seq.get() != h.seq {
+                        continue; // duplicate response after a retransmit
+                    }
+                    let rtt = inner.cluster.sim().now() - slot.sent_ns.get();
+                    inner.feed_cc(&s, Some(rtt), msg.ecn || h.ece);
+                    s.acks.set(s.acks.get() + 1);
+                    *slot.resp.borrow_mut() = Some(msg.data);
+                    slot.req.borrow_mut().take();
+                    slot.busy.set(false);
+                    s.credits.borrow_mut().release();
+                    inner.m_credits.add(1);
+                    s.credit_waiters.notify_one();
+                    let waker = slot.waker.borrow_mut().take();
+                    if let Some(w) = waker {
+                        w.wake();
+                    }
+                }
+            });
+        }
+        // Retransmit sweeper: one per mux, ticking at half the RTO.
+        {
+            let inner = inner.clone();
+            cluster.sim().spawn_detached(async move {
+                let sim = inner.cluster.sim().clone();
+                loop {
+                    sim.sleep((inner.cfg.rto_ns / 2).max(1)).await;
+                    let count = inner.sessions.borrow().len();
+                    for i in 0..count {
+                        let s = {
+                            let sessions = inner.sessions.borrow();
+                            sessions[i].clone()
+                        };
+                        sweep_session(&inner, &s).await;
+                    }
+                }
+            });
+        }
+        ErpcMux { inner }
+    }
+
+    /// Open a logical session to `server`'s QP `server_port`. The session
+    /// id picks its local QP (`id mod client_qps`); `seed` jitters its
+    /// initial congestion-control rate.
+    pub fn session(&self, server: NodeId, server_port: u16, seed: u64) -> ErpcSession {
+        let mut sessions = self.inner.sessions.borrow_mut();
+        let id = sessions.len();
+        assert!(id <= u16::MAX as usize, "session id space exhausted");
+        let cfg = &self.inner.cfg;
+        let s = Rc::new(SessionInner {
+            id: id as u16,
+            server,
+            server_port,
+            reply_port: self.inner.qp_ports[id % self.inner.qp_ports.len()],
+            next_seq: Cell::new(0),
+            credits: RefCell::new(Credits::new(cfg.window)),
+            credit_waiters: Notify::new(),
+            cc: RefCell::new(CongestionState::new(cfg.cc, seed)),
+            next_tx_ns: Cell::new(0),
+            slots: (0..cfg.window).map(|_| Slot::new()).collect(),
+            marks: Cell::new(0),
+            retx: Cell::new(0),
+            acks: Cell::new(0),
+        });
+        self.inner.m_credits.add(cfg.window as i64);
+        self.inner.m_rate.add(s.cc.borrow().rate_bps() as i64);
+        sessions.push(s.clone());
+        ErpcSession {
+            mux: self.inner.clone(),
+            s,
+        }
+    }
+
+    /// Sessions opened on this mux.
+    pub fn session_count(&self) -> usize {
+        self.inner.sessions.borrow().len()
+    }
+
+    /// The node this mux sends from.
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+}
+
+/// Retransmit every outstanding request of `s` that has aged past the RTO.
+/// An RTO is also a congestion signal (Timely treats timeout as the
+/// strongest gradient), so each resend feeds a mark.
+async fn sweep_session(mux: &MuxInner, s: &SessionInner) {
+    let now = mux.cluster.sim().now();
+    for slot in s.slots.iter() {
+        if !slot.busy.get() || now.saturating_sub(slot.sent_ns.get()) < mux.cfg.rto_ns {
+            continue;
+        }
+        assert!(
+            slot.retx.get() < mux.cfg.max_retx,
+            "erpc session {} to {:?}:{} undeliverable: seq {} exhausted {} retransmits",
+            s.id,
+            s.server,
+            s.server_port,
+            slot.seq.get(),
+            mux.cfg.max_retx,
+        );
+        let req = slot.req.borrow().clone();
+        let Some(req) = req else { continue };
+        slot.retx.set(slot.retx.get() + 1);
+        s.retx.set(s.retx.get() + 1);
+        mux.m_retx.inc();
+        mux.cluster.note_retransmit();
+        if let Some(p) = mux.cluster.faults() {
+            p.note_retry();
+        }
+        mux.feed_cc(s, None, true);
+        slot.sent_ns.set(now);
+        let imm = encode_imm(ImmHeader {
+            kind: KIND_REQ,
+            ece: false,
+            op: slot.op.get(),
+            session: s.id,
+            seq: slot.seq.get(),
+            port: s.reply_port,
+        });
+        // Retry-stage span around the resend so retransmissions show up in
+        // latency attribution, mirroring the stream lanes.
+        let tb = mux.cluster.tracer().begin();
+        let _ = mux
+            .cluster
+            .try_send_imm_ref(
+                mux.node,
+                s.server,
+                s.server_port,
+                &req,
+                imm,
+                Transport::RdmaSend,
+            )
+            .await;
+        if let Some(tb) = tb {
+            mux.cluster.tracer().complete(
+                tb,
+                mux.node.0,
+                Subsys::Sockets,
+                "erpc.retx",
+                vec![
+                    ("stage", "retry".into()),
+                    ("session", (s.id as u64).into()),
+                    ("seq", (slot.seq.get() as u64).into()),
+                ],
+            );
+        }
+    }
+}
+
+/// Await-able response slot: resolves when the pump deposits the response.
+struct RespWait<'a> {
+    slot: &'a Slot,
+}
+
+impl Future for RespWait<'_> {
+    type Output = Bytes;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Bytes> {
+        if let Some(b) = self.slot.resp.borrow_mut().take() {
+            return Poll::Ready(b);
+        }
+        *self.slot.waker.borrow_mut() = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// One logical session: a paced, windowed, exactly-once request pipe to one
+/// server QP. Clone freely; concurrent `call`s share the window.
+#[derive(Clone)]
+pub struct ErpcSession {
+    mux: Rc<MuxInner>,
+    s: Rc<SessionInner>,
+}
+
+impl ErpcSession {
+    /// Issue one request and await its response. Zero-copy: `payload` and
+    /// the returned `Bytes` cross the fabric as shared buffers. Blocks on
+    /// the session window when all credits are outstanding and on the
+    /// congestion-controlled pacer; panics only if a request exhausts the
+    /// retransmit budget (an unreachable peer has no degraded mode here,
+    /// like the stream lanes).
+    pub async fn call(&self, op: u8, payload: Bytes) -> Bytes {
+        let s = &*self.s;
+        let mux = &*self.mux;
+        loop {
+            if s.credits.borrow_mut().try_take() {
+                mux.m_credits.add(-1);
+                break;
+            }
+            mux.cluster.note_credit_stall(mux.node);
+            s.credit_waiters.notified().await;
+        }
+        let seq = s.next_seq.get();
+        s.next_seq.set((seq + 1) & SEQ_MASK);
+        let slot = &s.slots[(seq % mux.cfg.window) as usize];
+        debug_assert!(!slot.busy.get(), "window credit admitted a busy slot");
+        slot.busy.set(true);
+        slot.seq.set(seq);
+        slot.op.set(op);
+        slot.retx.set(0);
+        *slot.req.borrow_mut() = Some(payload.clone());
+        slot.resp.borrow_mut().take();
+        // Pace to the session rate: reserve the next transmit instant
+        // before sleeping so concurrent calls serialize their gaps.
+        let sim = mux.cluster.sim().clone();
+        let gap = s.cc.borrow().gap_ns(payload.len());
+        let due = s.next_tx_ns.get().max(sim.now());
+        s.next_tx_ns.set(due + gap);
+        if due > sim.now() {
+            sim.sleep_until(due).await;
+        }
+        slot.sent_ns.set(sim.now());
+        let imm = encode_imm(ImmHeader {
+            kind: KIND_REQ,
+            ece: false,
+            op,
+            session: s.id,
+            seq,
+            port: s.reply_port,
+        });
+        // A failed first transmission is the sweeper's to recover.
+        let _ = mux
+            .cluster
+            .try_send_imm_ref(
+                mux.node,
+                s.server,
+                s.server_port,
+                &payload,
+                imm,
+                Transport::RdmaSend,
+            )
+            .await;
+        RespWait { slot }.await
+    }
+
+    /// Current congestion-controlled rate.
+    pub fn rate_bps(&self) -> u64 {
+        self.s.cc.borrow().rate_bps()
+    }
+
+    /// Congestion signals this session has consumed.
+    pub fn marks(&self) -> u64 {
+        self.s.marks.get()
+    }
+
+    /// Retransmissions this session has issued.
+    pub fn retx(&self) -> u64 {
+        self.s.retx.get()
+    }
+
+    /// Responses received.
+    pub fn acks(&self) -> u64 {
+        self.s.acks.get()
+    }
+
+    /// Mux-local session id.
+    pub fn id(&self) -> u16 {
+        self.s.id
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SvcClient lane adapter.
+// ---------------------------------------------------------------------------
+
+/// [`dc_svc::RpcLane`] implementation: one mux, one lazily-created session
+/// per `(server, port)` destination, so a [`dc_svc::SvcClient`] switched to
+/// this lane keeps its call signature while riding eRPC underneath.
+pub struct ErpcClientLane {
+    mux: ErpcMux,
+    seed: u64,
+    sessions: RefCell<FxHashMap<(u32, u16), ErpcSession>>,
+}
+
+impl ErpcClientLane {
+    /// Wrap `mux`; `seed` feeds each new session's rate jitter.
+    pub fn new(mux: ErpcMux, seed: u64) -> ErpcClientLane {
+        ErpcClientLane {
+            mux,
+            seed,
+            sessions: RefCell::new(FxHashMap::default()),
+        }
+    }
+}
+
+impl dc_svc::RpcLane for ErpcClientLane {
+    fn try_call(
+        &self,
+        to: NodeId,
+        port: u16,
+        payload: Bytes,
+        _timeout_ns: SimTime,
+    ) -> Pin<Box<dyn Future<Output = Option<Bytes>>>> {
+        let sess = {
+            let mut sessions = self.sessions.borrow_mut();
+            sessions
+                .entry((to.0, port))
+                .or_insert_with(|| {
+                    let n = self.mux.session_count() as u64;
+                    self.mux.session(to, port, self.seed ^ splitmix64(n))
+                })
+                .clone()
+        };
+        // The lane's own RTO/retransmit machinery subsumes the per-attempt
+        // deadline: a call either completes or panics past the budget.
+        Box::pin(async move { Some(sess.call(0, payload).await) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_fabric::FabricModel;
+    use dc_sim::Sim;
+
+    fn setup(nodes: usize) -> (Sim, Cluster) {
+        let sim = Sim::new();
+        let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), nodes);
+        (sim, cluster)
+    }
+
+    #[test]
+    fn imm_roundtrip_spot_checks() {
+        for h in [
+            ImmHeader {
+                kind: KIND_REQ,
+                ece: false,
+                op: 0,
+                session: 0,
+                seq: 0,
+                port: 1024,
+            },
+            ImmHeader {
+                kind: KIND_RESP,
+                ece: true,
+                op: 255,
+                session: u16::MAX,
+                seq: SEQ_MASK,
+                port: u16::MAX,
+            },
+        ] {
+            assert_eq!(decode_imm(encode_imm(h)), h);
+        }
+    }
+
+    #[test]
+    fn call_round_trips_payload_zero_copy() {
+        let (sim, cluster) = setup(2);
+        let payload = Bytes::from(vec![7u8; 512]);
+        let resp_body = Bytes::from(vec![9u8; 2048]);
+        let resp_clone = resp_body.clone();
+        let srv = ErpcServer::spawn(
+            &cluster,
+            NodeId(1),
+            2,
+            4,
+            1_000,
+            Rc::new(move |op, req| {
+                assert_eq!(op, 3);
+                assert_eq!(req.len(), 512);
+                resp_clone.clone()
+            }),
+        );
+        let mux = ErpcMux::new(&cluster, NodeId(0), ErpcCfg::default());
+        let sess = mux.session(NodeId(1), srv.ports()[0], 42);
+        let got = sim.run_to(async move { sess.call(3, payload).await });
+        assert_eq!(got.len(), 2048);
+        // Same refcounted buffer end-to-end: the response the client holds
+        // is the server's buffer, not a copy.
+        assert_eq!(got.as_ptr(), resp_body.as_ptr());
+        assert_eq!(
+            cluster.qp_active(),
+            2 + ErpcCfg::default().client_qps as i64
+        );
+    }
+
+    #[test]
+    fn sessions_multiplex_over_few_qps() {
+        let (sim, cluster) = setup(2);
+        let srv = ErpcServer::spawn(
+            &cluster,
+            NodeId(1),
+            2,
+            2,
+            0,
+            Rc::new(|_, req| req), // echo
+        );
+        let mux = ErpcMux::new(&cluster, NodeId(0), ErpcCfg::default());
+        let mut sessions = Vec::new();
+        for i in 0..64u64 {
+            sessions.push(mux.session(NodeId(1), srv.ports()[i as usize % 2], i));
+        }
+        let qp_before = cluster.qp_active();
+        let done = sim.run_to(async move {
+            let mut n = 0u32;
+            for s in &sessions {
+                let r = s.call(0, Bytes::from_static(b"ping")).await;
+                assert_eq!(&r[..], b"ping");
+                n += 1;
+            }
+            n
+        });
+        assert_eq!(done, 64);
+        // 64 sessions, but QP count stayed at the bound-port count.
+        assert_eq!(qp_before, 2 + ErpcCfg::default().client_qps as i64);
+        assert_eq!(cluster.qp_active(), qp_before);
+    }
+
+    #[test]
+    fn drops_are_recovered_by_retransmit_and_reply_cache() {
+        let (sim, cluster) = setup(2);
+        cluster.install_faults(dc_fabric::FaultPlan::from_parts(
+            9,
+            vec![],
+            vec![],
+            vec![],
+            0.25,
+        ));
+        let srv = ErpcServer::spawn(&cluster, NodeId(1), 1, 4, 0, Rc::new(|_, req| req));
+        let mux = ErpcMux::new(
+            &cluster,
+            NodeId(0),
+            ErpcCfg {
+                rto_ns: 200_000,
+                ..ErpcCfg::default()
+            },
+        );
+        let sess = mux.session(NodeId(1), srv.ports()[0], 1);
+        let s2 = sess.clone();
+        let n = sim.run_to(async move {
+            let mut n = 0u32;
+            for i in 0..40u8 {
+                let r = s2.call(0, Bytes::from(vec![i; 64])).await;
+                assert_eq!(r[0], i);
+                n += 1;
+            }
+            n
+        });
+        assert_eq!(n, 40);
+        assert!(sess.retx() > 0, "no retransmission was exercised");
+        assert_eq!(cluster.stats().retransmits, sess.retx());
+    }
+
+    #[test]
+    fn ecn_marks_flow_back_and_cut_the_rate() {
+        let (sim, cluster) = setup(3);
+        // Server's outbound link is the bottleneck: mark as soon as one
+        // transmission is queued behind another.
+        cluster.set_ecn_threshold(Some(1));
+        let resp = Bytes::from(vec![0u8; 8192]);
+        let srv = ErpcServer::spawn(&cluster, NodeId(2), 2, 8, 0, {
+            let resp = resp.clone();
+            Rc::new(move |_, _| resp.clone())
+        });
+        let mut muxes = Vec::new();
+        let mut sessions = Vec::new();
+        for node in 0..2u32 {
+            let mux = ErpcMux::new(&cluster, NodeId(node), ErpcCfg::default());
+            for i in 0..8u64 {
+                sessions.push(mux.session(NodeId(2), srv.ports()[i as usize % 2], i));
+            }
+            muxes.push(mux);
+        }
+        let handles: Vec<_> = sessions
+            .iter()
+            .map(|s| {
+                let s = s.clone();
+                sim.spawn(async move {
+                    for _ in 0..6 {
+                        s.call(0, Bytes::from_static(b"req")).await;
+                    }
+                })
+            })
+            .collect();
+        sim.run_to(async move {
+            for h in handles {
+                h.await;
+            }
+        });
+        let marked: u64 = sessions.iter().map(|s| s.marks()).sum();
+        assert!(marked > 0, "incast produced no ECN marks");
+        assert!(cluster.ecn_marks() > 0);
+    }
+
+    #[test]
+    fn svc_client_rides_the_erpc_lane() {
+        let (sim, cluster) = setup(2);
+        let srv = ErpcServer::spawn(&cluster, NodeId(1), 1, 2, 0, Rc::new(|_, req| req));
+        let mux = ErpcMux::new(&cluster, NodeId(0), ErpcCfg::default());
+        let lane = Rc::new(ErpcClientLane::new(mux, 7));
+        let client =
+            dc_svc::SvcClient::with_lane(&cluster, NodeId(0), dc_svc::CallPolicy::default(), lane);
+        let port = srv.ports()[0];
+        let got = sim.run_to(async move {
+            client
+                .call_bytes(
+                    NodeId(1),
+                    port,
+                    Bytes::from_static(b"over-erpc"),
+                    Transport::RdmaSend,
+                )
+                .await
+        });
+        assert_eq!(&got[..], b"over-erpc");
+    }
+}

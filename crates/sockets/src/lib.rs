@@ -41,9 +41,13 @@
 //! ```
 
 pub mod config;
+pub mod erpc;
 pub mod flow;
 pub mod lane;
 pub mod stream;
 
 pub use config::SocketsConfig;
+pub use erpc::{
+    CcConfig, CongestionState, Credits, ErpcCfg, ErpcClientLane, ErpcMux, ErpcServer, ErpcSession,
+};
 pub use stream::{connect, StreamEnd, StreamKind};

@@ -68,6 +68,10 @@ pub fn connect(
     let fb_into_a = cluster.alloc_port_for(a, "sockets.stream.fb");
     let data_into_b = cluster.alloc_port_for(b, "sockets.stream.data");
     let fb_into_b = cluster.alloc_port_for(b, "sockets.stream.fb");
+    // Every connection pins a QP at each end — this per-connection cost is
+    // exactly what the eRPC lane's session multiplexing amortizes away
+    // (compare `fabric.qp.active` across lanes in `ext_incast`).
+    cluster.note_qp(2);
     let end_a = StreamEnd::new_half(
         cluster,
         a,

@@ -10,12 +10,43 @@
 //! * [`SvcClient`] — correlation-id multiplexed calls over a single bound
 //!   port (the fabric [`RpcClient`]), for services speaking the RPC framing.
 
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+
 use bytes::Bytes;
 
 use dc_fabric::rpc::{RpcClient, DEFAULT_TIMEOUT_NS};
 use dc_fabric::{Cluster, NodeId, Transport};
 use dc_sim::SimTime;
 use dc_trace::Subsys;
+
+/// A pluggable request/response transport under [`SvcClient`].
+///
+/// The classic lane is the correlation-id [`RpcClient`]; dc-sockets'
+/// eRPC mux implements this trait to slide its zero-copy,
+/// congestion-controlled sessions underneath the same call surface.
+/// One attempt per invocation: `None` means non-delivery or deadline
+/// exceeded, and the [`CallPolicy`] retry loop sits above.
+pub trait RpcLane {
+    /// Issue one request attempt to `(to, port)`.
+    fn try_call(
+        &self,
+        to: NodeId,
+        port: u16,
+        payload: Bytes,
+        timeout_ns: SimTime,
+    ) -> Pin<Box<dyn Future<Output = Option<Bytes>>>>;
+}
+
+/// Which transport a [`SvcClient`] rides.
+#[derive(Clone)]
+enum Lane {
+    /// The fabric [`RpcClient`] (correlation-id framing, one bound port).
+    Classic(RpcClient),
+    /// A custom [`RpcLane`] (e.g. the dc-sockets eRPC mux).
+    Custom(Rc<dyn RpcLane>),
+}
 
 /// Tracer-gated retry-stage span around a between-attempts backoff sleep.
 /// With tracing off this is exactly `sleep(ns)` — no extra awaits.
@@ -117,7 +148,9 @@ pub async fn call_legacy(
 /// [`RpcClient`]; clone freely.
 #[derive(Clone)]
 pub struct SvcClient {
-    rpc: RpcClient,
+    cluster: Cluster,
+    node: NodeId,
+    lane: Lane,
     policy: CallPolicy,
 }
 
@@ -131,14 +164,60 @@ impl SvcClient {
     /// Client on `node` with an explicit policy.
     pub fn with_policy(cluster: &Cluster, node: NodeId, policy: CallPolicy) -> SvcClient {
         SvcClient {
-            rpc: RpcClient::new(cluster, node),
+            cluster: cluster.clone(),
+            node,
+            lane: Lane::Classic(RpcClient::new(cluster, node)),
+            policy,
+        }
+    }
+
+    /// Client on `node` riding a custom [`RpcLane`] instead of the classic
+    /// correlation-id RPC port. The policy's retry loop still applies on
+    /// top of whatever recovery the lane does internally.
+    pub fn with_lane(
+        cluster: &Cluster,
+        node: NodeId,
+        policy: CallPolicy,
+        lane: Rc<dyn RpcLane>,
+    ) -> SvcClient {
+        SvcClient {
+            cluster: cluster.clone(),
+            node,
+            lane: Lane::Custom(lane),
             policy,
         }
     }
 
     /// The node this client calls from.
     pub fn node(&self) -> NodeId {
-        self.rpc.node()
+        self.node
+    }
+
+    /// One attempt on whichever lane is installed. The classic lane frames
+    /// from the borrowed slice (no intermediate `Bytes`); a custom lane
+    /// needs an owned buffer, so the slice path copies once at this edge.
+    async fn attempt(
+        &self,
+        to: NodeId,
+        port: u16,
+        payload: &[u8],
+        owned: Option<&Bytes>,
+        transport: Transport,
+    ) -> Option<Bytes> {
+        match &self.lane {
+            Lane::Classic(rpc) => {
+                rpc.try_call(to, port, payload, transport, self.policy.timeout_ns)
+                    .await
+            }
+            Lane::Custom(lane) => {
+                let payload = match owned {
+                    Some(b) => b.clone(),
+                    None => Bytes::copy_from_slice(payload),
+                };
+                lane.try_call(to, port, payload, self.policy.timeout_ns)
+                    .await
+            }
+        }
     }
 
     /// Infallible call: retries per the policy, panics once the budget is
@@ -146,17 +225,33 @@ impl SvcClient {
     pub async fn call(&self, to: NodeId, port: u16, payload: &[u8], transport: Transport) -> Bytes {
         for attempt in 0..self.policy.attempts.max(1) {
             if attempt > 0 && self.policy.backoff_ns > 0 {
-                backoff_traced(
-                    self.rpc.cluster(),
-                    self.node(),
-                    self.policy.backoff_ns,
-                    attempt,
-                )
-                .await;
+                backoff_traced(&self.cluster, self.node, self.policy.backoff_ns, attempt).await;
+            }
+            if let Some(resp) = self.attempt(to, port, payload, None, transport).await {
+                return resp;
+            }
+        }
+        panic!(
+            "svc call to {to:?}:{port} failed: retry budget exhausted ({} attempts)",
+            self.policy.attempts.max(1)
+        );
+    }
+
+    /// [`SvcClient::call`] taking an owned `Bytes` payload: on a zero-copy
+    /// lane the buffer crosses the fabric without being copied at all.
+    pub async fn call_bytes(
+        &self,
+        to: NodeId,
+        port: u16,
+        payload: Bytes,
+        transport: Transport,
+    ) -> Bytes {
+        for attempt in 0..self.policy.attempts.max(1) {
+            if attempt > 0 && self.policy.backoff_ns > 0 {
+                backoff_traced(&self.cluster, self.node, self.policy.backoff_ns, attempt).await;
             }
             if let Some(resp) = self
-                .rpc
-                .try_call(to, port, payload, transport, self.policy.timeout_ns)
+                .attempt(to, port, &payload, Some(&payload), transport)
                 .await
             {
                 return resp;
@@ -177,8 +272,18 @@ impl SvcClient {
         payload: &[u8],
         transport: Transport,
     ) -> Option<Bytes> {
-        self.rpc
-            .try_call(to, port, payload, transport, self.policy.timeout_ns)
+        self.attempt(to, port, payload, None, transport).await
+    }
+
+    /// [`SvcClient::try_call`] taking an owned `Bytes` payload.
+    pub async fn try_call_bytes(
+        &self,
+        to: NodeId,
+        port: u16,
+        payload: Bytes,
+        transport: Transport,
+    ) -> Option<Bytes> {
+        self.attempt(to, port, &payload, Some(&payload), transport)
             .await
     }
 }

@@ -17,7 +17,7 @@ mod client;
 mod service;
 mod wire;
 
-pub use client::{call_legacy, CallPolicy, SvcClient};
+pub use client::{call_legacy, CallPolicy, RpcLane, SvcClient};
 pub use service::{legacy_request, Cost, Ctx, Dispatcher, Mode, Service, ServiceSpec};
 pub use wire::{Reader, Wire, Writer};
 

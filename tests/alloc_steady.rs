@@ -12,11 +12,18 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
+/// Allocations at least one response payload long — the signature a copied
+/// eRPC response body would leave behind.
+static PAYLOAD_SIZED: AtomicU64 = AtomicU64::new(0);
+const PAYLOAD_BYTES: usize = 8192;
 
 struct Counting;
 unsafe impl GlobalAlloc for Counting {
     unsafe fn alloc(&self, l: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        if l.size() >= PAYLOAD_BYTES {
+            PAYLOAD_SIZED.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.alloc(l) }
     }
     unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
@@ -72,5 +79,81 @@ fn webfarm_scale_steady_state_is_allocation_free() {
         delta < allocs_short / 100,
         "steady state allocated: {allocs_short} allocs for 1s horizon, \
          {allocs_long} for 2s (delta {delta})"
+    );
+}
+
+/// The eRPC incast loop moves every response as a refcounted `Bytes` clone
+/// of the server's one buffer. Two runs differing only in request count
+/// isolate the steady state: the extra requests must add not a single
+/// payload-sized allocation — a copying lane would add one 8 KiB buffer
+/// per extra response.
+#[test]
+fn erpc_incast_steady_state_makes_zero_payload_copies() {
+    use bytes::Bytes;
+    use dc_fabric::{Cluster, FabricModel, NodeId};
+    use dc_sim::Sim;
+    use dc_sockets::erpc::{ErpcCfg, ErpcMux, ErpcServer};
+    use std::rc::Rc;
+
+    let sessions = 16usize;
+    let run_for = |reqs_per_session: usize| {
+        let a0 = ALLOCS.load(Ordering::Relaxed);
+        let p0 = PAYLOAD_SIZED.load(Ordering::Relaxed);
+        let sim = Sim::new();
+        let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 2);
+        let resp = Bytes::from(vec![0xA5u8; PAYLOAD_BYTES]);
+        let resp_clone = resp.clone();
+        let srv = ErpcServer::spawn(
+            &cluster,
+            NodeId(1),
+            2,
+            4,
+            1_000,
+            Rc::new(move |_, _| resp_clone.clone()),
+        );
+        let mux = ErpcMux::new(&cluster, NodeId(0), ErpcCfg::default());
+        let sess: Vec<_> = (0..sessions)
+            .map(|i| mux.session(NodeId(1), srv.ports()[i % srv.ports().len()], i as u64))
+            .collect();
+        let req = Bytes::from_static(&[7u8; 32]);
+        let served = sim.run_to(async move {
+            let mut served = 0u64;
+            for _ in 0..reqs_per_session {
+                for s in &sess {
+                    let r = s.call(0, req.clone()).await;
+                    assert_eq!(r.as_ptr(), resp.as_ptr(), "response was copied");
+                    served += 1;
+                }
+            }
+            served
+        });
+        assert_eq!(served, (sessions * reqs_per_session) as u64);
+        (
+            ALLOCS.load(Ordering::Relaxed) - a0,
+            PAYLOAD_SIZED.load(Ordering::Relaxed) - p0,
+        )
+    };
+
+    // Warm process-wide state, then measure two request volumes.
+    let _ = run_for(4);
+    let (allocs_short, payload_short) = run_for(32);
+    let (allocs_long, payload_long) = run_for(64);
+    let extra_reqs = (sessions * 32) as u64;
+    let payload_delta = payload_long.saturating_sub(payload_short);
+    let alloc_delta = allocs_long.saturating_sub(allocs_short);
+    eprintln!(
+        "alloc_steady incast: {extra_reqs} extra requests, {alloc_delta} extra allocs, \
+         {payload_delta} extra payload-sized"
+    );
+    assert_eq!(
+        payload_delta, 0,
+        "{payload_delta} payload-sized allocations for {extra_reqs} extra \
+         zero-copy requests"
+    );
+    // The whole extra batch must also stay far below one allocation per
+    // request — recycled slots, not per-request buffers.
+    assert!(
+        alloc_delta < extra_reqs / 8,
+        "steady incast allocated {alloc_delta} times for {extra_reqs} extra requests"
     );
 }

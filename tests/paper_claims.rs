@@ -96,6 +96,11 @@ fn ext_webfarm_scale_claims() {
 }
 
 #[test]
+fn ext_incast_claims() {
+    assert_claims_hold("ext_incast");
+}
+
+#[test]
 fn every_registered_scenario_has_claims() {
     for s in &scenario::ALL {
         assert!(
@@ -325,4 +330,29 @@ fn fault_seeded_lock_shootout_dominance_holds() {
             cas.max_wait_us
         );
     }
+}
+
+/// Fault-seeded incast recovery, opt-in via `DC_CLAIMS_FAULTS=1`. Under a
+/// seeded uniform drop rate the eRPC lane's RTO retransmit plus the
+/// server's reply cache must deliver exactly-once completion for every
+/// request (`run_cell` asserts none are lost), with the recovery visible
+/// in the retransmit counter and the whole cell bit-deterministic.
+#[test]
+fn fault_seeded_incast_recovers_every_request() {
+    if std::env::var("DC_CLAIMS_FAULTS").ok().as_deref() != Some("1") {
+        return; // opt-in: default tier-1 stays fault-free
+    }
+    use dc_bench::ext_incast::{run_cell, IncastLane};
+    let p = run_cell(IncastLane::Erpc, 64, 0.05);
+    assert!(
+        p.retransmits > 0,
+        "a 5% drop plan must exercise the retransmit path"
+    );
+    assert!(p.goodput_rps > 0.0);
+    let q = run_cell(IncastLane::Erpc, 64, 0.05);
+    assert_eq!(
+        p.retransmits, q.retransmits,
+        "faulted incast cell must be deterministic"
+    );
+    assert_eq!(p.p999_us, q.p999_us);
 }

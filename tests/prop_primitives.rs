@@ -404,3 +404,119 @@ proptest! {
         prop_assert!(seen.iter().all(|&s| s), "every stream must surface in the merge");
     }
 }
+
+proptest! {
+    /// Credit accounting is a bounded counter: under any interleaving of
+    /// takes and (legal) releases, available credits stay in `[0, cap]`,
+    /// a take at zero refuses, and taken+available always equals cap.
+    #[test]
+    fn erpc_credits_never_go_negative_or_past_cap(
+        cap in 1u32..64,
+        ops in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        use nextgen_datacenter::sockets::erpc::Credits;
+        let mut c = Credits::new(cap);
+        let mut outstanding = 0u32;
+        for take in ops {
+            if take {
+                let had = c.available();
+                if c.try_take() {
+                    prop_assert!(had > 0, "take succeeded with no credits");
+                    outstanding += 1;
+                } else {
+                    prop_assert_eq!(had, 0, "take refused with credits available");
+                }
+            } else if outstanding > 0 {
+                c.release();
+                outstanding -= 1;
+            }
+            prop_assert!(c.available() <= c.cap());
+            prop_assert_eq!(c.available() + outstanding, cap,
+                "credits must be conserved");
+        }
+    }
+
+    /// The AIMD rate machine never escapes `[floor_bps, link_bps]`, for any
+    /// seed and any interleaving of ack RTTs (spanning both Timely bands)
+    /// and ECN marks.
+    #[test]
+    fn erpc_rate_stays_within_floor_and_link(
+        seed in any::<u64>(),
+        events in prop::collection::vec((any::<bool>(), 0u64..2_000_000), 1..300),
+    ) {
+        use nextgen_datacenter::sockets::erpc::{CcConfig, CongestionState};
+        let cfg = CcConfig::default();
+        let mut cs = CongestionState::new(cfg, seed);
+        prop_assert!(cs.rate_bps() >= cfg.floor_bps);
+        prop_assert!(cs.rate_bps() <= cfg.link_bps);
+        for (mark, rtt_ns) in events {
+            if mark {
+                cs.on_mark();
+            } else {
+                cs.on_ack(rtt_ns);
+            }
+            prop_assert!(cs.rate_bps() >= cfg.floor_bps,
+                "rate {} fell below the floor", cs.rate_bps());
+            prop_assert!(cs.rate_bps() <= cfg.link_bps,
+                "rate {} exceeded the link", cs.rate_bps());
+            prop_assert!(cs.gap_ns(8192) > 0, "pacing gap must stay positive");
+        }
+    }
+
+    /// Two symmetric AIMD sessions sharing one link converge to the fair
+    /// share regardless of their (different) seeded start rates: additive
+    /// increase while the link has headroom, synchronized multiplicative
+    /// decrease when the offered sum exceeds it — the classic Chiu–Jain
+    /// dynamics. Time-averaged over the second half of the run, each
+    /// session holds 50% ± 10% of the aggregate.
+    #[test]
+    fn erpc_aimd_converges_to_fair_share_for_two_sessions(
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        use nextgen_datacenter::sockets::erpc::{CcConfig, CongestionState};
+        let cfg = CcConfig::default();
+        let mut a = CongestionState::new(cfg, seed_a);
+        let mut b = CongestionState::new(cfg, seed_b);
+        let rounds = 4_000usize;
+        let (mut sum_a, mut sum_b) = (0u128, 0u128);
+        for i in 0..rounds {
+            let congested = a.rate_bps() + b.rate_bps() > cfg.link_bps;
+            let rtt = if congested { cfg.rtt_high_ns } else { cfg.rtt_low_ns };
+            a.on_ack(rtt);
+            b.on_ack(rtt);
+            if i >= rounds / 2 {
+                sum_a += a.rate_bps() as u128;
+                sum_b += b.rate_bps() as u128;
+            }
+        }
+        let share = sum_a as f64 / (sum_a + sum_b) as f64;
+        prop_assert!((share - 0.5).abs() < 0.10,
+            "session A settled at {share:.3} of the aggregate, expected ~0.5");
+    }
+
+    /// The immediate-word header round-trips exactly over its full valid
+    /// range: every field survives encode → decode unchanged.
+    #[test]
+    fn erpc_imm_header_round_trips(
+        kind in 0u8..4,
+        ece in any::<bool>(),
+        op in any::<u8>(),
+        session in any::<u16>(),
+        seq in 0u32..=nextgen_datacenter::sockets::erpc::SEQ_MASK,
+        port in any::<u16>(),
+    ) {
+        use nextgen_datacenter::sockets::erpc::{decode_imm, encode_imm, ImmHeader};
+        let h = ImmHeader { kind, ece, op, session, seq, port };
+        prop_assert_eq!(decode_imm(encode_imm(h)), h);
+    }
+
+    /// The header layout fills all 64 bits with no gaps, so decode/encode
+    /// is a bijection on the whole immediate word — no information can hide
+    /// in unused bits.
+    #[test]
+    fn erpc_imm_word_decode_encode_is_a_bijection(imm in any::<u64>()) {
+        use nextgen_datacenter::sockets::erpc::{decode_imm, encode_imm};
+        prop_assert_eq!(encode_imm(decode_imm(imm)), imm);
+    }
+}
