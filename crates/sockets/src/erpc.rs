@@ -1047,3 +1047,37 @@ mod tests {
         assert_eq!(&got[..], b"over-erpc");
     }
 }
+
+#[cfg(test)]
+mod review_repro {
+    use super::*;
+    use dc_fabric::FabricModel;
+    use dc_sim::Sim;
+
+    #[test]
+    fn concurrent_calls_on_one_session_all_complete() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(sim.handle(), FabricModel::calibrated_2007(), 2);
+        let srv = ErpcServer::spawn(&cluster, NodeId(1), 1, 4, 0, Rc::new(|_, req| req));
+        let mux = ErpcMux::new(
+            &cluster,
+            NodeId(0),
+            ErpcCfg { window: 1, ..ErpcCfg::default() },
+        );
+        let sess = mux.session(NodeId(1), srv.ports()[0], 1);
+        let handles: Vec<_> = (0..3u8)
+            .map(|i| {
+                let s = sess.clone();
+                sim.spawn(async move {
+                    let r = s.call(0, Bytes::from(vec![i; 8])).await;
+                    assert_eq!(r[0], i);
+                })
+            })
+            .collect();
+        sim.run_to(async move {
+            for h in handles {
+                h.await;
+            }
+        });
+    }
+}
